@@ -1,0 +1,80 @@
+#include "bench_util.hpp"
+
+#include "common/stopwatch.hpp"
+
+namespace fsda::bench {
+
+void run_table1(const data::DomainSplit& split, const BenchConfig& config,
+                const std::string& csv_path) {
+  const models::Preset preset =
+      config.full ? models::Preset::Full : models::Preset::Quick;
+  const auto methods = baselines::make_table1_methods(!config.full);
+  const auto& model_names = models::table1_model_names();
+
+  // Within-source sanity check (paper Section VI-B(a)): SrcOnly
+  // cross-validated *inside* the source domain must be near-perfect, so
+  // its target collapse is attributable to drift.
+  std::printf("Within-source cross-validation (sanity):\n");
+  for (const auto& model : model_names) {
+    if (!selected(config.models, model)) continue;
+    const double f1 = eval::within_source_f1(
+        split.source_train, models::make_classifier_factory(model, preset),
+        /*holdout_fraction=*/0.25, config.seed ^ 0x5A11ULL);
+    std::printf("  %-5s F1 = %.1f\n", model.c_str(), f1);
+  }
+
+  // Header: method | model columns per shot count.
+  std::vector<std::string> header = {"Group", "Method"};
+  for (std::size_t shots : config.shots) {
+    for (const auto& model : model_names) {
+      if (!selected(config.models, model)) continue;
+      header.push_back(model + "@" + std::to_string(shots));
+    }
+  }
+  eval::TextTable table(header);
+
+  std::string last_group;
+  common::Stopwatch total;
+  for (const auto& method : methods) {
+    if (!selected(config.methods, method.name)) continue;
+    if (!last_group.empty() && method.group != last_group) {
+      table.add_separator();
+    }
+    last_group = method.group;
+    std::vector<std::string> row = {method.group, method.name};
+    std::optional<double> variant_note;
+    for (std::size_t shots : config.shots) {
+      // Model-specific methods get one score per shot count, shown under
+      // every model column (as the paper's merged cells do).
+      std::optional<std::string> merged;
+      for (const auto& model : model_names) {
+        if (!selected(config.models, model)) continue;
+        if (!method.model_agnostic && merged.has_value()) {
+          row.push_back(*merged);
+          continue;
+        }
+        // Seed depends on (shots, trial) only, so every method sees the
+        // SAME few-shot draws -- paired comparisons across the table.
+        const eval::CellResult cell = eval::run_cell(
+            split, method, models::make_classifier_factory(model, preset),
+            shots, config.repeats, config.seed ^ (shots * 7919));
+        row.push_back(eval::format_f1(cell.summary.mean));
+        if (!method.model_agnostic) merged = row.back();
+        if (cell.mean_variant_count) variant_note = cell.mean_variant_count;
+      }
+    }
+    if (variant_note) {
+      std::printf("  [%s: ~%.0f variant features detected at %zu-shot]\n",
+                  method.name.c_str(), *variant_note, config.shots.back());
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("\nF1-scores on %s target test data (mean over %zu trials):\n%s",
+              split.name.c_str(), config.repeats,
+              table.to_string().c_str());
+  std::printf("total wall time: %.1f s\n", total.seconds());
+  export_csv(table, csv_path);
+}
+
+}  // namespace fsda::bench

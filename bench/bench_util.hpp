@@ -1,0 +1,88 @@
+// Shared plumbing for the table-reproduction benches: env-var knobs, method
+// and model filtering, table assembly matching the paper's layout, and CSV
+// export next to the binary.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "common/env.hpp"
+#include "data/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+#include "models/factory.hpp"
+
+namespace fsda::bench {
+
+/// Shared configuration resolved from FSDA_* environment variables.
+struct BenchConfig {
+  bool full = false;                        ///< FSDA_FULL
+  std::size_t repeats = 2;                  ///< FSDA_REPEATS
+  std::vector<std::size_t> shots = {1, 5, 10};  ///< FSDA_SHOTS ("1,5,10")
+  std::vector<std::string> models;          ///< FSDA_MODELS filter (names)
+  std::vector<std::string> methods;         ///< FSDA_METHODS filter
+  std::uint64_t seed = 20260708;            ///< FSDA_SEED
+};
+
+inline std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+inline BenchConfig load_bench_config() {
+  BenchConfig config;
+  config.full = common::full_scale_requested();
+  config.repeats = static_cast<std::size_t>(
+      common::env_int("FSDA_REPEATS", config.full ? 20 : 2));
+  config.seed = static_cast<std::uint64_t>(
+      common::env_int("FSDA_SEED", 20260708));
+  const std::string shots = common::env_string("FSDA_SHOTS", "");
+  if (!shots.empty()) {
+    config.shots.clear();
+    for (const auto& token : split_list(shots)) {
+      config.shots.push_back(static_cast<std::size_t>(std::stoul(token)));
+    }
+  }
+  config.models = split_list(common::env_string("FSDA_MODELS", ""));
+  config.methods = split_list(common::env_string("FSDA_METHODS", ""));
+  return config;
+}
+
+inline bool selected(const std::vector<std::string>& filter,
+                     const std::string& name) {
+  if (filter.empty()) return true;
+  for (const auto& f : filter) {
+    if (f == name) return true;
+  }
+  return false;
+}
+
+/// Writes a table's CSV next to the binary outputs (best effort).
+inline void export_csv(const eval::TextTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (out) {
+    out << table.to_csv();
+    std::printf("CSV written to %s\n", path.c_str());
+  }
+}
+
+/// Runs the full (methods x models x shots) grid of Table I on one dataset
+/// and prints the paper-shaped table.
+void run_table1(const data::DomainSplit& split, const BenchConfig& config,
+                const std::string& csv_path);
+
+}  // namespace fsda::bench

@@ -1,0 +1,121 @@
+// Reproduces the Section VI-D running-time analysis with google-benchmark:
+// the FS step (dominated by conditional-independence tests), GAN training,
+// and the per-sample inference path (one generator pass + one classifier
+// pass; the paper reports ~0.05 s/sample on their hardware).
+#include <benchmark/benchmark.h>
+
+#include "baselines/ours.hpp"
+#include "causal/ci_test.hpp"
+#include "core/cgan.hpp"
+#include "core/feature_separation.hpp"
+#include "data/gen5gc.hpp"
+#include "data/scaler.hpp"
+#include "models/factory.hpp"
+
+namespace {
+
+using namespace fsda;
+
+const data::DomainSplit& split_5gc() {
+  static const data::DomainSplit split =
+      data::generate_5gc(data::Gen5GCConfig::quick());
+  return split;
+}
+
+struct Scaled {
+  la::Matrix source;
+  la::Matrix few;
+};
+
+const Scaled& scaled_5gc() {
+  static const Scaled scaled = [] {
+    const auto& split = split_5gc();
+    data::MinMaxScaler scaler;
+    scaler.fit(split.source_train.x);
+    const data::Dataset few =
+        data::sample_few_shot(split.target_pool, 5, 1);
+    return Scaled{scaler.transform(split.source_train.x),
+                  scaler.transform(few.x)};
+  }();
+  return scaled;
+}
+
+void BM_FisherZMarginalTest(benchmark::State& state) {
+  const auto& scaled = scaled_5gc();
+  la::Matrix combined = scaled.source.vcat(scaled.few);
+  la::Matrix f_col(combined.rows(), 1, 0.0);
+  for (std::size_t r = scaled.source.rows(); r < combined.rows(); ++r) {
+    f_col(r, 0) = 1.0;
+  }
+  combined = combined.hcat(f_col);
+  const causal::FisherZTest test(combined, 0.01);
+  const std::size_t f_index = combined.cols() - 1;
+  std::size_t feature = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test.test(feature, f_index, {}));
+    feature = (feature + 1) % (combined.cols() - 1);
+  }
+}
+BENCHMARK(BM_FisherZMarginalTest);
+
+void BM_FeatureSeparationEndToEnd(benchmark::State& state) {
+  const auto& scaled = scaled_5gc();
+  causal::FNodeOptions options;
+  options.max_condition_size = 2;
+  options.candidate_pool = 6;
+  options.max_subsets_per_level = 24;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::separate_features(scaled.source, scaled.few, options));
+  }
+}
+BENCHMARK(BM_FeatureSeparationEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_GanTrainingPerEpoch(benchmark::State& state) {
+  const auto& scaled = scaled_5gc();
+  const auto& split = split_5gc();
+  // Fixed plausible partition: ground-truth variant set.
+  std::vector<std::size_t> invariant;
+  std::vector<char> is_variant(scaled.source.cols(), 0);
+  for (std::size_t f : split.true_variant) is_variant[f] = 1;
+  for (std::size_t f = 0; f < scaled.source.cols(); ++f) {
+    if (!is_variant[f]) invariant.push_back(f);
+  }
+  const la::Matrix x_inv = scaled.source.select_cols(invariant);
+  const la::Matrix x_var = scaled.source.select_cols(split.true_variant);
+  for (auto _ : state) {
+    core::CganOptions options = core::CganOptions::quick();
+    options.epochs = 1;  // cost of a single epoch
+    core::ConditionalGAN gan(x_inv.cols(), x_var.cols(), options, 7);
+    gan.fit(x_inv, x_var, split.source_train.y,
+            split.source_train.num_classes);
+    benchmark::DoNotOptimize(gan);
+  }
+}
+BENCHMARK(BM_GanTrainingPerEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineInferencePerSample(benchmark::State& state) {
+  const auto& split = split_5gc();
+  static baselines::FsReconMethod method;  // trained once, reused
+  static bool trained = false;
+  if (!trained) {
+    const data::Dataset few = data::sample_few_shot(split.target_pool, 5, 1);
+    baselines::DAContext context{split.source_train, few,
+                                 models::make_classifier_factory("tnet"), 7};
+    method.fit(context);
+    trained = true;
+  }
+  std::size_t row = 0;
+  const std::vector<std::size_t> one_row_holder(1);
+  for (auto _ : state) {
+    const std::vector<std::size_t> rows = {row};
+    const la::Matrix sample = split.target_test.x.select_rows(rows);
+    benchmark::DoNotOptimize(method.predict_proba(sample));
+    row = (row + 1) % split.target_test.size();
+  }
+}
+BENCHMARK(BM_PipelineInferencePerSample)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

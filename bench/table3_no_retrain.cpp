@@ -1,0 +1,93 @@
+// Reproduces Table III: the no-retraining experiment.  The 5GIPC pool is
+// generated from three latent regimes and split by our GMM into Source,
+// Target_1 and Target_2.  FS+GAN_1 adapts with shots from Target_1 and
+// FS+GAN_2 with shots from Target_2; the TNet fault-detection model is
+// trained ONCE (on source only, inside the first pipeline) and each
+// adapter is evaluated on BOTH targets -- cross-adaptation stays
+// competitive because the targets share most variant features.
+#include "baselines/ours.hpp"
+#include "bench_util.hpp"
+#include "data/gen5gipc.hpp"
+#include "eval/metrics.hpp"
+
+int main() {
+  using namespace fsda;
+  const bench::BenchConfig config = bench::load_bench_config();
+  const models::Preset preset =
+      config.full ? models::Preset::Full : models::Preset::Quick;
+
+  data::Gen5GIPCConfig gen = config.full ? data::Gen5GIPCConfig::paper()
+                                         : data::Gen5GIPCConfig::quick();
+  gen.regimes = 3;
+  gen.regime_weights = {0.6, 0.25, 0.15};
+  const data::Gen5GIPCPooled pooled = data::generate_5gipc_pooled(gen);
+  const data::GmmDomainSplit clusters =
+      data::gmm_domain_split(pooled, 3, gen.seed ^ 0x333ULL);
+  std::printf("== Table III: GMM 3-way split: source=%zu, target1=%zu, "
+              "target2=%zu samples (regime purity %.2f/%.2f/%.2f) ==\n",
+              clusters.clusters[0].size(), clusters.clusters[1].size(),
+              clusters.clusters[2].size(), clusters.purity[0],
+              clusters.purity[1], clusters.purity[2]);
+
+  const data::Dataset& source = clusters.clusters[0];
+  // Split each target cluster into a few-shot pool and a test set.
+  struct Target {
+    data::Dataset pool;
+    data::Dataset test;
+  };
+  Target targets[2];
+  for (int t = 0; t < 2; ++t) {
+    auto [test, pool] = data::stratified_split(
+        clusters.clusters[static_cast<std::size_t>(t) + 1], 0.7,
+        gen.seed ^ (0x70ULL + static_cast<std::uint64_t>(t)));
+    targets[t] = {std::move(pool), std::move(test)};
+  }
+
+  const models::ClassifierFactory tnet =
+      models::make_classifier_factory("tnet", preset);
+  const bool quick = !config.full;
+
+  std::vector<std::string> header = {"DA Method"};
+  for (int t = 1; t <= 2; ++t) {
+    for (std::size_t shots : config.shots) {
+      header.push_back("Target_" + std::to_string(t) + "@" +
+                       std::to_string(shots));
+    }
+  }
+  eval::TextTable table(header);
+
+  for (int adapter = 0; adapter < 2; ++adapter) {
+    std::vector<std::string> row = {"FS+GAN_" + std::to_string(adapter + 1)};
+    std::vector<std::vector<std::string>> per_target(2);
+    for (std::size_t shots : config.shots) {
+      // Fit the adapter with shots from its own target...
+      baselines::FsReconMethod method(
+          baselines::ReconKind::Gan, causal::FNodeOptions{},
+          quick ? baselines::ReconBudget::Quick
+                : baselines::ReconBudget::Paper);
+      const data::Dataset shots_set = data::sample_few_shot(
+          targets[adapter].pool, shots, config.seed ^ (shots * 31ULL));
+      baselines::DAContext context{source, shots_set, tnet,
+                                   config.seed ^ 0xAB1EULL};
+      method.fit(context);
+      // ...then evaluate on BOTH targets without retraining anything.
+      for (int t = 0; t < 2; ++t) {
+        const auto predicted = method.predict(targets[t].test.x);
+        const double f1 =
+            100.0 * eval::macro_f1(targets[t].test.y, predicted,
+                                   targets[t].test.num_classes);
+        per_target[t].push_back(eval::format_f1(f1));
+      }
+    }
+    for (int t = 0; t < 2; ++t) {
+      for (const auto& v : per_target[t]) row.push_back(v);
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("Diagonal cells (matched adapter) should lead; off-diagonal "
+              "cells stay competitive because the targets share most "
+              "variant features (paper Section VI-F).\n");
+  bench::export_csv(table, "table3_no_retrain.csv");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Demonstrates the framework's model-agnosticism: plugging a user-defined
+// network-management model into the FS+GAN pipeline.  Any type satisfying
+// the Classifier interface works -- here, a deliberately simple
+// nearest-class-centroid classifier written in ~40 lines.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "baselines/ours.hpp"
+#include "data/gen5gc.hpp"
+#include "eval/metrics.hpp"
+#include "models/classifier.hpp"
+
+using namespace fsda;
+
+namespace {
+
+/// Nearest-centroid classifier with softmax-over-negative-distance scores.
+class CentroidClassifier : public models::Classifier {
+ public:
+  void fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+           std::size_t num_classes,
+           const std::vector<double>& /*weights*/) override {
+    centroids_ = la::Matrix(num_classes, x.cols(), 0.0);
+    std::vector<double> counts(num_classes, 0.0);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto c = static_cast<std::size_t>(y[r]);
+      counts[c] += 1.0;
+      for (std::size_t f = 0; f < x.cols(); ++f) {
+        centroids_(c, f) += x(r, f);
+      }
+    }
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (counts[c] == 0.0) continue;
+      for (std::size_t f = 0; f < x.cols(); ++f) {
+        centroids_(c, f) /= counts[c];
+      }
+    }
+  }
+
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x) const override {
+    la::Matrix logits(x.rows(), centroids_.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+        double dist = 0.0;
+        for (std::size_t f = 0; f < x.cols(); ++f) {
+          const double d = x(r, f) - centroids_(c, f);
+          dist += d * d;
+        }
+        logits(r, c) = -dist;
+      }
+    }
+    // Row-wise softmax.
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      auto row = logits.row(r);
+      const double mx = *std::max_element(row.begin(), row.end());
+      double total = 0.0;
+      for (auto& v : row) {
+        v = std::exp(v - mx);
+        total += v;
+      }
+      for (auto& v : row) v /= total;
+    }
+    return logits;
+  }
+
+  [[nodiscard]] std::string name() const override { return "Centroid"; }
+
+ private:
+  la::Matrix centroids_;
+};
+
+}  // namespace
+
+int main() {
+  const data::DomainSplit split =
+      data::generate_5gc(data::Gen5GCConfig::quick());
+  const data::Dataset shots = data::sample_few_shot(split.target_pool, 5, 21);
+
+  // The pipeline only sees the factory -- the custom model drops in exactly
+  // like the built-in TNet/MLP/RF/XGB.
+  const models::ClassifierFactory factory =
+      [](std::uint64_t) -> std::unique_ptr<models::Classifier> {
+    return std::make_unique<CentroidClassifier>();
+  };
+
+  auto evaluate = [&](bool use_gan) {
+    baselines::DAContext context{split.source_train, shots, factory, 5};
+    std::unique_ptr<baselines::DAMethod> method;
+    if (use_gan) method = std::make_unique<baselines::FsReconMethod>();
+    else method = std::make_unique<baselines::FsMethod>();
+    method->fit(context);
+    const auto predicted = method->predict(split.target_test.x);
+    return 100.0 * eval::macro_f1(split.target_test.y, predicted,
+                                  split.target_test.num_classes);
+  };
+
+  std::printf("custom centroid model inside the paper's framework:\n");
+  std::printf("  FS      macro-F1 = %.1f\n", evaluate(false));
+  std::printf("  FS+GAN  macro-F1 = %.1f\n", evaluate(true));
+  return 0;
+}

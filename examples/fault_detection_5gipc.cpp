@@ -1,0 +1,57 @@
+// Fault detection on the 5GIPC-like NFV testbed data: shows the full
+// dataset workflow the paper uses -- generate pooled multi-regime data,
+// recover source/target domains with GMM clustering, then run the FS+GAN
+// pipeline against the recovered drift.
+#include <cstdio>
+
+#include "baselines/naive.hpp"
+#include "baselines/ours.hpp"
+#include "data/gen5gipc.hpp"
+#include "eval/metrics.hpp"
+#include "models/factory.hpp"
+
+using namespace fsda;
+
+int main() {
+  // 1. Pooled telemetry from an NFV testbed whose traffic trend changed at
+  //    some point (two latent regimes).
+  const data::Gen5GIPCConfig config = data::Gen5GIPCConfig::quick();
+  const data::Gen5GIPCPooled pooled = data::generate_5gipc_pooled(config);
+  std::printf("pooled 5GIPC-like data: %zu samples, %zu features\n",
+              pooled.data.size(), pooled.data.num_features());
+
+  // 2. Recover the domains by clustering, exactly as the paper does.
+  const data::GmmDomainSplit clusters =
+      data::gmm_domain_split(pooled, /*k=*/2, /*seed=*/17);
+  std::printf("GMM split: source cluster %zu samples, target cluster %zu "
+              "(regime purity %.2f / %.2f)\n",
+              clusters.clusters[0].size(), clusters.clusters[1].size(),
+              clusters.purity[0], clusters.purity[1]);
+
+  // 3. Package as a DA problem (the library's one-call shortcut does steps
+  //    1-3 internally: data::generate_5gipc(config)).
+  const data::DomainSplit split = data::generate_5gipc(config);
+  const data::Dataset shots =
+      data::sample_few_shot(split.target_pool, /*shots=*/5, /*seed=*/3);
+
+  // 4. Compare the undefended detector against the paper's pipeline, with
+  //    an XGBoost downstream model this time (the framework is
+  //    model-agnostic).
+  const models::ClassifierFactory xgb = models::make_classifier_factory("xgb");
+  auto evaluate = [&](baselines::DAMethod& method) {
+    baselines::DAContext context{split.source_train, shots, xgb, 99};
+    method.fit(context);
+    const auto predicted = method.predict(split.target_test.x);
+    return 100.0 * eval::macro_f1(split.target_test.y, predicted,
+                                  split.target_test.num_classes);
+  };
+  baselines::SrcOnly src_only;
+  baselines::FsReconMethod fs_gan;
+  const double f1_src = evaluate(src_only);
+  const double f1_gan = evaluate(fs_gan);
+  std::printf("fault detection macro-F1: SrcOnly %.1f -> FS+GAN %.1f\n",
+              f1_src, f1_gan);
+  std::printf("FS identified %zu variant features (ground truth %zu)\n",
+              fs_gan.separation().variant.size(), split.true_variant.size());
+  return f1_gan > f1_src ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Quickstart: mitigate data drift on a 5GC-like failure-classification task.
+//
+// Generates the synthetic 5GC domain-adaptation instance (source = digital
+// twin, target = drifted real network), shows the drift problem (SrcOnly
+// collapse), and fixes it with the paper's FS and FS+GAN pipelines using
+// 5 labeled target samples per failure class.
+#include <cstdio>
+
+#include "baselines/naive.hpp"
+#include "baselines/ours.hpp"
+#include "common/env.hpp"
+#include "data/gen5gc.hpp"
+#include "eval/metrics.hpp"
+#include "models/factory.hpp"
+
+using namespace fsda;
+
+int main() {
+  // 1. Data: a source domain plus a drifted target domain.  The generator
+  //    mirrors the ITU 5GC dataset's structure (see DESIGN.md).
+  //    FSDA_FULL=1 switches to the paper-scale 442-feature instance.
+  const data::DomainSplit split =
+      data::generate_5gc(common::full_scale_requested()
+                             ? data::Gen5GCConfig::paper()
+                             : data::Gen5GCConfig::quick());
+  std::printf("5GC-like instance: %zu source samples, %zu features, "
+              "%zu classes, %zu target test samples\n",
+              split.source_train.size(), split.source_train.num_features(),
+              split.source_train.num_classes, split.target_test.size());
+
+  // 2. Few-shot target data: 5 labeled samples per failure class.
+  const data::Dataset shots =
+      data::sample_few_shot(split.target_pool, /*shots=*/5, /*seed=*/7);
+
+  // 3. A downstream network-management model.  The framework is
+  //    model-agnostic: any Classifier factory works ("tnet", "mlp", "rf",
+  //    "xgb", or your own).
+  const models::ClassifierFactory tnet =
+      models::make_classifier_factory("tnet");
+
+  auto evaluate = [&](baselines::DAMethod& method, const char* label) {
+    baselines::DAContext context{split.source_train, shots, tnet,
+                                 /*seed=*/42};
+    method.fit(context);
+    const auto predicted = method.predict(split.target_test.x);
+    const double f1 =
+        100.0 * eval::macro_f1(split.target_test.y, predicted,
+                               split.target_test.num_classes);
+    std::printf("%-14s macro-F1 on drifted target: %5.1f\n", label, f1);
+    return f1;
+  };
+
+  // 4. The drift problem: a model trained on source only collapses.
+  baselines::SrcOnly src_only;
+  const double f1_src = evaluate(src_only, "SrcOnly");
+
+  // 5. Step 1 of the fix -- causal feature separation (FS).
+  baselines::FsMethod fs;
+  const double f1_fs = evaluate(fs, "FS (ours)");
+  std::printf("               FS flagged %zu of %zu features as "
+              "domain-variant (ground truth: %zu)\n",
+              fs.separation().variant.size(),
+              split.source_train.num_features(), split.true_variant.size());
+
+  // 6. Step 2 -- GAN reconstruction of the variant features (FS+GAN).
+  baselines::FsReconMethod fs_gan(baselines::ReconKind::Gan);
+  const double f1_gan = evaluate(fs_gan, "FS+GAN (ours)");
+
+  std::printf("\nDrift mitigation: SrcOnly %.1f -> FS %.1f -> FS+GAN %.1f\n",
+              f1_src, f1_fs, f1_gan);
+  return (f1_gan > f1_src) ? 0 : 1;
+}

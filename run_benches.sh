@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every paper table/figure.  Quick-mode defaults below are sized
+# for a single CPU core; unset the FSDA_* overrides (or set FSDA_FULL=1,
+# FSDA_REPEATS=20, FSDA_MODELS=) for paper-scale runs.
+cd /root/repo
+run() { echo "===== build/bench/$1 ====="; shift; "$@"; echo; }
+run runtime_microbench ./build/bench/runtime_microbench
+run sensitivity_features env FSDA_REPEATS=2 ./build/bench/sensitivity_features
+run table1_5gc env FSDA_REPEATS=1 FSDA_MODELS=TNet,RF ./build/bench/table1_5gc
+run table1_5gipc env FSDA_REPEATS=1 FSDA_MODELS=TNet,RF ./build/bench/table1_5gipc
+run table2_ablation env FSDA_REPEATS=1 FSDA_SHOTS=1,5 ./build/bench/table2_ablation
+run table3_no_retrain env FSDA_REPEATS=1 FSDA_SHOTS=5 ./build/bench/table3_no_retrain

@@ -1,0 +1,156 @@
+#include "baselines/cmt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/linalg.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::baselines {
+
+la::Matrix IcaModel::to_components(const la::Matrix& x) const {
+  la::Matrix centered = x;
+  for (std::size_t r = 0; r < centered.rows(); ++r) {
+    for (std::size_t c = 0; c < centered.cols(); ++c) {
+      centered(r, c) -= mean(0, c);
+    }
+  }
+  return centered.matmul_transposed(unmix);  // rows = samples, cols = comps
+}
+
+la::Matrix IcaModel::to_inputs(const la::Matrix& s) const {
+  la::Matrix x = s.matmul_transposed(mix);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      x(r, c) += mean(0, c);
+    }
+  }
+  return x;
+}
+
+IcaModel fast_ica(const la::Matrix& x, std::size_t components,
+                  std::size_t iterations, std::uint64_t seed) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t k = std::min(components, std::min(n - 1, d));
+  FSDA_CHECK_MSG(k >= 1, "no ICA components possible");
+
+  IcaModel model;
+  model.mean = la::column_means(x);
+  la::Matrix centered = x;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) centered(r, c) -= model.mean(0, c);
+  }
+
+  // Whiten via the top-k eigenpairs of the covariance.
+  const la::Matrix cov = la::covariance(centered);
+  const la::EigenResult eig = la::eigen_symmetric(cov);
+  la::Matrix whiten(k, d);    // s_white = whiten * x_centered
+  la::Matrix unwhiten(d, k);  // x_centered ~= unwhiten * s_white
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t col = d - 1 - i;  // eigenvalues ascending -> take top
+    const double lambda = std::max(eig.values[col], 1e-8);
+    for (std::size_t f = 0; f < d; ++f) {
+      whiten(i, f) = eig.vectors(f, col) / std::sqrt(lambda);
+      unwhiten(f, i) = eig.vectors(f, col) * std::sqrt(lambda);
+    }
+  }
+  const la::Matrix z = centered.matmul_transposed(whiten);  // n x k, white
+
+  // Symmetric FastICA with tanh nonlinearity.
+  common::Rng rng(seed ^ 0x1CAULL);
+  la::Matrix w = la::Matrix::randn(k, k, rng);
+  auto symmetric_decorrelate = [](const la::Matrix& m) {
+    return la::inv_sqrt_spd(m.matmul_transposed(m), 1e-10).matmul(m);
+  };
+  w = symmetric_decorrelate(w);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const la::Matrix s = z.matmul_transposed(w);  // n x k
+    // w_new_i = E[z * g(s_i)] - E[g'(s_i)] * w_i, g = tanh.
+    la::Matrix w_new(k, k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      double mean_gprime = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double g = std::tanh(s(r, i));
+        mean_gprime += 1.0 - g * g;
+        for (std::size_t c = 0; c < k; ++c) {
+          w_new(i, c) += z(r, c) * g;
+        }
+      }
+      const double inv_n = 1.0 / static_cast<double>(n);
+      mean_gprime *= inv_n;
+      for (std::size_t c = 0; c < k; ++c) {
+        w_new(i, c) = w_new(i, c) * inv_n - mean_gprime * w(i, c);
+      }
+    }
+    w_new = symmetric_decorrelate(w_new);
+    const double delta = (w_new - w).max_abs();
+    w = std::move(w_new);
+    if (delta < 1e-6) break;
+  }
+
+  model.unmix = w.matmul(whiten);      // k x d
+  model.mix = unwhiten.matmul_transposed(w);  // d x k (w orthogonal)
+  return model;
+}
+
+void Cmt::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "CMT needs a classifier factory");
+  const data::Dataset& src = context.source;
+  const data::Dataset& tgt = context.target_few;
+  scaler_.fit(src.x);
+  const la::Matrix xs = scaler_.transform(src.x);
+  const la::Matrix xt = scaler_.transform(tgt.x);
+
+  const IcaModel ica = fast_ica(xs, options_.components,
+                                options_.ica_iterations,
+                                context.seed ^ 0xC47ULL);
+  const la::Matrix st = ica.to_components(xt);
+  const std::size_t k = st.cols();
+
+  // Per-component stddev on source, for jitter scaling.
+  const la::Matrix ss = ica.to_components(xs);
+  const la::Matrix comp_std = la::column_stddevs(ss);
+
+  common::Rng rng(context.seed ^ 0xC4271ULL);
+  // Recombine component values within each class: the mechanism (mixing) is
+  // shared, the independent causes are exchangeable across same-class
+  // samples.
+  la::Matrix aug_components(tgt.size() * options_.augment_factor, k);
+  std::vector<std::int64_t> aug_labels;
+  aug_labels.reserve(aug_components.rows());
+  std::size_t out_row = 0;
+  for (std::size_t c = 0; c < tgt.num_classes; ++c) {
+    const auto members = tgt.indices_of_class(static_cast<std::int64_t>(c));
+    if (members.empty()) continue;
+    const std::size_t synth = members.size() * options_.augment_factor;
+    for (std::size_t i = 0; i < synth; ++i) {
+      for (std::size_t comp = 0; comp < k; ++comp) {
+        const std::size_t donor =
+            members[rng.uniform_index(members.size())];
+        aug_components(out_row, comp) =
+            st(donor, comp) +
+            options_.jitter * comp_std(0, comp) * rng.normal();
+      }
+      aug_labels.push_back(static_cast<std::int64_t>(c));
+      ++out_row;
+    }
+  }
+  FSDA_CHECK_MSG(out_row > 0, "CMT produced no augmented samples");
+  std::vector<std::size_t> used(out_row);
+  for (std::size_t i = 0; i < out_row; ++i) used[i] = i;
+  const la::Matrix x_aug =
+      ica.to_inputs(aug_components.select_rows(used));
+
+  classifier_ = context.classifier_factory(context.seed);
+  classifier_->fit(x_aug, aug_labels, tgt.num_classes, {});
+}
+
+la::Matrix Cmt::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(classifier_ != nullptr, "predict before fit");
+  return classifier_->predict_proba(scaler_.transform(x_raw));
+}
+
+}  // namespace fsda::baselines

@@ -1,0 +1,61 @@
+#include "baselines/coral.hpp"
+
+#include "common/error.hpp"
+#include "la/linalg.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::baselines {
+
+la::Matrix coral_transform(const la::Matrix& source,
+                           const la::Matrix& target, double shrinkage) {
+  FSDA_CHECK_MSG(source.cols() == target.cols(), "feature width mismatch");
+  FSDA_CHECK_MSG(target.rows() >= 2, "CORAL needs >= 2 target samples");
+  const la::Matrix cov_s = la::covariance_shrunk(source, /*shrinkage=*/0.05,
+                                                 /*eps=*/1e-3);
+  const la::Matrix cov_t =
+      la::covariance_shrunk(target, shrinkage, /*eps=*/1e-3);
+  const la::Matrix whiten = la::inv_sqrt_spd(cov_s, 1e-6);
+  const la::Matrix color = la::sqrt_spd(cov_t, 1e-6);
+  // Center source, whiten, re-color; the downstream scaler handles means.
+  const la::Matrix mean_s = la::column_means(source);
+  la::Matrix centered = source;
+  for (std::size_t r = 0; r < centered.rows(); ++r) {
+    for (std::size_t c = 0; c < centered.cols(); ++c) {
+      centered(r, c) -= mean_s(0, c);
+    }
+  }
+  la::Matrix aligned = centered.matmul(whiten).matmul(color);
+  // Re-center on the target mean so first moments align too.
+  const la::Matrix mean_t = la::column_means(target);
+  for (std::size_t r = 0; r < aligned.rows(); ++r) {
+    for (std::size_t c = 0; c < aligned.cols(); ++c) {
+      aligned(r, c) += mean_t(0, c);
+    }
+  }
+  return aligned;
+}
+
+void Coral::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "CORAL needs a classifier factory");
+  scaler_.fit(context.source.x);
+  const la::Matrix xs = scaler_.transform(context.source.x);
+  const la::Matrix xt = scaler_.transform(context.target_few.x);
+
+  const la::Matrix aligned = coral_transform(xs, xt, shrinkage_);
+
+  // Train on aligned source plus the raw labeled shots.
+  la::Matrix x_train = aligned.vcat(xt);
+  std::vector<std::int64_t> y_train = context.source.y;
+  y_train.insert(y_train.end(), context.target_few.y.begin(),
+                 context.target_few.y.end());
+  classifier_ = context.classifier_factory(context.seed);
+  classifier_->fit(x_train, y_train, context.source.num_classes, {});
+}
+
+la::Matrix Coral::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(classifier_ != nullptr, "predict before fit");
+  return classifier_->predict_proba(scaler_.transform(x_raw));
+}
+
+}  // namespace fsda::baselines

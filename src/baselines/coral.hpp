@@ -1,0 +1,34 @@
+// fsda::baselines -- CORAL (Correlation Alignment, Sun et al. AAAI'16):
+// whitens the source features and re-colors them with the target covariance
+// so that second-order statistics match, then trains the downstream model on
+// the aligned source plus the labeled target shots.  In the few-shot regime
+// the target covariance is estimated with heavy shrinkage toward its
+// diagonal -- without it the estimate is singular for shots * classes < d.
+#pragma once
+
+#include "baselines/da_method.hpp"
+#include "data/scaler.hpp"
+
+namespace fsda::baselines {
+
+class Coral : public DAMethod {
+ public:
+  /// `shrinkage` in [0,1]; 0 = raw covariance, 1 = diagonal only.
+  explicit Coral(double shrinkage = 0.9) : shrinkage_(shrinkage) {}
+
+  [[nodiscard]] std::string name() const override { return "CORAL"; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  double shrinkage_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<models::Classifier> classifier_;
+};
+
+/// The CORAL feature transport: returns source features re-colored to the
+/// target's (shrunk) covariance.  Exposed for unit tests.
+la::Matrix coral_transform(const la::Matrix& source,
+                           const la::Matrix& target, double shrinkage);
+
+}  // namespace fsda::baselines

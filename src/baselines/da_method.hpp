@@ -1,0 +1,56 @@
+// fsda::baselines -- the common interface for all compared DA approaches
+// (paper Section VI-A).
+//
+// A DAMethod consumes the full source training set plus the few-shot target
+// training set and produces a predictor for raw target-domain samples.
+// Model-agnostic methods additionally receive a classifier factory (the
+// downstream network-management model); model-specific methods (DANN, SCL,
+// MatchNet, ProtoNet) ignore it and use their own architectures, exactly as
+// in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "models/classifier.hpp"
+
+namespace fsda::baselines {
+
+/// Everything a DA method may use for training.
+struct DAContext {
+  const data::Dataset& source;      ///< full source training data
+  const data::Dataset& target_few;  ///< few-shot labeled target data
+  /// Downstream model factory (model-agnostic methods only).
+  models::ClassifierFactory classifier_factory;
+  std::uint64_t seed = 0;
+};
+
+/// A fitted domain-adaptation method.
+class DAMethod {
+ public:
+  virtual ~DAMethod() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when the method accepts an arbitrary downstream classifier.
+  [[nodiscard]] virtual bool model_agnostic() const { return true; }
+
+  /// Trains the method.
+  virtual void fit(const DAContext& context) = 0;
+
+  /// Class probabilities for raw (unnormalized) target samples.
+  [[nodiscard]] virtual la::Matrix predict_proba(const la::Matrix& x_raw) = 0;
+
+  /// Hard labels via argmax.
+  [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x_raw) {
+    return models::argmax_rows(predict_proba(x_raw));
+  }
+};
+
+using DAMethodPtr = std::unique_ptr<DAMethod>;
+using DAMethodFactory = std::function<DAMethodPtr()>;
+
+}  // namespace fsda::baselines

@@ -1,0 +1,371 @@
+#include "baselines/fewshot_nets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fsda::baselines {
+
+la::Matrix EpisodicNet::normalize_rows(const la::Matrix& m) {
+  la::Matrix out = m;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    double norm = 0.0;
+    for (double v : row) norm += v * v;
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (auto& v : row) v /= norm;
+  }
+  return out;
+}
+
+void EpisodicNet::train_embedder(const DAContext& context) {
+  const data::Dataset& src = context.source;
+  num_classes_ = src.num_classes;
+  scaler_.fit(src.x);
+  const la::Matrix xs = scaler_.transform(src.x);
+
+  common::Rng rng(context.seed ^ 0xEE15ULL);
+  embedder_ = std::make_unique<nn::Sequential>();
+  std::size_t width = xs.cols();
+  for (std::size_t h : options_.hidden) {
+    embedder_->emplace<nn::Linear>(width, h, rng);
+    embedder_->emplace<nn::ReLU>();
+    width = h;
+  }
+  embed_dim_ = width;
+  nn::Adam optimizer(embedder_->parameters(), options_.learning_rate, 0.9,
+                     0.999, 1e-8, options_.weight_decay);
+
+  // Index source rows by class once.
+  std::vector<std::vector<std::size_t>> by_class(num_classes_);
+  for (std::size_t i = 0; i < src.y.size(); ++i) {
+    by_class[static_cast<std::size_t>(src.y[i])].push_back(i);
+  }
+
+  for (std::size_t episode = 0; episode < options_.episodes; ++episode) {
+    // Build an episode: support then query rows, class by class.
+    std::vector<std::size_t> rows;
+    std::vector<std::int64_t> labels;
+    std::vector<std::size_t> query_rows;
+    std::vector<std::int64_t> query_labels;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      auto& members = by_class[c];
+      if (members.empty()) continue;
+      const std::size_t want =
+          options_.support_per_class + options_.query_per_class;
+      const std::size_t take = std::min(want, members.size());
+      const auto picks = rng.sample_without_replacement(members.size(), take);
+      const std::size_t support_take =
+          std::min<std::size_t>(options_.support_per_class,
+                                take > 1 ? take - 1 : take);
+      for (std::size_t i = 0; i < take; ++i) {
+        if (i < support_take) {
+          rows.push_back(members[picks[i]]);
+          labels.push_back(static_cast<std::int64_t>(c));
+        } else {
+          query_rows.push_back(members[picks[i]]);
+          query_labels.push_back(static_cast<std::int64_t>(c));
+        }
+      }
+    }
+    if (rows.empty() || query_rows.empty()) continue;
+    const std::size_t support_count = rows.size();
+    rows.insert(rows.end(), query_rows.begin(), query_rows.end());
+    labels.insert(labels.end(), query_labels.begin(), query_labels.end());
+
+    optimizer.zero_grad();
+    const la::Matrix z =
+        embedder_->forward(xs.select_rows(rows), /*training=*/true);
+    la::Matrix grad(z.rows(), z.cols(), 0.0);
+    episode_loss(z, labels, support_count, grad);
+    embedder_->backward(grad);
+    nn::clip_grad_norm(embedder_->parameters(), 5.0);
+    optimizer.step();
+  }
+}
+
+la::Matrix EpisodicNet::embed(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(embedder_ != nullptr, "embed before fit");
+  return embedder_->forward(scaler_.transform(x_raw), /*training=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// MatchNet
+// ---------------------------------------------------------------------------
+
+double MatchNet::episode_loss(const la::Matrix& z,
+                              const std::vector<std::int64_t>& labels,
+                              std::size_t support_count,
+                              la::Matrix& grad_out) {
+  const std::size_t m = z.rows();
+  const std::size_t h = z.cols();
+  const std::size_t queries = m - support_count;
+  FSDA_CHECK(queries > 0 && support_count > 0);
+
+  // Normalized embeddings + norms for the backward pass.
+  la::Matrix zn = z;
+  std::vector<double> norms(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto row = zn.row(i);
+    double norm = 0.0;
+    for (double v : row) norm += v * v;
+    norm = std::sqrt(std::max(norm, 1e-12));
+    norms[i] = norm;
+    for (auto& v : row) v /= norm;
+  }
+
+  la::Matrix grad_zn(m, h, 0.0);
+  double loss = 0.0;
+  std::vector<double> attn(support_count);
+  std::vector<double> dsim(support_count);
+  for (std::size_t q = support_count; q < m; ++q) {
+    // Attention over the support set.
+    double mx = -1e300;
+    for (std::size_t s = 0; s < support_count; ++s) {
+      double sim = 0.0;
+      const auto zq = zn.row(q);
+      const auto zs = zn.row(s);
+      for (std::size_t c = 0; c < h; ++c) sim += zq[c] * zs[c];
+      attn[s] = sim / options_.temperature;
+      mx = std::max(mx, attn[s]);
+    }
+    double denom = 0.0;
+    for (std::size_t s = 0; s < support_count; ++s) {
+      attn[s] = std::exp(attn[s] - mx);
+      denom += attn[s];
+    }
+    double p_true = 0.0;
+    for (std::size_t s = 0; s < support_count; ++s) {
+      attn[s] /= denom;
+      if (labels[s] == labels[q]) p_true += attn[s];
+    }
+    p_true = std::max(p_true, 1e-9);
+    loss -= std::log(p_true);
+
+    // dL/d attn_s = -[y_s == y_q] / p_true; through the softmax:
+    // dL/d sim_s = attn_s * (g_s - sum_s' attn_s' g_s') / temperature.
+    double weighted = 0.0;
+    for (std::size_t s = 0; s < support_count; ++s) {
+      const double g = labels[s] == labels[q] ? -1.0 / p_true : 0.0;
+      dsim[s] = g;
+      weighted += attn[s] * g;
+    }
+    for (std::size_t s = 0; s < support_count; ++s) {
+      dsim[s] = attn[s] * (dsim[s] - weighted) / options_.temperature;
+      // sim = zn_q . zn_s
+      auto gq = grad_zn.row(q);
+      auto gs = grad_zn.row(s);
+      const auto zq = zn.row(q);
+      const auto zs = zn.row(s);
+      for (std::size_t c = 0; c < h; ++c) {
+        gq[c] += dsim[s] * zs[c];
+        gs[c] += dsim[s] * zq[c];
+      }
+    }
+  }
+  const double inv_q = 1.0 / static_cast<double>(queries);
+  loss *= inv_q;
+  grad_zn *= inv_q;
+
+  // Back through the row normalization.
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto zi = zn.row(i);
+    const auto gi = grad_zn.row(i);
+    double dot = 0.0;
+    for (std::size_t c = 0; c < h; ++c) dot += zi[c] * gi[c];
+    auto out = grad_out.row(i);
+    for (std::size_t c = 0; c < h; ++c) {
+      out[c] = (gi[c] - zi[c] * dot) / norms[i];
+    }
+  }
+  return loss;
+}
+
+void MatchNet::fit(const DAContext& context) {
+  train_embedder(context);
+  support_z_ = normalize_rows(embed(context.target_few.x));
+  support_y_ = context.target_few.y;
+}
+
+la::Matrix MatchNet::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(!support_y_.empty(), "predict before fit");
+  const la::Matrix zq = normalize_rows(embed(x_raw));
+  const la::Matrix sims = zq.matmul_transposed(support_z_);
+  la::Matrix proba(x_raw.rows(), num_classes_, 0.0);
+  for (std::size_t q = 0; q < zq.rows(); ++q) {
+    double mx = -1e300;
+    for (std::size_t s = 0; s < support_y_.size(); ++s) {
+      mx = std::max(mx, sims(q, s) / options_.temperature);
+    }
+    double denom = 0.0;
+    std::vector<double> attn(support_y_.size());
+    for (std::size_t s = 0; s < support_y_.size(); ++s) {
+      attn[s] = std::exp(sims(q, s) / options_.temperature - mx);
+      denom += attn[s];
+    }
+    for (std::size_t s = 0; s < support_y_.size(); ++s) {
+      proba(q, static_cast<std::size_t>(support_y_[s])) += attn[s] / denom;
+    }
+  }
+  return proba;
+}
+
+// ---------------------------------------------------------------------------
+// ProtoNet
+// ---------------------------------------------------------------------------
+
+double ProtoNet::episode_loss(const la::Matrix& z,
+                              const std::vector<std::int64_t>& labels,
+                              std::size_t support_count,
+                              la::Matrix& grad_out) {
+  const std::size_t m = z.rows();
+  const std::size_t h = z.cols();
+  const std::size_t queries = m - support_count;
+  FSDA_CHECK(queries > 0 && support_count > 0);
+
+  // Prototypes: mean support embedding per class present in the episode.
+  la::Matrix proto(num_classes_, h, 0.0);
+  std::vector<double> counts(num_classes_, 0.0);
+  for (std::size_t s = 0; s < support_count; ++s) {
+    const auto c = static_cast<std::size_t>(labels[s]);
+    counts[c] += 1.0;
+    auto p = proto.row(c);
+    const auto zs = z.row(s);
+    for (std::size_t k = 0; k < h; ++k) p[k] += zs[k];
+  }
+  std::vector<std::size_t> present;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] > 0.0) {
+      present.push_back(c);
+      auto p = proto.row(c);
+      for (auto& v : p) v /= counts[c];
+    }
+  }
+  FSDA_CHECK(!present.empty());
+
+  la::Matrix grad_proto(num_classes_, h, 0.0);
+  double loss = 0.0;
+  std::vector<double> logits(present.size());
+  for (std::size_t q = support_count; q < m; ++q) {
+    const auto zq = z.row(q);
+    double mx = -1e300;
+    for (std::size_t pi = 0; pi < present.size(); ++pi) {
+      const auto p = proto.row(present[pi]);
+      double dist = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        const double dv = zq[k] - p[k];
+        dist += dv * dv;
+      }
+      logits[pi] = -dist / options_.temperature;
+      mx = std::max(mx, logits[pi]);
+    }
+    double denom = 0.0;
+    for (auto& v : logits) {
+      v = std::exp(v - mx);
+      denom += v;
+    }
+    std::size_t true_pi = present.size();
+    for (std::size_t pi = 0; pi < present.size(); ++pi) {
+      logits[pi] /= denom;  // now the softmax probability
+      if (static_cast<std::int64_t>(present[pi]) == labels[q]) true_pi = pi;
+    }
+    FSDA_CHECK_MSG(true_pi < present.size(),
+                   "query class missing from episode support");
+    loss -= std::log(std::max(logits[true_pi], 1e-12));
+
+    // d(-dist)/dz_q = -2 (z_q - p); chain with (softmax - onehot).
+    for (std::size_t pi = 0; pi < present.size(); ++pi) {
+      const double g =
+          (logits[pi] - (pi == true_pi ? 1.0 : 0.0)) / options_.temperature;
+      const auto p = proto.row(present[pi]);
+      auto gq = grad_out.row(q);
+      auto gp = grad_proto.row(present[pi]);
+      for (std::size_t k = 0; k < h; ++k) {
+        const double diff = zq[k] - p[k];
+        gq[k] += g * (-2.0) * diff;
+        gp[k] += g * 2.0 * diff;
+      }
+    }
+  }
+  const double inv_q = 1.0 / static_cast<double>(queries);
+  loss *= inv_q;
+  for (std::size_t q = support_count; q < m; ++q) {
+    auto gq = grad_out.row(q);
+    for (auto& v : gq) v *= inv_q;
+  }
+  // Distribute prototype gradients to their support members.
+  for (std::size_t s = 0; s < support_count; ++s) {
+    const auto c = static_cast<std::size_t>(labels[s]);
+    const auto gp = grad_proto.row(c);
+    auto gs = grad_out.row(s);
+    for (std::size_t k = 0; k < h; ++k) {
+      gs[k] += gp[k] * inv_q / counts[c];
+    }
+  }
+  return loss;
+}
+
+void ProtoNet::fit(const DAContext& context) {
+  train_embedder(context);
+  // Source prototypes...
+  const la::Matrix zs = embed(context.source.x);
+  la::Matrix src_proto(num_classes_, embed_dim_, 0.0);
+  std::vector<double> src_counts(num_classes_, 0.0);
+  for (std::size_t i = 0; i < zs.rows(); ++i) {
+    const auto c = static_cast<std::size_t>(context.source.y[i]);
+    src_counts[c] += 1.0;
+    auto p = src_proto.row(c);
+    const auto z = zs.row(i);
+    for (std::size_t k = 0; k < embed_dim_; ++k) p[k] += z[k];
+  }
+  // ...updated toward the target shots (paper: "new prototypes are formed by
+  // updating the source prototypes with limited labeled target data").
+  const la::Matrix zt = embed(context.target_few.x);
+  la::Matrix tgt_proto(num_classes_, embed_dim_, 0.0);
+  std::vector<double> tgt_counts(num_classes_, 0.0);
+  for (std::size_t i = 0; i < zt.rows(); ++i) {
+    const auto c = static_cast<std::size_t>(context.target_few.y[i]);
+    tgt_counts[c] += 1.0;
+    auto p = tgt_proto.row(c);
+    const auto z = zt.row(i);
+    for (std::size_t k = 0; k < embed_dim_; ++k) p[k] += z[k];
+  }
+  prototypes_ = la::Matrix(num_classes_, embed_dim_, 0.0);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    for (std::size_t k = 0; k < embed_dim_; ++k) {
+      const double s =
+          src_counts[c] > 0.0 ? src_proto(c, k) / src_counts[c] : 0.0;
+      const double t =
+          tgt_counts[c] > 0.0 ? tgt_proto(c, k) / tgt_counts[c] : s;
+      const double mix = tgt_counts[c] > 0.0 ? target_mix_ : 0.0;
+      prototypes_(c, k) = (1.0 - mix) * s + mix * t;
+    }
+  }
+}
+
+la::Matrix ProtoNet::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(!prototypes_.empty(), "predict before fit");
+  const la::Matrix zq = embed(x_raw);
+  la::Matrix logits(zq.rows(), num_classes_);
+  for (std::size_t q = 0; q < zq.rows(); ++q) {
+    const auto z = zq.row(q);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const auto p = prototypes_.row(c);
+      double dist = 0.0;
+      for (std::size_t k = 0; k < embed_dim_; ++k) {
+        const double d = z[k] - p[k];
+        dist += d * d;
+      }
+      logits(q, c) = -dist / options_.temperature;
+    }
+  }
+  return nn::softmax_rows(logits);
+}
+
+}  // namespace fsda::baselines

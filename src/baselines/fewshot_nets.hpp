@@ -1,0 +1,97 @@
+// fsda::baselines -- episodic few-shot learners: Matching Networks
+// (Vinyals et al. '16) and Prototypical Networks (Snell et al. '17).
+//
+// Both train an embedding network episodically on the source domain and use
+// the labeled target shots at inference: MatchNet classifies a query by
+// attention (cosine softmax) over the target support set; ProtoNet updates
+// per-class prototypes with the target shots and classifies by distance.
+// Model-specific (they are their own architectures), as in the paper.
+#pragma once
+
+#include "baselines/da_method.hpp"
+#include "data/scaler.hpp"
+#include "nn/sequential.hpp"
+
+namespace fsda::baselines {
+
+struct EpisodicOptions {
+  std::vector<std::size_t> hidden = {64, 32};
+  std::size_t episodes = 300;
+  std::size_t support_per_class = 5;
+  std::size_t query_per_class = 5;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-5;
+  double temperature = 0.5;
+};
+
+/// Shared episodic embedding trainer (internal base).
+class EpisodicNet : public DAMethod {
+ public:
+  explicit EpisodicNet(EpisodicOptions options)
+      : options_(std::move(options)) {}
+  [[nodiscard]] bool model_agnostic() const override { return false; }
+
+ protected:
+  /// Trains the embedder episodically on the scaled source data.
+  void train_embedder(const DAContext& context);
+
+  /// Embedding of (raw) rows through the trained net.
+  [[nodiscard]] la::Matrix embed(const la::Matrix& x_raw);
+
+  /// Row-normalized copy (for the cosine-attention variants).
+  static la::Matrix normalize_rows(const la::Matrix& m);
+
+  EpisodicOptions options_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<nn::Sequential> embedder_;
+  std::size_t num_classes_ = 0;
+  std::size_t embed_dim_ = 0;
+
+ private:
+  /// Loss + gradient of one episode; implemented by subclasses.
+  virtual double episode_loss(const la::Matrix& z,
+                              const std::vector<std::int64_t>& labels,
+                              std::size_t support_count,
+                              la::Matrix& grad_out) = 0;
+};
+
+/// Matching Networks: attention over a labeled support set.
+class MatchNet : public EpisodicNet {
+ public:
+  explicit MatchNet(EpisodicOptions options = {})
+      : EpisodicNet(std::move(options)) {}
+  [[nodiscard]] std::string name() const override { return "MatchNet"; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  double episode_loss(const la::Matrix& z,
+                      const std::vector<std::int64_t>& labels,
+                      std::size_t support_count, la::Matrix& grad_out)
+      override;
+
+  la::Matrix support_z_;  ///< normalized target support embeddings
+  std::vector<std::int64_t> support_y_;
+};
+
+/// Prototypical Networks: distance to class prototypes, prototypes updated
+/// with the target shots (convex combination with the source prototypes).
+class ProtoNet : public EpisodicNet {
+ public:
+  explicit ProtoNet(EpisodicOptions options = {}, double target_mix = 0.7)
+      : EpisodicNet(std::move(options)), target_mix_(target_mix) {}
+  [[nodiscard]] std::string name() const override { return "ProtoNet"; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  double episode_loss(const la::Matrix& z,
+                      const std::vector<std::int64_t>& labels,
+                      std::size_t support_count, la::Matrix& grad_out)
+      override;
+
+  double target_mix_;
+  la::Matrix prototypes_;  ///< num_classes x embed_dim
+};
+
+}  // namespace fsda::baselines

@@ -1,0 +1,43 @@
+#include "baselines/icd.hpp"
+
+#include "common/error.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::baselines {
+
+void Icd::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "ICD needs a classifier factory");
+  const data::Dataset& src = context.source;
+  const data::Dataset& tgt = context.target_few;
+  scaler_.fit(src.x);
+  const la::Matrix xs = scaler_.transform(src.x);
+  const la::Matrix xt = scaler_.transform(tgt.x);
+
+  invariant_.clear();
+  variant_.clear();
+  for (std::size_t f = 0; f < xs.cols(); ++f) {
+    const std::vector<double> a = xs.col_vector(f);
+    const std::vector<double> b = xt.col_vector(f);
+    const double stat = la::ks_statistic(a, b);
+    const double p = la::ks_p_value(stat, a.size(), b.size());
+    if (p < options_.alpha) variant_.push_back(f);
+    else invariant_.push_back(f);
+  }
+
+  classifier_ = context.classifier_factory(context.seed);
+  if (invariant_.empty()) {
+    classifier_->fit(xs, src.y, src.num_classes, {});
+  } else {
+    classifier_->fit(xs.select_cols(invariant_), src.y, src.num_classes, {});
+  }
+}
+
+la::Matrix Icd::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(classifier_ != nullptr, "predict before fit");
+  const la::Matrix x = scaler_.transform(x_raw);
+  if (invariant_.empty()) return classifier_->predict_proba(x);
+  return classifier_->predict_proba(x.select_cols(invariant_));
+}
+
+}  // namespace fsda::baselines

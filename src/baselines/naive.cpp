@@ -1,0 +1,74 @@
+#include "baselines/naive.hpp"
+
+#include "common/error.hpp"
+
+namespace fsda::baselines {
+
+void SrcOnly::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "SrcOnly needs a classifier factory");
+  scaler_.fit(context.source.x);
+  classifier_ = context.classifier_factory(context.seed);
+  classifier_->fit(scaler_.transform(context.source.x), context.source.y,
+                   context.source.num_classes, {});
+}
+
+la::Matrix SrcOnly::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(classifier_ != nullptr, "predict before fit");
+  return classifier_->predict_proba(scaler_.transform(x_raw));
+}
+
+void TarOnly::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "TarOnly needs a classifier factory");
+  scaler_.fit(context.target_few.x);
+  classifier_ = context.classifier_factory(context.seed);
+  classifier_->fit(scaler_.transform(context.target_few.x),
+                   context.target_few.y, context.target_few.num_classes, {});
+}
+
+la::Matrix TarOnly::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(classifier_ != nullptr, "predict before fit");
+  return classifier_->predict_proba(scaler_.transform(x_raw));
+}
+
+void SourceAndTarget::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "S&T needs a classifier factory");
+  const data::Dataset combined = context.source.concat(context.target_few);
+  scaler_.fit(combined.x);
+  // Target samples receive weight target_boost * n_src / n_tgt so the two
+  // domains contribute comparably despite the few-shot imbalance.
+  const double w_target =
+      target_boost_ * static_cast<double>(context.source.size()) /
+      static_cast<double>(context.target_few.size());
+  std::vector<double> weights(combined.size(), 1.0);
+  for (std::size_t i = context.source.size(); i < combined.size(); ++i) {
+    weights[i] = w_target;
+  }
+  classifier_ = context.classifier_factory(context.seed);
+  classifier_->fit(scaler_.transform(combined.x), combined.y,
+                   combined.num_classes, weights);
+}
+
+la::Matrix SourceAndTarget::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(classifier_ != nullptr, "predict before fit");
+  return classifier_->predict_proba(scaler_.transform(x_raw));
+}
+
+void FineTune::fit(const DAContext& context) {
+  scaler_.fit(context.source.x);
+  classifier_ = std::make_unique<models::MLPClassifier>(context.seed,
+                                                        options_);
+  classifier_->fit(scaler_.transform(context.source.x), context.source.y,
+                   context.source.num_classes, {});
+  classifier_->fine_tune(scaler_.transform(context.target_few.x),
+                         context.target_few.y, tune_epochs_, tune_lr_);
+}
+
+la::Matrix FineTune::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(classifier_ != nullptr, "predict before fit");
+  return classifier_->predict_proba(scaler_.transform(x_raw));
+}
+
+}  // namespace fsda::baselines

@@ -1,0 +1,75 @@
+// fsda::baselines -- the naive baselines of Table I: SrcOnly, TarOnly,
+// S&T (source + target with upweighted target samples), and Fine-Tune
+// (MLP-only: pre-train on source, re-optimize all parameters on the shots).
+#pragma once
+
+#include "baselines/da_method.hpp"
+#include "data/scaler.hpp"
+#include "models/neural.hpp"
+
+namespace fsda::baselines {
+
+/// Trains only on source data; no adaptation.  Also used for the paper's
+/// within-source cross-validation sanity check.
+class SrcOnly : public DAMethod {
+ public:
+  [[nodiscard]] std::string name() const override { return "SrcOnly"; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  data::StandardScaler scaler_;
+  std::unique_ptr<models::Classifier> classifier_;
+};
+
+/// Trains only on the few-shot target data.
+class TarOnly : public DAMethod {
+ public:
+  [[nodiscard]] std::string name() const override { return "TarOnly"; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  data::StandardScaler scaler_;
+  std::unique_ptr<models::Classifier> classifier_;
+};
+
+/// Source + target combined, target samples weighted up.
+class SourceAndTarget : public DAMethod {
+ public:
+  /// `target_boost` scales the per-sample balance weight n_src / n_tgt.
+  explicit SourceAndTarget(double target_boost = 0.5)
+      : target_boost_(target_boost) {}
+  [[nodiscard]] std::string name() const override { return "S&T"; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  double target_boost_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<models::Classifier> classifier_;
+};
+
+/// MLP-only fine-tuning baseline: all parameters re-optimized on the target
+/// shots (the paper found full re-optimization better than head-only).
+class FineTune : public DAMethod {
+ public:
+  explicit FineTune(models::NeuralOptions options = {},
+                    std::size_t tune_epochs = 30, double tune_lr = 3e-4)
+      : options_(std::move(options)),
+        tune_epochs_(tune_epochs),
+        tune_lr_(tune_lr) {}
+  [[nodiscard]] std::string name() const override { return "Fine-tune"; }
+  [[nodiscard]] bool model_agnostic() const override { return false; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  models::NeuralOptions options_;
+  std::size_t tune_epochs_;
+  double tune_lr_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<models::MLPClassifier> classifier_;
+};
+
+}  // namespace fsda::baselines

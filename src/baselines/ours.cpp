@@ -1,0 +1,108 @@
+#include "baselines/ours.hpp"
+
+#include "common/error.hpp"
+#include "core/autoencoder.hpp"
+#include "core/cgan.hpp"
+#include "core/vae.hpp"
+
+namespace fsda::baselines {
+
+std::string recon_method_name(ReconKind kind) {
+  switch (kind) {
+    case ReconKind::Gan: return "FS+GAN (ours)";
+    case ReconKind::NoCondGan: return "FS+NoCond";
+    case ReconKind::Vae: return "FS+VAE";
+    case ReconKind::VanillaAe: return "FS+VanillaAE";
+  }
+  throw common::ArgumentError("unknown reconstructor kind");
+}
+
+core::ReconstructorFactory make_reconstructor_factory(ReconKind kind,
+                                                      ReconBudget budget) {
+  return [kind, budget](std::size_t inv_dim, std::size_t var_dim,
+                        std::uint64_t seed) -> core::ReconstructorPtr {
+    switch (kind) {
+      case ReconKind::Gan:
+      case ReconKind::NoCondGan: {
+        core::CganOptions options = budget == ReconBudget::Paper
+                                        ? core::CganOptions::paper()
+                                        : core::CganOptions::quick();
+        options.conditional = (kind == ReconKind::Gan);
+        return std::make_unique<core::ConditionalGAN>(inv_dim, var_dim,
+                                                      options, seed);
+      }
+      case ReconKind::Vae: {
+        core::VaeOptions options = core::VaeOptions::quick();
+        if (budget == ReconBudget::Paper) {
+          options.hidden.clear();  // auto width
+          options.epochs = 300;
+        }
+        return std::make_unique<core::VaeReconstructor>(inv_dim, var_dim,
+                                                        options, seed);
+      }
+      case ReconKind::VanillaAe: {
+        core::AutoencoderOptions options = core::AutoencoderOptions::quick();
+        if (budget == ReconBudget::Paper) {
+          options.hidden.clear();
+          options.epochs = 300;
+        }
+        return std::make_unique<core::AutoencoderReconstructor>(
+            inv_dim, var_dim, options, seed);
+      }
+    }
+    throw common::ArgumentError("unknown reconstructor kind");
+  };
+}
+
+void FsMethod::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "FS needs a classifier factory");
+  core::PipelineOptions options;
+  options.fs = fs_options_;
+  options.use_reconstruction = false;
+  pipeline_ = std::make_unique<core::FsGanPipeline>(
+      context.classifier_factory, nullptr, options, context.seed);
+  pipeline_->train(context.source, context.target_few);
+}
+
+la::Matrix FsMethod::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(pipeline_ != nullptr, "predict before fit");
+  return pipeline_->predict_proba(x_raw);
+}
+
+const core::SeparationResult& FsMethod::separation() const {
+  FSDA_CHECK_MSG(pipeline_ != nullptr, "separation before fit");
+  return pipeline_->separation();
+}
+
+std::string FsReconMethod::name() const { return recon_method_name(kind_); }
+
+void FsReconMethod::fit(const DAContext& context) {
+  FSDA_CHECK_MSG(context.classifier_factory != nullptr,
+                 "FS+X needs a classifier factory");
+  core::PipelineOptions options;
+  options.fs = fs_options_;
+  options.use_reconstruction = true;
+  options.monte_carlo_m = monte_carlo_m_;
+  pipeline_ = std::make_unique<core::FsGanPipeline>(
+      context.classifier_factory, make_reconstructor_factory(kind_, budget_),
+      options, context.seed);
+  pipeline_->train(context.source, context.target_few);
+}
+
+la::Matrix FsReconMethod::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(pipeline_ != nullptr, "predict before fit");
+  return pipeline_->predict_proba(x_raw);
+}
+
+const core::SeparationResult& FsReconMethod::separation() const {
+  FSDA_CHECK_MSG(pipeline_ != nullptr, "separation before fit");
+  return pipeline_->separation();
+}
+
+core::FsGanPipeline& FsReconMethod::pipeline() {
+  FSDA_CHECK_MSG(pipeline_ != nullptr, "pipeline before fit");
+  return *pipeline_;
+}
+
+}  // namespace fsda::baselines

@@ -1,0 +1,70 @@
+// fsda::baselines -- DAMethod adapters for the paper's own methods:
+// FS (feature separation only) and FS+<reconstructor> (FS+GAN and the
+// Table II ablation variants FS+NoCond / FS+VAE / FS+VanillaAE).
+#pragma once
+
+#include "baselines/da_method.hpp"
+#include "core/pipeline.hpp"
+
+namespace fsda::baselines {
+
+/// Which reconstructor the FS+X pipeline uses.
+enum class ReconKind { Gan, NoCondGan, Vae, VanillaAe };
+
+/// Human-readable method names matching the paper's tables.
+std::string recon_method_name(ReconKind kind);
+
+/// Budget preset for the reconstructors (quick vs. paper-scale).
+enum class ReconBudget { Quick, Paper };
+
+/// Builds a seeded reconstructor factory for the pipeline.
+core::ReconstructorFactory make_reconstructor_factory(
+    ReconKind kind, ReconBudget budget = ReconBudget::Quick);
+
+/// FS (ours): causal feature separation; downstream model trained on the
+/// invariant features of the source only.
+class FsMethod : public DAMethod {
+ public:
+  explicit FsMethod(causal::FNodeOptions fs_options = {})
+      : fs_options_(fs_options) {}
+
+  [[nodiscard]] std::string name() const override { return "FS (ours)"; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+  [[nodiscard]] const core::SeparationResult& separation() const;
+
+ private:
+  causal::FNodeOptions fs_options_;
+  std::unique_ptr<core::FsGanPipeline> pipeline_;
+};
+
+/// FS+GAN (ours) and its Table II ablation variants.
+class FsReconMethod : public DAMethod {
+ public:
+  explicit FsReconMethod(ReconKind kind = ReconKind::Gan,
+                         causal::FNodeOptions fs_options = {},
+                         ReconBudget budget = ReconBudget::Quick,
+                         std::size_t monte_carlo_m = 3)
+      : kind_(kind),
+        fs_options_(fs_options),
+        budget_(budget),
+        monte_carlo_m_(monte_carlo_m) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+  [[nodiscard]] const core::SeparationResult& separation() const;
+  /// Exposes the pipeline for the no-retraining experiment (Table III).
+  [[nodiscard]] core::FsGanPipeline& pipeline();
+
+ private:
+  ReconKind kind_;
+  causal::FNodeOptions fs_options_;
+  ReconBudget budget_;
+  std::size_t monte_carlo_m_;
+  std::unique_ptr<core::FsGanPipeline> pipeline_;
+};
+
+}  // namespace fsda::baselines

@@ -1,0 +1,87 @@
+#include "baselines/registry.hpp"
+
+#include "baselines/cmt.hpp"
+#include "baselines/coral.hpp"
+#include "baselines/dann.hpp"
+#include "baselines/fewshot_nets.hpp"
+#include "baselines/icd.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/ours.hpp"
+#include "baselines/scl.hpp"
+#include "common/error.hpp"
+
+namespace fsda::baselines {
+
+namespace {
+causal::FNodeOptions fs_options_for(bool quick) {
+  causal::FNodeOptions o;
+  if (quick) {
+    o.max_condition_size = 2;
+    o.candidate_pool = 6;
+    o.max_subsets_per_level = 24;
+  }
+  return o;
+}
+}  // namespace
+
+std::vector<MethodEntry> make_table1_methods(bool quick) {
+  const auto fs_opts = fs_options_for(quick);
+  const ReconBudget budget =
+      quick ? ReconBudget::Quick : ReconBudget::Paper;
+  std::vector<MethodEntry> entries;
+  entries.push_back({"FS+GAN (ours)", "Causal Learning", true, [=] {
+                       return std::make_unique<FsReconMethod>(
+                           ReconKind::Gan, fs_opts, budget);
+                     }});
+  entries.push_back({"FS (ours)", "Causal Learning", true, [=] {
+                       return std::make_unique<FsMethod>(fs_opts);
+                     }});
+  entries.push_back({"CMT", "Causal Learning", true,
+                     [] { return std::make_unique<Cmt>(); }});
+  entries.push_back({"ICD", "Causal Learning", true,
+                     [] { return std::make_unique<Icd>(); }});
+  entries.push_back({"SrcOnly", "Naive Baselines", true,
+                     [] { return std::make_unique<SrcOnly>(); }});
+  entries.push_back({"TarOnly", "Naive Baselines", true,
+                     [] { return std::make_unique<TarOnly>(); }});
+  entries.push_back({"S&T", "Naive Baselines", true,
+                     [] { return std::make_unique<SourceAndTarget>(); }});
+  entries.push_back({"Fine-tune", "Naive Baselines", false,
+                     [] { return std::make_unique<FineTune>(); }});
+  entries.push_back({"CORAL", "Domain Independent", true,
+                     [] { return std::make_unique<Coral>(); }});
+  entries.push_back({"DANN", "Domain Independent", false,
+                     [] { return std::make_unique<Dann>(); }});
+  entries.push_back({"SCL", "Domain Independent", false,
+                     [] { return std::make_unique<Scl>(); }});
+  entries.push_back({"MatchNet", "Few-shot Learning", false,
+                     [] { return std::make_unique<MatchNet>(); }});
+  entries.push_back({"ProtoNet", "Few-shot Learning", false,
+                     [] { return std::make_unique<ProtoNet>(); }});
+  return entries;
+}
+
+std::vector<MethodEntry> make_ablation_methods(bool quick) {
+  const auto fs_opts = fs_options_for(quick);
+  const ReconBudget budget =
+      quick ? ReconBudget::Quick : ReconBudget::Paper;
+  std::vector<MethodEntry> entries;
+  for (ReconKind kind : {ReconKind::Gan, ReconKind::NoCondGan,
+                         ReconKind::Vae, ReconKind::VanillaAe}) {
+    entries.push_back({recon_method_name(kind), "Ablation", true, [=] {
+                         return std::make_unique<FsReconMethod>(kind, fs_opts,
+                                                                budget);
+                       }});
+  }
+  return entries;
+}
+
+const MethodEntry& find_method(const std::vector<MethodEntry>& entries,
+                               const std::string& name) {
+  for (const auto& entry : entries) {
+    if (entry.name == name) return entry;
+  }
+  throw common::ArgumentError("unknown DA method: " + name);
+}
+
+}  // namespace fsda::baselines

@@ -1,0 +1,34 @@
+// fsda::baselines -- name-indexed registry of all compared approaches,
+// mirroring the grouping of the paper's Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/da_method.hpp"
+
+namespace fsda::baselines {
+
+/// A registry entry: display name, table group, and a fresh-instance factory.
+struct MethodEntry {
+  std::string name;
+  std::string group;  ///< "Causal Learning" | "Naive Baselines" | ...
+  bool model_agnostic = true;
+  DAMethodFactory make;
+};
+
+/// All fourteen approaches of Table I, in the paper's row order
+/// (FS+GAN, FS, CMT, ICD, SrcOnly, TarOnly, S&T, Fine-tune, CORAL, DANN,
+/// SCL, MatchNet, ProtoNet) -- FS+GAN ablation variants are separate (see
+/// make_ablation_methods).  `quick` selects single-core training budgets.
+std::vector<MethodEntry> make_table1_methods(bool quick = true);
+
+/// The Table II reconstruction-ablation methods: FS+GAN, FS+NoCond,
+/// FS+VAE, FS+VanillaAE.
+std::vector<MethodEntry> make_ablation_methods(bool quick = true);
+
+/// Looks a method up by display name; throws ArgumentError when absent.
+const MethodEntry& find_method(const std::vector<MethodEntry>& entries,
+                               const std::string& name);
+
+}  // namespace fsda::baselines

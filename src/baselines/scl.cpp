@@ -1,0 +1,215 @@
+#include "baselines/scl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fsda::baselines {
+
+SupConResult supcon_loss(const la::Matrix& embeddings,
+                         const std::vector<std::int64_t>& labels,
+                         double temperature) {
+  const std::size_t m = embeddings.rows();
+  const std::size_t h = embeddings.cols();
+  FSDA_CHECK(labels.size() == m);
+  FSDA_CHECK_MSG(temperature > 0.0, "non-positive temperature");
+  SupConResult result;
+  result.grad = la::Matrix(m, h, 0.0);
+  if (m < 2) return result;
+
+  // L2-normalize rows; remember norms for the backward pass.
+  la::Matrix z = embeddings;
+  std::vector<double> norms(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto row = z.row(i);
+    double norm = 0.0;
+    for (double v : row) norm += v * v;
+    norm = std::sqrt(std::max(norm, 1e-12));
+    norms[i] = norm;
+    for (auto& v : row) v /= norm;
+  }
+
+  // Pairwise similarities and per-anchor softmax over a != i.
+  const la::Matrix sims = z.matmul_transposed(z);
+  la::Matrix ds(m, m, 0.0);  // dL/ds_ia (anchor i, other a)
+  double loss = 0.0;
+  std::size_t anchors = 0;
+  std::vector<double> q(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t positives = 0;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (a != i && labels[a] == labels[i]) ++positives;
+    }
+    if (positives == 0) continue;
+    ++anchors;
+    // softmax over a != i of s_ia / tau
+    double mx = -1e300;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (a != i) mx = std::max(mx, sims(i, a) / temperature);
+    }
+    double denom = 0.0;
+    for (std::size_t a = 0; a < m; ++a) {
+      q[a] = a == i ? 0.0 : std::exp(sims(i, a) / temperature - mx);
+      denom += q[a];
+    }
+    const double log_denom = std::log(denom) + mx;
+    const double inv_p = 1.0 / static_cast<double>(positives);
+    for (std::size_t a = 0; a < m; ++a) {
+      if (a == i) continue;
+      q[a] /= denom;
+      const bool is_pos = labels[a] == labels[i];
+      if (is_pos) {
+        loss -= (sims(i, a) / temperature - log_denom) * inv_p;
+      }
+      ds(i, a) = q[a] - (is_pos ? inv_p : 0.0);
+    }
+  }
+  if (anchors == 0) return result;
+  const double inv_anchors = 1.0 / static_cast<double>(anchors);
+  result.value = loss * inv_anchors;
+  ds *= inv_anchors / temperature;
+
+  // dL/dz = (dS + dS^T) Z  (s_ia = z_i . z_a contributes to both rows).
+  la::Matrix grad_z = (ds + ds.transposed()).matmul(z);
+  // Back through the normalization z = e / ||e||.
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto zi = z.row(i);
+    const auto gi = grad_z.row(i);
+    double dot = 0.0;
+    for (std::size_t c = 0; c < h; ++c) dot += zi[c] * gi[c];
+    auto out = result.grad.row(i);
+    for (std::size_t c = 0; c < h; ++c) {
+      out[c] = (gi[c] - zi[c] * dot) / norms[i];
+    }
+  }
+  return result;
+}
+
+void Scl::fit(const DAContext& context) {
+  const data::Dataset& src = context.source;
+  const data::Dataset& tgt = context.target_few;
+  num_classes_ = src.num_classes;
+
+  scaler_.fit(src.x);
+  const la::Matrix xs = scaler_.transform(src.x);
+  const la::Matrix xt = scaler_.transform(tgt.x);
+
+  common::Rng rng(context.seed ^ 0x5C1ULL);
+  embedder_ = std::make_unique<nn::Sequential>();
+  std::size_t width = xs.cols();
+  for (std::size_t h : options_.hidden) {
+    embedder_->emplace<nn::Linear>(width, h, rng);
+    embedder_->emplace<nn::ReLU>();
+    width = h;
+  }
+  auto domain_head = std::make_unique<nn::Sequential>();
+  domain_head->emplace<nn::Linear>(width, 1, rng);
+
+  std::vector<nn::Parameter*> params = embedder_->parameters();
+  for (auto* p : domain_head->parameters()) params.push_back(p);
+  nn::Adam optimizer(params, options_.learning_rate, 0.9, 0.999, 1e-8,
+                     options_.weight_decay);
+
+  const std::size_t n_src = xs.rows();
+  const std::size_t n_tgt = xt.rows();
+  const std::size_t batch = std::min(options_.batch_size, n_src);
+  const std::size_t tgt_batch = std::max<std::size_t>(2, batch / 4);
+  std::vector<std::size_t> order(n_src);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const std::size_t total_steps =
+      options_.epochs * ((n_src + batch - 1) / batch);
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n_src; start += batch) {
+      const std::size_t end = std::min(n_src, start + batch);
+      const std::span<const std::size_t> src_rows{order.data() + start,
+                                                  end - start};
+      std::vector<std::size_t> tgt_rows(tgt_batch);
+      for (auto& r : tgt_rows) r = rng.uniform_index(n_tgt);
+      const la::Matrix xb =
+          xs.select_rows(src_rows).vcat(xt.select_rows(tgt_rows));
+      const std::size_t m = xb.rows();
+      std::vector<std::int64_t> labels(m);
+      std::vector<double> domains(m);
+      for (std::size_t i = 0; i < src_rows.size(); ++i) {
+        labels[i] = src.y[src_rows[i]];
+        domains[i] = 0.0;
+      }
+      for (std::size_t i = 0; i < tgt_rows.size(); ++i) {
+        labels[src_rows.size() + i] = tgt.y[tgt_rows[i]];
+        domains[src_rows.size() + i] = 1.0;
+      }
+
+      const double progress =
+          static_cast<double>(step) /
+          static_cast<double>(std::max<std::size_t>(1, total_steps));
+      const double lambda =
+          options_.lambda_max *
+          (2.0 / (1.0 + std::exp(-10.0 * progress)) - 1.0);
+      ++step;
+
+      optimizer.zero_grad();
+      const la::Matrix z = embedder_->forward(xb, /*training=*/true);
+      SupConResult contrastive =
+          supcon_loss(z, labels, options_.temperature);
+      la::Matrix grad_z = std::move(contrastive.grad);
+
+      const la::Matrix domain_logits = domain_head->forward(z, true);
+      nn::LossResult domain_loss =
+          nn::bce_with_logits(domain_logits, domains);
+      la::Matrix grad_domain = domain_head->backward(domain_loss.grad);
+      grad_domain *= -lambda;
+      grad_z += grad_domain;
+
+      embedder_->backward(grad_z);
+      nn::clip_grad_norm(params, 5.0);
+      optimizer.step();
+    }
+  }
+
+  // Linear softmax head on frozen embeddings of source + shots.
+  const la::Matrix z_all =
+      embedder_->forward(xs.vcat(xt), /*training=*/false);
+  std::vector<std::int64_t> y_all = src.y;
+  y_all.insert(y_all.end(), tgt.y.begin(), tgt.y.end());
+  head_ = std::make_unique<nn::Sequential>();
+  head_->emplace<nn::Linear>(width, num_classes_, rng);
+  nn::Adam head_opt(head_->parameters(), 5e-3, 0.9, 0.999, 1e-8, 1e-5);
+  std::vector<std::size_t> head_order(z_all.rows());
+  std::iota(head_order.begin(), head_order.end(), std::size_t{0});
+  for (std::size_t epoch = 0; epoch < options_.head_epochs; ++epoch) {
+    rng.shuffle(head_order);
+    for (std::size_t start = 0; start < head_order.size(); start += batch) {
+      const std::size_t end = std::min(head_order.size(), start + batch);
+      const std::span<const std::size_t> rows{head_order.data() + start,
+                                              end - start};
+      const la::Matrix zb = z_all.select_rows(rows);
+      std::vector<std::int64_t> yb(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) yb[i] = y_all[rows[i]];
+      head_opt.zero_grad();
+      const la::Matrix logits = head_->forward(zb, true);
+      nn::LossResult loss = nn::softmax_cross_entropy(logits, yb);
+      head_->backward(loss.grad);
+      head_opt.step();
+    }
+  }
+}
+
+la::Matrix Scl::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(embedder_ != nullptr && head_ != nullptr,
+                 "predict before fit");
+  const la::Matrix z =
+      embedder_->forward(scaler_.transform(x_raw), /*training=*/false);
+  return nn::softmax_rows(head_->forward(z, /*training=*/false));
+}
+
+}  // namespace fsda::baselines

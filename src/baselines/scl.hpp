@@ -1,0 +1,55 @@
+// fsda::baselines -- SCL: supervised contrastive learning combined with
+// domain-adversarial training (Kim et al., ICASSP'24, applied to our
+// few-shot DA setting).
+//
+// An embedding network is trained with (a) the supervised contrastive
+// (SupCon) loss over L2-normalized embeddings of labeled source + target
+// shots and (b) a domain head with gradient reversal, as in DANN.  A linear
+// softmax head is then fitted on the frozen embeddings.  Model-specific.
+#pragma once
+
+#include "baselines/da_method.hpp"
+#include "data/scaler.hpp"
+#include "nn/sequential.hpp"
+
+namespace fsda::baselines {
+
+struct SclOptions {
+  std::vector<std::size_t> hidden = {64, 32};
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-5;
+  double temperature = 0.1;
+  double lambda_max = 0.5;       ///< adversarial strength
+  std::size_t head_epochs = 40;  ///< linear-head training epochs
+};
+
+class Scl : public DAMethod {
+ public:
+  explicit Scl(SclOptions options = {}) : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string name() const override { return "SCL"; }
+  [[nodiscard]] bool model_agnostic() const override { return false; }
+  void fit(const DAContext& context) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
+
+ private:
+  SclOptions options_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<nn::Sequential> embedder_;
+  std::unique_ptr<nn::Sequential> head_;
+  std::size_t num_classes_ = 0;
+};
+
+/// SupCon loss and gradient w.r.t. *unnormalized* embeddings.
+/// Anchors without positives in the batch are skipped.  Exposed for tests.
+struct SupConResult {
+  double value = 0.0;
+  la::Matrix grad;  ///< same shape as embeddings
+};
+SupConResult supcon_loss(const la::Matrix& embeddings,
+                         const std::vector<std::int64_t>& labels,
+                         double temperature);
+
+}  // namespace fsda::baselines

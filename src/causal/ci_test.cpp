@@ -1,0 +1,104 @@
+#include "causal/ci_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/linalg.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::causal {
+
+FisherZTest::FisherZTest(const la::Matrix& data, double alpha)
+    : corr_(la::correlation(data)), n_(data.rows()), alpha_(alpha) {
+  FSDA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha out of (0,1): " << alpha);
+  FSDA_CHECK_MSG(n_ >= 8, "Fisher-z needs a non-trivial sample, got " << n_);
+}
+
+CiResult FisherZTest::test(std::size_t i, std::size_t j,
+                           std::span<const std::size_t> given) const {
+  const double df =
+      static_cast<double>(n_) - static_cast<double>(given.size()) - 3.0;
+  CiResult result;
+  if (df <= 1.0) {
+    // Not enough samples to condition this deeply: treat as independent
+    // (no evidence either way), matching the conservative PC convention.
+    return result;
+  }
+  double r = la::partial_correlation(corr_, i, j, given);
+  r = std::clamp(r, -0.999999, 0.999999);
+  const double z = std::sqrt(df) * std::atanh(r);
+  result.statistic = z;
+  result.p_value = la::two_sided_p(z);
+  result.independent = result.p_value >= alpha_;
+  return result;
+}
+
+std::vector<double> ols_residual(const la::Matrix& x_cols,
+                                 std::span<const double> y) {
+  const std::size_t n = y.size();
+  FSDA_CHECK(x_cols.rows() == n);
+  // Design with intercept column.
+  la::Matrix design(n, x_cols.cols() + 1, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < x_cols.cols(); ++c) {
+      design(r, c + 1) = x_cols(r, c);
+    }
+  }
+  la::Matrix yv(n, 1);
+  for (std::size_t r = 0; r < n; ++r) yv(r, 0) = y[r];
+  // Normal equations with slight ridge for robustness.
+  la::Matrix xtx = design.transposed_matmul(design);
+  for (std::size_t d = 0; d < xtx.rows(); ++d) xtx(d, d) += 1e-8;
+  const la::Matrix xty = design.transposed_matmul(yv);
+  const la::Matrix beta = la::cholesky_solve(xtx, xty);
+  const la::Matrix fitted = design.matmul(beta);
+  std::vector<double> residual(n);
+  for (std::size_t r = 0; r < n; ++r) residual[r] = y[r] - fitted(r, 0);
+  return residual;
+}
+
+PermutationCiTest::PermutationCiTest(la::Matrix data, double alpha,
+                                     std::size_t permutations,
+                                     std::uint64_t seed)
+    : data_(std::move(data)),
+      alpha_(alpha),
+      permutations_(permutations),
+      seed_(seed) {
+  FSDA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha out of (0,1)");
+  FSDA_CHECK_MSG(permutations >= 20, "too few permutations");
+}
+
+CiResult PermutationCiTest::test(std::size_t i, std::size_t j,
+                                 std::span<const std::size_t> given) const {
+  FSDA_CHECK(i < data_.cols() && j < data_.cols() && i != j);
+  const std::vector<double> xi = data_.col_vector(i);
+  const std::vector<double> xj = data_.col_vector(j);
+  std::vector<double> ri, rj;
+  if (given.empty()) {
+    ri = xi;
+    rj = xj;
+  } else {
+    const la::Matrix z = data_.select_cols(given);
+    ri = ols_residual(z, xi);
+    rj = ols_residual(z, xj);
+  }
+  const double observed = std::abs(la::pearson(ri, rj));
+  // Permutation null: shuffle one residual vector.
+  common::Rng rng(seed_ ^ (i * 0x9E37ULL) ^ (j * 0x79B9ULL) ^
+                  (given.size() * 0x7F4AULL));
+  std::size_t at_least = 0;
+  std::vector<double> shuffled = rj;
+  for (std::size_t b = 0; b < permutations_; ++b) {
+    rng.shuffle(shuffled);
+    if (std::abs(la::pearson(ri, shuffled)) >= observed) ++at_least;
+  }
+  CiResult result;
+  result.statistic = observed;
+  result.p_value = (static_cast<double>(at_least) + 1.0) /
+                   (static_cast<double>(permutations_) + 1.0);
+  result.independent = result.p_value >= alpha_;
+  return result;
+}
+
+}  // namespace fsda::causal

@@ -1,0 +1,93 @@
+// fsda::causal -- conditional independence tests.
+//
+// The FS method (paper Section V-A) decides "X ⊥ F | S" with a CI test; we
+// provide the standard Fisher-z partial-correlation test (the workhorse for
+// continuous telemetry, treating the binary F-node as numeric / point-
+// biserial) and a permutation-based correlation test used as a slower but
+// assumption-free cross-check in the test suite.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::causal {
+
+/// Outcome of one CI test.
+struct CiResult {
+  double statistic = 0.0;  ///< test statistic (z for Fisher-z)
+  double p_value = 1.0;
+  bool independent = true;  ///< p_value >= alpha
+};
+
+/// Interface: tests column i ⊥ column j given columns `given` in `data`.
+class CiTest {
+ public:
+  virtual ~CiTest() = default;
+  [[nodiscard]] virtual CiResult test(std::size_t i, std::size_t j,
+                                      std::span<const std::size_t> given)
+      const = 0;
+  [[nodiscard]] virtual double alpha() const = 0;
+  [[nodiscard]] virtual std::size_t num_variables() const = 0;
+};
+
+/// Fisher-z test on partial correlations, computed once from the global
+/// correlation matrix of the dataset (rows = samples).
+///
+///   z = sqrt(n - |S| - 3) * atanh(r_{ij.S})
+///
+/// Independence is declared when the two-sided p-value >= alpha.
+class FisherZTest : public CiTest {
+ public:
+  /// Precomputes the correlation matrix of `data`.
+  FisherZTest(const la::Matrix& data, double alpha = 0.01);
+
+  [[nodiscard]] CiResult test(std::size_t i, std::size_t j,
+                              std::span<const std::size_t> given)
+      const override;
+  [[nodiscard]] double alpha() const override { return alpha_; }
+  [[nodiscard]] std::size_t num_variables() const override {
+    return corr_.rows();
+  }
+
+  [[nodiscard]] const la::Matrix& correlation_matrix() const { return corr_; }
+  [[nodiscard]] std::size_t sample_size() const { return n_; }
+
+ private:
+  la::Matrix corr_;
+  std::size_t n_;
+  double alpha_;
+};
+
+/// Permutation test on the (partial) correlation: residualizes i and j on
+/// the conditioning set by OLS, then permutes one residual vector B times.
+/// Exact in spirit, O(B * n) per test -- used for validation, not at scale.
+class PermutationCiTest : public CiTest {
+ public:
+  PermutationCiTest(la::Matrix data, double alpha = 0.01,
+                    std::size_t permutations = 200,
+                    std::uint64_t seed = 0xC1C1C1ULL);
+
+  [[nodiscard]] CiResult test(std::size_t i, std::size_t j,
+                              std::span<const std::size_t> given)
+      const override;
+  [[nodiscard]] double alpha() const override { return alpha_; }
+  [[nodiscard]] std::size_t num_variables() const override {
+    return data_.cols();
+  }
+
+ private:
+  la::Matrix data_;
+  double alpha_;
+  std::size_t permutations_;
+  std::uint64_t seed_;
+};
+
+/// Residual of y regressed on design columns X (with intercept), by OLS.
+std::vector<double> ols_residual(const la::Matrix& x_cols,
+                                 std::span<const double> y);
+
+}  // namespace fsda::causal

@@ -1,0 +1,121 @@
+#include "causal/fnode.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "causal/ci_test.hpp"
+#include "causal/pc.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace fsda::causal {
+
+FNodeResult find_intervention_targets(const la::Matrix& source,
+                                      const la::Matrix& target,
+                                      const FNodeOptions& options) {
+  FSDA_CHECK_MSG(source.cols() == target.cols(),
+                 "source/target feature mismatch: " << source.cols() << " vs "
+                                                    << target.cols());
+  FSDA_CHECK_MSG(source.rows() >= 8, "too few source samples");
+  FSDA_CHECK_MSG(target.rows() >= 1, "no target samples");
+  const std::size_t d = source.cols();
+
+  // Build the combined dataset D* with the F-node appended as column d
+  // (eq. 1: P*(V|F=0) = P_A, P*(V|F=1) = P_C).
+  la::Matrix combined = source.vcat(target);
+  la::Matrix f_col(combined.rows(), 1, 0.0);
+  for (std::size_t r = source.rows(); r < combined.rows(); ++r) {
+    f_col(r, 0) = 1.0;
+  }
+  combined = combined.hcat(f_col);
+  const std::size_t f_index = d;
+
+  const FisherZTest test(combined, options.alpha);
+  const la::Matrix& corr = test.correlation_matrix();
+
+  FNodeResult result;
+  result.marginal_p.assign(d, 1.0);
+  std::vector<char> is_variant(d, 0);
+  std::vector<char> marginally_independent(d, 0);
+  std::atomic<std::size_t> tests_performed{0};
+
+  // Phase 1: marginal tests X ⊥ F for every feature.  Features passing are
+  // invariant at level 0 AND become the candidate conditioning pool for
+  // phase 2: a valid separating set must not contain descendants of F
+  // (children of F are the intervened features themselves; conditioning on
+  // a co-intervened sibling spuriously explains the shift away), so we only
+  // condition on features that already look F-independent.
+  auto marginal_phase = [&](std::size_t x) {
+    const CiResult marginal = test.test(x, f_index, {});
+    tests_performed.fetch_add(1, std::memory_order_relaxed);
+    result.marginal_p[x] = marginal.p_value;
+    marginally_independent[x] = marginal.independent ? 1 : 0;
+  };
+  if (options.parallel) {
+    common::parallel_for(d, marginal_phase);
+  } else {
+    for (std::size_t x = 0; x < d; ++x) marginal_phase(x);
+  }
+
+  auto process_feature = [&](std::size_t x) {
+    if (marginally_independent[x]) return;  // invariant at level 0
+
+    // Screen the candidate-parent pool: marginally F-independent features
+    // most correlated with X.  If X's marginal dependence on F is mediated
+    // by its (non-intervened) causal parents, those parents are strongly
+    // correlated with X and conditioning on them separates X from F.
+    std::vector<std::size_t> pool;
+    pool.reserve(d);
+    for (std::size_t a = 0; a < d; ++a) {
+      if (a != x && marginally_independent[a]) pool.push_back(a);
+    }
+    std::sort(pool.begin(), pool.end(), [&](std::size_t a, std::size_t b) {
+      return std::abs(corr(x, a)) > std::abs(corr(x, b));
+    });
+    if (pool.size() > options.candidate_pool) {
+      pool.resize(options.candidate_pool);
+    }
+
+    for (std::size_t level = 1; level <= options.max_condition_size; ++level) {
+      if (pool.size() < level) break;
+      std::size_t tried = 0;
+      bool found_separator = false;
+      for_each_subset(pool, level, [&](std::span<const std::size_t> subset) {
+        if (options.max_subsets_per_level != 0 &&
+            tried >= options.max_subsets_per_level) {
+          return true;  // subset budget exhausted; stop enumerating
+        }
+        ++tried;
+        tests_performed.fetch_add(1, std::memory_order_relaxed);
+        if (test.test(x, f_index, subset).independent) {
+          found_separator = true;
+          return true;
+        }
+        return false;
+      });
+      if (found_separator) return;  // invariant: some S gives X ⊥ F | S
+    }
+    is_variant[x] = 1;  // edge X -- F survived: intervention target (eq. 3)
+  };
+
+  if (options.parallel) {
+    common::parallel_for(d, process_feature);
+  } else {
+    for (std::size_t x = 0; x < d; ++x) process_feature(x);
+  }
+
+  for (std::size_t x = 0; x < d; ++x) {
+    if (is_variant[x]) result.variant.push_back(x);
+    else result.invariant.push_back(x);
+  }
+  result.ci_tests_performed = tests_performed.load();
+  FSDA_LOG_INFO << "FNodeSearch: " << result.variant.size() << "/" << d
+                << " variant features, " << result.ci_tests_performed
+                << " CI tests";
+  return result;
+}
+
+}  // namespace fsda::causal

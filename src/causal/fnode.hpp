@@ -1,0 +1,56 @@
+// fsda::causal -- targeted F-node search: the scalable core of the paper's
+// feature-separation method (Section V-A).
+//
+// Following the Ψ-FCI formulation adapted to our no-latent-confounder
+// setting, the source dataset is labeled F=0 and the target dataset F=1;
+// the F-node is constrained to have no outgoing edges, and -- as the paper
+// notes in Section VI-D -- the search "focuses solely on direct relationships
+// with the F-node, rather than constructing the entire causal graph".
+//
+// Concretely, for each feature X we run a levelwise PC-style edge test
+// against F: at level l we try conditioning sets S of size l drawn from a
+// screened candidate-parent pool of X (the features most correlated with X),
+// and remove the X--F edge as soon as some S renders X ⊥ F | S.  Features
+// whose edge survives every level are the intervention targets, i.e. the
+// domain-variant features (eq. 3-4 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fsda::causal {
+
+/// Options for the targeted search.
+struct FNodeOptions {
+  /// Significance level of the Fisher-z tests.
+  double alpha = 0.01;
+  /// Largest conditioning-set size tried per feature.
+  std::size_t max_condition_size = 2;
+  /// Size of the screened candidate-parent pool per feature.
+  std::size_t candidate_pool = 8;
+  /// Cap on subsets tried per level per feature (0 = exhaustive).
+  std::size_t max_subsets_per_level = 64;
+  /// Run the per-feature loop on the global thread pool.
+  bool parallel = true;
+};
+
+/// Outcome of the targeted F-node search.
+struct FNodeResult {
+  std::vector<std::size_t> variant;    ///< intervention targets R (eq. 4)
+  std::vector<std::size_t> invariant;  ///< V \ R
+  /// Marginal X ⊥ F p-value per feature (diagnostic).
+  std::vector<double> marginal_p;
+  std::size_t ci_tests_performed = 0;
+};
+
+/// Runs the targeted search on already-combined data.
+///
+/// `source` and `target` are row-sample matrices over the same d features.
+/// Returns the variant/invariant partition of the d features.
+FNodeResult find_intervention_targets(const la::Matrix& source,
+                                      const la::Matrix& target,
+                                      const FNodeOptions& options = {});
+
+}  // namespace fsda::causal

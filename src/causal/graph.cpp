@@ -1,0 +1,138 @@
+#include "causal/graph.hpp"
+
+#include <deque>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fsda::causal {
+
+Graph::Graph(std::size_t n) : n_(n), marks_(n * n, EdgeMark::None) {
+  FSDA_CHECK_MSG(n > 0, "empty graph");
+}
+
+void Graph::check_node(std::size_t i) const {
+  FSDA_CHECK_MSG(i < n_, "node " << i << " out of " << n_);
+}
+
+bool Graph::has_edge(std::size_t i, std::size_t j) const {
+  check_node(i);
+  check_node(j);
+  return mark(i, j) != EdgeMark::None;
+}
+
+bool Graph::has_directed_edge(std::size_t i, std::size_t j) const {
+  check_node(i);
+  check_node(j);
+  return mark(i, j) == EdgeMark::To;
+}
+
+bool Graph::has_undirected_edge(std::size_t i, std::size_t j) const {
+  check_node(i);
+  check_node(j);
+  return mark(i, j) == EdgeMark::Undirected;
+}
+
+void Graph::add_undirected_edge(std::size_t i, std::size_t j) {
+  check_node(i);
+  check_node(j);
+  FSDA_CHECK_MSG(i != j, "self-loop on node " << i);
+  set_mark(i, j, EdgeMark::Undirected);
+  set_mark(j, i, EdgeMark::Undirected);
+}
+
+void Graph::orient(std::size_t i, std::size_t j) {
+  FSDA_CHECK_MSG(has_edge(i, j), "orienting a non-existent edge " << i << "-"
+                                                                  << j);
+  set_mark(i, j, EdgeMark::To);
+  set_mark(j, i, EdgeMark::From);
+}
+
+void Graph::remove_edge(std::size_t i, std::size_t j) {
+  check_node(i);
+  check_node(j);
+  set_mark(i, j, EdgeMark::None);
+  set_mark(j, i, EdgeMark::None);
+}
+
+std::vector<std::size_t> Graph::neighbors(std::size_t i) const {
+  check_node(i);
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != i && mark(i, j) != EdgeMark::None) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Graph::parents(std::size_t i) const {
+  check_node(i);
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (mark(j, i) == EdgeMark::To) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Graph::children(std::size_t i) const {
+  check_node(i);
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (mark(i, j) == EdgeMark::To) out.push_back(j);
+  }
+  return out;
+}
+
+std::size_t Graph::num_edges() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (mark(i, j) != EdgeMark::None) ++count;
+    }
+  }
+  return count;
+}
+
+bool Graph::has_directed_path(std::size_t i, std::size_t j) const {
+  check_node(i);
+  check_node(j);
+  std::vector<bool> visited(n_, false);
+  std::deque<std::size_t> frontier{i};
+  visited[i] = true;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop_front();
+    for (std::size_t v : children(u)) {
+      if (v == j) return true;
+      if (!visited[v]) {
+        visited[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(" << n_ << " nodes):";
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      switch (mark(i, j)) {
+        case EdgeMark::None:
+          break;
+        case EdgeMark::Undirected:
+          os << " " << i << "--" << j;
+          break;
+        case EdgeMark::To:
+          os << " " << i << "->" << j;
+          break;
+        case EdgeMark::From:
+          os << " " << j << "->" << i;
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fsda::causal

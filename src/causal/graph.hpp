@@ -1,0 +1,81 @@
+// fsda::causal -- graph types for constraint-based causal discovery.
+//
+// PC produces a CPDAG: a partially directed graph where directed edges are
+// compelled by the data and undirected edges are orientation-ambiguous.
+// The graph is stored as a dense adjacency of edge marks, which is the
+// convenient representation for the PC orientation (Meek) rules.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fsda::causal {
+
+/// Edge state between an ordered pair (i, j).
+enum class EdgeMark : unsigned char {
+  None,        ///< no edge between i and j
+  Undirected,  ///< i -- j
+  To,          ///< i -> j
+  From,        ///< i <- j
+};
+
+/// A partially directed graph over n nodes.
+class Graph {
+ public:
+  explicit Graph(std::size_t n);
+
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
+
+  /// True when any edge (directed either way or undirected) joins i and j.
+  [[nodiscard]] bool has_edge(std::size_t i, std::size_t j) const;
+
+  /// True for i -> j specifically.
+  [[nodiscard]] bool has_directed_edge(std::size_t i, std::size_t j) const;
+
+  /// True for i -- j specifically.
+  [[nodiscard]] bool has_undirected_edge(std::size_t i, std::size_t j) const;
+
+  /// Adds an undirected edge (i != j required).
+  void add_undirected_edge(std::size_t i, std::size_t j);
+
+  /// Orients an existing edge as i -> j; requires adjacency.
+  void orient(std::size_t i, std::size_t j);
+
+  /// Removes any edge between i and j.
+  void remove_edge(std::size_t i, std::size_t j);
+
+  /// All nodes adjacent to i (any mark).
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const;
+
+  /// Nodes j with j -> i.
+  [[nodiscard]] std::vector<std::size_t> parents(std::size_t i) const;
+
+  /// Nodes j with i -> j.
+  [[nodiscard]] std::vector<std::size_t> children(std::size_t i) const;
+
+  /// Total number of edges (each pair counted once).
+  [[nodiscard]] std::size_t num_edges() const;
+
+  /// True if a directed path i ->* j exists (directed edges only).
+  [[nodiscard]] bool has_directed_path(std::size_t i, std::size_t j) const;
+
+  /// Human-readable edge list.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Graph& other) const = default;
+
+ private:
+  void check_node(std::size_t i) const;
+  [[nodiscard]] EdgeMark mark(std::size_t i, std::size_t j) const {
+    return marks_[i * n_ + j];
+  }
+  void set_mark(std::size_t i, std::size_t j, EdgeMark m) {
+    marks_[i * n_ + j] = m;
+  }
+
+  std::size_t n_;
+  std::vector<EdgeMark> marks_;  // marks_[i*n+j] describes pair (i, j)
+};
+
+}  // namespace fsda::causal

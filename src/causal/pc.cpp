@@ -1,0 +1,182 @@
+#include "causal/pc.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace fsda::causal {
+
+bool for_each_subset(
+    const std::vector<std::size_t>& pool, std::size_t k,
+    const std::function<bool(std::span<const std::size_t>)>& visit) {
+  if (k > pool.size()) return false;
+  std::vector<std::size_t> subset(k);
+  // Iterative combination enumeration over indices into `pool`.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) subset[i] = pool[idx[i]];
+    if (visit(subset)) return true;
+    if (k == 0) return false;
+    // advance combination
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (idx[pos] != pos + pool.size() - k) break;
+      if (pos == 0) return false;
+    }
+    if (idx[pos] == pos + pool.size() - k) return false;
+    ++idx[pos];
+    for (std::size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+namespace {
+
+/// Applies the three Meek rules until fixpoint.
+void apply_meek_rules(Graph& g) {
+  const std::size_t n = g.num_nodes();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!g.has_undirected_edge(a, b)) continue;
+        // Rule 1: c -> a -- b with c not adjacent to b  =>  a -> b
+        bool oriented = false;
+        for (std::size_t c : g.parents(a)) {
+          if (c != b && !g.has_edge(c, b)) {
+            g.orient(a, b);
+            oriented = true;
+            break;
+          }
+        }
+        if (oriented) {
+          changed = true;
+          continue;
+        }
+        // Rule 2: a -> c -> b with a -- b  =>  a -> b
+        for (std::size_t c : g.children(a)) {
+          if (c != b && g.has_directed_edge(c, b)) {
+            g.orient(a, b);
+            oriented = true;
+            break;
+          }
+        }
+        if (oriented) {
+          changed = true;
+          continue;
+        }
+        // Rule 3: a -- c -> b and a -- d -> b with c,d non-adjacent  =>  a -> b
+        const auto nbrs = g.neighbors(a);
+        for (std::size_t ci = 0; ci < nbrs.size() && !oriented; ++ci) {
+          const std::size_t c = nbrs[ci];
+          if (!g.has_undirected_edge(a, c) || !g.has_directed_edge(c, b)) {
+            continue;
+          }
+          for (std::size_t di = ci + 1; di < nbrs.size(); ++di) {
+            const std::size_t d = nbrs[di];
+            if (g.has_undirected_edge(a, d) && g.has_directed_edge(d, b) &&
+                !g.has_edge(c, d)) {
+              g.orient(a, b);
+              oriented = true;
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PcResult pc_algorithm(const CiTest& test, const PcOptions& options) {
+  const std::size_t n = test.num_variables();
+  FSDA_CHECK_MSG(n >= 2, "PC needs at least two variables");
+  PcResult result{Graph(n), {}, 0};
+  Graph& g = result.graph;
+  // Start from the complete undirected graph.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.add_undirected_edge(i, j);
+  }
+
+  // Phase 1: skeleton by levelwise CI testing.
+  for (std::size_t level = 0; level <= options.max_condition_size; ++level) {
+    bool any_candidate = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!g.has_edge(i, j)) continue;
+        // Conditioning candidates: neighbors of i or of j, excluding each
+        // other (the standard PC-stable-ish pool).
+        std::vector<std::size_t> pool;
+        for (std::size_t v : g.neighbors(i)) {
+          if (v != j) pool.push_back(v);
+        }
+        for (std::size_t v : g.neighbors(j)) {
+          if (v != i && std::find(pool.begin(), pool.end(), v) == pool.end()) {
+            pool.push_back(v);
+          }
+        }
+        if (pool.size() < level) continue;
+        any_candidate = true;
+        const bool separated = for_each_subset(
+            pool, level, [&](std::span<const std::size_t> subset) {
+              ++result.ci_tests_performed;
+              const CiResult ci = test.test(i, j, subset);
+              if (ci.independent) {
+                result.separating_sets[{i, j}] =
+                    std::vector<std::size_t>(subset.begin(), subset.end());
+                return true;
+              }
+              return false;
+            });
+        if (separated) g.remove_edge(i, j);
+      }
+    }
+    if (!any_candidate) break;
+  }
+
+  // Phase 2: orient v-structures i -> k <- j when k is not in sepset(i, j).
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto nbrs = g.neighbors(k);
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        const std::size_t i = nbrs[a];
+        const std::size_t j = nbrs[b];
+        if (g.has_edge(i, j)) continue;  // not an unshielded triple
+        const auto key = std::minmax(i, j);
+        const auto it = result.separating_sets.find({key.first, key.second});
+        const bool k_in_sepset =
+            it != result.separating_sets.end() &&
+            std::find(it->second.begin(), it->second.end(), k) !=
+                it->second.end();
+        if (!k_in_sepset) {
+          if (g.has_undirected_edge(i, k)) g.orient(i, k);
+          if (g.has_undirected_edge(j, k)) g.orient(j, k);
+        }
+      }
+    }
+  }
+
+  // F-node constraint: the domain indicator was added manually and can have
+  // no incoming causes from the system, i.e. no outgoing edges *from* system
+  // variables into it -- in the paper's convention the F-node has no
+  // outgoing edges removed from it; we orient every remaining F edge as
+  // F -> X (interventions act on features, never the reverse).
+  if (options.sink_node) {
+    const std::size_t f = *options.sink_node;
+    FSDA_CHECK_MSG(f < n, "sink node out of range");
+    for (std::size_t x : g.neighbors(f)) {
+      if (!g.has_directed_edge(f, x)) g.orient(f, x);
+    }
+  }
+
+  // Phase 3: Meek propagation.
+  apply_meek_rules(g);
+  return result;
+}
+
+}  // namespace fsda::causal

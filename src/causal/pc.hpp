@@ -1,0 +1,49 @@
+// fsda::causal -- the PC algorithm (Spirtes, Glymour, Scheines).
+//
+// Phase 1 learns the skeleton by levelwise CI tests with conditioning sets
+// drawn from current adjacencies; phase 2 orients v-structures from the
+// recorded separating sets; phase 3 applies the Meek rules to propagate
+// orientations.  The result is a CPDAG.
+//
+// The FS method does not need the full graph -- it uses the targeted F-node
+// search in fnode.hpp -- but the complete PC implementation is part of the
+// public causal API and is what the paper's Section V-A2 references.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "causal/ci_test.hpp"
+#include "causal/graph.hpp"
+
+namespace fsda::causal {
+
+/// Options controlling the PC search.
+struct PcOptions {
+  /// Largest conditioning-set size tried during skeleton search.
+  std::size_t max_condition_size = 3;
+  /// Node whose outgoing edges are forbidden (the manually added F-node of
+  /// the FS formulation); nullopt for a plain PC run.
+  std::optional<std::size_t> sink_node;
+};
+
+/// Result of a PC run: the CPDAG plus the separating sets found.
+struct PcResult {
+  Graph graph;
+  /// sepset[{i,j}] = conditioning set that separated i and j (i < j).
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+      separating_sets;
+  std::size_t ci_tests_performed = 0;
+};
+
+/// Runs PC with the given CI oracle over all variables of the test.
+PcResult pc_algorithm(const CiTest& test, const PcOptions& options = {});
+
+/// Enumerates all k-subsets of `pool`, invoking `visit` for each; `visit`
+/// returns true to stop early (subset found).  Exposed for testing.
+bool for_each_subset(const std::vector<std::size_t>& pool, std::size_t k,
+                     const std::function<bool(std::span<const std::size_t>)>&
+                         visit);
+
+}  // namespace fsda::causal

@@ -1,0 +1,104 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fsda::common {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ArgumentError("CSV column not found: " + name);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string escape_csv_field(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open CSV for reading: " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw IoError("CSV file is empty: " + path);
+  }
+  table.header = split_csv_line(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto row = split_csv_line(line);
+    if (row.size() != table.header.size()) {
+      std::ostringstream os;
+      os << "CSV row width " << row.size() << " != header width "
+         << table.header.size() << " in " << path;
+      throw ShapeError(os.str());
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+void write_csv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open CSV for writing: " + path);
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << escape_csv_field(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) {
+    FSDA_CHECK_MSG(row.size() == table.header.size(),
+                   "CSV row width mismatch while writing " << path);
+    write_row(row);
+  }
+  if (!out) throw IoError("failed writing CSV: " + path);
+}
+
+}  // namespace fsda::common

@@ -1,0 +1,35 @@
+// fsda::common -- small CSV reader/writer used to export experiment tables
+// and to persist generated datasets for inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsda::common {
+
+/// A parsed CSV file: header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header.size(); }
+
+  /// Index of the named column; throws ArgumentError when missing.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+};
+
+/// Splits one CSV line honouring double-quoted fields with "" escapes.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Quotes a field if it contains separators, quotes, or newlines.
+std::string escape_csv_field(const std::string& field);
+
+/// Reads a CSV file with a header row; throws IoError on failure and
+/// ShapeError when a row's width disagrees with the header.
+CsvTable read_csv(const std::string& path);
+
+/// Writes a CSV file; throws IoError on failure.
+void write_csv(const std::string& path, const CsvTable& table);
+
+}  // namespace fsda::common

@@ -1,0 +1,42 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace fsda::common {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const std::string raw = env_string(name, "");
+  if (raw.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(raw, &pos);
+    if (pos != raw.size()) {
+      throw ArgumentError("trailing characters in " + name + "=" + raw);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw ArgumentError("malformed integer env var " + name + "=" + raw);
+  }
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  std::string raw = env_string(name, "");
+  if (raw.empty()) return fallback;
+  std::transform(raw.begin(), raw.end(), raw.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return raw == "1" || raw == "true" || raw == "yes" || raw == "on";
+}
+
+bool full_scale_requested() { return env_bool("FSDA_FULL", false); }
+
+}  // namespace fsda::common

@@ -1,0 +1,25 @@
+// fsda::common -- typed access to FSDA_* environment variables.
+//
+// Benches default to scaled-down repeat counts and epoch budgets so the whole
+// suite runs in minutes; setting FSDA_FULL=1 (or individual knobs such as
+// FSDA_REPEATS / FSDA_EPOCHS) restores paper-scale runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsda::common {
+
+/// Raw environment lookup; returns fallback when unset or empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Integer environment lookup; throws ArgumentError on a malformed value.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Boolean lookup: "1", "true", "yes", "on" (case-insensitive) are true.
+bool env_bool(const std::string& name, bool fallback);
+
+/// True when FSDA_FULL requests paper-scale benchmark runs.
+bool full_scale_requested();
+
+}  // namespace fsda::common

@@ -1,0 +1,83 @@
+// fsda::common -- error types and invariant-checking macros.
+//
+// The library reports programmer errors and violated invariants through
+// exceptions derived from fsda::common::Error.  The FSDA_CHECK* macros are
+// always active (they are not compiled out in release builds): every module
+// in this repository treats a violated precondition as a bug that must
+// surface immediately, never as undefined behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fsda::common {
+
+/// Base class for all fsda exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A violated precondition or invariant (programmer error).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid user-supplied argument (caller error).
+class ArgumentError : public Error {
+ public:
+  explicit ArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Shape mismatch between matrices / datasets.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failure (singular matrix, non-convergence, ...).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure (file missing, malformed CSV, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FSDA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace fsda::common
+
+/// Always-on invariant check; throws InvariantError on failure.
+#define FSDA_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::fsda::common::detail::throw_check_failure(#cond, __FILE__,         \
+                                                  __LINE__, std::string{}); \
+    }                                                                      \
+  } while (0)
+
+/// Invariant check with a streamed message, e.g.
+/// FSDA_CHECK_MSG(i < n, "index " << i << " out of range " << n).
+#define FSDA_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream fsda_check_os_;                                     \
+      fsda_check_os_ << msg; /* NOLINT */                                    \
+      ::fsda::common::detail::throw_check_failure(#cond, __FILE__, __LINE__, \
+                                                  fsda_check_os_.str());     \
+    }                                                                        \
+  } while (0)

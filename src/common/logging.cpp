@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace fsda::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const auto now = std::chrono::system_clock::now();
+  const auto secs =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+               static_cast<long long>(secs / 1000),
+               static_cast<long long>(secs % 1000), level_name(level),
+               message.c_str());
+}
+
+}  // namespace fsda::common

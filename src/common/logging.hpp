@@ -1,0 +1,50 @@
+// fsda::common -- minimal leveled logging to stderr.
+//
+// The library is quiet by default (level = Warn); benches and examples raise
+// the level to Info.  Logging is line-buffered and thread-safe.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fsda::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global log threshold.
+LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Builds a message with ostream syntax and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace fsda::common
+
+#define FSDA_LOG_DEBUG ::fsda::common::detail::LogMessage(::fsda::common::LogLevel::Debug)
+#define FSDA_LOG_INFO ::fsda::common::detail::LogMessage(::fsda::common::LogLevel::Info)
+#define FSDA_LOG_WARN ::fsda::common::detail::LogMessage(::fsda::common::LogLevel::Warn)
+#define FSDA_LOG_ERROR ::fsda::common::detail::LogMessage(::fsda::common::LogLevel::Error)

@@ -1,0 +1,30 @@
+// fsda::common -- wall-clock stopwatch for the running-time experiments
+// (paper Section VI-D).
+#pragma once
+
+#include <chrono>
+
+namespace fsda::common {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fsda::common

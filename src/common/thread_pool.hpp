@@ -1,0 +1,70 @@
+// fsda::common -- fixed-size thread pool and parallel_for.
+//
+// Used for trial-level parallelism in the experiment runner and tree-level
+// parallelism in the random forest.  Tasks must not throw across the pool
+// boundary unobserved: parallel_for captures the first exception raised by
+// any chunk and rethrows it on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsda::common {
+
+/// A fixed pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future observes its result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the global pool, blocking until all
+/// iterations finish.  Rethrows the first exception observed.  When n is
+/// small or the pool has one thread, runs inline.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Like parallel_for but hands each worker a contiguous [begin, end) chunk.
+void parallel_for_chunked(
+    std::size_t n,
+    const std::function<void(std::size_t begin, std::size_t end)>& body);
+
+}  // namespace fsda::common

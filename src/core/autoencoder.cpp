@@ -1,0 +1,101 @@
+#include "core/autoencoder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/parallel_sum.hpp"
+
+namespace fsda::core {
+
+AutoencoderOptions AutoencoderOptions::quick() {
+  AutoencoderOptions o;
+  o.hidden = {96, 96};
+  o.epochs = 180;
+  o.learning_rate = 1.5e-3;
+  return o;
+}
+
+AutoencoderReconstructor::AutoencoderReconstructor(std::size_t inv_dim,
+                                                   std::size_t var_dim,
+                                                   AutoencoderOptions options,
+                                                   std::uint64_t seed)
+    : inv_dim_(inv_dim),
+      var_dim_(var_dim),
+      options_(std::move(options)),
+      rng_(seed ^ 0xAE0ULL) {
+  FSDA_CHECK(inv_dim > 0 && var_dim > 0);
+  if (options_.hidden.empty()) {
+    const std::size_t width = (inv_dim + var_dim) >= 300 ? 256 : 128;
+    options_.hidden = {width, width};
+  }
+}
+
+void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
+                                   const la::Matrix& x_var,
+                                   const std::vector<std::int64_t>& /*labels*/,
+                                   std::size_t /*num_classes*/) {
+  const std::size_t n = x_inv.rows();
+  FSDA_CHECK(x_var.rows() == n);
+  FSDA_CHECK(x_inv.cols() == inv_dim_ && x_var.cols() == var_dim_);
+
+  common::Rng init_rng = rng_.split(0xA0E0ULL);
+  // Architecture matches the GAN generator (Section VI-E): a parallel
+  // linear path plus an MLP correction, minus the noise input.
+  net_ = std::make_unique<nn::Sequential>();
+  {
+    auto trunk = std::make_unique<nn::Sequential>();
+    std::size_t width = inv_dim_;
+    for (std::size_t h : options_.hidden) {
+      trunk->emplace<nn::Linear>(width, h, init_rng);
+      trunk->emplace<nn::ReLU>();
+      width = h;
+    }
+    trunk->emplace<nn::Linear>(width, var_dim_, init_rng);
+    auto skip = std::make_unique<nn::Linear>(inv_dim_, var_dim_, init_rng);
+    net_->add(std::make_unique<nn::ParallelSum>(std::move(skip),
+                                                std::move(trunk)));
+    net_->emplace<nn::Tanh>();
+  }
+
+  nn::Adam optimizer(net_->parameters(), options_.learning_rate, 0.9, 0.999,
+                     1e-8, options_.weight_decay);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t batch = std::min(options_.batch_size, n);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      const std::span<const std::size_t> rows{order.data() + start,
+                                              end - start};
+      const la::Matrix inv_b = x_inv.select_rows(rows);
+      const la::Matrix var_b = x_var.select_rows(rows);
+      optimizer.zero_grad();
+      const la::Matrix recon = net_->forward(inv_b, /*training=*/true);
+      nn::LossResult loss = nn::mse(recon, var_b);
+      net_->backward(loss.grad);
+      optimizer.step();
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
+                                  1, batches));
+  }
+  fitted_ = true;
+}
+
+la::Matrix AutoencoderReconstructor::reconstruct(const la::Matrix& x_inv) {
+  FSDA_CHECK_MSG(fitted_, "reconstruct before fit");
+  FSDA_CHECK(x_inv.cols() == inv_dim_);
+  return net_->forward(x_inv, /*training=*/false);
+}
+
+}  // namespace fsda::core

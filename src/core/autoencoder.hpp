@@ -1,0 +1,45 @@
+// fsda::core -- vanilla autoencoder reconstructor (the FS+VanillaAE
+// ablation of Table II): a deterministic regression network from X_inv to
+// X_var trained with MSE, architecture matching the GAN generator.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/reconstructor.hpp"
+#include "nn/sequential.hpp"
+
+namespace fsda::core {
+
+struct AutoencoderOptions {
+  std::vector<std::size_t> hidden;  ///< empty = auto, same rule as the GAN
+  std::size_t epochs = 60;
+  std::size_t batch_size = 96;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-6;
+
+  static AutoencoderOptions quick();
+};
+
+class AutoencoderReconstructor : public Reconstructor {
+ public:
+  AutoencoderReconstructor(std::size_t inv_dim, std::size_t var_dim,
+                           AutoencoderOptions options, std::uint64_t seed);
+
+  void fit(const la::Matrix& x_inv, const la::Matrix& x_var,
+           const std::vector<std::int64_t>& labels,
+           std::size_t num_classes) override;
+  la::Matrix reconstruct(const la::Matrix& x_inv) override;
+  [[nodiscard]] std::string name() const override { return "VanillaAE"; }
+
+  [[nodiscard]] double last_loss() const { return last_loss_; }
+
+ private:
+  std::size_t inv_dim_;
+  std::size_t var_dim_;
+  AutoencoderOptions options_;
+  common::Rng rng_;
+  std::unique_ptr<nn::Sequential> net_;
+  double last_loss_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fsda::core

@@ -1,0 +1,225 @@
+#include "core/cgan.hpp"
+
+#include "core/corruption.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/parallel_sum.hpp"
+
+namespace fsda::core {
+
+CganOptions CganOptions::quick() {
+  CganOptions o;
+  o.hidden = {96, 96};
+  o.epochs = 200;
+  o.batch_size = 96;
+  o.learning_rate = 5e-4;
+  o.recon_weight = 0.25;
+  return o;
+}
+
+CganOptions CganOptions::paper() {
+  CganOptions o;
+  o.epochs = 500;
+  o.batch_size = 64;
+  o.recon_weight = 0.0;  // pure adversarial objective, as in the paper
+  return o;
+}
+
+ConditionalGAN::ConditionalGAN(std::size_t inv_dim, std::size_t var_dim,
+                               CganOptions options, std::uint64_t seed)
+    : inv_dim_(inv_dim),
+      var_dim_(var_dim),
+      options_(std::move(options)),
+      noise_dim_(options_.noise_dim),
+      rng_(seed ^ 0xC6A4ULL) {
+  FSDA_CHECK_MSG(inv_dim > 0, "no invariant features to condition on");
+  FSDA_CHECK_MSG(var_dim > 0, "no variant features to reconstruct");
+  if (noise_dim_ == 0) {
+    noise_dim_ = std::clamp<std::size_t>(var_dim / 3, 4, 30);
+  }
+  if (options_.hidden.empty()) {
+    const std::size_t width = (inv_dim + var_dim) >= 300 ? 256 : 128;
+    options_.hidden = {width, width};
+  }
+}
+
+la::Matrix ConditionalGAN::sample_noise(std::size_t rows) {
+  la::Matrix z(rows, noise_dim_);
+  for (auto& v : z.data()) v = rng_.normal();
+  return z;
+}
+
+la::Matrix ConditionalGAN::one_hot(const std::vector<std::int64_t>& labels,
+                                   std::size_t num_classes) const {
+  la::Matrix out(labels.size(), num_classes, 0.0);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    FSDA_CHECK(labels[r] >= 0 &&
+               static_cast<std::size_t>(labels[r]) < num_classes);
+    out(r, static_cast<std::size_t>(labels[r])) = 1.0;
+  }
+  return out;
+}
+
+void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
+                         const std::vector<std::int64_t>& labels,
+                         std::size_t num_classes) {
+  const std::size_t n = x_inv.rows();
+  FSDA_CHECK(x_var.rows() == n && labels.size() == n);
+  FSDA_CHECK(x_inv.cols() == inv_dim_ && x_var.cols() == var_dim_);
+
+  common::Rng init_rng = rng_.split(0x6E17ULL);
+  // Generator: tanh( linear([X_inv, Z]) + MLP([X_inv, Z]) ).  The parallel
+  // linear path captures the dominant linear structure of telemetry
+  // conditionals immediately; the ReLU+BN trunk (CTGAN-style) learns the
+  // nonlinear correction and the noise-driven spread.
+  generator_ = std::make_unique<nn::Sequential>();
+  {
+    const std::size_t in = inv_dim_ + noise_dim_;
+    auto trunk = std::make_unique<nn::Sequential>();
+    std::size_t width = in;
+    for (std::size_t h : options_.hidden) {
+      trunk->emplace<nn::Linear>(width, h, init_rng);
+      trunk->emplace<nn::ReLU>();
+      trunk->emplace<nn::BatchNorm1d>(h);
+      width = h;
+    }
+    trunk->emplace<nn::Linear>(width, var_dim_, init_rng);
+    auto skip = std::make_unique<nn::Linear>(in, var_dim_, init_rng);
+    generator_->add(std::make_unique<nn::ParallelSum>(std::move(skip),
+                                                      std::move(trunk)));
+    generator_->emplace<nn::Tanh>();
+  }
+  // Discriminator: [X_inv, X_var(, Y)] -> LeakyReLU+Dropout x2 -> sigmoid.
+  const std::size_t label_dim = options_.conditional ? num_classes : 0;
+  discriminator_ = std::make_unique<nn::Sequential>();
+  {
+    std::size_t width = inv_dim_ + var_dim_ + label_dim;
+    for (std::size_t h : options_.hidden) {
+      discriminator_->emplace<nn::Linear>(width, h, init_rng);
+      discriminator_->emplace<nn::LeakyReLU>(0.2);
+      discriminator_->emplace<nn::Dropout>(options_.dropout,
+                                           init_rng.split(h));
+      width = h;
+    }
+    discriminator_->emplace<nn::Linear>(width, 1, init_rng);
+    discriminator_->emplace<nn::Sigmoid>();
+  }
+
+  nn::Adam g_opt(generator_->parameters(), options_.learning_rate,
+                 options_.adam_beta1, 0.999, 1e-8, options_.weight_decay);
+  nn::Adam d_opt(discriminator_->parameters(), options_.learning_rate,
+                 options_.adam_beta1, 0.999, 1e-8, options_.weight_decay);
+
+  const la::Matrix y_onehot = one_hot(labels, num_classes);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t batch = std::min(options_.batch_size, n);
+
+  history_.clear();
+  history_.reserve(options_.epochs);
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    GanEpochStats stats;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start + 1 < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      const std::span<const std::size_t> rows{order.data() + start,
+                                              end - start};
+      const std::size_t m = rows.size();
+      if (m < 2) continue;  // batch norm needs at least two rows
+      const la::Matrix inv_b = x_inv.select_rows(rows);
+      const la::Matrix var_b = x_var.select_rows(rows);
+      la::Matrix y_b;
+      if (options_.conditional) y_b = y_onehot.select_rows(rows);
+
+      const std::vector<double> ones(m, 1.0);
+      const std::vector<double> zeros(m, 0.0);
+
+      auto d_input = [&](const la::Matrix& var_block) {
+        la::Matrix in = inv_b.hcat(var_block);
+        if (options_.conditional) in = in.hcat(y_b);
+        return in;
+      };
+
+      // ---- Discriminator step (eq. 8) ----
+      d_opt.zero_grad();
+      {
+        const la::Matrix real_prob =
+            discriminator_->forward(d_input(var_b), /*training=*/true);
+        nn::LossResult real_loss = nn::bce_on_probs(real_prob, ones);
+        discriminator_->backward(real_loss.grad);
+
+        const la::Matrix g_in =
+            permute_corrupt(inv_b, options_.input_corruption_p, rng_)
+                .hcat(sample_noise(m));
+        const la::Matrix fake = generator_->forward(g_in, /*training=*/true);
+        const la::Matrix fake_prob =
+            discriminator_->forward(d_input(fake), /*training=*/true);
+        nn::LossResult fake_loss = nn::bce_on_probs(fake_prob, zeros);
+        discriminator_->backward(fake_loss.grad);
+        d_opt.step();
+        stats.d_loss += real_loss.value + fake_loss.value;
+      }
+
+      // ---- Generator step (eq. 9, non-saturating) ----
+      g_opt.zero_grad();
+      d_opt.zero_grad();  // D accumulates G-step gradients; discard them
+      {
+        const la::Matrix g_in =
+            permute_corrupt(inv_b, options_.input_corruption_p, rng_)
+                .hcat(sample_noise(m));
+        const la::Matrix fake = generator_->forward(g_in, /*training=*/true);
+        const la::Matrix fake_prob =
+            discriminator_->forward(d_input(fake), /*training=*/true);
+        nn::LossResult adv_loss = nn::bce_on_probs(fake_prob, ones);
+        const la::Matrix grad_d_input = discriminator_->backward(adv_loss.grad);
+        // Slice the gradient w.r.t. the generated block out of the
+        // discriminator's input gradient.
+        la::Matrix grad_fake(m, var_dim_);
+        for (std::size_t r = 0; r < m; ++r) {
+          for (std::size_t c = 0; c < var_dim_; ++c) {
+            grad_fake(r, c) = grad_d_input(r, inv_dim_ + c);
+          }
+        }
+        double recon_value = 0.0;
+        if (options_.recon_weight > 0.0) {
+          nn::LossResult recon = nn::mse(fake, var_b);
+          recon_value = recon.value;
+          recon.grad *= options_.recon_weight;
+          grad_fake += recon.grad;
+        }
+        generator_->backward(grad_fake);
+        g_opt.step();
+        d_opt.zero_grad();
+        stats.g_adv_loss += adv_loss.value;
+        stats.g_recon_loss += recon_value;
+      }
+      ++batches;
+    }
+    if (batches > 0) {
+      stats.d_loss /= static_cast<double>(batches);
+      stats.g_adv_loss /= static_cast<double>(batches);
+      stats.g_recon_loss /= static_cast<double>(batches);
+    }
+    history_.push_back(stats);
+  }
+  fitted_ = true;
+}
+
+la::Matrix ConditionalGAN::reconstruct(const la::Matrix& x_inv) {
+  FSDA_CHECK_MSG(fitted_, "reconstruct before fit");
+  FSDA_CHECK(x_inv.cols() == inv_dim_);
+  const la::Matrix g_in = x_inv.hcat(sample_noise(x_inv.rows()));
+  return generator_->forward(g_in, /*training=*/false);
+}
+
+}  // namespace fsda::core

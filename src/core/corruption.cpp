@@ -1,0 +1,21 @@
+#include "core/corruption.hpp"
+
+#include "common/error.hpp"
+
+namespace fsda::core {
+
+la::Matrix permute_corrupt(const la::Matrix& x, double p, common::Rng& rng) {
+  FSDA_CHECK_MSG(p >= 0.0 && p < 1.0, "corruption probability out of [0,1)");
+  la::Matrix out = x;
+  if (p == 0.0 || x.rows() < 2) return out;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      if (rng.bernoulli(p)) {
+        out(r, c) = x(rng.uniform_index(x.rows()), c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsda::core

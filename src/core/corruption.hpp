@@ -1,0 +1,22 @@
+// fsda::core -- marginal-preserving feature corruption.
+//
+// Feature separation never recovers the full variant set (the paper finds
+// 75 of 442 features at best), so at inference a minority of the "invariant"
+// inputs have silently drifted.  To make the reconstruction path robust to
+// that, the GAN (and the classifier's reconstructed training views) train
+// under column-wise permutation corruption: each corrupted cell is replaced
+// by the same feature's value from another random row, which destroys the
+// cell's signal while exactly preserving the feature's marginal -- the same
+// corruption model as undetected stealth drift.
+#pragma once
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::core {
+
+/// Returns a copy of x where each cell is, with probability p, replaced by
+/// the value of the same column in a uniformly random row.
+la::Matrix permute_corrupt(const la::Matrix& x, double p, common::Rng& rng);
+
+}  // namespace fsda::core

@@ -1,0 +1,54 @@
+#include "core/feature_separation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fsda::core {
+
+SeparationResult separate_features(const la::Matrix& source,
+                                   const la::Matrix& target_few_shot,
+                                   const causal::FNodeOptions& options) {
+  common::Stopwatch timer;
+  const causal::FNodeResult found =
+      causal::find_intervention_targets(source, target_few_shot, options);
+  SeparationResult result;
+  result.variant = found.variant;
+  result.invariant = found.invariant;
+  result.marginal_p = found.marginal_p;
+  result.ci_tests_performed = found.ci_tests_performed;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+SeparationQuality score_separation(const std::vector<std::size_t>& detected,
+                                   const std::vector<std::size_t>& truth,
+                                   std::size_t num_features) {
+  for (std::size_t f : detected) {
+    FSDA_CHECK_MSG(f < num_features, "detected index out of range");
+  }
+  for (std::size_t f : truth) {
+    FSDA_CHECK_MSG(f < num_features, "truth index out of range");
+  }
+  std::vector<char> in_truth(num_features, 0);
+  for (std::size_t f : truth) in_truth[f] = 1;
+  std::size_t hits = 0;
+  for (std::size_t f : detected) {
+    if (in_truth[f]) ++hits;
+  }
+  SeparationQuality q;
+  q.precision = detected.empty()
+                    ? 0.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(detected.size());
+  q.recall = truth.empty() ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(truth.size());
+  q.f1 = (q.precision + q.recall) > 0.0
+             ? 2.0 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+}  // namespace fsda::core

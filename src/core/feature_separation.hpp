@@ -1,0 +1,45 @@
+// fsda::core -- Feature Separation (FS): step 1 of the paper's framework
+// (Section V-A).
+//
+// Treats the domain shift as soft interventions on an unknown feature
+// subset, identifies the intervention targets with the targeted F-node
+// causal search, and partitions the feature space into domain-variant and
+// domain-invariant sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causal/fnode.hpp"
+#include "data/dataset.hpp"
+
+namespace fsda::core {
+
+/// Result of feature separation, plus diagnostics.
+struct SeparationResult {
+  std::vector<std::size_t> variant;    ///< X_var = R (eq. 4)
+  std::vector<std::size_t> invariant;  ///< X_inv = V \ R
+  std::vector<double> marginal_p;      ///< per-feature marginal p-values
+  std::size_t ci_tests_performed = 0;
+  double seconds = 0.0;
+};
+
+/// Precision/recall of a detected variant set against a ground-truth one
+/// (only computable on our SCM substitutes -- see DESIGN.md).
+struct SeparationQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Runs FS on (already normalized) source vs. few-shot target features.
+SeparationResult separate_features(const la::Matrix& source,
+                                   const la::Matrix& target_few_shot,
+                                   const causal::FNodeOptions& options = {});
+
+/// Scores a detected variant set against the generator's ground truth.
+SeparationQuality score_separation(const std::vector<std::size_t>& detected,
+                                   const std::vector<std::size_t>& truth,
+                                   std::size_t num_features);
+
+}  // namespace fsda::core

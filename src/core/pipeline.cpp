@@ -1,0 +1,225 @@
+#include "core/pipeline.hpp"
+
+#include "core/corruption.hpp"
+
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fsda::core {
+
+FsGanPipeline::FsGanPipeline(models::ClassifierFactory classifier_factory,
+                             ReconstructorFactory reconstructor_factory,
+                             PipelineOptions options, std::uint64_t seed)
+    : classifier_factory_(std::move(classifier_factory)),
+      reconstructor_factory_(std::move(reconstructor_factory)),
+      options_(options),
+      seed_(seed) {
+  FSDA_CHECK_MSG(classifier_factory_ != nullptr, "null classifier factory");
+  FSDA_CHECK_MSG(!options_.use_reconstruction ||
+                     reconstructor_factory_ != nullptr,
+                 "FS+GAN mode requires a reconstructor factory");
+  FSDA_CHECK_MSG(options_.monte_carlo_m >= 1, "M must be >= 1");
+}
+
+const SeparationResult& FsGanPipeline::separation() const {
+  FSDA_CHECK_MSG(separation_.has_value(), "separation before train");
+  return *separation_;
+}
+
+namespace {
+
+/// Resamples `target` so its label mix matches `source_counts`.
+///
+/// The few-shot draw is stratified per fault type, so its label
+/// distribution generally differs from the source's (e.g. the paper's
+/// 5GIPC setup draws k normal + 4k faulty shots against a 72%-normal
+/// source).  P(V | F) then differs across domains for every
+/// label-responsive feature even without any drift, and the F-node tests
+/// would flag label shift as intervention.  Labels of the shots are known,
+/// so we correct exactly: each target class is replicated in proportion to
+/// the source prior before the combined dataset D* is formed.
+data::Dataset match_label_distribution(
+    const std::vector<std::size_t>& source_counts,
+    const data::Dataset& target, std::size_t rows_target_hint) {
+  double source_total = 0.0;
+  for (std::size_t c : source_counts) {
+    source_total += static_cast<double>(c);
+  }
+  std::vector<std::size_t> rows;
+  for (std::size_t c = 0; c < target.num_classes; ++c) {
+    const auto members =
+        target.indices_of_class(static_cast<std::int64_t>(c));
+    if (members.empty() || source_counts[c] == 0) continue;
+    const double prior =
+        static_cast<double>(source_counts[c]) / source_total;
+    const auto want = static_cast<std::size_t>(
+        prior * static_cast<double>(rows_target_hint) + 0.5);
+    for (std::size_t i = 0; i < std::max<std::size_t>(want, 1); ++i) {
+      rows.push_back(members[i % members.size()]);
+    }
+  }
+  if (rows.empty()) return target;  // degenerate; fall back unchanged
+  return target.subset(rows);
+}
+
+}  // namespace
+
+data::Dataset FsGanPipeline::label_shift_corrected(
+    const data::Dataset& source, const data::Dataset& target_few_shot) {
+  source_class_counts_ = source.class_counts();
+  return label_shift_corrected_cached(target_few_shot);
+}
+
+data::Dataset FsGanPipeline::label_shift_corrected_cached(
+    const data::Dataset& target_few_shot) const {
+  FSDA_CHECK_MSG(!source_class_counts_.empty(),
+                 "label-shift correction before train");
+  // Resample to ~4x the shot count so replication granularity is fine
+  // enough for skewed priors.
+  return match_label_distribution(source_class_counts_, target_few_shot,
+                                  std::max<std::size_t>(
+                                      4 * target_few_shot.size(), 64));
+}
+
+void FsGanPipeline::fit_reconstructor() {
+  const auto& sep = *separation_;
+  if (sep.variant.empty() || sep.invariant.empty()) {
+    reconstructor_.reset();  // nothing to reconstruct / condition on
+    return;
+  }
+  common::Stopwatch timer;
+  const la::Matrix x_inv = source_scaled_.select_cols(sep.invariant);
+  const la::Matrix x_var = source_scaled_.select_cols(sep.variant);
+  reconstructor_ =
+      reconstructor_factory_(sep.invariant.size(), sep.variant.size(),
+                             seed_ ^ 0x6EC0ULL);
+  reconstructor_->fit(x_inv, x_var, source_labels_, num_classes_);
+  reconstructor_seconds_ = timer.seconds();
+}
+
+void FsGanPipeline::train(const data::Dataset& source,
+                          const data::Dataset& target_few_shot) {
+  source.validate();
+  target_few_shot.validate();
+  FSDA_CHECK_MSG(source.num_features() == target_few_shot.num_features(),
+                 "source/target feature mismatch");
+
+  scaler_.fit(source.x);
+  source_scaled_ = scaler_.transform(source.x);
+  source_labels_ = source.y;
+  num_classes_ = source.num_classes;
+  const la::Matrix target_scaled = scaler_.transform(
+      label_shift_corrected(source, target_few_shot).x);
+
+  separation_ =
+      separate_features(source_scaled_, target_scaled, options_.fs);
+  const auto& sep = *separation_;
+  FSDA_LOG_INFO << "pipeline: " << sep.variant.size() << " variant / "
+                << sep.invariant.size() << " invariant features";
+
+  classifier_ = classifier_factory_(seed_ ^ 0xC1A55ULL);
+  if (options_.use_reconstruction) {
+    // Classifier sees all features, reordered [X_inv | X_var] so that
+    // inference-time assembly (eq. 11) matches the training feature order.
+    // Training data is the real source samples *augmented with their
+    // GAN-reconstructed views* ([X_inv, G(X_inv)]): the classifier remains
+    // trained exclusively on source data with all features included, but it
+    // also sees the exact input distribution it will receive at inference
+    // (implementation note in DESIGN.md).
+    fit_reconstructor();
+    std::vector<std::size_t> order = sep.invariant;
+    order.insert(order.end(), sep.variant.begin(), sep.variant.end());
+    la::Matrix x_train = source_scaled_.select_cols(order);
+    std::vector<std::int64_t> y_train = source_labels_;
+    if (reconstructor_ != nullptr) {
+      const la::Matrix x_inv = source_scaled_.select_cols(sep.invariant);
+      // Reconstructed views with independent noise draws and lightly
+      // corrupted invariant inputs, so the classifier sees the generator's
+      // conditional spread AND stays calibrated for the minority of
+      // invariant features that may have drifted undetected.
+      common::Rng view_rng(seed_ ^ 0x71E85ULL);
+      for (int view = 0; view < 3; ++view) {
+        const la::Matrix inv_view =
+            permute_corrupt(x_inv, view == 0 ? 0.0 : 0.1, view_rng);
+        x_train = x_train.vcat(
+            inv_view.hcat(reconstructor_->reconstruct(inv_view)));
+        y_train.insert(y_train.end(), source_labels_.begin(),
+                       source_labels_.end());
+      }
+    }
+    classifier_->fit(x_train, y_train, num_classes_, {});
+  } else {
+    // FS mode: invariant features only.  An empty invariant set would leave
+    // nothing to train on; fall back to all features (degenerate but safe).
+    if (sep.invariant.empty()) {
+      classifier_->fit(source_scaled_, source_labels_, num_classes_, {});
+    } else {
+      classifier_->fit(source_scaled_.select_cols(sep.invariant),
+                       source_labels_, num_classes_, {});
+    }
+  }
+  trained_ = true;
+}
+
+void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
+  FSDA_CHECK_MSG(trained_, "adapt_to_new_target before train");
+  FSDA_CHECK_MSG(options_.use_reconstruction,
+                 "FS mode cannot adapt without classifier retraining; use "
+                 "FS+GAN mode");
+  target_few_shot.validate();
+  const la::Matrix target_scaled = scaler_.transform(
+      label_shift_corrected_cached(target_few_shot).x);
+  // Re-run FS against the new target...
+  SeparationResult fresh =
+      separate_features(source_scaled_, target_scaled, options_.fs);
+  // ...but keep the classifier's feature partition fixed: the classifier
+  // was trained on [inv | var] of the original separation.  The refreshed
+  // separation retrains the reconstructor only when the partition size is
+  // unchanged; otherwise we keep the original partition (the paper's
+  // Table III observation: variant sets are largely shared across targets,
+  // so the original partition remains serviceable).
+  if (fresh.variant.size() == separation_->variant.size()) {
+    separation_ = std::move(fresh);
+  }
+  fit_reconstructor();
+}
+
+la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(trained_, "predict before train");
+  const la::Matrix x = scaler_.transform(x_raw);
+  const auto& sep = *separation_;
+
+  if (!options_.use_reconstruction) {
+    if (sep.invariant.empty()) return classifier_->predict_proba(x);
+    return classifier_->predict_proba(x.select_cols(sep.invariant));
+  }
+
+  if (sep.variant.empty() || reconstructor_ == nullptr) {
+    // Nothing detected as drifting: the classifier saw [inv | var] ordering,
+    // which with an empty variant block is just the invariant permutation.
+    std::vector<std::size_t> order = sep.invariant;
+    order.insert(order.end(), sep.variant.begin(), sep.variant.end());
+    return classifier_->predict_proba(x.select_cols(order));
+  }
+
+  const la::Matrix x_inv = x.select_cols(sep.invariant);
+  la::Matrix proba;
+  for (std::size_t m = 0; m < options_.monte_carlo_m; ++m) {
+    const la::Matrix x_var_hat = reconstructor_->reconstruct(x_inv);
+    const la::Matrix assembled = x_inv.hcat(x_var_hat);  // eq. 11
+    la::Matrix p = classifier_->predict_proba(assembled);
+    if (m == 0) proba = std::move(p);
+    else proba += p;
+  }
+  proba *= 1.0 / static_cast<double>(options_.monte_carlo_m);
+  return proba;
+}
+
+std::vector<std::int64_t> FsGanPipeline::predict(const la::Matrix& x_raw) {
+  return models::argmax_rows(predict_proba(x_raw));
+}
+
+}  // namespace fsda::core

@@ -1,0 +1,94 @@
+// fsda::core -- the end-to-end FS / FS+GAN pipeline (paper Fig. 1).
+//
+// Training (source-only, plus a few-shot target set used *only* by FS):
+//   1. fit a [-1,1] min-max scaler on source (Section VI-B normalization);
+//   2. run feature separation on scaled source vs. scaled target shots;
+//   3. FS+GAN mode: train the downstream classifier on ALL source features
+//      (reordered [X_inv | X_var]) and train a reconstructor on source;
+//      FS mode: train the classifier on the invariant block only.
+// Inference (Fig. 1(c)): scale the target sample, reconstruct its variant
+// block from its invariant block (M Monte-Carlo draws, eq. after (9); the
+// paper uses M = 1), assemble x̂ = [X_inv, X̂_var], and classify.
+//
+// Because the classifier is trained exclusively on source data, evolving
+// target distributions only ever require re-running FS and retraining the
+// reconstructor -- never the network-management model (Section VI-F).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "causal/fnode.hpp"
+#include "core/feature_separation.hpp"
+#include "core/reconstructor.hpp"
+#include "data/dataset.hpp"
+#include "data/scaler.hpp"
+#include "models/classifier.hpp"
+
+namespace fsda::core {
+
+struct PipelineOptions {
+  causal::FNodeOptions fs;
+  /// Monte-Carlo reconstruction draws per sample (paper: M = 1).
+  std::size_t monte_carlo_m = 1;
+  /// true = FS+GAN (classifier on all features + reconstruction);
+  /// false = FS only (classifier on invariant features).
+  bool use_reconstruction = true;
+};
+
+/// The paper's DA framework around a pluggable classifier + reconstructor.
+class FsGanPipeline {
+ public:
+  /// `reconstructor_factory` may be empty when use_reconstruction is false.
+  FsGanPipeline(models::ClassifierFactory classifier_factory,
+                ReconstructorFactory reconstructor_factory,
+                PipelineOptions options, std::uint64_t seed);
+
+  /// Trains the full pipeline.  `target_few_shot` feeds only the FS step.
+  void train(const data::Dataset& source, const data::Dataset& target_few_shot);
+
+  /// Re-runs FS + reconstructor against a new target distribution without
+  /// touching the trained classifier (the paper's no-retraining property;
+  /// valid in FS+GAN mode only, since FS mode's classifier depends on the
+  /// invariant set).
+  void adapt_to_new_target(const data::Dataset& target_few_shot);
+
+  /// Class probabilities for raw (unscaled) target-domain samples.
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw);
+  [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x_raw);
+
+  [[nodiscard]] const SeparationResult& separation() const;
+  [[nodiscard]] bool is_trained() const { return trained_; }
+  [[nodiscard]] double reconstructor_train_seconds() const {
+    return reconstructor_seconds_;
+  }
+
+  /// Resamples the few-shot target set so its label mix matches the source
+  /// prior (see pipeline.cpp); public for white-box tests.
+  data::Dataset label_shift_corrected(const data::Dataset& source,
+                                      const data::Dataset& target_few_shot);
+  [[nodiscard]] data::Dataset label_shift_corrected_cached(
+      const data::Dataset& target_few_shot) const;
+
+ private:
+  void fit_reconstructor();
+
+  models::ClassifierFactory classifier_factory_;
+  ReconstructorFactory reconstructor_factory_;
+  PipelineOptions options_;
+  std::uint64_t seed_;
+
+  data::MinMaxScaler scaler_;
+  std::optional<SeparationResult> separation_;
+  std::unique_ptr<models::Classifier> classifier_;
+  ReconstructorPtr reconstructor_;
+  std::vector<std::size_t> source_class_counts_;
+  // Cached scaled source blocks for reconstructor (re)fits.
+  la::Matrix source_scaled_;
+  std::vector<std::int64_t> source_labels_;
+  std::size_t num_classes_ = 0;
+  double reconstructor_seconds_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace fsda::core

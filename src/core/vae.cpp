@@ -1,0 +1,162 @@
+#include "core/vae.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/parallel_sum.hpp"
+
+namespace fsda::core {
+
+VaeOptions VaeOptions::quick() {
+  VaeOptions o;
+  o.hidden = {96, 96};
+  o.epochs = 180;
+  o.learning_rate = 1.5e-3;
+  return o;
+}
+
+VaeReconstructor::VaeReconstructor(std::size_t inv_dim, std::size_t var_dim,
+                                   VaeOptions options, std::uint64_t seed)
+    : inv_dim_(inv_dim),
+      var_dim_(var_dim),
+      options_(std::move(options)),
+      latent_dim_(options_.latent_dim),
+      rng_(seed ^ 0x7AE5ULL) {
+  FSDA_CHECK(inv_dim > 0 && var_dim > 0);
+  if (latent_dim_ == 0) {
+    latent_dim_ = std::clamp<std::size_t>(var_dim / 3, 4, 30);
+  }
+  if (options_.hidden.empty()) {
+    const std::size_t width = (inv_dim + var_dim) >= 300 ? 256 : 128;
+    options_.hidden = {width, width};
+  }
+}
+
+void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
+                           const std::vector<std::int64_t>& /*labels*/,
+                           std::size_t /*num_classes*/) {
+  const std::size_t n = x_inv.rows();
+  FSDA_CHECK(x_var.rows() == n);
+  FSDA_CHECK(x_inv.cols() == inv_dim_ && x_var.cols() == var_dim_);
+
+  common::Rng init_rng = rng_.split(0x1A7EULL);
+  encoder_ = std::make_unique<nn::Sequential>();
+  {
+    std::size_t width = inv_dim_ + var_dim_;
+    for (std::size_t h : options_.hidden) {
+      encoder_->emplace<nn::Linear>(width, h, init_rng);
+      encoder_->emplace<nn::ReLU>();
+      width = h;
+    }
+    encoder_->emplace<nn::Linear>(width, 2 * latent_dim_, init_rng);
+  }
+  decoder_ = std::make_unique<nn::Sequential>();
+  {
+    // Decoder matches the GAN generator (Section VI-E): parallel linear
+    // path plus MLP correction.
+    const std::size_t in = inv_dim_ + latent_dim_;
+    auto trunk = std::make_unique<nn::Sequential>();
+    std::size_t width = in;
+    for (std::size_t h : options_.hidden) {
+      trunk->emplace<nn::Linear>(width, h, init_rng);
+      trunk->emplace<nn::ReLU>();
+      width = h;
+    }
+    trunk->emplace<nn::Linear>(width, var_dim_, init_rng);
+    auto skip = std::make_unique<nn::Linear>(in, var_dim_, init_rng);
+    decoder_->add(std::make_unique<nn::ParallelSum>(std::move(skip),
+                                                    std::move(trunk)));
+    decoder_->emplace<nn::Tanh>();
+  }
+
+  std::vector<nn::Parameter*> params = encoder_->parameters();
+  for (nn::Parameter* p : decoder_->parameters()) params.push_back(p);
+  nn::Adam optimizer(params, options_.learning_rate, 0.9, 0.999, 1e-8,
+                     options_.weight_decay);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t batch = std::min(options_.batch_size, n);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      const std::span<const std::size_t> rows{order.data() + start,
+                                              end - start};
+      const std::size_t m = rows.size();
+      const la::Matrix inv_b = x_inv.select_rows(rows);
+      const la::Matrix var_b = x_var.select_rows(rows);
+
+      optimizer.zero_grad();
+
+      // Encode: split encoder output into mu | log_var.
+      const la::Matrix enc_out =
+          encoder_->forward(inv_b.hcat(var_b), /*training=*/true);
+      la::Matrix mu(m, latent_dim_), log_var(m, latent_dim_);
+      for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < latent_dim_; ++c) {
+          mu(r, c) = enc_out(r, c);
+          // Clamp log-variance for numerical safety.
+          log_var(r, c) = std::clamp(enc_out(r, latent_dim_ + c), -8.0, 8.0);
+        }
+      }
+
+      // Reparameterize: z = mu + exp(log_var / 2) * eps.
+      la::Matrix eps(m, latent_dim_);
+      for (auto& v : eps.data()) v = rng_.normal();
+      la::Matrix z = mu;
+      for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < latent_dim_; ++c) {
+          z(r, c) += std::exp(0.5 * log_var(r, c)) * eps(r, c);
+        }
+      }
+
+      // Decode and compute losses.
+      const la::Matrix recon =
+          decoder_->forward(inv_b.hcat(z), /*training=*/true);
+      nn::LossResult rec = nn::mse(recon, var_b);
+      nn::KlResult kl = nn::gaussian_kl(mu, log_var);
+      epoch_loss += rec.value + options_.kl_weight * kl.value;
+
+      // Backprop: decoder -> z -> (mu, log_var) -> encoder.
+      const la::Matrix grad_dec_in = decoder_->backward(rec.grad);
+      la::Matrix grad_enc_out(m, 2 * latent_dim_, 0.0);
+      for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < latent_dim_; ++c) {
+          const double gz = grad_dec_in(r, inv_dim_ + c);
+          const double sigma = std::exp(0.5 * log_var(r, c));
+          grad_enc_out(r, c) =
+              gz + options_.kl_weight * kl.grad_mu(r, c);
+          grad_enc_out(r, latent_dim_ + c) =
+              gz * eps(r, c) * 0.5 * sigma +
+              options_.kl_weight * kl.grad_log_var(r, c);
+        }
+      }
+      encoder_->backward(grad_enc_out);
+      optimizer.step();
+      ++batches;
+    }
+    last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
+                                  1, batches));
+  }
+  fitted_ = true;
+}
+
+la::Matrix VaeReconstructor::reconstruct(const la::Matrix& x_inv) {
+  FSDA_CHECK_MSG(fitted_, "reconstruct before fit");
+  FSDA_CHECK(x_inv.cols() == inv_dim_);
+  la::Matrix z(x_inv.rows(), latent_dim_);
+  for (auto& v : z.data()) v = rng_.normal();
+  return decoder_->forward(x_inv.hcat(z), /*training=*/false);
+}
+
+}  // namespace fsda::core

@@ -1,0 +1,135 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace fsda::data {
+
+void Dataset::validate() const {
+  FSDA_CHECK_MSG(y.size() == x.rows(), "labels/rows mismatch: " << y.size()
+                                                                << " vs "
+                                                                << x.rows());
+  FSDA_CHECK_MSG(num_classes >= 2, "num_classes must be >= 2");
+  for (std::int64_t label : y) {
+    FSDA_CHECK_MSG(
+        label >= 0 && static_cast<std::size_t>(label) < num_classes,
+        "label " << label << " out of [0," << num_classes << ")");
+  }
+  FSDA_CHECK_MSG(feature_names.empty() || feature_names.size() == x.cols(),
+                 "feature_names size mismatch");
+  FSDA_CHECK_MSG(x.all_finite(), "non-finite feature values");
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(std::int64_t label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::int64_t label : y) {
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  return counts;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> rows) const {
+  Dataset out;
+  out.x = x.select_rows(rows);
+  out.y.reserve(rows.size());
+  for (std::size_t r : rows) {
+    FSDA_CHECK_MSG(r < y.size(), "subset row out of range");
+    out.y.push_back(y[r]);
+  }
+  out.num_classes = num_classes;
+  out.feature_names = feature_names;
+  return out;
+}
+
+Dataset Dataset::concat(const Dataset& other) const {
+  FSDA_CHECK_MSG(num_classes == other.num_classes, "class-count mismatch");
+  FSDA_CHECK_MSG(x.cols() == other.x.cols(), "feature-width mismatch");
+  Dataset out;
+  out.x = x.vcat(other.x);
+  out.y = y;
+  out.y.insert(out.y.end(), other.y.begin(), other.y.end());
+  out.num_classes = num_classes;
+  out.feature_names = feature_names;
+  return out;
+}
+
+Dataset Dataset::shuffled(common::Rng& rng) const {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  return subset(order);
+}
+
+void DomainSplit::validate() const {
+  source_train.validate();
+  target_pool.validate();
+  target_test.validate();
+  FSDA_CHECK(source_train.num_features() == target_pool.num_features());
+  FSDA_CHECK(source_train.num_features() == target_test.num_features());
+  FSDA_CHECK(source_train.num_classes == target_pool.num_classes);
+  FSDA_CHECK(source_train.num_classes == target_test.num_classes);
+  for (std::size_t f : true_variant) {
+    FSDA_CHECK_MSG(f < source_train.num_features(),
+                   "true_variant index " << f << " out of range");
+  }
+}
+
+Dataset sample_few_shot(const Dataset& pool, std::size_t shots,
+                        std::uint64_t seed) {
+  FSDA_CHECK_MSG(shots >= 1, "shots must be >= 1");
+  common::Rng rng(seed ^ 0xFE575807ULL);
+  std::vector<std::size_t> chosen;
+  for (std::size_t c = 0; c < pool.num_classes; ++c) {
+    const auto members =
+        pool.indices_of_class(static_cast<std::int64_t>(c));
+    if (members.empty()) continue;
+    const std::size_t take = std::min(shots, members.size());
+    for (std::size_t pick :
+         rng.sample_without_replacement(members.size(), take)) {
+      chosen.push_back(members[pick]);
+    }
+  }
+  FSDA_CHECK_MSG(!chosen.empty(), "few-shot draw selected nothing");
+  std::sort(chosen.begin(), chosen.end());
+  return pool.subset(chosen);
+}
+
+std::pair<Dataset, Dataset> stratified_split(const Dataset& data,
+                                             double fraction,
+                                             std::uint64_t seed) {
+  FSDA_CHECK_MSG(fraction > 0.0 && fraction < 1.0,
+                 "fraction out of (0,1): " << fraction);
+  common::Rng rng(seed ^ 0x57A71F1EDULL);
+  std::vector<std::size_t> first_rows;
+  std::vector<std::size_t> second_rows;
+  for (std::size_t c = 0; c < data.num_classes; ++c) {
+    auto members = data.indices_of_class(static_cast<std::int64_t>(c));
+    if (members.empty()) continue;
+    rng.shuffle(members);
+    std::size_t take = static_cast<std::size_t>(
+        fraction * static_cast<double>(members.size()) + 0.5);
+    if (members.size() >= 2) {
+      take = std::clamp<std::size_t>(take, 1, members.size() - 1);
+    } else {
+      take = std::min<std::size_t>(take, members.size());
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < take ? first_rows : second_rows).push_back(members[i]);
+    }
+  }
+  std::sort(first_rows.begin(), first_rows.end());
+  std::sort(second_rows.begin(), second_rows.end());
+  return {data.subset(first_rows), data.subset(second_rows)};
+}
+
+}  // namespace fsda::data

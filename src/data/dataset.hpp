@@ -1,0 +1,70 @@
+// fsda::data -- labeled tabular dataset and the source/target domain bundle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::data {
+
+/// A labeled tabular dataset: one sample per row.
+struct Dataset {
+  la::Matrix x;                    ///< n x d feature matrix
+  std::vector<std::int64_t> y;     ///< n labels in [0, num_classes)
+  std::size_t num_classes = 0;
+  std::vector<std::string> feature_names;  ///< optional, size d or empty
+
+  [[nodiscard]] std::size_t size() const { return x.rows(); }
+  [[nodiscard]] std::size_t num_features() const { return x.cols(); }
+
+  /// Throws unless x/y/num_classes/feature_names are mutually consistent.
+  void validate() const;
+
+  /// Rows with the given label.
+  [[nodiscard]] std::vector<std::size_t> indices_of_class(
+      std::int64_t label) const;
+
+  /// Per-class sample counts.
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  /// Subset by row indices (order preserved).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> rows) const;
+
+  /// Concatenation of two datasets over identical feature spaces.
+  [[nodiscard]] Dataset concat(const Dataset& other) const;
+
+  /// Random permutation of the rows.
+  [[nodiscard]] Dataset shuffled(common::Rng& rng) const;
+};
+
+/// The domain-adaptation problem instance of the paper (Section III):
+/// a fully labeled source domain, a few-shot target training pool, and a
+/// target test set.  `true_variant` carries the generator's ground-truth
+/// intervention targets, which the real datasets cannot provide but our SCM
+/// substitutes can (used to evaluate FS precision/recall in the benches).
+struct DomainSplit {
+  Dataset source_train;
+  Dataset target_pool;  ///< all available target samples for few-shot draws
+  Dataset target_test;
+  std::vector<std::size_t> true_variant;  ///< ground-truth variant features
+  std::string name;
+
+  void validate() const;
+};
+
+/// Draws `shots` samples per class from `pool` (fewer if a class is scarce).
+/// The complement is untouched.  Deterministic in `seed`.
+Dataset sample_few_shot(const Dataset& pool, std::size_t shots,
+                        std::uint64_t seed);
+
+/// Stratified split of `data` into (first, second) with `fraction` of each
+/// class in `first`.  Every class keeps at least one sample in each part
+/// when it has >= 2 samples.
+std::pair<Dataset, Dataset> stratified_split(const Dataset& data,
+                                             double fraction,
+                                             std::uint64_t seed);
+
+}  // namespace fsda::data

@@ -1,0 +1,60 @@
+// fsda::data -- synthetic substitute for the 5GC network-failure dataset
+// (paper Section IV-A; ITU AI-for-Good challenge data, not redistributable).
+//
+// The generator reproduces the dataset's published structure: performance
+// metrics grouped into traffic counters, interface status, memory, CPU and
+// system load per VNF plus global 5G registration metrics; 16 classes
+// (normal + 5 fault types x 3 faulted VNFs: AMF, AUSF, UDM); a source domain
+// ("network digital twin") and a target domain ("real network") whose
+// traffic-driven metrics have drifted.  The domain shift is realized as soft
+// interventions on a known subset of feature mechanisms -- traffic counters
+// and a few memory metrics, mirroring the examples the paper reports its FS
+// method finding (Section V-B) -- with a spectrum of severities so that more
+// target samples let FS detect more of them (Section VI-C).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "data/scm.hpp"
+
+namespace fsda::data {
+
+/// Sizing and drift knobs for the 5GC generator.
+struct Gen5GCConfig {
+  std::size_t vnf_count = 5;  ///< AMF, AUSF, UDM (faulted) + SMF, UPF
+  std::size_t traffic_per_vnf = 30;
+  std::size_t iface_per_vnf = 16;
+  std::size_t mem_per_vnf = 14;
+  std::size_t cpu_per_vnf = 12;
+  std::size_t sysload_per_vnf = 8;
+  std::size_t reg_metrics = 42;
+  std::size_t source_samples = 3645;
+  std::size_t target_pool_samples = 700;
+  std::size_t target_test_samples = 873;
+  std::uint64_t seed = 5 * 1000 + 901;  // arbitrary fixed default
+
+  /// Paper-scale preset: 442 features, 3645/700/873 samples.
+  static Gen5GCConfig paper();
+  /// Reduced preset for single-core benchmark runs (~156 features).
+  static Gen5GCConfig quick();
+  /// Minimal preset for unit tests (~42 features, 3 VNFs).
+  static Gen5GCConfig tiny();
+
+  [[nodiscard]] std::size_t num_features() const {
+    return vnf_count * (traffic_per_vnf + iface_per_vnf + mem_per_vnf +
+                        cpu_per_vnf + sysload_per_vnf) +
+           reg_metrics;
+  }
+};
+
+/// Number of classes in the 5GC task: normal + 5 faults x 3 VNFs.
+inline constexpr std::size_t k5gcNumClasses = 16;
+
+/// Builds the SCM for the given config (exposed for white-box tests).
+Scm build_5gc_scm(const Gen5GCConfig& config);
+
+/// Generates the full domain-adaptation instance.
+DomainSplit generate_5gc(const Gen5GCConfig& config);
+
+}  // namespace fsda::data

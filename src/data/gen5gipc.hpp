@@ -1,0 +1,87 @@
+// fsda::data -- synthetic substitute for the 5GIPC fault-detection dataset
+// (paper Section IV-B; IEICE/ITU challenge data, not redistributable).
+//
+// Structure mirrored from the paper: an NFV testbed with five VNFs (TR-01,
+// TR-02, IntGW-01, IntGW-02, RR-01), per-VNF resource-utilization and
+// packet-rate metrics sampled at one-minute intervals, four injected fault
+// types (node failure, interface failure, packet loss, packet delay), and a
+// binary normal/faulty label.  The pooled dataset is generated from two (or
+// three, for Table III) latent traffic regimes realized as soft
+// interventions on packet counters of the transit/gateway VNFs plus the
+// IntGW-01 CPU metrics (the exact kinds of metrics the paper's FS method
+// reports as domain-variant).  As in the paper, the source/target domains
+// are then recovered by GMM clustering of the pooled data -- we run our own
+// GMM rather than hard-wiring the regime assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/scm.hpp"
+
+namespace fsda::data {
+
+struct Gen5GIPCConfig {
+  std::size_t regimes = 2;  ///< latent traffic regimes (3 for Table III)
+  /// Mixture weight per regime; defaults filled by preset builders.
+  std::vector<double> regime_weights = {0.72, 0.28};
+  std::size_t cpu_per_vnf = 5;
+  std::size_t mem_per_vnf = 5;
+  std::size_t pkt_in_per_vnf = 5;
+  std::size_t pkt_out_per_vnf = 5;
+  std::size_t err_per_vnf = 3;
+  std::size_t total_samples = 10270;
+  std::uint64_t seed = 51 * 100 + 60;  // arbitrary fixed default
+
+  static Gen5GIPCConfig paper();  ///< 116 features, ~10k samples
+  static Gen5GIPCConfig quick();  ///< 61 features, ~2.4k samples
+  static Gen5GIPCConfig tiny();   ///< 31 features, ~800 samples
+
+  [[nodiscard]] std::size_t num_features() const {
+    return 5 * (cpu_per_vnf + mem_per_vnf + pkt_in_per_vnf +
+                pkt_out_per_vnf + err_per_vnf) +
+           1;  // +1 global inter-VNF link metric
+  }
+};
+
+/// Binary task labels.
+inline constexpr std::size_t k5gipcNumClasses = 2;
+
+/// The pooled (pre-GMM) dataset plus generation ground truth.
+struct Gen5GIPCPooled {
+  Dataset data;                          ///< binary labels 0/1
+  std::vector<std::size_t> regime;       ///< true latent regime per row
+  /// Ground-truth intervened observed features per regime (regime 0 is the
+  /// observational base regime, so its entry is empty).
+  std::vector<std::vector<std::size_t>> variant_by_regime;
+};
+
+/// Builds the SCM (exposed for white-box tests).  Internal class labels are
+/// 0 = normal, 1 + fault*5 + vnf otherwise.
+Scm build_5gipc_scm(const Gen5GIPCConfig& config);
+
+/// Generates the pooled multi-regime dataset.
+Gen5GIPCPooled generate_5gipc_pooled(const Gen5GIPCConfig& config);
+
+/// Result of the GMM-based domain recovery.
+struct GmmDomainSplit {
+  /// Cluster datasets ordered by decreasing size (clusters[0] = source).
+  std::vector<Dataset> clusters;
+  /// Majority true regime of each cluster (diagnostic).
+  std::vector<std::size_t> majority_regime;
+  /// Fraction of rows in each cluster agreeing with its majority regime.
+  std::vector<double> purity;
+};
+
+/// Clusters the pooled data into k domains with our GMM, as the paper does.
+GmmDomainSplit gmm_domain_split(const Gen5GIPCPooled& pooled, std::size_t k,
+                                std::uint64_t seed);
+
+/// End-to-end convenience: generate, GMM-split with k=2, and package the
+/// larger cluster as source and the smaller as target (pool/test split by
+/// `test_fraction` of the target cluster).
+DomainSplit generate_5gipc(const Gen5GIPCConfig& config,
+                           double test_fraction = 0.75);
+
+}  // namespace fsda::data

@@ -1,0 +1,93 @@
+#include "data/io.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace fsda::data {
+
+using common::ArgumentError;
+
+Dataset read_dataset_csv(const std::string& path,
+                         const std::string& label_column,
+                         std::size_t num_classes) {
+  const common::CsvTable table = common::read_csv(path);
+  if (table.rows.empty()) {
+    throw ArgumentError("dataset CSV has no data rows: " + path);
+  }
+  const std::size_t label_index = table.column_index(label_column);
+  const std::size_t d = table.num_cols() - 1;
+  FSDA_CHECK_MSG(d >= 1, "dataset CSV needs at least one feature column");
+
+  Dataset ds;
+  ds.x = la::Matrix(table.num_rows(), d);
+  ds.y.resize(table.num_rows());
+  for (std::size_t c = 0; c < table.num_cols(); ++c) {
+    if (c != label_index) ds.feature_names.push_back(table.header[c]);
+  }
+
+  auto parse_double = [&](const std::string& field, std::size_t row) {
+    try {
+      std::size_t pos = 0;
+      const double value = std::stod(field, &pos);
+      if (pos != field.size()) throw std::invalid_argument(field);
+      return value;
+    } catch (const std::exception&) {
+      throw ArgumentError("non-numeric value '" + field + "' in row " +
+                          std::to_string(row) + " of " + path);
+    }
+  };
+
+  std::int64_t max_label = 0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::size_t out_col = 0;
+    for (std::size_t c = 0; c < table.num_cols(); ++c) {
+      const std::string& field = table.rows[r][c];
+      if (c == label_index) {
+        const double value = parse_double(field, r);
+        const auto label = static_cast<std::int64_t>(value);
+        if (static_cast<double>(label) != value || label < 0) {
+          throw ArgumentError("label '" + field + "' in row " +
+                              std::to_string(r) +
+                              " is not a non-negative integer");
+        }
+        ds.y[r] = label;
+        max_label = std::max(max_label, label);
+      } else {
+        ds.x(r, out_col++) = parse_double(field, r);
+      }
+    }
+  }
+  ds.num_classes = num_classes != 0
+                       ? num_classes
+                       : static_cast<std::size_t>(max_label) + 1;
+  ds.num_classes = std::max<std::size_t>(ds.num_classes, 2);
+  ds.validate();
+  return ds;
+}
+
+void write_dataset_csv(const std::string& path, const Dataset& dataset,
+                       const std::string& label_column) {
+  dataset.validate();
+  common::CsvTable table;
+  for (std::size_t c = 0; c < dataset.num_features(); ++c) {
+    table.header.push_back(dataset.feature_names.empty()
+                               ? "f" + std::to_string(c)
+                               : dataset.feature_names[c]);
+  }
+  table.header.push_back(label_column);
+  table.rows.reserve(dataset.size());
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(dataset.num_features() + 1);
+    for (std::size_t c = 0; c < dataset.num_features(); ++c) {
+      row.push_back(std::to_string(dataset.x(r, c)));
+    }
+    row.push_back(std::to_string(dataset.y[r]));
+    table.rows.push_back(std::move(row));
+  }
+  common::write_csv(path, table);
+}
+
+}  // namespace fsda::data

@@ -1,0 +1,27 @@
+// fsda::data -- CSV import/export for Dataset.
+//
+// Lets operators run the pipeline on their own telemetry exports: one row
+// per sample, numeric feature columns, and one integer label column.  Also
+// used to persist generated datasets for inspection.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace fsda::data {
+
+/// Reads a dataset from CSV.  `label_column` names the label column (it may
+/// appear at any position); every other column must parse as a double.
+/// `num_classes` of 0 infers max(label)+1.  Throws IoError / ArgumentError
+/// on malformed input.
+Dataset read_dataset_csv(const std::string& path,
+                         const std::string& label_column = "label",
+                         std::size_t num_classes = 0);
+
+/// Writes a dataset to CSV with the feature names as header (generated
+/// f0..fN names when absent) plus a trailing label column.
+void write_dataset_csv(const std::string& path, const Dataset& dataset,
+                       const std::string& label_column = "label");
+
+}  // namespace fsda::data

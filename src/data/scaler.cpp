@@ -1,0 +1,86 @@
+#include "data/scaler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::data {
+
+void MinMaxScaler::fit(const la::Matrix& x) {
+  FSDA_CHECK_MSG(x.rows() > 0, "fit on empty data");
+  const std::size_t d = x.cols();
+  mins_ = la::Matrix(1, d);
+  maxs_ = la::Matrix(1, d);
+  for (std::size_t c = 0; c < d; ++c) {
+    double lo = x(0, c);
+    double hi = x(0, c);
+    for (std::size_t r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x(r, c));
+      hi = std::max(hi, x(r, c));
+    }
+    mins_(0, c) = lo;
+    maxs_(0, c) = hi;
+  }
+}
+
+la::Matrix MinMaxScaler::transform(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(is_fitted(), "transform before fit");
+  FSDA_CHECK_MSG(x.cols() == mins_.cols(), "width mismatch");
+  la::Matrix out = x;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double range = maxs_(0, c) - mins_(0, c);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out(r, c) = range > 0.0
+                      ? 2.0 * (x(r, c) - mins_(0, c)) / range - 1.0
+                      : 0.0;
+    }
+  }
+  return out;
+}
+
+la::Matrix MinMaxScaler::inverse_transform(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(is_fitted(), "inverse_transform before fit");
+  FSDA_CHECK_MSG(x.cols() == mins_.cols(), "width mismatch");
+  la::Matrix out = x;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double range = maxs_(0, c) - mins_(0, c);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out(r, c) = mins_(0, c) + (x(r, c) + 1.0) * 0.5 * range;
+    }
+  }
+  return out;
+}
+
+void StandardScaler::fit(const la::Matrix& x) {
+  FSDA_CHECK_MSG(x.rows() > 0, "fit on empty data");
+  means_ = la::column_means(x);
+  stds_ = la::column_stddevs(x);
+}
+
+la::Matrix StandardScaler::transform(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(is_fitted(), "transform before fit");
+  FSDA_CHECK_MSG(x.cols() == means_.cols(), "width mismatch");
+  la::Matrix out = x;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double sd = stds_(0, c);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out(r, c) = sd > 0.0 ? (x(r, c) - means_(0, c)) / sd : 0.0;
+    }
+  }
+  return out;
+}
+
+la::Matrix StandardScaler::inverse_transform(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(is_fitted(), "inverse_transform before fit");
+  FSDA_CHECK_MSG(x.cols() == means_.cols(), "width mismatch");
+  la::Matrix out = x;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out(r, c) = means_(0, c) + x(r, c) * stds_(0, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace fsda::data

@@ -1,0 +1,50 @@
+// fsda::data -- feature scalers.
+//
+// The paper normalizes feature values to [-1, 1] for its methods
+// (Section VI-B); the scaler is fitted on source-domain data only and then
+// applied to target samples, so drifted target values may fall outside the
+// range -- exactly the situation the FS+GAN pipeline is designed to handle.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace fsda::data {
+
+/// Min-max scaler to [-1, 1] per feature.
+class MinMaxScaler {
+ public:
+  /// Learns per-feature min/max; constant features map to 0.
+  void fit(const la::Matrix& x);
+
+  /// Applies the learned transform (no clipping by default).
+  [[nodiscard]] la::Matrix transform(const la::Matrix& x) const;
+
+  /// Inverse transform back to raw units.
+  [[nodiscard]] la::Matrix inverse_transform(const la::Matrix& x) const;
+
+  [[nodiscard]] bool is_fitted() const { return !mins_.empty(); }
+  [[nodiscard]] const la::Matrix& mins() const { return mins_; }
+  [[nodiscard]] const la::Matrix& maxs() const { return maxs_; }
+
+ private:
+  la::Matrix mins_;  ///< 1 x d
+  la::Matrix maxs_;  ///< 1 x d
+};
+
+/// Standard (z-score) scaler; constant features map to 0.
+class StandardScaler {
+ public:
+  void fit(const la::Matrix& x);
+  [[nodiscard]] la::Matrix transform(const la::Matrix& x) const;
+  [[nodiscard]] la::Matrix inverse_transform(const la::Matrix& x) const;
+
+  [[nodiscard]] bool is_fitted() const { return !means_.empty(); }
+  [[nodiscard]] const la::Matrix& means() const { return means_; }
+  [[nodiscard]] const la::Matrix& stddevs() const { return stds_; }
+
+ private:
+  la::Matrix means_;  ///< 1 x d
+  la::Matrix stds_;   ///< 1 x d
+};
+
+}  // namespace fsda::data

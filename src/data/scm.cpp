@@ -1,0 +1,116 @@
+#include "data/scm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::data {
+
+std::size_t Scm::add_node(ScmNode node) {
+  FSDA_CHECK_MSG(node.parents.size() == node.weights.size(),
+                 "node '" << node.name << "': parents/weights mismatch");
+  for (std::size_t p : node.parents) {
+    FSDA_CHECK_MSG(p < nodes_.size(),
+                   "node '" << node.name << "': parent " << p
+                            << " not yet defined (topological order)");
+  }
+  FSDA_CHECK_MSG(node.noise_std >= 0.0, "negative noise std");
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+void Scm::intervene(std::size_t domain, std::size_t node,
+                    SoftIntervention intervention) {
+  FSDA_CHECK_MSG(node < nodes_.size(), "intervention on unknown node");
+  interventions_.push_back({domain, node, intervention});
+}
+
+std::size_t Scm::num_observed() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const ScmNode& n) { return n.observed; }));
+}
+
+const ScmNode& Scm::node(std::size_t i) const {
+  FSDA_CHECK_MSG(i < nodes_.size(), "node index out of range");
+  return nodes_[i];
+}
+
+std::vector<std::string> Scm::observed_names() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.observed) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Scm::intervened_observed_features(
+    std::size_t domain) const {
+  // Map node index -> observed column index.
+  std::vector<std::size_t> col_of_node(nodes_.size(), SIZE_MAX);
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].observed) col_of_node[i] = col++;
+  }
+  std::vector<std::size_t> out;
+  for (const auto& iv : interventions_) {
+    if (iv.domain == domain && col_of_node[iv.node] != SIZE_MAX) {
+      out.push_back(col_of_node[iv.node]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+la::Matrix Scm::sample(std::size_t domain,
+                       const std::vector<std::int64_t>& labels,
+                       common::Rng& rng) const {
+  FSDA_CHECK_MSG(!nodes_.empty(), "sampling an empty SCM");
+  const std::size_t n = labels.size();
+  FSDA_CHECK_MSG(n > 0, "sampling zero rows");
+
+  // Resolve this domain's interventions into a per-node lookup.
+  std::vector<const SoftIntervention*> active(nodes_.size(), nullptr);
+  for (const auto& iv : interventions_) {
+    if (iv.domain == domain) active[iv.node] = &iv.intervention;
+  }
+
+  const std::size_t total = nodes_.size();
+  std::vector<double> values(total);
+  la::Matrix out(n, num_observed());
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    std::size_t col = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      const ScmNode& node = nodes_[i];
+      double lin = node.bias;
+      for (std::size_t p = 0; p < node.parents.size(); ++p) {
+        lin += node.weights[p] * values[node.parents[p]];
+      }
+      if (!node.class_effect.empty()) {
+        FSDA_CHECK_MSG(label < node.class_effect.size(),
+                       "label " << label << " beyond class_effect of '"
+                                << node.name << "'");
+        lin += node.class_effect[label];
+      }
+      if (node.saturation > 0.0) {
+        lin = node.saturation * std::tanh(lin / node.saturation);
+      }
+      double v = lin + node.noise_std * rng.normal();
+      if (const SoftIntervention* iv = active[i]) {
+        v = iv->scale * v + iv->shift;
+        if (iv->extra_noise > 0.0) v += iv->extra_noise * rng.normal();
+      }
+      values[i] = v;
+      if (node.observed) {
+        out(r, col) = v;
+        ++col;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsda::data

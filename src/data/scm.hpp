@@ -1,0 +1,94 @@
+// fsda::data -- structural causal model (SCM) engine.
+//
+// The two public 5G datasets of the paper are not redistributable, so we
+// substitute SCM generators that reproduce the property the paper's method
+// exploits: a domain shift realized as *soft interventions* on a known
+// subset of feature mechanisms (DESIGN.md Section 1).  An Scm is an ordered
+// list of nodes; each node's value is
+//
+//   v = softint( saturate( bias + sum_p w_p * v_p + class_effect[y] )
+//                + noise_std * eps )
+//
+// where `saturate` is an optional tanh squashing and `softint` applies the
+// domain's soft intervention (scale/shift/extra noise on the mechanism
+// output) if one is registered for this node.  Latent (unobserved) nodes are
+// excluded from the emitted feature matrix but participate as parents --
+// e.g. the latent traffic-intensity regime that drives telemetry counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::data {
+
+/// A soft intervention on one node's mechanism (paper Section V, intro):
+/// adjusts the conditional distribution rather than clamping the value.
+struct SoftIntervention {
+  double scale = 1.0;        ///< multiplies the mechanism output
+  double shift = 0.0;        ///< added to the mechanism output
+  double extra_noise = 0.0;  ///< stddev of additional Gaussian noise
+};
+
+/// One structural equation.
+struct ScmNode {
+  std::string name;
+  std::vector<std::size_t> parents;  ///< indices of earlier nodes only
+  std::vector<double> weights;       ///< one per parent
+  double bias = 0.0;
+  double noise_std = 1.0;
+  /// 0 disables; otherwise output of the linear part is squashed as
+  /// s * tanh(lin / s), bounding mechanisms like real counters saturate.
+  double saturation = 0.0;
+  /// Additive per-class effect (empty = none).
+  std::vector<double> class_effect;
+  bool observed = true;
+};
+
+/// An SCM plus per-domain intervention sets.
+class Scm {
+ public:
+  /// Appends a node; parents must reference already-added nodes.
+  /// Returns the node index.
+  std::size_t add_node(ScmNode node);
+
+  /// Registers a soft intervention on `node` for the given domain id.
+  /// Domain 0 is conventionally the observational source domain.
+  void intervene(std::size_t domain, std::size_t node,
+                 SoftIntervention intervention);
+
+  /// Samples n rows for `domain` with the given labels (size n).
+  /// Returns only observed nodes, in node order.
+  [[nodiscard]] la::Matrix sample(std::size_t domain,
+                                  const std::vector<std::int64_t>& labels,
+                                  common::Rng& rng) const;
+
+  /// Indices *within the observed-feature matrix* of nodes intervened upon
+  /// in `domain` (the ground-truth domain-variant set).
+  [[nodiscard]] std::vector<std::size_t> intervened_observed_features(
+      std::size_t domain) const;
+
+  /// Names of observed nodes, in emitted column order.
+  [[nodiscard]] std::vector<std::string> observed_names() const;
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_observed() const;
+  [[nodiscard]] const ScmNode& node(std::size_t i) const;
+
+ private:
+  struct DomainIntervention {
+    std::size_t domain;
+    std::size_t node;
+    SoftIntervention intervention;
+  };
+
+  std::vector<ScmNode> nodes_;
+  std::vector<DomainIntervention> interventions_;
+};
+
+}  // namespace fsda::data

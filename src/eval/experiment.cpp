@@ -1,0 +1,71 @@
+#include "eval/experiment.hpp"
+
+#include "baselines/ours.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "data/scaler.hpp"
+
+namespace fsda::eval {
+
+CellResult run_cell(const data::DomainSplit& split,
+                    const baselines::MethodEntry& method,
+                    const models::ClassifierFactory& classifier_factory,
+                    std::size_t shots, std::size_t repeats,
+                    std::uint64_t base_seed) {
+  FSDA_CHECK_MSG(repeats >= 1, "need at least one repeat");
+  CellResult cell;
+  double variant_total = 0.0;
+  std::size_t variant_trials = 0;
+  for (std::size_t trial = 0; trial < repeats; ++trial) {
+    const std::uint64_t seed = base_seed + 1000003ULL * trial;
+    const data::Dataset target_few =
+        data::sample_few_shot(split.target_pool, shots, seed);
+    baselines::DAMethodPtr instance = method.make();
+    baselines::DAContext context{split.source_train, target_few,
+                                 classifier_factory, seed};
+    common::Stopwatch timer;
+    instance->fit(context);
+    cell.mean_fit_seconds += timer.seconds();
+    const std::vector<std::int64_t> predicted =
+        instance->predict(split.target_test.x);
+    const double f1 = 100.0 * macro_f1(split.target_test.y, predicted,
+                                       split.target_test.num_classes);
+    cell.f1_scores.push_back(f1);
+    // FS-based methods expose how many variant features they found.
+    if (auto* fs = dynamic_cast<baselines::FsMethod*>(instance.get())) {
+      variant_total +=
+          static_cast<double>(fs->separation().variant.size());
+      ++variant_trials;
+    } else if (auto* fsr =
+                   dynamic_cast<baselines::FsReconMethod*>(instance.get())) {
+      variant_total +=
+          static_cast<double>(fsr->separation().variant.size());
+      ++variant_trials;
+    }
+    FSDA_LOG_INFO << split.name << " shots=" << shots << " "
+                  << method.name << " trial=" << trial << " F1=" << f1;
+  }
+  cell.summary = summarize(cell.f1_scores);
+  cell.mean_fit_seconds /= static_cast<double>(repeats);
+  if (variant_trials > 0) {
+    cell.mean_variant_count =
+        variant_total / static_cast<double>(variant_trials);
+  }
+  return cell;
+}
+
+double within_source_f1(const data::Dataset& source,
+                        const models::ClassifierFactory& classifier_factory,
+                        double holdout_fraction, std::uint64_t seed) {
+  auto [test, train] = data::stratified_split(source, holdout_fraction, seed);
+  data::StandardScaler scaler;
+  scaler.fit(train.x);
+  auto model = classifier_factory(seed);
+  model->fit(scaler.transform(train.x), train.y, train.num_classes, {});
+  const auto predicted =
+      models::argmax_rows(model->predict_proba(scaler.transform(test.x)));
+  return 100.0 * macro_f1(test.y, predicted, test.num_classes);
+}
+
+}  // namespace fsda::eval

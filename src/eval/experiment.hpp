@@ -1,0 +1,44 @@
+// fsda::eval -- the few-shot DA experiment runner behind every table of the
+// paper: draw k target shots per class, fit a DA method, score macro-F1 on
+// the target test set, repeat over seeds, and summarize.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/da_method.hpp"
+#include "baselines/registry.hpp"
+#include "data/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "models/classifier.hpp"
+
+namespace fsda::eval {
+
+/// One repeated-trials cell of a results table.
+struct CellResult {
+  std::vector<double> f1_scores;  ///< one per trial (in [0, 100])
+  ScoreSummary summary;           ///< over f1_scores
+  /// Mean count of variant features FS identified (our methods only).
+  std::optional<double> mean_variant_count;
+  double mean_fit_seconds = 0.0;
+};
+
+/// Runs `repeats` trials of one (method, classifier, shots) combination.
+/// Each trial draws a fresh few-shot set from the target pool with
+/// seed = base_seed + trial and evaluates on the fixed target test set.
+CellResult run_cell(const data::DomainSplit& split,
+                    const baselines::MethodEntry& method,
+                    const models::ClassifierFactory& classifier_factory,
+                    std::size_t shots, std::size_t repeats,
+                    std::uint64_t base_seed);
+
+/// Within-source cross-validation of a classifier (the paper's sanity check
+/// that SrcOnly's cross-domain collapse is caused by drift, not by a weak
+/// model): holds out `holdout_fraction` of the source, trains on the rest.
+double within_source_f1(const data::Dataset& source,
+                        const models::ClassifierFactory& classifier_factory,
+                        double holdout_fraction, std::uint64_t seed);
+
+}  // namespace fsda::eval

@@ -1,0 +1,107 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::eval {
+
+la::Matrix confusion_matrix(const std::vector<std::int64_t>& truth,
+                            const std::vector<std::int64_t>& predicted,
+                            std::size_t num_classes) {
+  FSDA_CHECK_MSG(truth.size() == predicted.size(), "length mismatch");
+  FSDA_CHECK_MSG(!truth.empty(), "empty label vectors");
+  la::Matrix cm(num_classes, num_classes, 0.0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto t = truth[i];
+    const auto p = predicted[i];
+    FSDA_CHECK_MSG(t >= 0 && static_cast<std::size_t>(t) < num_classes,
+                   "truth label out of range: " << t);
+    FSDA_CHECK_MSG(p >= 0 && static_cast<std::size_t>(p) < num_classes,
+                   "predicted label out of range: " << p);
+    cm(static_cast<std::size_t>(t), static_cast<std::size_t>(p)) += 1.0;
+  }
+  return cm;
+}
+
+double accuracy(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted) {
+  FSDA_CHECK_MSG(truth.size() == predicted.size() && !truth.empty(),
+                 "bad label vectors");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+std::vector<double> per_class_f1(const std::vector<std::int64_t>& truth,
+                                 const std::vector<std::int64_t>& predicted,
+                                 std::size_t num_classes) {
+  const la::Matrix cm = confusion_matrix(truth, predicted, num_classes);
+  std::vector<double> f1(num_classes, 0.0);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double tp = cm(c, c);
+    double fp = 0.0, fn = 0.0;
+    for (std::size_t o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      fp += cm(o, c);
+      fn += cm(c, o);
+    }
+    const double denom = 2.0 * tp + fp + fn;
+    f1[c] = denom > 0.0 ? 2.0 * tp / denom : 0.0;
+  }
+  return f1;
+}
+
+double macro_f1(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted,
+                std::size_t num_classes) {
+  const la::Matrix cm = confusion_matrix(truth, predicted, num_classes);
+  const std::vector<double> f1 = per_class_f1(truth, predicted, num_classes);
+  // Average only over classes with support in the truth labels, so absent
+  // classes do not deflate the score.
+  double total = 0.0;
+  std::size_t supported = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double support = 0.0;
+    for (std::size_t o = 0; o < num_classes; ++o) support += cm(c, o);
+    if (support > 0.0) {
+      total += f1[c];
+      ++supported;
+    }
+  }
+  FSDA_CHECK_MSG(supported > 0, "no supported classes");
+  return total / static_cast<double>(supported);
+}
+
+double micro_f1(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted,
+                std::size_t num_classes) {
+  const la::Matrix cm = confusion_matrix(truth, predicted, num_classes);
+  double tp = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    tp += cm(i, i);
+    for (std::size_t j = 0; j < num_classes; ++j) total += cm(i, j);
+  }
+  return total > 0.0 ? tp / total : 0.0;
+}
+
+ScoreSummary summarize(const std::vector<double>& scores) {
+  FSDA_CHECK_MSG(!scores.empty(), "summarize of empty scores");
+  ScoreSummary s;
+  s.min = *std::min_element(scores.begin(), scores.end());
+  s.max = *std::max_element(scores.begin(), scores.end());
+  double acc = 0.0;
+  for (double v : scores) acc += v;
+  s.mean = acc / static_cast<double>(scores.size());
+  if (scores.size() > 1) {
+    double var = 0.0;
+    for (double v : scores) var += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(scores.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace fsda::eval

@@ -1,0 +1,49 @@
+// fsda::eval -- classification metrics.
+//
+// The paper reports F1-scores throughout; with 16 classes (5GC) and binary
+// labels (5GIPC) we use the macro-averaged F1, the standard choice for the
+// roughly class-balanced test sets described in Section IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fsda::eval {
+
+/// Row = true class, column = predicted class.
+la::Matrix confusion_matrix(const std::vector<std::int64_t>& truth,
+                            const std::vector<std::int64_t>& predicted,
+                            std::size_t num_classes);
+
+/// Fraction of exact matches.
+double accuracy(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted);
+
+/// Per-class F1 (0 when a class has no support and no predictions).
+std::vector<double> per_class_f1(const std::vector<std::int64_t>& truth,
+                                 const std::vector<std::int64_t>& predicted,
+                                 std::size_t num_classes);
+
+/// Macro-averaged F1 over classes present in the truth labels.
+double macro_f1(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted,
+                std::size_t num_classes);
+
+/// Micro-averaged F1 (equals accuracy for single-label classification).
+double micro_f1(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted,
+                std::size_t num_classes);
+
+/// Mean and sample standard deviation of a score list (for the paper's
+/// variance-across-selections analysis, Section VI-C).
+struct ScoreSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+ScoreSummary summarize(const std::vector<double>& scores);
+
+}  // namespace fsda::eval

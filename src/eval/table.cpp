@@ -1,0 +1,95 @@
+#include "eval/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace fsda::eval {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FSDA_CHECK_MSG(!header_.empty(), "table needs a header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  FSDA_CHECK_MSG(row.size() == header_.size(),
+                 "row width " << row.size() << " != header width "
+                              << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::size_t TextTable::num_rows() const {
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    if (!row.empty()) ++count;
+  }
+  return count;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      } else {
+        os << std::right << std::setw(static_cast<int>(widths[c])) << row[c];
+      }
+    }
+    os << " |\n";
+  };
+  auto emit_separator = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+" : "-+") << std::string(widths[c] + 2, '-');
+    }
+    os << "-+\n";
+  };
+  emit_separator();
+  emit_row(header_);
+  emit_separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) emit_separator();
+    else emit_row(row);
+  }
+  emit_separator();
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << common::escape_csv_field(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+  return os.str();
+}
+
+std::string format_f1(double value) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << value;
+  return os.str();
+}
+
+}  // namespace fsda::eval

@@ -1,0 +1,37 @@
+// fsda::eval -- fixed-width text tables matching the layout of the paper's
+// result tables, with CSV export for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsda::eval {
+
+/// A simple left/right-aligned text table with optional group separators.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row (width must match the header).
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator before the next row.
+  void add_separator();
+
+  /// Renders with aligned columns (first column left, rest right).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (separators are dropped).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+/// Formats a double with one decimal, the paper's table precision.
+std::string format_f1(double value);
+
+}  // namespace fsda::eval

@@ -1,0 +1,173 @@
+#include "gmm/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "gmm/kmeans.hpp"
+
+namespace fsda::gmm {
+
+namespace {
+/// log-sum-exp over a row span.
+double log_sum_exp(std::span<const double> values) {
+  const double mx = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(mx)) return mx;
+  double acc = 0.0;
+  for (double v : values) acc += std::exp(v - mx);
+  return mx + std::log(acc);
+}
+}  // namespace
+
+la::Matrix Gmm::log_joint(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(num_components() > 0, "log_joint before fit");
+  FSDA_CHECK(x.cols() == means_.cols());
+  const std::size_t n = x.rows();
+  const std::size_t k = num_components();
+  const std::size_t d = x.cols();
+  // Precompute per-component log normalizers.
+  std::vector<double> log_norm(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    double acc = std::log(weights_[c]);
+    for (std::size_t f = 0; f < d; ++f) {
+      acc -= 0.5 * std::log(2.0 * std::numbers::pi * variances_(c, f));
+    }
+    log_norm[c] = acc;
+  }
+  la::Matrix out(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < k; ++c) {
+      double quad = 0.0;
+      const auto mu = means_.row(c);
+      const auto var = variances_.row(c);
+      for (std::size_t f = 0; f < d; ++f) {
+        const double diff = row[f] - mu[f];
+        quad += diff * diff / var[f];
+      }
+      out(r, c) = log_norm[c] - 0.5 * quad;
+    }
+  }
+  return out;
+}
+
+void Gmm::fit(const la::Matrix& x, std::size_t k, std::uint64_t seed,
+              const GmmOptions& options) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  FSDA_CHECK_MSG(k >= 1 && k <= n, "invalid component count " << k);
+
+  // Initialize from k-means.
+  const KMeansResult init = kmeans(x, k, seed);
+  weights_.assign(k, 0.0);
+  means_ = init.centroids;
+  variances_ = la::Matrix(k, d, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t r = 0; r < n; ++r) ++counts[init.assignment[r]];
+  for (std::size_t c = 0; c < k; ++c) {
+    weights_[c] = std::max(1e-8, static_cast<double>(counts[c]) /
+                                     static_cast<double>(n));
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t c = init.assignment[r];
+    for (std::size_t f = 0; f < d; ++f) {
+      const double diff = x(r, f) - means_(c, f);
+      variances_(c, f) += diff * diff;
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t f = 0; f < d; ++f) {
+      variances_(c, f) = std::max(
+          options.variance_floor,
+          variances_(c, f) / std::max<double>(1.0, static_cast<double>(
+                                                       counts[c])));
+    }
+  }
+
+  double previous_ll = -std::numeric_limits<double>::max();
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    iterations_ = it + 1;
+    // E step.
+    la::Matrix lj = log_joint(x);
+    double total_ll = 0.0;
+    la::Matrix resp(n, k);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double lse = log_sum_exp(lj.row(r));
+      total_ll += lse;
+      for (std::size_t c = 0; c < k; ++c) {
+        resp(r, c) = std::exp(lj(r, c) - lse);
+      }
+    }
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (std::size_t r = 0; r < n; ++r) nk += resp(r, c);
+      nk = std::max(nk, 1e-8);
+      weights_[c] = nk / static_cast<double>(n);
+      for (std::size_t f = 0; f < d; ++f) {
+        double mean_acc = 0.0;
+        for (std::size_t r = 0; r < n; ++r) mean_acc += resp(r, c) * x(r, f);
+        means_(c, f) = mean_acc / nk;
+      }
+      for (std::size_t f = 0; f < d; ++f) {
+        double var_acc = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+          const double diff = x(r, f) - means_(c, f);
+          var_acc += resp(r, c) * diff * diff;
+        }
+        variances_(c, f) =
+            std::max(options.variance_floor, var_acc / nk);
+      }
+    }
+    const double mean_ll = total_ll / static_cast<double>(n);
+    if (mean_ll - previous_ll <
+        options.tol * std::max(1.0, std::abs(previous_ll))) {
+      break;
+    }
+    previous_ll = mean_ll;
+  }
+}
+
+la::Matrix Gmm::responsibilities(const la::Matrix& x) const {
+  la::Matrix lj = log_joint(x);
+  for (std::size_t r = 0; r < lj.rows(); ++r) {
+    const double lse = log_sum_exp(lj.row(r));
+    auto row = lj.row(r);
+    for (auto& v : row) v = std::exp(v - lse);
+  }
+  return lj;
+}
+
+std::vector<std::size_t> Gmm::assign(const la::Matrix& x) const {
+  const la::Matrix lj = log_joint(x);
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = lj.row(r);
+    out[r] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+double Gmm::mean_log_likelihood(const la::Matrix& x) const {
+  const la::Matrix lj = log_joint(x);
+  double total = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    total += log_sum_exp(lj.row(r));
+  }
+  return total / static_cast<double>(x.rows());
+}
+
+double Gmm::bic(const la::Matrix& x) const {
+  const std::size_t k = num_components();
+  const std::size_t d = means_.cols();
+  // Parameters: (k-1) weights + k*d means + k*d variances.
+  const double params = static_cast<double>(k - 1 + 2 * k * d);
+  const double n = static_cast<double>(x.rows());
+  return params * std::log(n) -
+         2.0 * mean_log_likelihood(x) * n;
+}
+
+}  // namespace fsda::gmm

@@ -1,0 +1,59 @@
+// fsda::gmm -- diagonal-covariance Gaussian Mixture Model fitted by EM.
+//
+// The 5GIPC dataset of the paper is split into source/target domains by GMM
+// clustering (Section IV-B), and Table III uses a three-cluster split.  The
+// model is diagonal-covariance: telemetry dimensionality (116 features) makes
+// full covariances both ill-conditioned and unnecessary for domain splitting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fsda::gmm {
+
+struct GmmOptions {
+  std::size_t max_iterations = 200;
+  double tol = 1e-5;            ///< relative log-likelihood change to stop
+  double variance_floor = 1e-6; ///< per-dimension variance floor
+};
+
+/// Fitted mixture: weights pi_k, means mu_k, diagonal variances sigma2_k.
+class Gmm {
+ public:
+  Gmm() = default;
+
+  /// Fits k components with EM, initialized by k-means++.
+  void fit(const la::Matrix& x, std::size_t k, std::uint64_t seed,
+           const GmmOptions& options = {});
+
+  /// Per-sample posterior responsibilities (n x k).
+  [[nodiscard]] la::Matrix responsibilities(const la::Matrix& x) const;
+
+  /// MAP component per sample.
+  [[nodiscard]] std::vector<std::size_t> assign(const la::Matrix& x) const;
+
+  /// Mean log-likelihood per sample.
+  [[nodiscard]] double mean_log_likelihood(const la::Matrix& x) const;
+
+  /// Bayesian Information Criterion (lower is better).
+  [[nodiscard]] double bic(const la::Matrix& x) const;
+
+  [[nodiscard]] std::size_t num_components() const { return weights_.size(); }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] const la::Matrix& means() const { return means_; }
+  [[nodiscard]] const la::Matrix& variances() const { return variances_; }
+  [[nodiscard]] std::size_t iterations_run() const { return iterations_; }
+
+ private:
+  /// Per-sample per-component log joint densities log(pi_k) + log N(x|k).
+  [[nodiscard]] la::Matrix log_joint(const la::Matrix& x) const;
+
+  std::vector<double> weights_;
+  la::Matrix means_;      ///< k x d
+  la::Matrix variances_;  ///< k x d
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace fsda::gmm

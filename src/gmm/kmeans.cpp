@@ -1,0 +1,111 @@
+#include "gmm/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fsda::gmm {
+
+double squared_distance(const la::Matrix& a, std::size_t row_a,
+                        const la::Matrix& b, std::size_t row_b) {
+  FSDA_CHECK(a.cols() == b.cols());
+  const auto ra = a.row(row_a);
+  const auto rb = b.row(row_b);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < ra.size(); ++c) {
+    const double d = ra[c] - rb[c];
+    acc += d * d;
+  }
+  return acc;
+}
+
+KMeansResult kmeans(const la::Matrix& x, std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations, double tol) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  FSDA_CHECK_MSG(k >= 1 && k <= n, "k out of range: " << k << " for " << n
+                                                      << " samples");
+  common::Rng rng(seed ^ 0x4B4D45414E53ULL);
+
+  // k-means++ seeding.
+  la::Matrix centroids(k, d);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  {
+    const std::size_t first = rng.uniform_index(n);
+    centroids.set_row(0, x.row(first));
+    for (std::size_t c = 1; c < k; ++c) {
+      for (std::size_t r = 0; r < n; ++r) {
+        min_dist[r] =
+            std::min(min_dist[r], squared_distance(x, r, centroids, c - 1));
+      }
+      const std::size_t next = rng.categorical(min_dist);
+      centroids.set_row(c, x.row(next));
+    }
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  double previous_inertia = std::numeric_limits<double>::max();
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dist = squared_distance(x, r, centroids, c);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      result.assignment[r] = best_c;
+      inertia += best;
+    }
+    // Update step.
+    la::Matrix sums(k, d, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t c = result.assignment[r];
+      ++counts[c];
+      auto sum_row = sums.row(c);
+      const auto x_row = x.row(r);
+      for (std::size_t f = 0; f < d; ++f) sum_row[f] += x_row[f];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed on the farthest sample.
+        std::size_t far = 0;
+        double far_dist = -1.0;
+        for (std::size_t r = 0; r < n; ++r) {
+          const double dist =
+              squared_distance(x, r, centroids, result.assignment[r]);
+          if (dist > far_dist) {
+            far_dist = dist;
+            far = r;
+          }
+        }
+        centroids.set_row(c, x.row(far));
+        continue;
+      }
+      auto c_row = centroids.row(c);
+      auto sum_row = sums.row(c);
+      for (std::size_t f = 0; f < d; ++f) {
+        c_row[f] = sum_row[f] / static_cast<double>(counts[c]);
+      }
+    }
+    result.iterations = it + 1;
+    result.inertia = inertia;
+    if (previous_inertia - inertia < tol * std::max(1.0, previous_inertia)) {
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace fsda::gmm

@@ -1,0 +1,26 @@
+// fsda::gmm -- k-means with k-means++ seeding (initializer for the EM GMM).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fsda::gmm {
+
+struct KMeansResult {
+  la::Matrix centroids;                ///< k x d
+  std::vector<std::size_t> assignment; ///< per-sample cluster index
+  double inertia = 0.0;                ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ initialization.
+KMeansResult kmeans(const la::Matrix& x, std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations = 100, double tol = 1e-6);
+
+/// Squared Euclidean distance between a matrix row and a centroid row.
+double squared_distance(const la::Matrix& a, std::size_t row_a,
+                        const la::Matrix& b, std::size_t row_b);
+
+}  // namespace fsda::gmm

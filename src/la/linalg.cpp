@@ -1,0 +1,233 @@
+#include "la/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace fsda::la {
+
+using common::NumericError;
+
+namespace {
+void check_square(const Matrix& a, const char* op) {
+  FSDA_CHECK_MSG(a.rows() == a.cols(),
+                 op << " requires a square matrix, got " << a.rows() << "x"
+                    << a.cols());
+}
+
+/// LU decomposition with partial pivoting, in place on a copy.
+/// Returns {LU, perm, sign}; throws NumericError when singular.
+struct Lu {
+  Matrix lu;
+  std::vector<std::size_t> perm;
+  double sign = 1.0;
+};
+
+Lu lu_decompose(const Matrix& a) {
+  check_square(a, "LU");
+  const std::size_t n = a.rows();
+  Lu out{a, std::vector<std::size_t>(n), 1.0};
+  std::iota(out.perm.begin(), out.perm.end(), std::size_t{0});
+  Matrix& m = out.lu;
+  for (std::size_t k = 0; k < n; ++k) {
+    // pivot selection
+    std::size_t pivot = k;
+    double best = std::abs(m(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(m(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw NumericError("LU: matrix is singular");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m(k, c), m(pivot, c));
+      std::swap(out.perm[k], out.perm[pivot]);
+      out.sign = -out.sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      m(i, k) /= m(k, k);
+      const double factor = m(i, k);
+      for (std::size_t c = k + 1; c < n; ++c) m(i, c) -= factor * m(k, c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Matrix cholesky(const Matrix& a) {
+  check_square(a, "cholesky");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0) {
+          throw NumericError("cholesky: matrix not positive definite");
+        }
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Matrix cholesky_solve(const Matrix& a, const Matrix& b) {
+  FSDA_CHECK_MSG(a.rows() == b.rows(), "cholesky_solve shape mismatch");
+  const Matrix l = cholesky(a);
+  const std::size_t n = a.rows();
+  Matrix x = b;
+  // forward substitution L y = b
+  for (std::size_t col = 0; col < b.cols(); ++col) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = x(i, col);
+      for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * x(k, col);
+      x(i, col) = acc / l(i, i);
+    }
+    // backward substitution L^T x = y
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = x(ii, col);
+      for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x(k, col);
+      x(ii, col) = acc / l(ii, ii);
+    }
+  }
+  return x;
+}
+
+Matrix lu_solve(const Matrix& a, const Matrix& b) {
+  FSDA_CHECK_MSG(a.rows() == b.rows(), "lu_solve shape mismatch");
+  const Lu f = lu_decompose(a);
+  const std::size_t n = a.rows();
+  Matrix x(n, b.cols());
+  for (std::size_t col = 0; col < b.cols(); ++col) {
+    // apply permutation, forward substitution (unit lower)
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b(f.perm[i], col);
+      for (std::size_t k = 0; k < i; ++k) acc -= f.lu(i, k) * x(k, col);
+      x(i, col) = acc;
+    }
+    // backward substitution (upper)
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = x(ii, col);
+      for (std::size_t k = ii + 1; k < n; ++k) acc -= f.lu(ii, k) * x(k, col);
+      x(ii, col) = acc / f.lu(ii, ii);
+    }
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  return lu_solve(a, Matrix::identity(a.rows()));
+}
+
+double determinant(const Matrix& a) {
+  check_square(a, "determinant");
+  Lu f{Matrix{}, {}, 1.0};
+  try {
+    f = lu_decompose(a);
+  } catch (const NumericError&) {
+    return 0.0;  // singular matrices have zero determinant
+  }
+  double det = f.sign;
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+  return det;
+}
+
+double log_det_spd(const Matrix& a) {
+  const Matrix l = cholesky(a);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+EigenResult eigen_symmetric(const Matrix& a, int max_sweeps) {
+  check_square(a, "eigen_symmetric");
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    }
+    if (off < 1e-22) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(d(p, q)) < 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // rotate rows/cols p,q of d
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  EigenResult result;
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = d(i, i);
+  // sort ascending, permuting eigenvector columns alongside
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return result.values[x] < result.values[y];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_values[i] = result.values[order[i]];
+    for (std::size_t r = 0; r < n; ++r) {
+      sorted_vectors(r, i) = v(r, order[i]);
+    }
+  }
+  result.values = std::move(sorted_values);
+  result.vectors = std::move(sorted_vectors);
+  return result;
+}
+
+namespace {
+Matrix spd_power(const Matrix& a, double power, double eps) {
+  const EigenResult eig = eigen_symmetric(a);
+  const std::size_t n = a.rows();
+  Matrix scaled = eig.vectors;  // columns scaled by lambda^power
+  for (std::size_t c = 0; c < n; ++c) {
+    const double lambda = std::max(eig.values[c], eps);
+    const double factor = std::pow(lambda, power);
+    for (std::size_t r = 0; r < n; ++r) scaled(r, c) *= factor;
+  }
+  return scaled.matmul_transposed(eig.vectors);
+}
+}  // namespace
+
+Matrix sqrt_spd(const Matrix& a, double eps) { return spd_power(a, 0.5, eps); }
+
+Matrix inv_sqrt_spd(const Matrix& a, double eps) {
+  return spd_power(a, -0.5, eps);
+}
+
+}  // namespace fsda::la

@@ -1,0 +1,48 @@
+// fsda::la -- dense decompositions and solvers built on Matrix.
+//
+// Used by the Fisher-z partial-correlation CI test (inverting correlation
+// submatrices), CORAL (covariance square roots), and the GMM (Gaussian
+// densities).  All routines throw NumericError on singular inputs instead of
+// producing NaNs silently.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace fsda::la {
+
+/// Cholesky factor L (lower triangular) with A = L L^T.
+/// Requires A symmetric positive definite; throws NumericError otherwise.
+Matrix cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky. b may have multiple columns.
+Matrix cholesky_solve(const Matrix& a, const Matrix& b);
+
+/// General solver via partially pivoted LU. b may have multiple columns.
+Matrix lu_solve(const Matrix& a, const Matrix& b);
+
+/// Matrix inverse via LU; throws NumericError on singular input.
+Matrix inverse(const Matrix& a);
+
+/// Determinant via LU (sign-tracked).
+double determinant(const Matrix& a);
+
+/// log(det(A)) for SPD A via Cholesky (numerically stable).
+double log_det_spd(const Matrix& a);
+
+/// Symmetric matrix square root A^(1/2) via Jacobi eigendecomposition.
+/// Eigenvalues below `eps` are clamped to eps (shrinkage for near-singular
+/// covariance estimates, as used by CORAL in few-shot regimes).
+Matrix sqrt_spd(const Matrix& a, double eps = 1e-10);
+
+/// Inverse symmetric square root A^(-1/2), with the same clamping.
+Matrix inv_sqrt_spd(const Matrix& a, double eps = 1e-10);
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+/// Returns eigenvalues ascending; eigenvectors as columns of `vectors`.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;
+};
+EigenResult eigen_symmetric(const Matrix& a, int max_sweeps = 100);
+
+}  // namespace fsda::la

@@ -1,0 +1,355 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fsda::la {
+
+using common::ShapeError;
+
+namespace {
+void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    std::ostringstream os;
+    os << op << ": shape mismatch (" << a.rows() << "x" << a.cols() << ") vs ("
+       << b.rows() << "x" << b.cols() << ")";
+    throw ShapeError(os.str());
+  }
+}
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
+  rows_ = values.size();
+  cols_ = rows_ == 0 ? 0 : values.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : values) {
+    FSDA_CHECK_MSG(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::from_vector(std::size_t rows, std::size_t cols,
+                           std::vector<double> data) {
+  FSDA_CHECK_MSG(data.size() == rows * cols,
+                 "from_vector: " << data.size() << " values for " << rows
+                                 << "x" << cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, common::Rng& rng,
+                     double stddev) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::rand_uniform(std::size_t rows, std::size_t cols,
+                            common::Rng& rng, double lo, double hi) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.uniform(lo, hi);
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  FSDA_CHECK_MSG(r < rows_ && c < cols_, "index (" << r << "," << c
+                                                   << ") out of " << rows_
+                                                   << "x" << cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  FSDA_CHECK_MSG(r < rows_ && c < cols_, "index (" << r << "," << c
+                                                   << ") out of " << rows_
+                                                   << "x" << cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  FSDA_CHECK_MSG(r < rows_, "row " << r << " out of " << rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  FSDA_CHECK_MSG(r < rows_, "row " << r << " out of " << rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::row_vector(std::size_t r) const {
+  auto view = row(r);
+  return {view.begin(), view.end()};
+}
+
+std::vector<double> Matrix::col_vector(std::size_t c) const {
+  FSDA_CHECK_MSG(c < cols_, "col " << c << " out of " << cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, std::span<const double> values) {
+  FSDA_CHECK_MSG(values.size() == cols_, "set_row width mismatch");
+  std::copy(values.begin(), values.end(), row(r).begin());
+}
+
+void Matrix::set_col(std::size_t c, std::span<const double> values) {
+  FSDA_CHECK_MSG(c < cols_, "col " << c << " out of " << cols_);
+  FSDA_CHECK_MSG(values.size() == rows_, "set_col height mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.data_[c * rows_ + r] = data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  FSDA_CHECK_MSG(cols_ == other.rows_, "matmul: " << rows_ << "x" << cols_
+                                                  << " * " << other.rows_
+                                                  << "x" << other.cols_);
+  Matrix out(rows_, other.cols_, 0.0);
+  // i-k-j loop order: streams through both operands row-major.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = data_.data() + i * cols_;
+    double* o_row = out.data_.data() + i * other.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.data_.data() + k * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& other) const {
+  FSDA_CHECK_MSG(rows_ == other.rows_, "transposed_matmul row mismatch");
+  Matrix out(cols_, other.cols_, 0.0);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* a_row = data_.data() + k * cols_;
+    const double* b_row = other.data_.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = a_row[i];
+      if (a == 0.0) continue;
+      double* o_row = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  FSDA_CHECK_MSG(cols_ == other.cols_, "matmul_transposed col mismatch");
+  Matrix out(rows_, other.rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = data_.data() + i * cols_;
+    double* o_row = out.data_.data() + i * other.rows_;
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.data_.data() + j * other.cols_;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      o_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  check_same_shape(*this, other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  check_same_shape(*this, other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  check_same_shape(*this, other, "hadamard");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] *= other.data_[i];
+  }
+  return out;
+}
+
+void Matrix::apply(const std::function<double(double)>& f) {
+  for (auto& x : data_) x = f(x);
+}
+
+Matrix Matrix::map(const std::function<double(double)>& f) const {
+  Matrix out = *this;
+  out.apply(f);
+  return out;
+}
+
+void Matrix::add_row_broadcast(const Matrix& row_vector) {
+  FSDA_CHECK_MSG(row_vector.rows_ == 1 && row_vector.cols_ == cols_,
+                 "add_row_broadcast expects 1x" << cols_ << ", got "
+                                                << row_vector.rows_ << "x"
+                                                << row_vector.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* out_row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) out_row[c] += row_vector.data_[c];
+  }
+}
+
+Matrix Matrix::sum_rows() const {
+  Matrix out(1, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* in_row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) out.data_[c] += in_row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::mean_rows() const {
+  FSDA_CHECK_MSG(rows_ > 0, "mean_rows on empty matrix");
+  Matrix out = sum_rows();
+  out *= 1.0 / static_cast<double>(rows_);
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    FSDA_CHECK_MSG(indices[i] < rows_,
+                   "select_rows index " << indices[i] << " out of " << rows_);
+    std::copy_n(data_.data() + indices[i] * cols_, cols_,
+                out.data_.data() + i * cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::select_cols(std::span<const std::size_t> indices) const {
+  Matrix out(rows_, indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    FSDA_CHECK_MSG(indices[i] < cols_,
+                   "select_cols index " << indices[i] << " out of " << cols_);
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* in_row = data_.data() + r * cols_;
+    double* out_row = out.data_.data() + r * indices.size();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      out_row[i] = in_row[indices[i]];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::hcat(const Matrix& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  FSDA_CHECK_MSG(rows_ == other.rows_, "hcat row mismatch: " << rows_ << " vs "
+                                                             << other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::copy_n(data_.data() + r * cols_, cols_,
+                out.data_.data() + r * out.cols_);
+    std::copy_n(other.data_.data() + r * other.cols_, other.cols_,
+                out.data_.data() + r * out.cols_ + cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::vcat(const Matrix& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  FSDA_CHECK_MSG(cols_ == other.cols_, "vcat col mismatch: " << cols_ << " vs "
+                                                             << other.cols_);
+  Matrix out(rows_ + other.rows_, cols_);
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  std::copy(other.data_.begin(), other.data_.end(),
+            out.data_.begin() + static_cast<std::ptrdiff_t>(data_.size()));
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+bool Matrix::all_finite() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](double x) { return std::isfinite(x); });
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed;
+  os << "Matrix " << rows_ << "x" << cols_ << "\n";
+  const std::size_t max_rows = std::min<std::size_t>(rows_, 8);
+  const std::size_t max_cols = std::min<std::size_t>(cols_, 8);
+  for (std::size_t r = 0; r < max_rows; ++r) {
+    os << "  [";
+    for (std::size_t c = 0; c < max_cols; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    if (max_cols < cols_) os << ", ...";
+    os << "]\n";
+  }
+  if (max_rows < rows_) os << "  ...\n";
+  return os.str();
+}
+
+Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+}  // namespace fsda::la

@@ -1,0 +1,144 @@
+// fsda::la -- dense row-major matrix of doubles.
+//
+// This is the numeric workhorse of the repository: the NN layers, the
+// CI tests, CORAL, GMM, and the dataset generators all operate on Matrix.
+// The class is a regular value type (copyable, movable, equality-comparable)
+// with bounds-checked element access through operator() and FSDA_CHECK-guarded
+// shape contracts on every operation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fsda::la {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> values);
+
+  /// Builds a rows x cols matrix that adopts `data` (row-major).
+  static Matrix from_vector(std::size_t rows, std::size_t cols,
+                            std::vector<double> data);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Matrix with iid entries drawn from N(0, stddev^2).
+  static Matrix randn(std::size_t rows, std::size_t cols, common::Rng& rng,
+                      double stddev = 1.0);
+
+  /// Matrix with iid entries drawn uniformly from [lo, hi).
+  static Matrix rand_uniform(std::size_t rows, std::size_t cols,
+                             common::Rng& rng, double lo, double hi);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Bounds-checked element access.
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Raw row-major storage.
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  /// Contiguous view of one row.
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  /// Copies of a row / column as vectors.
+  [[nodiscard]] std::vector<double> row_vector(std::size_t r) const;
+  [[nodiscard]] std::vector<double> col_vector(std::size_t c) const;
+
+  /// Writes a vector into a row / column (sizes must match).
+  void set_row(std::size_t r, std::span<const double> values);
+  void set_col(std::size_t c, std::span<const double> values);
+
+  /// Transposed copy.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix product this * other.
+  [[nodiscard]] Matrix matmul(const Matrix& other) const;
+
+  /// this^T * other without materializing the transpose.
+  [[nodiscard]] Matrix transposed_matmul(const Matrix& other) const;
+
+  /// this * other^T without materializing the transpose.
+  [[nodiscard]] Matrix matmul_transposed(const Matrix& other) const;
+
+  /// Elementwise operations (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  [[nodiscard]] Matrix operator+(const Matrix& other) const;
+  [[nodiscard]] Matrix operator-(const Matrix& other) const;
+  [[nodiscard]] Matrix operator*(double scalar) const;
+  [[nodiscard]] Matrix hadamard(const Matrix& other) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+  /// Applies f to every element in place.
+  void apply(const std::function<double(double)>& f);
+
+  /// Mapped copy.
+  [[nodiscard]] Matrix map(const std::function<double(double)>& f) const;
+
+  /// Adds a 1 x cols row vector to every row (broadcast).
+  void add_row_broadcast(const Matrix& row_vector);
+
+  /// Sum over rows -> 1 x cols matrix.
+  [[nodiscard]] Matrix sum_rows() const;
+
+  /// Mean over rows -> 1 x cols matrix.
+  [[nodiscard]] Matrix mean_rows() const;
+
+  /// Submatrix of the listed rows, in order.
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> indices) const;
+
+  /// Submatrix of the listed columns, in order.
+  [[nodiscard]] Matrix select_cols(std::span<const std::size_t> indices) const;
+
+  /// Horizontal concatenation [this | other]; row counts must match.
+  [[nodiscard]] Matrix hcat(const Matrix& other) const;
+
+  /// Vertical concatenation; column counts must match.
+  [[nodiscard]] Matrix vcat(const Matrix& other) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Largest |element|.
+  [[nodiscard]] double max_abs() const;
+
+  /// True when all elements are finite.
+  [[nodiscard]] bool all_finite() const;
+
+  /// Human-readable rendering (for logs and test failures).
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// scalar * M convenience.
+Matrix operator*(double scalar, const Matrix& m);
+
+}  // namespace fsda::la

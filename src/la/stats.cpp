@@ -1,0 +1,202 @@
+#include "la/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/linalg.hpp"
+
+namespace fsda::la {
+
+double mean(std::span<const double> values) {
+  FSDA_CHECK_MSG(!values.empty(), "mean of empty sequence");
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  FSDA_CHECK_MSG(x.size() == y.size(), "pearson length mismatch");
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Matrix column_means(const Matrix& x) { return x.mean_rows(); }
+
+Matrix column_stddevs(const Matrix& x) {
+  FSDA_CHECK_MSG(x.rows() > 0, "column_stddevs on empty matrix");
+  const Matrix m = x.mean_rows();
+  Matrix out(1, x.cols(), 0.0);
+  if (x.rows() < 2) return out;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x(r, c) - m(0, c);
+      out(0, c) += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    out(0, c) = std::sqrt(out(0, c) / static_cast<double>(x.rows() - 1));
+  }
+  return out;
+}
+
+Matrix covariance(const Matrix& x) {
+  FSDA_CHECK_MSG(x.rows() >= 2, "covariance needs >= 2 samples");
+  const Matrix m = x.mean_rows();
+  Matrix centered = x;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) centered(r, c) -= m(0, c);
+  }
+  Matrix cov = centered.transposed_matmul(centered);
+  cov *= 1.0 / static_cast<double>(x.rows() - 1);
+  return cov;
+}
+
+Matrix covariance_shrunk(const Matrix& x, double shrinkage, double eps) {
+  FSDA_CHECK_MSG(shrinkage >= 0.0 && shrinkage <= 1.0,
+                 "shrinkage out of [0,1]: " << shrinkage);
+  Matrix cov = covariance(x);
+  for (std::size_t i = 0; i < cov.rows(); ++i) {
+    for (std::size_t j = 0; j < cov.cols(); ++j) {
+      if (i != j) cov(i, j) *= (1.0 - shrinkage);
+    }
+    cov(i, i) += eps;
+  }
+  return cov;
+}
+
+Matrix correlation(const Matrix& x) {
+  Matrix cov = covariance(x);
+  const std::size_t d = cov.rows();
+  std::vector<double> inv_sd(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    inv_sd[i] = cov(i, i) > 0.0 ? 1.0 / std::sqrt(cov(i, i)) : 0.0;
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      cov(i, j) = (i == j) ? 1.0 : cov(i, j) * inv_sd[i] * inv_sd[j];
+    }
+  }
+  return cov;
+}
+
+double partial_correlation(const Matrix& corr, std::size_t i, std::size_t j,
+                           std::span<const std::size_t> given) {
+  FSDA_CHECK_MSG(i < corr.rows() && j < corr.rows(), "index out of range");
+  FSDA_CHECK_MSG(i != j, "partial correlation of a variable with itself");
+  if (given.empty()) return corr(i, j);
+  // Build the submatrix over {i, j} ∪ given and invert; the partial
+  // correlation is read off the precision matrix.
+  std::vector<std::size_t> idx;
+  idx.reserve(2 + given.size());
+  idx.push_back(i);
+  idx.push_back(j);
+  for (std::size_t g : given) {
+    FSDA_CHECK_MSG(g != i && g != j, "conditioning set overlaps {i,j}");
+    idx.push_back(g);
+  }
+  const std::size_t k = idx.size();
+  Matrix sub(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) sub(a, b) = corr(idx[a], idx[b]);
+  }
+  // Regularize slightly: correlation submatrices from finite samples can be
+  // numerically semidefinite.
+  for (std::size_t a = 0; a < k; ++a) sub(a, a) += 1e-10;
+  Matrix prec;
+  try {
+    prec = inverse(sub);
+  } catch (const common::NumericError&) {
+    for (std::size_t a = 0; a < k; ++a) sub(a, a) += 1e-4;
+    prec = inverse(sub);
+  }
+  const double denom = std::sqrt(prec(0, 0) * prec(1, 1));
+  if (denom <= 0.0) return 0.0;
+  double r = -prec(0, 1) / denom;
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double two_sided_p(double z) { return 2.0 * (1.0 - normal_cdf(std::abs(z))); }
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  FSDA_CHECK_MSG(!a.empty() && !b.empty(), "KS on empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double d = 0.0;
+  std::size_t ia = 0, ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    if (sa[ia] <= sb[ib]) ++ia;
+    else ++ib;
+    const double fa = static_cast<double>(ia) / static_cast<double>(sa.size());
+    const double fb = static_cast<double>(ib) / static_cast<double>(sb.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double ks_p_value(double statistic, std::size_t n_a, std::size_t n_b) {
+  FSDA_CHECK(n_a > 0 && n_b > 0);
+  const double n = static_cast<double>(n_a) * static_cast<double>(n_b) /
+                   static_cast<double>(n_a + n_b);
+  const double lambda = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * statistic;
+  // Kolmogorov distribution tail series.
+  double p = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * lambda * lambda);
+    p += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double welch_t(std::span<const double> a, std::span<const double> b) {
+  FSDA_CHECK(a.size() >= 2 && b.size() >= 2);
+  const double va = variance(a) / static_cast<double>(a.size());
+  const double vb = variance(b) / static_cast<double>(b.size());
+  const double denom = std::sqrt(va + vb);
+  if (denom <= 0.0) return 0.0;
+  return (mean(a) - mean(b)) / denom;
+}
+
+double quantile(std::span<const double> values, double q) {
+  FSDA_CHECK_MSG(!values.empty(), "quantile of empty sequence");
+  FSDA_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace fsda::la

@@ -1,0 +1,68 @@
+// fsda::la -- descriptive statistics over Matrix columns.
+//
+// Provides the moments, covariance / correlation machinery the CI tests,
+// CORAL, and the dataset generators are built on, plus the Gaussian tail
+// functions used to convert Fisher-z statistics into p-values.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fsda::la {
+
+/// Mean of a sequence.
+double mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(std::span<const double> values);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> values);
+
+/// Pearson correlation of two equal-length sequences; 0 when either is
+/// constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Column means of a data matrix (rows = samples) -> 1 x d.
+Matrix column_means(const Matrix& x);
+
+/// Column standard deviations -> 1 x d (n-1 denominator).
+Matrix column_stddevs(const Matrix& x);
+
+/// Sample covariance matrix (d x d) of row-sample data.
+Matrix covariance(const Matrix& x);
+
+/// Covariance with ridge shrinkage: (1-w)*S + w*diag(S) + eps*I.
+/// Used where few-shot sample counts make plain covariance singular.
+Matrix covariance_shrunk(const Matrix& x, double shrinkage, double eps = 1e-6);
+
+/// Correlation matrix (d x d); constant columns yield zero off-diagonals.
+Matrix correlation(const Matrix& x);
+
+/// Partial correlation of columns i and j given columns `given`, computed
+/// from the inverse of the correlation submatrix.  `corr` must be a full
+/// correlation matrix of the data.
+double partial_correlation(const Matrix& corr, std::size_t i, std::size_t j,
+                           std::span<const std::size_t> given);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Two-sided p-value for a standard normal statistic.
+double two_sided_p(double z);
+
+/// Kolmogorov-Smirnov two-sample statistic (used by the ICD baseline).
+double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic p-value of the two-sample KS statistic.
+double ks_p_value(double statistic, std::size_t n_a, std::size_t n_b);
+
+/// Welch's t statistic for difference of means.
+double welch_t(std::span<const double> a, std::span<const double> b);
+
+/// Quantile (0..1) of a sequence via linear interpolation on sorted copy.
+double quantile(std::span<const double> values, double q);
+
+}  // namespace fsda::la

@@ -1,0 +1,77 @@
+#include "models/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+#include "models/forest.hpp"
+#include "models/neural.hpp"
+#include "models/xgb.hpp"
+
+namespace fsda::models {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+NeuralOptions neural_options(Preset preset) {
+  NeuralOptions o;
+  if (preset == Preset::Full) {
+    o.hidden = {128, 64};
+    o.epochs = 80;
+  } else {
+    o.hidden = {64, 32};
+    o.epochs = 35;
+  }
+  return o;
+}
+
+trees::ForestOptions forest_options(Preset preset) {
+  trees::ForestOptions o;
+  o.num_trees = preset == Preset::Full ? 100 : 40;
+  return o;
+}
+
+trees::GbdtOptions gbdt_options(Preset preset) {
+  trees::GbdtOptions o;
+  o.rounds = preset == Preset::Full ? 60 : 20;
+  return o;
+}
+}  // namespace
+
+ClassifierFactory make_classifier_factory(const std::string& name,
+                                          Preset preset) {
+  const std::string key = lower(name);
+  if (key == "tnet") {
+    return [preset](std::uint64_t seed) -> std::unique_ptr<Classifier> {
+      return std::make_unique<TNetClassifier>(seed, neural_options(preset));
+    };
+  }
+  if (key == "mlp") {
+    return [preset](std::uint64_t seed) -> std::unique_ptr<Classifier> {
+      return std::make_unique<MLPClassifier>(seed, neural_options(preset));
+    };
+  }
+  if (key == "rf") {
+    return [preset](std::uint64_t seed) -> std::unique_ptr<Classifier> {
+      return std::make_unique<RandomForestClassifier>(seed,
+                                                      forest_options(preset));
+    };
+  }
+  if (key == "xgb") {
+    return [preset](std::uint64_t seed) -> std::unique_ptr<Classifier> {
+      return std::make_unique<XGBClassifier>(seed, gbdt_options(preset));
+    };
+  }
+  throw common::ArgumentError("unknown classifier name: " + name);
+}
+
+const std::vector<std::string>& table1_model_names() {
+  static const std::vector<std::string> names = {"TNet", "MLP", "RF", "XGB"};
+  return names;
+}
+
+}  // namespace fsda::models

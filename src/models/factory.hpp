@@ -1,0 +1,24 @@
+// fsda::models -- classifier factories by name, with quick / paper-scale
+// presets matched to the benchmark modes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/classifier.hpp"
+
+namespace fsda::models {
+
+/// Compute preset: Quick keeps the single-core benchmark suite fast; Full
+/// restores paper-scale training budgets (FSDA_FULL=1).
+enum class Preset { Quick, Full };
+
+/// Factory for "tnet" | "mlp" | "rf" | "xgb" (case-insensitive).
+/// Throws ArgumentError for unknown names.
+ClassifierFactory make_classifier_factory(const std::string& name,
+                                          Preset preset = Preset::Quick);
+
+/// The four downstream model names of Table I, in the paper's column order.
+const std::vector<std::string>& table1_model_names();
+
+}  // namespace fsda::models

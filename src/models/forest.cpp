@@ -1,0 +1,20 @@
+#include "models/forest.hpp"
+
+namespace fsda::models {
+
+RandomForestClassifier::RandomForestClassifier(std::uint64_t seed,
+                                               trees::ForestOptions options)
+    : seed_(seed), forest_(std::move(options)) {}
+
+void RandomForestClassifier::fit(const la::Matrix& x,
+                                 const std::vector<std::int64_t>& y,
+                                 std::size_t num_classes,
+                                 const std::vector<double>& weights) {
+  forest_.fit(x, y, num_classes, weights, seed_);
+}
+
+la::Matrix RandomForestClassifier::predict_proba(const la::Matrix& x) const {
+  return forest_.predict_proba(x);
+}
+
+}  // namespace fsda::models

@@ -1,0 +1,26 @@
+// fsda::models -- RandomForest adapter over fsda::trees::RandomForest.
+#pragma once
+
+#include "models/classifier.hpp"
+#include "trees/random_forest.hpp"
+
+namespace fsda::models {
+
+/// The "RF" downstream model of Table I.
+class RandomForestClassifier : public Classifier {
+ public:
+  explicit RandomForestClassifier(std::uint64_t seed,
+                                  trees::ForestOptions options = {});
+
+  void fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+           std::size_t num_classes,
+           const std::vector<double>& weights) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "RF"; }
+
+ private:
+  std::uint64_t seed_;
+  trees::RandomForest forest_;
+};
+
+}  // namespace fsda::models

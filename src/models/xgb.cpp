@@ -1,0 +1,19 @@
+#include "models/xgb.hpp"
+
+namespace fsda::models {
+
+XGBClassifier::XGBClassifier(std::uint64_t seed, trees::GbdtOptions options)
+    : seed_(seed), model_(options) {}
+
+void XGBClassifier::fit(const la::Matrix& x,
+                        const std::vector<std::int64_t>& y,
+                        std::size_t num_classes,
+                        const std::vector<double>& weights) {
+  model_.fit(x, y, num_classes, weights, seed_);
+}
+
+la::Matrix XGBClassifier::predict_proba(const la::Matrix& x) const {
+  return model_.predict_proba(x);
+}
+
+}  // namespace fsda::models

@@ -1,0 +1,25 @@
+// fsda::models -- XGBoost-style adapter over fsda::trees::Gbdt.
+#pragma once
+
+#include "models/classifier.hpp"
+#include "trees/gbdt.hpp"
+
+namespace fsda::models {
+
+/// The "XGB" downstream model of Table I.
+class XGBClassifier : public Classifier {
+ public:
+  explicit XGBClassifier(std::uint64_t seed, trees::GbdtOptions options = {});
+
+  void fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+           std::size_t num_classes,
+           const std::vector<double>& weights) override;
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "XGB"; }
+
+ private:
+  std::uint64_t seed_;
+  trees::Gbdt model_;
+};
+
+}  // namespace fsda::models

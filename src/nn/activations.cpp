@@ -1,0 +1,125 @@
+#include "nn/activations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+la::Matrix ReLU::forward(const la::Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  return input.map([](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+la::Matrix ReLU::backward(const la::Matrix& grad_output) {
+  FSDA_CHECK(grad_output.rows() == cached_input_.rows() &&
+             grad_output.cols() == cached_input_.cols());
+  la::Matrix grad = grad_output;
+  auto g = grad.data();
+  auto in = cached_input_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (in[i] <= 0.0) g[i] = 0.0;
+  }
+  return grad;
+}
+
+LeakyReLU::LeakyReLU(double alpha) : alpha_(alpha) {
+  FSDA_CHECK_MSG(alpha >= 0.0 && alpha < 1.0, "LeakyReLU alpha " << alpha);
+}
+
+la::Matrix LeakyReLU::forward(const la::Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  const double alpha = alpha_;
+  return input.map([alpha](double x) { return x > 0.0 ? x : alpha * x; });
+}
+
+la::Matrix LeakyReLU::backward(const la::Matrix& grad_output) {
+  FSDA_CHECK(grad_output.rows() == cached_input_.rows() &&
+             grad_output.cols() == cached_input_.cols());
+  la::Matrix grad = grad_output;
+  auto g = grad.data();
+  auto in = cached_input_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (in[i] <= 0.0) g[i] *= alpha_;
+  }
+  return grad;
+}
+
+la::Matrix Tanh::forward(const la::Matrix& input, bool /*training*/) {
+  cached_output_ = input.map([](double x) { return std::tanh(x); });
+  return cached_output_;
+}
+
+la::Matrix Tanh::backward(const la::Matrix& grad_output) {
+  FSDA_CHECK(grad_output.rows() == cached_output_.rows() &&
+             grad_output.cols() == cached_output_.cols());
+  la::Matrix grad = grad_output;
+  auto g = grad.data();
+  auto out = cached_output_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] *= 1.0 - out[i] * out[i];
+  }
+  return grad;
+}
+
+la::Matrix Sigmoid::forward(const la::Matrix& input, bool /*training*/) {
+  cached_output_ = input.map([](double x) {
+    // Split by sign for numerical stability at large |x|.
+    if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+  });
+  return cached_output_;
+}
+
+la::Matrix Sigmoid::backward(const la::Matrix& grad_output) {
+  FSDA_CHECK(grad_output.rows() == cached_output_.rows() &&
+             grad_output.cols() == cached_output_.cols());
+  la::Matrix grad = grad_output;
+  auto g = grad.data();
+  auto out = cached_output_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] *= out[i] * (1.0 - out[i]);
+  }
+  return grad;
+}
+
+la::Matrix softmax_rows(const la::Matrix& logits) {
+  la::Matrix out = logits;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    const double mx = *std::max_element(row.begin(), row.end());
+    double total = 0.0;
+    for (auto& v : row) {
+      v = std::exp(v - mx);
+      total += v;
+    }
+    FSDA_CHECK_MSG(total > 0.0, "softmax row summed to zero");
+    for (auto& v : row) v /= total;
+  }
+  return out;
+}
+
+la::Matrix Softmax::forward(const la::Matrix& input, bool /*training*/) {
+  cached_output_ = softmax_rows(input);
+  return cached_output_;
+}
+
+la::Matrix Softmax::backward(const la::Matrix& grad_output) {
+  FSDA_CHECK(grad_output.rows() == cached_output_.rows() &&
+             grad_output.cols() == cached_output_.cols());
+  // dL/dx_i = s_i * (g_i - sum_j g_j s_j)
+  la::Matrix grad(grad_output.rows(), grad_output.cols());
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    auto s = cached_output_.row(r);
+    auto g = grad_output.row(r);
+    double dot = 0.0;
+    for (std::size_t c = 0; c < s.size(); ++c) dot += g[c] * s[c];
+    auto out = grad.row(r);
+    for (std::size_t c = 0; c < s.size(); ++c) out[c] = s[c] * (g[c] - dot);
+  }
+  return grad;
+}
+
+}  // namespace fsda::nn

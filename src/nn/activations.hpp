@@ -1,0 +1,74 @@
+// fsda::nn -- elementwise activation layers.
+//
+// The CTGAN-style architecture of the paper (Section V-C3) uses ReLU in the
+// generator trunk, tanh on continuous outputs, LeakyReLU in the
+// discriminator, and a sigmoid discriminator head.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// max(0, x).
+class ReLU : public Layer {
+ public:
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  la::Matrix cached_input_;
+};
+
+/// x for x >= 0, alpha * x otherwise.
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(double alpha = 0.2);
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  double alpha_;
+  la::Matrix cached_input_;
+};
+
+/// tanh(x).
+class Tanh : public Layer {
+ public:
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  la::Matrix cached_output_;
+};
+
+/// 1 / (1 + exp(-x)).
+class Sigmoid : public Layer {
+ public:
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+
+ private:
+  la::Matrix cached_output_;
+};
+
+/// Row-wise softmax (numerically stabilized).  backward() assumes the
+/// downstream loss supplies dL/d(softmax input) is needed, i.e. it applies
+/// the full softmax Jacobian.
+class Softmax : public Layer {
+ public:
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Softmax"; }
+
+ private:
+  la::Matrix cached_output_;
+};
+
+/// Row-wise softmax as a free function (used outside the layer graph).
+la::Matrix softmax_rows(const la::Matrix& logits);
+
+}  // namespace fsda::nn

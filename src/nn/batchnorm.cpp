@@ -1,0 +1,114 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t features, double momentum, double eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(la::Matrix(1, features, 1.0)),
+      beta_(la::Matrix(1, features, 0.0)),
+      running_mean_(1, features, 0.0),
+      running_var_(1, features, 1.0) {
+  FSDA_CHECK(features > 0);
+  FSDA_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+la::Matrix BatchNorm1d::forward(const la::Matrix& input, bool training) {
+  FSDA_CHECK_MSG(input.cols() == features_, "BatchNorm1d width mismatch");
+  const std::size_t n = input.rows();
+  la::Matrix mean(1, features_, 0.0);
+  la::Matrix var(1, features_, 0.0);
+  last_forward_used_batch_stats_ = training && n > 1;
+  if (training && n > 1) {
+    mean = input.mean_rows();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < features_; ++c) {
+        const double d = input(r, c) - mean(0, c);
+        var(0, c) += d * d;
+      }
+    }
+    var *= 1.0 / static_cast<double>(n);  // biased, as in standard BN
+    // update running statistics
+    for (std::size_t c = 0; c < features_; ++c) {
+      if (seen_batch_) {
+        running_mean_(0, c) =
+            momentum_ * running_mean_(0, c) + (1.0 - momentum_) * mean(0, c);
+        running_var_(0, c) =
+            momentum_ * running_var_(0, c) + (1.0 - momentum_) * var(0, c);
+      } else {
+        running_mean_(0, c) = mean(0, c);
+        running_var_(0, c) = var(0, c);
+      }
+    }
+    seen_batch_ = true;
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+  cached_inv_std_ = la::Matrix(1, features_);
+  for (std::size_t c = 0; c < features_; ++c) {
+    cached_inv_std_(0, c) = 1.0 / std::sqrt(var(0, c) + eps_);
+  }
+  cached_norm_ = la::Matrix(n, features_);
+  la::Matrix out(n, features_);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      const double xn = (input(r, c) - mean(0, c)) * cached_inv_std_(0, c);
+      cached_norm_(r, c) = xn;
+      out(r, c) = gamma_.value(0, c) * xn + beta_.value(0, c);
+    }
+  }
+  return out;
+}
+
+la::Matrix BatchNorm1d::backward(const la::Matrix& grad_output) {
+  const std::size_t n = grad_output.rows();
+  FSDA_CHECK(grad_output.cols() == features_ && n == cached_norm_.rows());
+  // Accumulate parameter gradients.
+  la::Matrix sum_g(1, features_, 0.0);
+  la::Matrix sum_g_xn(1, features_, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      sum_g(0, c) += grad_output(r, c);
+      sum_g_xn(0, c) += grad_output(r, c) * cached_norm_(r, c);
+    }
+  }
+  gamma_.grad += sum_g_xn;
+  beta_.grad += sum_g;
+  la::Matrix grad_input(n, features_);
+  if (!last_forward_used_batch_stats_) {
+    // Running statistics were constants in the forward pass:
+    // dx = gamma * inv_std * g.
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < features_; ++c) {
+        grad_input(r, c) =
+            gamma_.value(0, c) * cached_inv_std_(0, c) * grad_output(r, c);
+      }
+    }
+    return grad_input;
+  }
+  // Standard batch-norm input gradient:
+  // dx = gamma * inv_std / n * (n*g - sum(g) - xn * sum(g*xn))
+  const double inv_n = 1.0 / static_cast<double>(std::max<std::size_t>(n, 1));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      const double g = grad_output(r, c);
+      const double xn = cached_norm_(r, c);
+      grad_input(r, c) =
+          gamma_.value(0, c) * cached_inv_std_(0, c) * inv_n *
+          (static_cast<double>(n) * g - sum_g(0, c) - xn * sum_g_xn(0, c));
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm1d::parameters() {
+  return {&gamma_, &beta_};
+}
+
+}  // namespace fsda::nn

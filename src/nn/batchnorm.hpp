@@ -1,0 +1,40 @@
+// fsda::nn -- 1-D batch normalization (per-feature, over the batch axis).
+//
+// The CTGAN-style generator of the paper normalizes each hidden layer.
+// Running statistics are tracked with exponential averaging for inference.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// BatchNorm over rows: y = gamma * (x - mu) / sqrt(var + eps) + beta.
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(std::size_t features, double momentum = 0.9,
+                       double eps = 1e-5);
+
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "BatchNorm1d"; }
+
+  [[nodiscard]] const la::Matrix& running_mean() const { return running_mean_; }
+  [[nodiscard]] const la::Matrix& running_var() const { return running_var_; }
+
+ private:
+  std::size_t features_;
+  double momentum_;
+  double eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  la::Matrix running_mean_;
+  la::Matrix running_var_;
+  // forward cache
+  la::Matrix cached_norm_;     // normalized input
+  la::Matrix cached_inv_std_;  // 1 x d
+  bool seen_batch_ = false;
+  bool last_forward_used_batch_stats_ = false;
+};
+
+}  // namespace fsda::nn

@@ -1,0 +1,35 @@
+#include "nn/dropout.hpp"
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+Dropout::Dropout(double p, common::Rng rng) : p_(p), rng_(rng) {
+  FSDA_CHECK_MSG(p >= 0.0 && p < 1.0, "dropout p out of [0,1): " << p);
+}
+
+la::Matrix Dropout::forward(const la::Matrix& input, bool training) {
+  if (!training || p_ == 0.0) {
+    masked_ = false;
+    return input;
+  }
+  const double scale = 1.0 / (1.0 - p_);
+  mask_ = la::Matrix(input.rows(), input.cols());
+  la::Matrix out = input;
+  auto m = mask_.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const double keep = rng_.bernoulli(p_) ? 0.0 : scale;
+    m[i] = keep;
+    o[i] *= keep;
+  }
+  masked_ = true;
+  return out;
+}
+
+la::Matrix Dropout::backward(const la::Matrix& grad_output) {
+  if (!masked_) return grad_output;
+  return grad_output.hadamard(mask_);
+}
+
+}  // namespace fsda::nn

@@ -1,0 +1,27 @@
+// fsda::nn -- inverted dropout (the CTGAN-style discriminator uses dropout
+// after each LeakyReLU).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability p and scales survivors by 1/(1-p); identity at inference.
+class Dropout : public Layer {
+ public:
+  Dropout(double p, common::Rng rng);
+
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+ private:
+  double p_;
+  common::Rng rng_;
+  la::Matrix mask_;
+  bool masked_ = false;
+};
+
+}  // namespace fsda::nn

@@ -1,0 +1,83 @@
+#include "nn/feature_gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+FeatureGate::FeatureGate(std::size_t features, double temperature)
+    : features_(features),
+      temperature_(temperature),
+      logits_(la::Matrix(1, features, 0.0)) {
+  FSDA_CHECK(features > 0);
+  FSDA_CHECK_MSG(temperature > 0.0, "non-positive gate temperature");
+}
+
+la::Matrix FeatureGate::gate_values() const {
+  la::Matrix gate(1, features_);
+  double mx = logits_.value(0, 0);
+  for (std::size_t c = 1; c < features_; ++c) {
+    mx = std::max(mx, logits_.value(0, c));
+  }
+  double total = 0.0;
+  for (std::size_t c = 0; c < features_; ++c) {
+    gate(0, c) = std::exp((logits_.value(0, c) - mx) / temperature_);
+    total += gate(0, c);
+  }
+  // Scale by d so that uniform logits give gate == 1 (identity start).
+  const double scale = static_cast<double>(features_) / total;
+  for (std::size_t c = 0; c < features_; ++c) gate(0, c) *= scale;
+  return gate;
+}
+
+la::Matrix FeatureGate::forward(const la::Matrix& input, bool /*training*/) {
+  FSDA_CHECK_MSG(input.cols() == features_, "FeatureGate width mismatch");
+  cached_input_ = input;
+  cached_gate_ = gate_values();
+  la::Matrix out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      out(r, c) *= cached_gate_(0, c);
+    }
+  }
+  return out;
+}
+
+la::Matrix FeatureGate::backward(const la::Matrix& grad_output) {
+  FSDA_CHECK(grad_output.rows() == cached_input_.rows() &&
+             grad_output.cols() == features_);
+  // dL/d gate_c = sum_r grad(r,c) * x(r,c)
+  la::Matrix grad_gate(1, features_, 0.0);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      grad_gate(0, c) += grad_output(r, c) * cached_input_(r, c);
+    }
+  }
+  // gate = d * softmax(l / T); d gate_c / d l_k = gate_c (delta - s_k) / T
+  // where s_k = gate_k / d.
+  double dot = 0.0;
+  for (std::size_t c = 0; c < features_; ++c) {
+    dot += grad_gate(0, c) * cached_gate_(0, c) /
+           static_cast<double>(features_);
+  }
+  for (std::size_t c = 0; c < features_; ++c) {
+    logits_.grad(0, c) +=
+        (grad_gate(0, c) * cached_gate_(0, c) -
+         cached_gate_(0, c) * dot) /
+        temperature_;
+  }
+  // dL/dx = grad * gate
+  la::Matrix grad_input = grad_output;
+  for (std::size_t r = 0; r < grad_input.rows(); ++r) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      grad_input(r, c) *= cached_gate_(0, c);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> FeatureGate::parameters() { return {&logits_}; }
+
+}  // namespace fsda::nn

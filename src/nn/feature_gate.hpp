@@ -1,0 +1,36 @@
+// fsda::nn -- learned per-feature gating layer (the attention mechanism of
+// our TNet tabular classifier, see DESIGN.md substitution table).
+//
+// y = x * softmax_temperature(a), where a is a learned logit per feature and
+// the softmax is scaled by the feature count so that an uninformative gate
+// starts as the identity.  The gate learns to emphasize informative telemetry
+// groups and suppress noisy ones -- the effective inductive bias TabularNet
+// brings for flat telemetry vectors.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// Elementwise feature gate with learned attention logits.
+class FeatureGate : public Layer {
+ public:
+  explicit FeatureGate(std::size_t features, double temperature = 1.0);
+
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "FeatureGate"; }
+
+  /// Current gate values (softmax of logits, scaled by feature count).
+  [[nodiscard]] la::Matrix gate_values() const;
+
+ private:
+  std::size_t features_;
+  double temperature_;
+  Parameter logits_;
+  la::Matrix cached_input_;
+  la::Matrix cached_gate_;  // 1 x d
+};
+
+}  // namespace fsda::nn

@@ -1,0 +1,64 @@
+// fsda::nn -- layer abstraction for the from-scratch neural network library.
+//
+// Layers are stateful modules with cached activations: forward() stores
+// whatever backward() needs, and backward() consumes the gradient w.r.t. the
+// layer output, accumulates parameter gradients, and returns the gradient
+// w.r.t. the layer input.  The GAN training loop exploits this split: the
+// generator's gradient is obtained by backpropagating through a frozen
+// discriminator (backward() with parameter updates simply not applied).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fsda::nn {
+
+/// A trainable tensor: value and accumulated gradient of identical shape.
+struct Parameter {
+  la::Matrix value;
+  la::Matrix grad;
+
+  explicit Parameter(la::Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols(), 0.0) {}
+
+  void zero_grad() { grad = la::Matrix(value.rows(), value.cols(), 0.0); }
+};
+
+/// Base class for all layers.  Batches are row-major: one sample per row.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch; `training` toggles behaviours
+  /// such as dropout masking and batch-norm statistics accumulation.
+  virtual la::Matrix forward(const la::Matrix& input, bool training) = 0;
+
+  /// Backpropagates `grad_output` (dL/d output of the most recent forward),
+  /// accumulating parameter gradients, and returns dL/d input.
+  virtual la::Matrix backward(const la::Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Human-readable layer name for diagnostics.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output width given an input width (used for shape validation).
+  [[nodiscard]] virtual std::size_t output_size(std::size_t input_size) const {
+    return input_size;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Collects the parameters of many layers into one flat list.
+std::vector<Parameter*> collect_parameters(
+    const std::vector<LayerPtr>& layers);
+
+/// Zeroes all gradients in a parameter list.
+void zero_gradients(const std::vector<Parameter*>& params);
+
+}  // namespace fsda::nn

@@ -1,0 +1,42 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               common::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(la::Matrix::randn(
+          in_features, out_features, rng,
+          std::sqrt(2.0 / static_cast<double>(in_features + out_features)))),
+      bias_(la::Matrix(1, out_features, 0.0)) {
+  FSDA_CHECK_MSG(in_features > 0 && out_features > 0,
+                 "Linear with zero-sized dimension");
+}
+
+la::Matrix Linear::forward(const la::Matrix& input, bool /*training*/) {
+  FSDA_CHECK_MSG(input.cols() == in_features_,
+                 "Linear forward: got " << input.cols() << " features, expect "
+                                        << in_features_);
+  cached_input_ = input;
+  la::Matrix out = input.matmul(weight_.value);
+  out.add_row_broadcast(bias_.value);
+  return out;
+}
+
+la::Matrix Linear::backward(const la::Matrix& grad_output) {
+  FSDA_CHECK_MSG(grad_output.rows() == cached_input_.rows() &&
+                     grad_output.cols() == out_features_,
+                 "Linear backward shape mismatch");
+  weight_.grad += cached_input_.transposed_matmul(grad_output);
+  bias_.grad += grad_output.sum_rows();
+  return grad_output.matmul_transposed(weight_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace fsda::nn

@@ -1,0 +1,38 @@
+// fsda::nn -- fully connected (affine) layer.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// y = x W + b with He/Glorot-style initialization.
+class Linear : public Layer {
+ public:
+  /// Initializes W as in_features x out_features with
+  /// N(0, sqrt(2 / (in + out))) entries (Glorot) and b = 0.
+  Linear(std::size_t in_features, std::size_t out_features, common::Rng& rng);
+
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+  [[nodiscard]] std::size_t output_size(std::size_t) const override {
+    return out_features_;
+  }
+
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t out_features() const { return out_features_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  la::Matrix cached_input_;
+};
+
+}  // namespace fsda::nn

@@ -1,0 +1,117 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+
+namespace fsda::nn {
+
+LossResult softmax_cross_entropy(const la::Matrix& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  const std::size_t n = logits.rows();
+  const std::size_t k = logits.cols();
+  FSDA_CHECK_MSG(labels.size() == n, "labels/logits row mismatch");
+  la::Matrix probs = softmax_rows(logits);
+  LossResult result;
+  result.grad = probs;
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto y = labels[r];
+    FSDA_CHECK_MSG(y >= 0 && static_cast<std::size_t>(y) < k,
+                   "label " << y << " out of " << k << " classes");
+    const double p = std::max(probs(r, static_cast<std::size_t>(y)), 1e-12);
+    loss -= std::log(p);
+    result.grad(r, static_cast<std::size_t>(y)) -= 1.0;
+  }
+  result.value = loss * inv_n;
+  result.grad *= inv_n;
+  return result;
+}
+
+LossResult bce_with_logits(const la::Matrix& logits,
+                           const std::vector<double>& targets,
+                           const std::vector<double>& weights) {
+  const std::size_t n = logits.rows();
+  FSDA_CHECK_MSG(logits.cols() == 1, "bce_with_logits expects one column");
+  FSDA_CHECK_MSG(targets.size() == n, "targets/logits row mismatch");
+  FSDA_CHECK_MSG(weights.empty() || weights.size() == n,
+                 "weights size mismatch");
+  LossResult result;
+  result.grad = la::Matrix(n, 1);
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double w = weights.empty() ? 1.0 : weights[r];
+    weight_sum += w;
+    const double z = logits(r, 0);
+    const double t = targets[r];
+    FSDA_CHECK_MSG(t == 0.0 || t == 1.0, "BCE target must be 0/1, got " << t);
+    // log(1 + exp(-|z|)) formulation avoids overflow.
+    loss += w * (std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z))));
+    const double sigma = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                                  : std::exp(z) / (1.0 + std::exp(z));
+    result.grad(r, 0) = w * (sigma - t);
+  }
+  FSDA_CHECK_MSG(weight_sum > 0.0, "all-zero BCE weights");
+  result.value = loss / weight_sum;
+  result.grad *= 1.0 / weight_sum;
+  return result;
+}
+
+LossResult bce_on_probs(const la::Matrix& probs,
+                        const std::vector<double>& targets) {
+  const std::size_t n = probs.rows();
+  FSDA_CHECK_MSG(probs.cols() == 1, "bce_on_probs expects one column");
+  FSDA_CHECK_MSG(targets.size() == n, "targets/probs row mismatch");
+  LossResult result;
+  result.grad = la::Matrix(n, 1);
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double p = std::clamp(probs(r, 0), 1e-7, 1.0 - 1e-7);
+    const double t = targets[r];
+    loss -= t * std::log(p) + (1.0 - t) * std::log(1.0 - p);
+    result.grad(r, 0) = inv_n * (p - t) / (p * (1.0 - p));
+  }
+  result.value = loss * inv_n;
+  return result;
+}
+
+LossResult mse(const la::Matrix& prediction, const la::Matrix& target) {
+  FSDA_CHECK_MSG(prediction.rows() == target.rows() &&
+                     prediction.cols() == target.cols(),
+                 "mse shape mismatch");
+  LossResult result;
+  result.grad = prediction - target;
+  double loss = 0.0;
+  for (double v : result.grad.data()) loss += v * v;
+  const double inv = 1.0 / static_cast<double>(prediction.rows());
+  result.value = loss * inv / static_cast<double>(prediction.cols());
+  result.grad *= 2.0 * inv / static_cast<double>(prediction.cols());
+  return result;
+}
+
+KlResult gaussian_kl(const la::Matrix& mu, const la::Matrix& log_var) {
+  FSDA_CHECK(mu.rows() == log_var.rows() && mu.cols() == log_var.cols());
+  KlResult result;
+  result.grad_mu = mu;
+  result.grad_log_var = la::Matrix(mu.rows(), mu.cols());
+  const double inv_n = 1.0 / static_cast<double>(mu.rows());
+  double kl = 0.0;
+  for (std::size_t r = 0; r < mu.rows(); ++r) {
+    for (std::size_t c = 0; c < mu.cols(); ++c) {
+      const double lv = log_var(r, c);
+      const double m = mu(r, c);
+      kl += 0.5 * (std::exp(lv) + m * m - 1.0 - lv);
+      result.grad_mu(r, c) = m * inv_n;
+      result.grad_log_var(r, c) = 0.5 * (std::exp(lv) - 1.0) * inv_n;
+    }
+  }
+  result.value = kl * inv_n;
+  return result;
+}
+
+}  // namespace fsda::nn

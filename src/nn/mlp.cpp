@@ -1,0 +1,40 @@
+#include "nn/mlp.hpp"
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+
+namespace fsda::nn {
+
+std::unique_ptr<Sequential> mlp_trunk(std::size_t in, std::size_t out,
+                                      const std::vector<std::size_t>& hidden,
+                                      common::Rng& rng, Activation activation,
+                                      bool batch_norm, double dropout_p) {
+  FSDA_CHECK_MSG(in > 0 && out > 0, "mlp_trunk zero-sized dimension");
+  auto net = std::make_unique<Sequential>();
+  std::size_t width = in;
+  for (std::size_t h : hidden) {
+    FSDA_CHECK_MSG(h > 0, "zero-width hidden layer");
+    net->emplace<Linear>(width, h, rng);
+    switch (activation) {
+      case Activation::ReLU:
+        net->emplace<ReLU>();
+        break;
+      case Activation::LeakyReLU:
+        net->emplace<LeakyReLU>(0.2);
+        break;
+      case Activation::Tanh:
+        net->emplace<Tanh>();
+        break;
+    }
+    if (batch_norm) net->emplace<BatchNorm1d>(h);
+    if (dropout_p > 0.0) net->emplace<Dropout>(dropout_p, rng.split(h));
+    width = h;
+  }
+  net->emplace<Linear>(width, out, rng);
+  return net;
+}
+
+}  // namespace fsda::nn

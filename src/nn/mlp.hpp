@@ -1,0 +1,32 @@
+// fsda::nn -- convenience builders for the standard trunk architectures used
+// across the repository (classifier MLPs, GAN generator/discriminator, VAE).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace fsda::nn {
+
+/// Hidden activation choice for mlp_trunk.
+enum class Activation { ReLU, LeakyReLU, Tanh };
+
+/// Builds Linear->Act[->BatchNorm][->Dropout] stacks ending in a Linear head
+/// with no output activation.
+///
+///   in -> hidden[0] -> ... -> hidden.back() -> out
+///
+/// `batch_norm` inserts BatchNorm1d after each hidden activation (the
+/// CTGAN-style generator), `dropout_p > 0` inserts Dropout (the CTGAN-style
+/// discriminator).
+std::unique_ptr<Sequential> mlp_trunk(std::size_t in, std::size_t out,
+                                      const std::vector<std::size_t>& hidden,
+                                      common::Rng& rng,
+                                      Activation activation = Activation::ReLU,
+                                      bool batch_norm = false,
+                                      double dropout_p = 0.0);
+
+}  // namespace fsda::nn

@@ -1,0 +1,101 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  for (Parameter* p : params_) FSDA_CHECK_MSG(p != nullptr, "null parameter");
+}
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  FSDA_CHECK_MSG(lr > 0.0, "non-positive learning rate");
+  FSDA_CHECK(momentum >= 0.0 && momentum < 1.0);
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    la::Matrix& vel = velocity_[i];
+    auto value = p.value.data();
+    auto grad = p.grad.data();
+    auto v = vel.data();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      v[j] = momentum_ * v[j] + grad[j];
+      value[j] -= lr_ * (v[j] + weight_decay_ * value[j]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  FSDA_CHECK_MSG(lr > 0.0, "non-positive learning rate");
+  FSDA_CHECK(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+    v_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    auto value = p.value.data();
+    auto grad = p.grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      value[j] -= lr_ * (m_hat / (std::sqrt(v_hat) + eps_) +
+                         weight_decay_ * value[j]);
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+  FSDA_CHECK_MSG(max_norm > 0.0, "non-positive clip norm");
+  double total = 0.0;
+  for (Parameter* p : params) {
+    for (double g : p->grad.data()) total += g * g;
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (Parameter* p : params) {
+      for (auto& g : p->grad.data()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace fsda::nn

@@ -1,0 +1,77 @@
+// fsda::nn -- gradient-based optimizers.
+//
+// The paper trains both GAN networks with Adam at lr 2e-4 and weight decay
+// 1e-6 (Section V-C3).  SGD (with momentum) is kept for tests and the
+// DANN/SCL baselines.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// Base class: owns a view of the parameters it updates.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients, then leaves the
+  /// gradients untouched (call zero_grad() to clear them).
+  virtual void step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  [[nodiscard]] const std::vector<Parameter*>& params() const {
+    return params_;
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  [[nodiscard]] double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<la::Matrix> velocity_;
+};
+
+/// Adam with decoupled weight decay (AdamW-style), bias-corrected.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr = 2e-4, double beta1 = 0.5,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 1e-6);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  [[nodiscard]] double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  std::vector<la::Matrix> m_;
+  std::vector<la::Matrix> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Clips the global L2 norm of all gradients to `max_norm` (stabilizes the
+/// adversarial baselines).  Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace fsda::nn

@@ -1,0 +1,34 @@
+#include "nn/parallel_sum.hpp"
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+ParallelSum::ParallelSum(LayerPtr a, LayerPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  FSDA_CHECK_MSG(a_ != nullptr && b_ != nullptr, "null branch");
+}
+
+la::Matrix ParallelSum::forward(const la::Matrix& input, bool training) {
+  la::Matrix out = a_->forward(input, training);
+  out += b_->forward(input, training);
+  return out;
+}
+
+la::Matrix ParallelSum::backward(const la::Matrix& grad_output) {
+  la::Matrix grad = a_->backward(grad_output);
+  grad += b_->backward(grad_output);
+  return grad;
+}
+
+std::vector<Parameter*> ParallelSum::parameters() {
+  std::vector<Parameter*> params = a_->parameters();
+  for (Parameter* p : b_->parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t ParallelSum::output_size(std::size_t input_size) const {
+  return a_->output_size(input_size);
+}
+
+}  // namespace fsda::nn

@@ -1,0 +1,28 @@
+// fsda::nn -- sum of two parallel branches sharing one input.
+//
+// Used by the reconstructors: a direct linear path captures the (dominant)
+// linear structure of telemetry conditionals quickly, while an MLP branch
+// learns the nonlinear correction.  y = branch_a(x) + branch_b(x).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// y = a(x) + b(x); gradients flow through both branches.
+class ParallelSum : public Layer {
+ public:
+  ParallelSum(LayerPtr a, LayerPtr b);
+
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "ParallelSum"; }
+  [[nodiscard]] std::size_t output_size(std::size_t input_size) const override;
+
+ private:
+  LayerPtr a_;
+  LayerPtr b_;
+};
+
+}  // namespace fsda::nn

@@ -1,0 +1,49 @@
+#include "nn/sequential.hpp"
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+std::vector<Parameter*> collect_parameters(
+    const std::vector<LayerPtr>& layers) {
+  std::vector<Parameter*> out;
+  for (const auto& layer : layers) {
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+void zero_gradients(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->zero_grad();
+}
+
+la::Matrix Sequential::forward(const la::Matrix& input, bool training) {
+  la::Matrix x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+la::Matrix Sequential::backward(const la::Matrix& grad_output) {
+  la::Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  return collect_parameters(layers_);
+}
+
+std::size_t Sequential::output_size(std::size_t input_size) const {
+  std::size_t size = input_size;
+  for (const auto& layer : layers_) size = layer->output_size(size);
+  return size;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  FSDA_CHECK_MSG(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+}  // namespace fsda::nn

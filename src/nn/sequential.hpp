@@ -1,0 +1,39 @@
+// fsda::nn -- sequential container of layers.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// Runs layers in order on forward and in reverse on backward.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (builder style).
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  la::Matrix forward(const la::Matrix& input, bool training) override;
+  la::Matrix backward(const la::Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+  [[nodiscard]] std::size_t output_size(std::size_t input_size) const override;
+
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace fsda::nn

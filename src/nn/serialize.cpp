@@ -1,0 +1,85 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace fsda::nn {
+
+using common::IoError;
+
+namespace {
+constexpr char kMagic[8] = {'F', 'S', 'D', 'A', 'N', 'N', '0', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw IoError("truncated parameter stream");
+  return v;
+}
+}  // namespace
+
+void save_parameters(std::ostream& out,
+                     const std::vector<Parameter*>& params) {
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, params.size());
+  for (const Parameter* p : params) {
+    FSDA_CHECK(p != nullptr);
+    write_u64(out, p->value.rows());
+    write_u64(out, p->value.cols());
+    const auto data = p->value.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(double)));
+  }
+  if (!out) throw IoError("failed writing parameter stream");
+}
+
+void load_parameters(std::istream& in, const std::vector<Parameter*>& params) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IoError("bad parameter stream magic");
+  }
+  const std::uint64_t count = read_u64(in);
+  if (count != params.size()) {
+    throw IoError("parameter count mismatch: stream has " +
+                  std::to_string(count) + ", model has " +
+                  std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    FSDA_CHECK(p != nullptr);
+    const std::uint64_t rows = read_u64(in);
+    const std::uint64_t cols = read_u64(in);
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      throw IoError("parameter shape mismatch on load");
+    }
+    auto data = p->value.data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(double)));
+    if (!in) throw IoError("truncated parameter stream");
+  }
+}
+
+void save_parameters_file(const std::string& path,
+                          const std::vector<Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  save_parameters(out, params);
+}
+
+void load_parameters_file(const std::string& path,
+                          const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  load_parameters(in, params);
+}
+
+}  // namespace fsda::nn

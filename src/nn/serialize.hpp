@@ -1,0 +1,28 @@
+// fsda::nn -- binary (de)serialization of parameter lists.
+//
+// Format: magic "FSDANN01", count, then per parameter rows/cols/doubles.
+// Shapes must match exactly on load, so a serialized model can only be
+// restored into an identically constructed network.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace fsda::nn {
+
+/// Writes all parameter values (not gradients) to the stream.
+void save_parameters(std::ostream& out, const std::vector<Parameter*>& params);
+
+/// Restores parameter values; throws IoError on format or shape mismatch.
+void load_parameters(std::istream& in, const std::vector<Parameter*>& params);
+
+/// File-path conveniences.
+void save_parameters_file(const std::string& path,
+                          const std::vector<Parameter*>& params);
+void load_parameters_file(const std::string& path,
+                          const std::vector<Parameter*>& params);
+
+}  // namespace fsda::nn

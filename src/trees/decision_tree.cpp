@@ -1,0 +1,226 @@
+#include "trees/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace fsda::trees {
+
+namespace {
+
+/// Weighted Gini impurity of a class-count vector.
+double gini(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double acc = 1.0;
+  for (double c : counts) {
+    const double p = c / total;
+    acc -= p * p;
+  }
+  return acc;
+}
+
+struct BestSplit {
+  std::int32_t feature = -1;
+  double threshold = 0.0;
+  double impurity_decrease = 0.0;
+  std::size_t split_pos = 0;  // within the sorted order of the chosen feature
+};
+
+}  // namespace
+
+void DecisionTree::fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+                       std::size_t num_classes,
+                       const std::vector<double>& weights,
+                       const TreeOptions& options, common::Rng& rng) {
+  const std::size_t n = x.rows();
+  FSDA_CHECK_MSG(n > 0, "fit on empty data");
+  FSDA_CHECK_MSG(y.size() == n, "labels/data mismatch");
+  FSDA_CHECK_MSG(num_classes >= 2, "need at least two classes");
+  FSDA_CHECK_MSG(weights.empty() || weights.size() == n, "weights mismatch");
+  for (std::int64_t label : y) {
+    FSDA_CHECK_MSG(label >= 0 &&
+                       static_cast<std::size_t>(label) < num_classes,
+                   "label " << label << " out of " << num_classes);
+  }
+  nodes_.clear();
+  num_classes_ = num_classes;
+  num_features_ = x.cols();
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(n, 1.0);
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Keep `w` reachable from build via capture of a member-free helper: pass
+  // weights through the recursion explicitly.
+  build_node(x, y, w, indices, 0, n, 0, options, rng);
+}
+
+std::size_t DecisionTree::build_node(
+    const la::Matrix& x, const std::vector<std::int64_t>& y,
+    const std::vector<double>& weights, std::vector<std::size_t>& indices,
+    std::size_t begin, std::size_t end, std::size_t depth,
+    const TreeOptions& options, common::Rng& rng) {
+  const std::size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+  const std::size_t count = end - begin;
+
+  // Node class distribution.
+  std::vector<double> counts(num_classes_, 0.0);
+  double total_weight = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t row = indices[i];
+    counts[static_cast<std::size_t>(y[row])] += weights[row];
+    total_weight += weights[row];
+  }
+  const double node_impurity = gini(counts, total_weight);
+
+  auto make_leaf = [&] {
+    Node& node = nodes_[node_index];
+    node.distribution.assign(num_classes_, 0.0);
+    if (total_weight > 0.0) {
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        node.distribution[c] = counts[c] / total_weight;
+      }
+    } else {
+      node.distribution.assign(num_classes_,
+                               1.0 / static_cast<double>(num_classes_));
+    }
+  };
+
+  const bool pure = node_impurity <= 1e-12;
+  if (depth >= options.max_depth || count < options.min_samples_split ||
+      pure) {
+    make_leaf();
+    return node_index;
+  }
+
+  // Candidate features.
+  std::vector<std::size_t> features;
+  if (options.max_features == 0 || options.max_features >= num_features_) {
+    features.resize(num_features_);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    features = rng.sample_without_replacement(num_features_,
+                                              options.max_features);
+  }
+
+  BestSplit best;
+  std::vector<std::size_t> order(indices.begin() + begin,
+                                 indices.begin() + end);
+  std::vector<std::size_t> best_order;
+  for (std::size_t f : features) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return x(a, f) < x(b, f);
+    });
+    // Scan split points between distinct values.
+    std::vector<double> left_counts(num_classes_, 0.0);
+    double left_weight = 0.0;
+    std::size_t left_n = 0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const std::size_t row = order[i];
+      left_counts[static_cast<std::size_t>(y[row])] += weights[row];
+      left_weight += weights[row];
+      ++left_n;
+      const double v = x(row, f);
+      const double v_next = x(order[i + 1], f);
+      if (v_next <= v) continue;  // tie: not a valid split point
+      const std::size_t right_n = order.size() - left_n;
+      if (left_n < options.min_samples_leaf ||
+          right_n < options.min_samples_leaf) {
+        continue;
+      }
+      const double right_weight = total_weight - left_weight;
+      if (left_weight <= 0.0 || right_weight <= 0.0) continue;
+      std::vector<double> right_counts(num_classes_);
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        right_counts[c] = counts[c] - left_counts[c];
+      }
+      const double decrease =
+          node_impurity -
+          (left_weight / total_weight) * gini(left_counts, left_weight) -
+          (right_weight / total_weight) * gini(right_counts, right_weight);
+      if (decrease > best.impurity_decrease) {
+        best.feature = static_cast<std::int32_t>(f);
+        best.threshold = 0.5 * (v + v_next);
+        best.impurity_decrease = decrease;
+        best.split_pos = left_n;
+        best_order = order;
+      }
+    }
+  }
+
+  if (best.feature < 0 ||
+      best.impurity_decrease < options.min_impurity_decrease) {
+    make_leaf();
+    return node_index;
+  }
+
+  // Partition indices[begin, end) by the winning split's sorted order.
+  std::copy(best_order.begin(), best_order.end(), indices.begin() + begin);
+  const std::size_t mid = begin + best.split_pos;
+  const std::size_t left_child = build_node(x, y, weights, indices, begin, mid,
+                                            depth + 1, options, rng);
+  const std::size_t right_child =
+      build_node(x, y, weights, indices, mid, end, depth + 1, options, rng);
+  Node& node = nodes_[node_index];
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.left = static_cast<std::int32_t>(left_child);
+  node.right = static_cast<std::int32_t>(right_child);
+  return node_index;
+}
+
+const DecisionTree::Node& DecisionTree::leaf_for(const la::Matrix& x,
+                                                 std::size_t row) const {
+  FSDA_CHECK_MSG(is_fitted(), "predict before fit");
+  std::size_t current = 0;
+  for (;;) {
+    const Node& node = nodes_[current];
+    if (node.left < 0) return node;
+    const double v = x(row, static_cast<std::size_t>(node.feature));
+    current = static_cast<std::size_t>(v <= node.threshold ? node.left
+                                                           : node.right);
+  }
+}
+
+la::Matrix DecisionTree::predict_proba(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(x.cols() == num_features_, "feature width mismatch");
+  la::Matrix out(x.rows(), num_classes_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const Node& leaf = leaf_for(x, r);
+    out.set_row(r, leaf.distribution);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> DecisionTree::predict(const la::Matrix& x) const {
+  const la::Matrix proba = predict_proba(x);
+  std::vector<std::int64_t> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = proba.row(r);
+    out[r] = static_cast<std::int64_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Depth by iterative traversal over the flat node array.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& node = nodes_[idx];
+    if (node.left >= 0) {
+      stack.push_back({static_cast<std::size_t>(node.left), d + 1});
+      stack.push_back({static_cast<std::size_t>(node.right), d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace fsda::trees

@@ -1,0 +1,74 @@
+// fsda::trees -- CART classification tree.
+//
+// Gini-impurity splits on continuous features with optional per-sample
+// weights and per-node feature subsampling (the random-forest hook).
+// Trees are stored as flat node arrays for cache-friendly prediction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::trees {
+
+/// Hyperparameters shared by single trees and forests.
+struct TreeOptions {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features tried per node; 0 = all, otherwise min(value, d).
+  std::size_t max_features = 0;
+  double min_impurity_decrease = 1e-9;
+};
+
+/// A fitted CART classifier.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits on row-sample data with integer labels in [0, num_classes).
+  /// `weights` may be empty (uniform).  `rng` drives feature subsampling.
+  void fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+           std::size_t num_classes, const std::vector<double>& weights,
+           const TreeOptions& options, common::Rng& rng);
+
+  /// Class-probability rows (leaf class frequencies).
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x) const;
+
+  /// Hard predictions (argmax of leaf distribution).
+  [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x) const;
+
+  [[nodiscard]] bool is_fitted() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold valid, left/right >= 0.
+    // Leaf: left == -1, distribution holds class probabilities.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::vector<double> distribution;
+  };
+
+  std::size_t build_node(const la::Matrix& x,
+                         const std::vector<std::int64_t>& y,
+                         const std::vector<double>& weights,
+                         std::vector<std::size_t>& indices, std::size_t begin,
+                         std::size_t end, std::size_t depth,
+                         const TreeOptions& options, common::Rng& rng);
+
+  [[nodiscard]] const Node& leaf_for(const la::Matrix& x, std::size_t row)
+      const;
+
+  std::vector<Node> nodes_;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace fsda::trees

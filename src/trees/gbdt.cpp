@@ -1,0 +1,262 @@
+#include "trees/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+
+namespace fsda::trees {
+
+Gbdt::Gbdt(GbdtOptions options) : options_(options) {
+  FSDA_CHECK(options_.rounds > 0);
+  FSDA_CHECK(options_.learning_rate > 0.0);
+  FSDA_CHECK(options_.num_bins >= 2 && options_.num_bins <= 255);
+  FSDA_CHECK(options_.colsample > 0.0 && options_.colsample <= 1.0);
+}
+
+double Gbdt::Tree::predict_row(const la::Matrix& x, std::size_t row) const {
+  std::size_t current = 0;
+  for (;;) {
+    const Node& node = nodes[current];
+    if (node.left < 0) return node.value;
+    const double v = x(row, static_cast<std::size_t>(node.feature));
+    current = static_cast<std::size_t>(v <= node.threshold ? node.left
+                                                           : node.right);
+  }
+}
+
+Gbdt::Tree Gbdt::build_tree(const std::vector<std::uint8_t>& bins,
+                            const std::vector<std::vector<double>>& bin_edges,
+                            std::size_t n, const std::vector<double>& grad,
+                            const std::vector<double>& hess,
+                            const std::vector<std::size_t>& feature_pool)
+    const {
+  Tree tree;
+  const std::size_t d = num_features_;
+  const std::size_t b = options_.num_bins;
+
+  struct WorkItem {
+    std::vector<std::size_t> rows;
+    std::size_t depth;
+    std::int32_t node_index;
+  };
+
+  tree.nodes.emplace_back();
+  std::vector<WorkItem> stack;
+  {
+    WorkItem root;
+    root.rows.resize(n);
+    std::iota(root.rows.begin(), root.rows.end(), std::size_t{0});
+    root.depth = 0;
+    root.node_index = 0;
+    stack.push_back(std::move(root));
+  }
+
+  std::vector<double> hist_g(b), hist_h(b);
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+
+    double g_total = 0.0, h_total = 0.0;
+    for (std::size_t row : item.rows) {
+      g_total += grad[row];
+      h_total += hess[row];
+    }
+    const double parent_score =
+        g_total * g_total / (h_total + options_.lambda);
+
+    auto make_leaf = [&] {
+      tree.nodes[static_cast<std::size_t>(item.node_index)].value =
+          -g_total / (h_total + options_.lambda);
+    };
+
+    if (item.depth >= options_.max_depth || item.rows.size() < 2 ||
+        h_total < 2.0 * options_.min_child_weight) {
+      make_leaf();
+      continue;
+    }
+
+    // Best split across the sampled feature pool via bin histograms.
+    double best_gain = options_.min_gain;
+    std::int32_t best_feature = -1;
+    std::size_t best_bin = 0;
+    for (std::size_t f : feature_pool) {
+      std::fill(hist_g.begin(), hist_g.end(), 0.0);
+      std::fill(hist_h.begin(), hist_h.end(), 0.0);
+      for (std::size_t row : item.rows) {
+        const std::uint8_t bin = bins[row * d + f];
+        hist_g[bin] += grad[row];
+        hist_h[bin] += hess[row];
+      }
+      double gl = 0.0, hl = 0.0;
+      for (std::size_t bin = 0; bin + 1 < b; ++bin) {
+        gl += hist_g[bin];
+        hl += hist_h[bin];
+        const double gr = g_total - gl;
+        const double hr = h_total - hl;
+        if (hl < options_.min_child_weight || hr < options_.min_child_weight) {
+          continue;
+        }
+        const double gain = 0.5 * (gl * gl / (hl + options_.lambda) +
+                                   gr * gr / (hr + options_.lambda) -
+                                   parent_score);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<std::int32_t>(f);
+          best_bin = bin;
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      make_leaf();
+      continue;
+    }
+
+    // Partition rows by bin index.
+    WorkItem left, right;
+    left.depth = right.depth = item.depth + 1;
+    for (std::size_t row : item.rows) {
+      if (bins[row * d + static_cast<std::size_t>(best_feature)] <= best_bin) {
+        left.rows.push_back(row);
+      } else {
+        right.rows.push_back(row);
+      }
+    }
+    FSDA_CHECK(!left.rows.empty() && !right.rows.empty());
+
+    Node& node = tree.nodes[static_cast<std::size_t>(item.node_index)];
+    node.feature = best_feature;
+    node.threshold =
+        bin_edges[static_cast<std::size_t>(best_feature)][best_bin];
+    node.left = static_cast<std::int32_t>(tree.nodes.size());
+    node.right = static_cast<std::int32_t>(tree.nodes.size() + 1);
+    left.node_index = node.left;
+    right.node_index = node.right;
+    tree.nodes.emplace_back();
+    tree.nodes.emplace_back();
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+  return tree;
+}
+
+void Gbdt::fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+               std::size_t num_classes, const std::vector<double>& weights,
+               std::uint64_t seed) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  FSDA_CHECK_MSG(n > 0 && d > 0, "fit on empty data");
+  FSDA_CHECK(y.size() == n);
+  FSDA_CHECK(num_classes >= 2);
+  FSDA_CHECK(weights.empty() || weights.size() == n);
+  num_classes_ = num_classes;
+  num_features_ = d;
+  trees_.clear();
+
+  // Quantile bin edges per feature; edge[k] is the upper raw value of bin k.
+  const std::size_t b = options_.num_bins;
+  std::vector<std::vector<double>> bin_edges(d, std::vector<double>(b));
+  std::vector<double> column(n);
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t r = 0; r < n; ++r) column[r] = x(r, f);
+    std::sort(column.begin(), column.end());
+    for (std::size_t k = 0; k < b; ++k) {
+      const double q = static_cast<double>(k + 1) / static_cast<double>(b);
+      const auto pos = std::min<std::size_t>(
+          n - 1, static_cast<std::size_t>(q * static_cast<double>(n)) -
+                     ((q * static_cast<double>(n)) >= 1.0 ? 1 : 0));
+      bin_edges[f][k] = column[pos];
+    }
+    bin_edges[f][b - 1] = column[n - 1];
+  }
+
+  // Bin index matrix (row-major, n x d).
+  std::vector<std::uint8_t> bins(n * d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t f = 0; f < d; ++f) {
+      const double v = x(r, f);
+      const auto& edges = bin_edges[f];
+      const auto it = std::lower_bound(edges.begin(), edges.end(), v);
+      const std::size_t bin =
+          std::min<std::size_t>(static_cast<std::size_t>(it - edges.begin()),
+                                b - 1);
+      bins[r * d + f] = static_cast<std::uint8_t>(bin);
+    }
+  }
+
+  // Base score: per-class weighted log prior.
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(n, 1.0);
+  base_score_.assign(num_classes_, 0.0);
+  {
+    std::vector<double> prior(num_classes_, 1e-6);
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      prior[static_cast<std::size_t>(y[r])] += w[r];
+      total += w[r];
+    }
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      base_score_[c] = std::log(prior[c] / total);
+    }
+  }
+
+  la::Matrix logits(n, num_classes_);
+  for (std::size_t r = 0; r < n; ++r) logits.set_row(r, base_score_);
+
+  common::Rng rng(seed ^ 0xB0057EDULL);
+  const auto pool_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.colsample *
+                                  static_cast<double>(d)));
+
+  std::vector<double> grad(n), hess(n);
+  for (std::size_t round = 0; round < options_.rounds; ++round) {
+    const la::Matrix probs = nn::softmax_rows(logits);
+    const auto feature_pool = rng.sample_without_replacement(d, pool_size);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      for (std::size_t r = 0; r < n; ++r) {
+        const double p = probs(r, c);
+        const double target = (static_cast<std::size_t>(y[r]) == c) ? 1.0
+                                                                    : 0.0;
+        grad[r] = w[r] * (p - target);
+        hess[r] = std::max(w[r] * p * (1.0 - p), 1e-12);
+      }
+      Tree tree = build_tree(bins, bin_edges, n, grad, hess, feature_pool);
+      for (std::size_t r = 0; r < n; ++r) {
+        logits(r, c) += options_.learning_rate * tree.predict_row(x, r);
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+  fitted_ = true;
+}
+
+la::Matrix Gbdt::predict_proba(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(fitted_, "predict before fit");
+  FSDA_CHECK(x.cols() == num_features_);
+  la::Matrix logits(x.rows(), num_classes_);
+  for (std::size_t r = 0; r < x.rows(); ++r) logits.set_row(r, base_score_);
+  // Trees are stored class-major within each round.
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const std::size_t c = t % num_classes_;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      logits(r, c) += options_.learning_rate * trees_[t].predict_row(x, r);
+    }
+  }
+  return nn::softmax_rows(logits);
+}
+
+std::vector<std::int64_t> Gbdt::predict(const la::Matrix& x) const {
+  const la::Matrix proba = predict_proba(x);
+  std::vector<std::int64_t> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = proba.row(r);
+    out[r] = static_cast<std::int64_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+}  // namespace fsda::trees

@@ -1,0 +1,72 @@
+// fsda::trees -- XGBoost-style gradient-boosted decision trees (the "XGB"
+// downstream model of the paper's Table I).
+//
+// Softmax multiclass boosting with second-order (grad/hess) leaf weights,
+// lambda-regularized gain, histogram split finding on quantile bins, and
+// column subsampling.  One regression tree per class per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::trees {
+
+struct GbdtOptions {
+  std::size_t rounds = 25;
+  double learning_rate = 0.3;
+  std::size_t max_depth = 4;
+  double lambda = 1.0;            ///< L2 regularization on leaf weights
+  double min_child_weight = 1.0;  ///< minimum hessian sum per child
+  double min_gain = 1e-6;
+  double colsample = 0.6;  ///< fraction of features tried per tree
+  std::size_t num_bins = 32;
+};
+
+/// Gradient-boosted classifier.
+class Gbdt {
+ public:
+  explicit Gbdt(GbdtOptions options = {});
+
+  void fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+           std::size_t num_classes, const std::vector<double>& weights,
+           std::uint64_t seed);
+
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x) const;
+  [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x) const;
+
+  [[nodiscard]] bool is_fitted() const { return fitted_; }
+  [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t feature = -1;
+    double threshold = 0.0;  ///< raw-value threshold (go left if <=)
+    double value = 0.0;      ///< leaf weight
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    [[nodiscard]] double predict_row(const la::Matrix& x,
+                                     std::size_t row) const;
+  };
+
+  /// Builds one regression tree on (grad, hess) using binned features.
+  Tree build_tree(const std::vector<std::uint8_t>& bins,
+                  const std::vector<std::vector<double>>& bin_edges,
+                  std::size_t n, const std::vector<double>& grad,
+                  const std::vector<double>& hess,
+                  const std::vector<std::size_t>& feature_pool) const;
+
+  GbdtOptions options_;
+  std::vector<Tree> trees_;  ///< rounds * num_classes trees, class-major
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  std::vector<double> base_score_;  ///< initial per-class log-odds
+  bool fitted_ = false;
+};
+
+}  // namespace fsda::trees

@@ -1,0 +1,93 @@
+#include "trees/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace fsda::trees {
+
+RandomForest::RandomForest(ForestOptions options)
+    : options_(std::move(options)) {
+  FSDA_CHECK_MSG(options_.num_trees > 0, "forest needs at least one tree");
+  FSDA_CHECK(options_.bootstrap_fraction > 0.0 &&
+             options_.bootstrap_fraction <= 1.0);
+}
+
+void RandomForest::fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+                       std::size_t num_classes,
+                       const std::vector<double>& weights,
+                       std::uint64_t seed) {
+  const std::size_t n = x.rows();
+  FSDA_CHECK_MSG(n > 0, "fit on empty data");
+  num_classes_ = num_classes;
+  trees_.assign(options_.num_trees, DecisionTree{});
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(x.cols()))));
+  }
+  const auto boot_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.bootstrap_fraction *
+                                  static_cast<double>(n)));
+
+  auto fit_tree = [&](std::size_t t) {
+    common::Rng rng(seed ^ (0x5DEECE66DULL * (t + 1)));
+    // Bootstrap resample expressed as per-sample multiplicity weights, so
+    // the tree sees the full matrix but an importance-weighted distribution.
+    std::vector<double> boot_weights(n, 0.0);
+    for (std::size_t i = 0; i < boot_n; ++i) {
+      boot_weights[rng.uniform_index(n)] += 1.0;
+    }
+    if (!weights.empty()) {
+      for (std::size_t i = 0; i < n; ++i) boot_weights[i] *= weights[i];
+    }
+    // Trees cannot split zero-weight rows usefully, but they are harmless:
+    // they contribute nothing to counts.  Keep index set to weighted rows to
+    // reduce sorting work.
+    std::vector<std::size_t> rows;
+    rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (boot_weights[i] > 0.0) rows.push_back(i);
+    }
+    const la::Matrix xb = x.select_rows(rows);
+    std::vector<std::int64_t> yb(rows.size());
+    std::vector<double> wb(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      yb[i] = y[rows[i]];
+      wb[i] = boot_weights[rows[i]];
+    }
+    trees_[t].fit(xb, yb, num_classes_, wb, tree_options, rng);
+  };
+
+  if (options_.parallel) {
+    common::parallel_for(trees_.size(), fit_tree);
+  } else {
+    for (std::size_t t = 0; t < trees_.size(); ++t) fit_tree(t);
+  }
+}
+
+la::Matrix RandomForest::predict_proba(const la::Matrix& x) const {
+  FSDA_CHECK_MSG(is_fitted(), "predict before fit");
+  la::Matrix acc(x.rows(), num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    acc += tree.predict_proba(x);
+  }
+  acc *= 1.0 / static_cast<double>(trees_.size());
+  return acc;
+}
+
+std::vector<std::int64_t> RandomForest::predict(const la::Matrix& x) const {
+  const la::Matrix proba = predict_proba(x);
+  std::vector<std::int64_t> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = proba.row(r);
+    out[r] = static_cast<std::int64_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+}  // namespace fsda::trees

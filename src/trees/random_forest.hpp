@@ -1,0 +1,51 @@
+// fsda::trees -- bootstrap-aggregated random forest classifier (the "RF"
+// downstream model of the paper's Table I).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trees/decision_tree.hpp"
+
+namespace fsda::trees {
+
+struct ForestOptions {
+  std::size_t num_trees = 50;
+  TreeOptions tree;
+  /// Bootstrap sample fraction of the training set per tree.
+  double bootstrap_fraction = 1.0;
+  /// Fit trees on the global thread pool.
+  bool parallel = true;
+
+  ForestOptions() {
+    tree.max_depth = 14;
+    tree.min_samples_leaf = 1;
+    tree.min_samples_split = 2;
+    // max_features = 0 here means "auto": sqrt(d), resolved at fit time.
+  }
+};
+
+/// Random forest: bagged CART trees with sqrt(d) feature subsampling.
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {});
+
+  void fit(const la::Matrix& x, const std::vector<std::int64_t>& y,
+           std::size_t num_classes, const std::vector<double>& weights,
+           std::uint64_t seed);
+
+  /// Average of tree leaf distributions.
+  [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x) const;
+  [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x) const;
+
+  [[nodiscard]] bool is_fitted() const { return !trees_.empty(); }
+  [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace fsda::trees

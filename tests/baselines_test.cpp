@@ -1,0 +1,217 @@
+// Tests for the compared DA approaches: each method must fit/predict on a
+// tiny drift instance and beat chance; method-specific internals (CORAL
+// transform, SupCon gradient, FastICA) are checked directly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cmt.hpp"
+#include "common/error.hpp"
+#include "baselines/coral.hpp"
+#include "baselines/dann.hpp"
+#include "baselines/fewshot_nets.hpp"
+#include "baselines/icd.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/ours.hpp"
+#include "baselines/registry.hpp"
+#include "baselines/scl.hpp"
+#include "data/gen5gc.hpp"
+#include "eval/metrics.hpp"
+#include "la/stats.hpp"
+#include "models/factory.hpp"
+
+namespace fsda::baselines {
+namespace {
+
+struct TinyInstance {
+  data::DomainSplit split;
+  data::Dataset shots;
+  models::ClassifierFactory factory;
+};
+
+const TinyInstance& tiny_instance() {
+  static const TinyInstance instance = [] {
+    TinyInstance t;
+    t.split = data::generate_5gc(data::Gen5GCConfig::tiny());
+    t.shots = data::sample_few_shot(t.split.target_pool, 5, 3);
+    t.factory = models::make_classifier_factory("mlp");
+    return t;
+  }();
+  return instance;
+}
+
+double run_method(DAMethod& method) {
+  const TinyInstance& t = tiny_instance();
+  DAContext context{t.split.source_train, t.shots, t.factory, /*seed=*/17};
+  method.fit(context);
+  const auto predicted = method.predict(t.split.target_test.x);
+  return eval::macro_f1(t.split.target_test.y, predicted,
+                        t.split.target_test.num_classes);
+}
+
+// Chance macro-F1 for 16 roughly balanced classes is ~0.06.
+constexpr double kChance16 = 0.10;
+
+TEST(NaiveBaselinesTest, TarOnlyAndSAndTBeatChance) {
+  TarOnly tar_only;
+  EXPECT_GT(run_method(tar_only), kChance16);
+  SourceAndTarget s_and_t;
+  EXPECT_GT(run_method(s_and_t), kChance16);
+}
+
+TEST(NaiveBaselinesTest, FineTuneBeatsChance) {
+  FineTune fine_tune;
+  EXPECT_FALSE(fine_tune.model_agnostic());
+  EXPECT_GT(run_method(fine_tune), kChance16);
+}
+
+TEST(CoralTest, TransformMatchesTargetMoments) {
+  common::Rng rng(1);
+  la::Matrix source = la::Matrix::randn(400, 3, rng);
+  la::Matrix target = la::Matrix::randn(300, 3, rng);
+  for (std::size_t r = 0; r < target.rows(); ++r) {
+    target(r, 0) = target(r, 0) * 2.0 + 5.0;  // different scale + mean
+  }
+  const la::Matrix aligned = coral_transform(source, target, 0.2);
+  EXPECT_NEAR(la::mean(aligned.col_vector(0)),
+              la::mean(target.col_vector(0)), 0.3);
+  EXPECT_NEAR(la::stddev(aligned.col_vector(0)),
+              la::stddev(target.col_vector(0)), 0.4);
+}
+
+TEST(CoralTest, EndToEndBeatsChance) {
+  Coral coral;
+  EXPECT_GT(run_method(coral), kChance16);
+}
+
+TEST(DannTest, TrainsAndBeatsChance) {
+  DannOptions options;
+  options.epochs = 10;
+  Dann dann(options);
+  EXPECT_FALSE(dann.model_agnostic());
+  EXPECT_GT(run_method(dann), kChance16);
+}
+
+TEST(SupConTest, GradientMatchesFiniteDifference) {
+  common::Rng rng(2);
+  la::Matrix z = la::Matrix::randn(6, 4, rng);
+  const std::vector<std::int64_t> labels = {0, 0, 1, 1, 2, 2};
+  const SupConResult analytic = supcon_loss(z, labels, 0.5);
+  const double eps = 1e-5;
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      const double original = z(r, c);
+      z(r, c) = original + eps;
+      const double up = supcon_loss(z, labels, 0.5).value;
+      z(r, c) = original - eps;
+      const double down = supcon_loss(z, labels, 0.5).value;
+      z(r, c) = original;
+      EXPECT_NEAR(analytic.grad(r, c), (up - down) / (2 * eps), 1e-6);
+    }
+  }
+}
+
+TEST(SupConTest, PullsPositivesTogether) {
+  // Loss must be lower when same-class embeddings are closer.
+  la::Matrix tight{{1, 0}, {0.99, 0.14}, {-1, 0}, {-0.99, 0.14}};
+  la::Matrix loose{{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  const std::vector<std::int64_t> labels = {0, 0, 1, 1};
+  EXPECT_LT(supcon_loss(tight, labels, 0.5).value,
+            supcon_loss(loose, labels, 0.5).value);
+}
+
+TEST(SclTest, TrainsAndBeatsChance) {
+  SclOptions options;
+  options.epochs = 8;
+  Scl scl(options);
+  EXPECT_GT(run_method(scl), kChance16);
+}
+
+TEST(FewShotNetsTest, MatchNetAndProtoNetBeatChance) {
+  EpisodicOptions options;
+  options.episodes = 60;
+  MatchNet match(options);
+  EXPECT_GT(run_method(match), kChance16);
+  ProtoNet proto(options);
+  EXPECT_GT(run_method(proto), kChance16);
+}
+
+TEST(FastIcaTest, RecoversComponentSubspace) {
+  // Mix two independent non-Gaussian sources; unmix->mix must reconstruct.
+  common::Rng rng(3);
+  const std::size_t n = 1000;
+  la::Matrix x(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double s1 = rng.uniform(-1.7, 1.7);        // uniform source
+    const double s2 = rng.bernoulli(0.5) ? 1 : -1;   // binary source
+    x(r, 0) = 2.0 * s1 + 0.5 * s2;
+    x(r, 1) = -1.0 * s1 + 1.5 * s2;
+    x(r, 2) = 0.5 * s1 - 0.5 * s2;
+  }
+  const IcaModel ica = fast_ica(x, 2, 100, 5);
+  const la::Matrix s = ica.to_components(x);
+  EXPECT_EQ(s.cols(), 2u);
+  const la::Matrix back = ica.to_inputs(s);
+  // Rank-2 data reconstructs through the 2-component model.
+  double err = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      err += std::abs(back(r, c) - x(r, c));
+    }
+  }
+  EXPECT_LT(err / static_cast<double>(n * 3), 0.05);
+  // Components are decorrelated.
+  EXPECT_NEAR(la::pearson(s.col_vector(0), s.col_vector(1)), 0.0, 0.1);
+}
+
+TEST(CmtTest, AugmentsAndBeatsChance) {
+  Cmt cmt;
+  EXPECT_GT(run_method(cmt), kChance16);
+}
+
+TEST(IcdTest, FlagsFewerFeaturesThanFs) {
+  const TinyInstance& t = tiny_instance();
+  Icd icd;
+  DAContext context{t.split.source_train, t.shots, t.factory, 17};
+  icd.fit(context);
+  FsMethod fs;
+  fs.fit(context);
+  // The paper observes ICD identifies far fewer variant features than FS.
+  EXPECT_LE(icd.variant().size(), fs.separation().variant.size());
+}
+
+TEST(OursTest, FsAndFsGanBeatSrcOnly) {
+  SrcOnly src_only;
+  const double src_f1 = run_method(src_only);
+  FsMethod fs;
+  const double fs_f1 = run_method(fs);
+  FsReconMethod fs_gan;
+  const double gan_f1 = run_method(fs_gan);
+  EXPECT_GT(fs_f1, src_f1 + 0.15);
+  EXPECT_GT(gan_f1, src_f1 + 0.15);
+}
+
+TEST(RegistryTest, ContainsAllFourteenMethodsInPaperOrder) {
+  const auto methods = make_table1_methods();
+  ASSERT_EQ(methods.size(), 13u);  // 14 rows incl. both of ours
+  EXPECT_EQ(methods.front().name, "FS+GAN (ours)");
+  EXPECT_EQ(methods[1].name, "FS (ours)");
+  EXPECT_EQ(methods.back().name, "ProtoNet");
+  for (const auto& entry : methods) {
+    EXPECT_NE(entry.make(), nullptr);
+  }
+  EXPECT_EQ(find_method(methods, "CORAL").group, "Domain Independent");
+  EXPECT_THROW(find_method(methods, "nope"), common::ArgumentError);
+}
+
+TEST(RegistryTest, AblationVariantsAreDistinct) {
+  const auto methods = make_ablation_methods();
+  ASSERT_EQ(methods.size(), 4u);
+  EXPECT_EQ(methods[0].name, "FS+GAN (ours)");
+  EXPECT_EQ(methods[1].name, "FS+NoCond");
+  EXPECT_EQ(methods[2].name, "FS+VAE");
+  EXPECT_EQ(methods[3].name, "FS+VanillaAE");
+}
+
+}  // namespace
+}  // namespace fsda::baselines

@@ -1,0 +1,70 @@
+// Tests for fsda::causal::Graph.
+#include <gtest/gtest.h>
+
+#include "causal/graph.hpp"
+#include "common/error.hpp"
+
+namespace fsda::causal {
+namespace {
+
+TEST(GraphTest, EdgeLifecycle) {
+  Graph g(4);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  g.add_undirected_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_undirected_edge(0, 1));
+  EXPECT_FALSE(g.has_directed_edge(0, 1));
+  g.orient(0, 1);
+  EXPECT_TRUE(g.has_directed_edge(0, 1));
+  EXPECT_FALSE(g.has_directed_edge(1, 0));
+  EXPECT_FALSE(g.has_undirected_edge(0, 1));
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(GraphTest, SelfLoopAndMissingEdgeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_undirected_edge(1, 1), common::InvariantError);
+  EXPECT_THROW(g.orient(0, 1), common::InvariantError);
+  EXPECT_THROW(static_cast<void>(g.has_edge(0, 3)),
+               common::InvariantError);
+}
+
+TEST(GraphTest, NeighborsParentsChildren) {
+  Graph g(5);
+  g.add_undirected_edge(0, 1);
+  g.add_undirected_edge(0, 2);
+  g.add_undirected_edge(0, 3);
+  g.orient(1, 0);  // 1 -> 0
+  g.orient(0, 2);  // 0 -> 2
+  EXPECT_EQ(g.neighbors(0), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(g.parents(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(g.children(0), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphTest, DirectedPathSearch) {
+  Graph g(5);
+  g.add_undirected_edge(0, 1);
+  g.orient(0, 1);
+  g.add_undirected_edge(1, 2);
+  g.orient(1, 2);
+  g.add_undirected_edge(3, 4);  // undirected edges do not form paths
+  EXPECT_TRUE(g.has_directed_path(0, 2));
+  EXPECT_FALSE(g.has_directed_path(2, 0));
+  EXPECT_FALSE(g.has_directed_path(3, 4));
+}
+
+TEST(GraphTest, ToStringRendersMarks) {
+  Graph g(3);
+  g.add_undirected_edge(0, 1);
+  g.add_undirected_edge(1, 2);
+  g.orient(1, 2);
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("0--1"), std::string::npos);
+  EXPECT_NE(s.find("1->2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsda::causal

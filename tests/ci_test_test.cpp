@@ -1,0 +1,100 @@
+// Tests for the conditional-independence tests behind the FS method.
+#include <gtest/gtest.h>
+
+#include "causal/ci_test.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fsda::causal {
+namespace {
+
+/// Chain X -> Z -> Y plus an independent W.
+la::Matrix make_chain_data(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  la::Matrix data(n, 4);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x = rng.normal();
+    const double z = 0.8 * x + 0.5 * rng.normal();
+    const double y = 0.8 * z + 0.5 * rng.normal();
+    data(r, 0) = x;
+    data(r, 1) = y;
+    data(r, 2) = z;
+    data(r, 3) = rng.normal();  // w
+  }
+  return data;
+}
+
+TEST(FisherZTest, DetectsMarginalDependence) {
+  const FisherZTest test(make_chain_data(2000, 1), 0.01);
+  EXPECT_FALSE(test.test(0, 1, {}).independent);  // x ~ y via chain
+  EXPECT_FALSE(test.test(0, 2, {}).independent);  // x ~ z directly
+}
+
+TEST(FisherZTest, AcceptsTrueIndependence) {
+  const FisherZTest test(make_chain_data(2000, 2), 0.01);
+  EXPECT_TRUE(test.test(0, 3, {}).independent);  // x vs w
+  EXPECT_TRUE(test.test(1, 3, {}).independent);  // y vs w
+}
+
+TEST(FisherZTest, ConditioningOnMediatorSeparates) {
+  const FisherZTest test(make_chain_data(2000, 3), 0.01);
+  const std::vector<std::size_t> given = {2};
+  EXPECT_TRUE(test.test(0, 1, given).independent);   // x ⊥ y | z
+  EXPECT_FALSE(test.test(0, 2, given.empty() ? given : std::vector<std::size_t>{})
+                   .independent);
+}
+
+TEST(FisherZTest, PValuesAreProbabilities) {
+  const FisherZTest test(make_chain_data(500, 4), 0.05);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      const CiResult r = test.test(i, j, {});
+      EXPECT_GE(r.p_value, 0.0);
+      EXPECT_LE(r.p_value, 1.0);
+    }
+  }
+}
+
+TEST(FisherZTest, InsufficientDfIsConservative) {
+  // 10 samples, conditioning on 8 variables -> df <= 1 -> "independent".
+  common::Rng rng(5);
+  const la::Matrix data = la::Matrix::randn(10, 10, rng);
+  const FisherZTest test(data, 0.05);
+  std::vector<std::size_t> given = {2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_TRUE(test.test(0, 1, given).independent);
+}
+
+TEST(OlsResidualTest, RemovesLinearComponent) {
+  common::Rng rng(6);
+  const std::size_t n = 500;
+  la::Matrix design(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    design(r, 0) = rng.normal();
+    y[r] = 3.0 * design(r, 0) + 1.0 + 0.1 * rng.normal();
+  }
+  const std::vector<double> residual = ols_residual(design, y);
+  // Residuals are small and uncorrelated with the regressor.
+  double corr_acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) corr_acc += residual[r] * design(r, 0);
+  EXPECT_NEAR(corr_acc / static_cast<double>(n), 0.0, 1e-6);
+}
+
+TEST(PermutationCiTest, AgreesWithFisherZOnClearCases) {
+  const la::Matrix data = make_chain_data(400, 7);
+  const PermutationCiTest test(data, 0.05, 200);
+  EXPECT_FALSE(test.test(0, 2, {}).independent);  // strong dependence
+  EXPECT_TRUE(test.test(0, 3, {}).independent);   // independence
+  const std::vector<std::size_t> given = {2};
+  EXPECT_TRUE(test.test(0, 1, given).independent);  // x ⊥ y | z
+}
+
+TEST(PermutationCiTest, ValidatesParameters) {
+  const la::Matrix data = make_chain_data(100, 8);
+  EXPECT_THROW(PermutationCiTest(data, 1.5), common::InvariantError);
+  EXPECT_THROW(PermutationCiTest(data, 0.05, 5), common::InvariantError);
+}
+
+}  // namespace
+}  // namespace fsda::causal

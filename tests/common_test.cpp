@@ -1,0 +1,232 @@
+// Tests for fsda::common -- RNG determinism and statistics, CSV handling,
+// env parsing, thread pool semantics, and the error macros.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+
+namespace fsda::common {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double mean = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= 10000.0;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(11);
+  double mean = 0.0, m2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    mean += x;
+    m2 += x * x;
+  }
+  mean /= n;
+  m2 /= n;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(m2, 1.0, 0.05);
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(3);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 14000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 250);
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), InvariantError);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0], 1000, 150);
+  EXPECT_NEAR(counts[1], 3000, 250);
+  EXPECT_NEAR(counts[3], 6000, 300);
+}
+
+TEST(RngTest, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), InvariantError);
+  std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(rng.categorical(negative), InvariantError);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(13);
+  const auto picks = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 9u);
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(13);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), InvariantError);
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng parent(77);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(CsvTest, SplitHandlesQuotesAndEscapes) {
+  const auto fields = split_csv_line(R"(a,"b,c","d""e",f)");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+  EXPECT_EQ(fields[3], "f");
+}
+
+TEST(CsvTest, EscapeRoundTrips) {
+  EXPECT_EQ(escape_csv_field("plain"), "plain");
+  EXPECT_EQ(escape_csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape_csv_field("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "fsda_csv_test.csv").string();
+  CsvTable table;
+  table.header = {"name", "value"};
+  table.rows = {{"alpha", "1.5"}, {"beta, with comma", "2"}};
+  write_csv(path, table);
+  const CsvTable loaded = read_csv(path);
+  EXPECT_EQ(loaded.header, table.header);
+  EXPECT_EQ(loaded.rows, table.rows);
+  EXPECT_EQ(loaded.column_index("value"), 1u);
+  EXPECT_THROW(static_cast<void>(loaded.column_index("missing")),
+               ArgumentError);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, ReadRejectsMissingFile) {
+  EXPECT_THROW(read_csv("/nonexistent/path/file.csv"), IoError);
+}
+
+TEST(EnvTest, ParsesIntsAndBools) {
+  ::setenv("FSDA_TEST_INT", "123", 1);
+  ::setenv("FSDA_TEST_BOOL", "yes", 1);
+  ::setenv("FSDA_TEST_BAD", "12x", 1);
+  EXPECT_EQ(env_int("FSDA_TEST_INT", 0), 123);
+  EXPECT_EQ(env_int("FSDA_TEST_MISSING_INT", 9), 9);
+  EXPECT_TRUE(env_bool("FSDA_TEST_BOOL", false));
+  EXPECT_FALSE(env_bool("FSDA_TEST_MISSING_BOOL", false));
+  EXPECT_THROW(env_int("FSDA_TEST_BAD", 0), ArgumentError);
+  ::unsetenv("FSDA_TEST_INT");
+  ::unsetenv("FSDA_TEST_BOOL");
+  ::unsetenv("FSDA_TEST_BAD");
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw ArgumentError("boom"); });
+  EXPECT_THROW(f.get(), ArgumentError);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> counts(257);
+  parallel_for(257, [&](std::size_t i) { counts[i]++; });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(parallel_for(64,
+                            [](std::size_t i) {
+                              if (i == 13) throw NumericError("unlucky");
+                            }),
+               NumericError);
+}
+
+TEST(ParallelForTest, HandlesZeroIterations) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithMessage) {
+  try {
+    FSDA_CHECK_MSG(1 == 2, "custom detail " << 99);
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 99"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fsda::common

@@ -1,0 +1,71 @@
+// Tests for Dataset CSV import/export round-trips and error handling.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/io.hpp"
+
+namespace fsda::data {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  common::Rng rng(1);
+  Dataset ds;
+  ds.x = la::Matrix::randn(20, 3, rng);
+  ds.y = std::vector<std::int64_t>(20);
+  for (std::size_t i = 0; i < 20; ++i) ds.y[i] = static_cast<std::int64_t>(i % 3);
+  ds.num_classes = 3;
+  ds.feature_names = {"cpu", "mem", "pkts"};
+  const std::string path = temp_path("fsda_io_roundtrip.csv");
+  write_dataset_csv(path, ds);
+  const Dataset loaded = read_dataset_csv(path);
+  EXPECT_EQ(loaded.num_classes, 3u);
+  EXPECT_EQ(loaded.y, ds.y);
+  EXPECT_EQ(loaded.feature_names, ds.feature_names);
+  EXPECT_LT((loaded.x - ds.x).max_abs(), 1e-5);  // std::to_string precision
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetIoTest, LabelColumnAnywhereAndClassOverride) {
+  const std::string path = temp_path("fsda_io_label.csv");
+  {
+    std::ofstream out(path);
+    out << "a,label,b\n1.0,0,2.0\n3.0,1,4.0\n";
+  }
+  const Dataset ds = read_dataset_csv(path, "label", /*num_classes=*/5);
+  EXPECT_EQ(ds.num_classes, 5u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(ds.x(1, 1), 4.0);
+  EXPECT_EQ(ds.feature_names, (std::vector<std::string>{"a", "b"}));
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetIoTest, RejectsMalformedInput) {
+  const std::string path = temp_path("fsda_io_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "a,label\nnot_a_number,0\n";
+  }
+  EXPECT_THROW(read_dataset_csv(path), common::ArgumentError);
+  {
+    std::ofstream out(path);
+    out << "a,label\n1.0,2.5\n";  // non-integer label
+  }
+  EXPECT_THROW(read_dataset_csv(path), common::ArgumentError);
+  {
+    std::ofstream out(path);
+    out << "a,label\n";  // no rows
+  }
+  EXPECT_THROW(read_dataset_csv(path), common::ArgumentError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fsda::data

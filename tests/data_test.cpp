@@ -1,0 +1,216 @@
+// Tests for the data layer: Dataset invariants, scalers, few-shot
+// sampling, stratified splits, and the SCM engine's soft interventions.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/dataset.hpp"
+#include "data/scaler.hpp"
+#include "data/scm.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::data {
+namespace {
+
+Dataset make_dataset(std::size_t n, std::size_t classes,
+                     std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  Dataset ds;
+  ds.x = la::Matrix::randn(n, 3, rng);
+  ds.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.y[i] = static_cast<std::int64_t>(i % classes);
+  }
+  ds.num_classes = classes;
+  return ds;
+}
+
+TEST(DatasetTest, ValidationCatchesInconsistencies) {
+  Dataset ds = make_dataset(10, 2);
+  EXPECT_NO_THROW(ds.validate());
+  ds.y[0] = 5;
+  EXPECT_THROW(ds.validate(), common::InvariantError);
+  ds.y[0] = 0;
+  ds.x(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ds.validate(), common::InvariantError);
+}
+
+TEST(DatasetTest, SubsetConcatShuffle) {
+  const Dataset ds = make_dataset(10, 2);
+  const std::vector<std::size_t> rows = {1, 3, 5};
+  const Dataset sub = ds.subset(rows);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.y, (std::vector<std::int64_t>{1, 1, 1}));
+
+  const Dataset merged = sub.concat(sub);
+  EXPECT_EQ(merged.size(), 6u);
+
+  common::Rng rng(3);
+  const Dataset shuffled = ds.shuffled(rng);
+  EXPECT_EQ(shuffled.size(), ds.size());
+  auto counts = shuffled.class_counts();
+  EXPECT_EQ(counts, ds.class_counts());
+}
+
+TEST(DatasetTest, ClassIndexingAndCounts) {
+  const Dataset ds = make_dataset(9, 3);
+  EXPECT_EQ(ds.indices_of_class(1), (std::vector<std::size_t>{1, 4, 7}));
+  EXPECT_EQ(ds.class_counts(), (std::vector<std::size_t>{3, 3, 3}));
+}
+
+TEST(FewShotTest, DrawsExactlyKPerClass) {
+  const Dataset pool = make_dataset(60, 3);
+  const Dataset shots = sample_few_shot(pool, 5, 7);
+  EXPECT_EQ(shots.size(), 15u);
+  EXPECT_EQ(shots.class_counts(), (std::vector<std::size_t>{5, 5, 5}));
+}
+
+TEST(FewShotTest, CapsAtClassAvailability) {
+  Dataset pool = make_dataset(6, 3);  // 2 per class
+  const Dataset shots = sample_few_shot(pool, 5, 7);
+  EXPECT_EQ(shots.class_counts(), (std::vector<std::size_t>{2, 2, 2}));
+}
+
+TEST(FewShotTest, DeterministicPerSeedAndVariesAcrossSeeds) {
+  const Dataset pool = make_dataset(100, 2);
+  const Dataset a = sample_few_shot(pool, 3, 1);
+  const Dataset b = sample_few_shot(pool, 3, 1);
+  EXPECT_EQ(a.x, b.x);
+  const Dataset c = sample_few_shot(pool, 3, 2);
+  EXPECT_NE(a.x, c.x);
+}
+
+TEST(StratifiedSplitTest, PreservesClassStructure) {
+  const Dataset ds = make_dataset(100, 4);
+  const auto [first, second] = stratified_split(ds, 0.3, 9);
+  EXPECT_EQ(first.size() + second.size(), ds.size());
+  for (std::size_t count : first.class_counts()) {
+    EXPECT_NEAR(static_cast<double>(count), 7.5, 1.6);
+  }
+  for (std::size_t count : second.class_counts()) EXPECT_GT(count, 0u);
+}
+
+TEST(MinMaxScalerTest, MapsSourceToUnitRangeAndInverts) {
+  common::Rng rng(2);
+  const la::Matrix x = la::Matrix::randn(200, 4, rng) * 5.0;
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  const la::Matrix z = scaler.transform(x);
+  for (double v : z.data()) {
+    EXPECT_GE(v, -1.0 - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+  const la::Matrix back = scaler.inverse_transform(z);
+  EXPECT_LT((back - x).max_abs(), 1e-9);
+}
+
+TEST(MinMaxScalerTest, ConstantFeatureMapsToZeroAndDriftExceedsRange) {
+  la::Matrix x(10, 2, 3.0);
+  for (std::size_t r = 0; r < 10; ++r) x(r, 1) = static_cast<double>(r);
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  const la::Matrix z = scaler.transform(x);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+  // Drifted (out-of-range) target values legitimately exceed [-1, 1].
+  la::Matrix drifted(1, 2, 3.0);
+  drifted(0, 1) = 20.0;
+  EXPECT_GT(scaler.transform(drifted)(0, 1), 1.0);
+}
+
+TEST(StandardScalerTest, StandardizesAndInverts) {
+  common::Rng rng(3);
+  la::Matrix x = la::Matrix::randn(500, 3, rng);
+  for (std::size_t r = 0; r < x.rows(); ++r) x(r, 1) = x(r, 1) * 4.0 + 10.0;
+  StandardScaler scaler;
+  scaler.fit(x);
+  const la::Matrix z = scaler.transform(x);
+  EXPECT_NEAR(la::mean(z.col_vector(1)), 0.0, 1e-9);
+  EXPECT_NEAR(la::stddev(z.col_vector(1)), 1.0, 1e-9);
+  EXPECT_LT((scaler.inverse_transform(z) - x).max_abs(), 1e-9);
+}
+
+TEST(ScmTest, TopologicalOrderIsEnforced) {
+  Scm scm;
+  ScmNode bad;
+  bad.name = "x";
+  bad.parents = {5};
+  bad.weights = {1.0};
+  EXPECT_THROW(scm.add_node(bad), common::InvariantError);
+}
+
+TEST(ScmTest, LinearMechanismHasExpectedMoments) {
+  Scm scm;
+  ScmNode root;
+  root.name = "root";
+  root.noise_std = 1.0;
+  const std::size_t r0 = scm.add_node(root);
+  ScmNode child;
+  child.name = "child";
+  child.parents = {r0};
+  child.weights = {2.0};
+  child.bias = 1.0;
+  child.noise_std = 0.5;
+  scm.add_node(child);
+
+  common::Rng rng(5);
+  const std::vector<std::int64_t> labels(5000, 0);
+  const la::Matrix sample = scm.sample(0, labels, rng);
+  ASSERT_EQ(sample.cols(), 2u);
+  EXPECT_NEAR(la::mean(sample.col_vector(1)), 1.0, 0.08);
+  // var(child) = 4 * var(root) + 0.25
+  EXPECT_NEAR(la::variance(sample.col_vector(1)), 4.25, 0.3);
+}
+
+TEST(ScmTest, SoftInterventionShiftsOnlyTargetDomain) {
+  Scm scm;
+  ScmNode node;
+  node.name = "x";
+  node.noise_std = 1.0;
+  const std::size_t idx = scm.add_node(node);
+  scm.intervene(1, idx, SoftIntervention{.scale = 2.0, .shift = 3.0});
+
+  common::Rng rng(6);
+  const std::vector<std::int64_t> labels(4000, 0);
+  const la::Matrix observational = scm.sample(0, labels, rng);
+  const la::Matrix interventional = scm.sample(1, labels, rng);
+  EXPECT_NEAR(la::mean(observational.col_vector(0)), 0.0, 0.08);
+  EXPECT_NEAR(la::mean(interventional.col_vector(0)), 3.0, 0.12);
+  EXPECT_NEAR(la::stddev(interventional.col_vector(0)), 2.0, 0.1);
+  EXPECT_EQ(scm.intervened_observed_features(1),
+            (std::vector<std::size_t>{idx}));
+  EXPECT_TRUE(scm.intervened_observed_features(0).empty());
+}
+
+TEST(ScmTest, ClassEffectsAndSaturation) {
+  Scm scm;
+  ScmNode node;
+  node.name = "x";
+  node.noise_std = 0.01;
+  node.class_effect = {0.0, 100.0};  // far beyond the saturation bound
+  node.saturation = 2.0;
+  scm.add_node(node);
+  common::Rng rng(7);
+  const la::Matrix zero = scm.sample(0, {0, 0, 0}, rng);
+  const la::Matrix one = scm.sample(0, {1, 1, 1}, rng);
+  EXPECT_NEAR(zero(0, 0), 0.0, 0.1);
+  EXPECT_NEAR(one(0, 0), 2.0, 0.1);  // tanh-saturated at the bound
+}
+
+TEST(ScmTest, LatentNodesAreHiddenFromOutput) {
+  Scm scm;
+  ScmNode latent;
+  latent.name = "latent";
+  latent.observed = false;
+  const std::size_t l = scm.add_node(latent);
+  ScmNode obs;
+  obs.name = "obs";
+  obs.parents = {l};
+  obs.weights = {1.0};
+  scm.add_node(obs);
+  EXPECT_EQ(scm.num_observed(), 1u);
+  EXPECT_EQ(scm.observed_names(), (std::vector<std::string>{"obs"}));
+  common::Rng rng(8);
+  EXPECT_EQ(scm.sample(0, {0}, rng).cols(), 1u);
+}
+
+}  // namespace
+}  // namespace fsda::data

@@ -1,0 +1,148 @@
+// Tests for the two SCM dataset generators and the GMM domain recovery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "data/gen5gc.hpp"
+#include "data/gen5gipc.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::data {
+namespace {
+
+TEST(Gen5GCTest, PaperPresetMatchesPublishedShape) {
+  const Gen5GCConfig config = Gen5GCConfig::paper();
+  EXPECT_EQ(config.num_features(), 442u);
+  EXPECT_EQ(config.source_samples, 3645u);
+  EXPECT_EQ(config.target_test_samples, 873u);
+}
+
+TEST(Gen5GCTest, TinyInstanceIsConsistent) {
+  const DomainSplit split = generate_5gc(Gen5GCConfig::tiny());
+  split.validate();
+  EXPECT_EQ(split.source_train.num_classes, k5gcNumClasses);
+  EXPECT_EQ(split.source_train.num_features(),
+            Gen5GCConfig::tiny().num_features());
+  EXPECT_FALSE(split.true_variant.empty());
+  EXPECT_LT(split.true_variant.size(), split.source_train.num_features());
+  // Every class appears in source and target test.
+  for (std::size_t count : split.source_train.class_counts()) {
+    EXPECT_GT(count, 0u);
+  }
+  for (std::size_t count : split.target_test.class_counts()) {
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(Gen5GCTest, GenerationIsDeterministicInSeed) {
+  Gen5GCConfig config = Gen5GCConfig::tiny();
+  const DomainSplit a = generate_5gc(config);
+  const DomainSplit b = generate_5gc(config);
+  EXPECT_EQ(a.source_train.x, b.source_train.x);
+  EXPECT_EQ(a.target_test.y, b.target_test.y);
+  config.seed ^= 1;
+  const DomainSplit c = generate_5gc(config);
+  EXPECT_NE(a.source_train.x, c.source_train.x);
+}
+
+TEST(Gen5GCTest, VariantFeaturesActuallyDrift) {
+  const DomainSplit split = generate_5gc(Gen5GCConfig::tiny());
+  // Mean |standardized shift| over variant features must dwarf the one
+  // over invariant features.
+  const la::Matrix mean_src = la::column_means(split.source_train.x);
+  const la::Matrix mean_tgt = la::column_means(split.target_test.x);
+  const la::Matrix sd_src = la::column_stddevs(split.source_train.x);
+  std::vector<char> is_variant(split.source_train.num_features(), 0);
+  for (std::size_t f : split.true_variant) is_variant[f] = 1;
+  double variant_shift = 0.0, invariant_shift = 0.0;
+  std::size_t nv = 0, ni = 0;
+  for (std::size_t f = 0; f < is_variant.size(); ++f) {
+    const double shift =
+        std::abs(mean_tgt(0, f) - mean_src(0, f)) /
+        std::max(sd_src(0, f), 1e-9);
+    if (is_variant[f]) {
+      variant_shift += shift;
+      ++nv;
+    } else {
+      invariant_shift += shift;
+      ++ni;
+    }
+  }
+  variant_shift /= static_cast<double>(nv);
+  invariant_shift /= static_cast<double>(ni);
+  EXPECT_GT(variant_shift, 3.0 * invariant_shift);
+  EXPECT_LT(invariant_shift, 0.2);
+}
+
+TEST(Gen5GIPCTest, PaperPresetMatchesPublishedShape) {
+  EXPECT_EQ(Gen5GIPCConfig::paper().num_features(), 116u);
+}
+
+TEST(Gen5GIPCTest, PooledGenerationIsConsistent) {
+  const Gen5GIPCPooled pooled =
+      generate_5gipc_pooled(Gen5GIPCConfig::tiny());
+  pooled.data.validate();
+  EXPECT_EQ(pooled.data.num_classes, k5gipcNumClasses);
+  EXPECT_EQ(pooled.regime.size(), pooled.data.size());
+  ASSERT_EQ(pooled.variant_by_regime.size(), 2u);
+  EXPECT_TRUE(pooled.variant_by_regime[0].empty());   // base regime
+  EXPECT_FALSE(pooled.variant_by_regime[1].empty());  // drifted regime
+  // Roughly 28% faulty labels.
+  const auto counts = pooled.data.class_counts();
+  const double fault_fraction =
+      static_cast<double>(counts[1]) /
+      static_cast<double>(pooled.data.size());
+  EXPECT_NEAR(fault_fraction, 0.28, 0.06);
+}
+
+TEST(Gen5GIPCTest, GmmRecoversRegimes) {
+  const Gen5GIPCPooled pooled =
+      generate_5gipc_pooled(Gen5GIPCConfig::quick());
+  const GmmDomainSplit split = gmm_domain_split(pooled, 2, /*seed=*/99);
+  ASSERT_EQ(split.clusters.size(), 2u);
+  // Clusters ordered by size; each should be regime-pure and the two
+  // majority regimes distinct (i.e. GMM recovered the latent regimes, not
+  // the fault/normal split).
+  EXPECT_GE(split.clusters[0].size(), split.clusters[1].size());
+  EXPECT_NE(split.majority_regime[0], split.majority_regime[1]);
+  EXPECT_GT(split.purity[0], 0.9);
+  EXPECT_GT(split.purity[1], 0.9);
+}
+
+TEST(Gen5GIPCTest, EndToEndSplitIsConsistent) {
+  const DomainSplit split = generate_5gipc(Gen5GIPCConfig::quick());
+  split.validate();
+  EXPECT_FALSE(split.true_variant.empty());
+  EXPECT_GT(split.source_train.size(), split.target_pool.size());
+  // Both labels present everywhere.
+  for (std::size_t count : split.source_train.class_counts()) {
+    EXPECT_GT(count, 0u);
+  }
+  for (std::size_t count : split.target_test.class_counts()) {
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(Gen5GIPCTest, ThreeRegimeConfigForTableIII) {
+  Gen5GIPCConfig config = Gen5GIPCConfig::quick();
+  config.regimes = 3;
+  config.regime_weights = {0.6, 0.25, 0.15};
+  const Gen5GIPCPooled pooled = generate_5gipc_pooled(config);
+  const GmmDomainSplit split = gmm_domain_split(pooled, 3, /*seed=*/7);
+  ASSERT_EQ(split.clusters.size(), 3u);
+  // The three majority regimes must be distinct.
+  std::vector<std::size_t> regimes = split.majority_regime;
+  std::sort(regimes.begin(), regimes.end());
+  EXPECT_EQ(regimes, (std::vector<std::size_t>{0, 1, 2}));
+  // Targets share most variant features (paper Section VI-F).
+  const auto& v1 = pooled.variant_by_regime[1];
+  const auto& v2 = pooled.variant_by_regime[2];
+  std::vector<std::size_t> common;
+  std::set_intersection(v1.begin(), v1.end(), v2.begin(), v2.end(),
+                        std::back_inserter(common));
+  EXPECT_GT(common.size(), v1.size() / 2);
+}
+
+}  // namespace
+}  // namespace fsda::data

@@ -1,0 +1,126 @@
+// Tests for k-means and the EM Gaussian mixture model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gmm/gmm.hpp"
+#include "gmm/kmeans.hpp"
+
+namespace fsda::gmm {
+namespace {
+
+/// Two clearly separated 2-D blobs; returns ground-truth membership.
+std::vector<std::size_t> make_two_blobs(std::size_t n, la::Matrix& x,
+                                        std::uint64_t seed) {
+  common::Rng rng(seed);
+  x = la::Matrix(n, 2);
+  std::vector<std::size_t> truth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = i % 3 == 0 ? 1 : 0;  // one-third in the minority blob
+    const double center = truth[i] == 0 ? -3.0 : 3.0;
+    x(i, 0) = rng.normal(center, 0.8);
+    x(i, 1) = rng.normal(-center, 0.8);
+  }
+  return truth;
+}
+
+double agreement(const std::vector<std::size_t>& truth,
+                 const std::vector<std::size_t>& found) {
+  std::size_t same = 0, flipped = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    same += truth[i] == found[i];
+    flipped += truth[i] == 1 - found[i];
+  }
+  return static_cast<double>(std::max(same, flipped)) /
+         static_cast<double>(truth.size());
+}
+
+TEST(KMeansTest, RecoversTwoBlobs) {
+  la::Matrix x;
+  const auto truth = make_two_blobs(400, x, 1);
+  const KMeansResult result = kmeans(x, 2, /*seed=*/5);
+  EXPECT_GT(agreement(truth, result.assignment), 0.98);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_GT(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsTheMean) {
+  common::Rng rng(2);
+  const la::Matrix x = la::Matrix::randn(100, 3, rng);
+  const KMeansResult result = kmeans(x, 1, /*seed=*/1);
+  const la::Matrix mean = x.mean_rows();
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(result.centroids(0, c), mean(0, c), 1e-9);
+  }
+}
+
+TEST(KMeansTest, RejectsInvalidK) {
+  common::Rng rng(3);
+  const la::Matrix x = la::Matrix::randn(5, 2, rng);
+  EXPECT_THROW(kmeans(x, 0, 1), common::InvariantError);
+  EXPECT_THROW(kmeans(x, 6, 1), common::InvariantError);
+}
+
+TEST(GmmTest, RecoversMixtureParameters) {
+  la::Matrix x;
+  const auto truth = make_two_blobs(900, x, 4);
+  Gmm model;
+  model.fit(x, 2, /*seed=*/11);
+  EXPECT_EQ(model.num_components(), 2u);
+  EXPECT_GT(agreement(truth, model.assign(x)), 0.98);
+  // Mixture weights near 2/3 and 1/3.
+  std::vector<double> weights = model.weights();
+  std::sort(weights.begin(), weights.end());
+  EXPECT_NEAR(weights[0], 1.0 / 3.0, 0.06);
+  EXPECT_NEAR(weights[1], 2.0 / 3.0, 0.06);
+  // Component means near (+-3, -+3).
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(std::abs(model.means()(c, 0)), 3.0, 0.3);
+    EXPECT_NEAR(std::abs(model.means()(c, 1)), 3.0, 0.3);
+  }
+}
+
+TEST(GmmTest, ResponsibilitiesAreDistributions) {
+  la::Matrix x;
+  make_two_blobs(200, x, 5);
+  Gmm model;
+  model.fit(x, 3, /*seed=*/2);
+  const la::Matrix resp = model.responsibilities(x);
+  for (std::size_t r = 0; r < resp.rows(); ++r) {
+    double total = 0.0;
+    for (double v : resp.row(r)) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GmmTest, LikelihoodImprovesWithCorrectK) {
+  la::Matrix x;
+  make_two_blobs(600, x, 6);
+  Gmm one, two;
+  one.fit(x, 1, 3);
+  two.fit(x, 2, 3);
+  EXPECT_GT(two.mean_log_likelihood(x), one.mean_log_likelihood(x) + 0.5);
+  // BIC prefers the true component count as well.
+  EXPECT_LT(two.bic(x), one.bic(x));
+}
+
+TEST(GmmTest, VarianceFloorPreventsCollapse) {
+  // Duplicated points would otherwise drive a component's variance to 0.
+  la::Matrix x(50, 2, 1.0);
+  for (std::size_t r = 25; r < 50; ++r) {
+    x(r, 0) = -1.0;
+    x(r, 1) = -1.0;
+  }
+  Gmm model;
+  model.fit(x, 2, 1);
+  for (double v : model.variances().data()) {
+    EXPECT_GE(v, 1e-6);
+  }
+  EXPECT_TRUE(model.variances().all_finite());
+}
+
+}  // namespace
+}  // namespace fsda::gmm

@@ -1,0 +1,128 @@
+// Tests for fsda::la decompositions and solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/linalg.hpp"
+
+namespace fsda::la {
+namespace {
+
+Matrix random_spd(std::size_t n, common::Rng& rng) {
+  Matrix a = Matrix::randn(n, n, rng);
+  Matrix spd = a.transposed_matmul(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+  return spd;
+}
+
+TEST(CholeskyTest, ReconstructsMatrix) {
+  common::Rng rng(1);
+  const Matrix a = random_spd(6, rng);
+  const Matrix l = cholesky(a);
+  EXPECT_LT((l.matmul_transposed(l) - a).max_abs(), 1e-9);
+  // L is lower triangular.
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix m{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(m), common::NumericError);
+}
+
+TEST(CholeskySolveTest, SolvesLinearSystems) {
+  common::Rng rng(2);
+  const Matrix a = random_spd(5, rng);
+  const Matrix x_true = Matrix::randn(5, 3, rng);
+  const Matrix b = a.matmul(x_true);
+  const Matrix x = cholesky_solve(a, b);
+  EXPECT_LT((x - x_true).max_abs(), 1e-8);
+}
+
+TEST(LuSolveTest, SolvesGeneralSystems) {
+  Matrix a{{0, 2, 1}, {3, 0, -1}, {1, 1, 1}};  // needs pivoting
+  const Matrix x_true{{1}, {2}, {3}};
+  const Matrix b = a.matmul(x_true);
+  const Matrix x = lu_solve(a, b);
+  EXPECT_LT((x - x_true).max_abs(), 1e-10);
+}
+
+TEST(InverseTest, ProducesIdentityProduct) {
+  common::Rng rng(3);
+  const Matrix a = Matrix::randn(7, 7, rng) + Matrix::identity(7) * 3.0;
+  const Matrix inv = inverse(a);
+  EXPECT_LT((a.matmul(inv) - Matrix::identity(7)).max_abs(), 1e-8);
+}
+
+TEST(InverseTest, RejectsSingular) {
+  Matrix singular{{1, 2}, {2, 4}};
+  EXPECT_THROW(inverse(singular), common::NumericError);
+}
+
+TEST(DeterminantTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(determinant(Matrix::identity(4)), 1.0);
+  Matrix m{{2, 0}, {0, 3}};
+  EXPECT_NEAR(determinant(m), 6.0, 1e-12);
+  Matrix swap_rows{{0, 1}, {1, 0}};
+  EXPECT_NEAR(determinant(swap_rows), -1.0, 1e-12);
+  Matrix singular{{1, 2}, {2, 4}};
+  EXPECT_DOUBLE_EQ(determinant(singular), 0.0);
+}
+
+TEST(LogDetTest, MatchesDeterminant) {
+  common::Rng rng(4);
+  const Matrix a = random_spd(5, rng);
+  EXPECT_NEAR(log_det_spd(a), std::log(determinant(a)), 1e-8);
+}
+
+TEST(EigenTest, RecoversKnownSpectrum) {
+  Matrix m{{2, 1}, {1, 2}};  // eigenvalues 1 and 3
+  const EigenResult eig = eigen_symmetric(m);
+  ASSERT_EQ(eig.values.size(), 2u);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-9);
+}
+
+TEST(EigenTest, DecompositionReconstructs) {
+  common::Rng rng(5);
+  const Matrix a = random_spd(8, rng);
+  const EigenResult eig = eigen_symmetric(a);
+  // Reconstruct V diag(lambda) V^T.
+  Matrix scaled = eig.vectors;
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t r = 0; r < 8; ++r) scaled(r, c) *= eig.values[c];
+  }
+  EXPECT_LT((scaled.matmul_transposed(eig.vectors) - a).max_abs(), 1e-7);
+  // Eigenvectors are orthonormal.
+  const Matrix vtv = eig.vectors.transposed_matmul(eig.vectors);
+  EXPECT_LT((vtv - Matrix::identity(8)).max_abs(), 1e-8);
+}
+
+TEST(SqrtSpdTest, SquaresBackToOriginal) {
+  common::Rng rng(6);
+  const Matrix a = random_spd(6, rng);
+  const Matrix root = sqrt_spd(a);
+  EXPECT_LT((root.matmul(root) - a).max_abs(), 1e-7);
+}
+
+TEST(InvSqrtSpdTest, WhitensCovariance) {
+  common::Rng rng(7);
+  const Matrix a = random_spd(5, rng);
+  const Matrix w = inv_sqrt_spd(a);
+  const Matrix whitened = w.matmul(a).matmul(w);
+  EXPECT_LT((whitened - Matrix::identity(5)).max_abs(), 1e-6);
+}
+
+TEST(SqrtSpdTest, ClampsTinyEigenvalues) {
+  Matrix near_singular{{1.0, 1.0}, {1.0, 1.0}};  // rank 1
+  const Matrix inv_root = inv_sqrt_spd(near_singular, 1e-4);
+  EXPECT_TRUE(inv_root.all_finite());
+}
+
+}  // namespace
+}  // namespace fsda::la

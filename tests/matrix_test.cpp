@@ -1,0 +1,152 @@
+// Tests for fsda::la::Matrix -- shapes, arithmetic, products, selection.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::la {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, InitializerListAndEquality) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2}, {3, 4}};
+  Matrix c{{1, 2}, {3, 5}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(MatrixTest, OutOfBoundsThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), common::InvariantError);
+  EXPECT_THROW(m(0, 2), common::InvariantError);
+}
+
+TEST(MatrixTest, FromVectorValidatesSize) {
+  EXPECT_NO_THROW(Matrix::from_vector(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Matrix::from_vector(2, 2, {1, 2, 3}),
+               common::InvariantError);
+}
+
+TEST(MatrixTest, IdentityAndMatmul) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a.matmul(Matrix::identity(2)), a);
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix expected{{19, 22}, {43, 50}};
+  EXPECT_EQ(a.matmul(b), expected);
+}
+
+TEST(MatrixTest, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.matmul(b), common::InvariantError);
+}
+
+TEST(MatrixTest, TransposedProductsAgreeWithExplicitTranspose) {
+  common::Rng rng(5);
+  Matrix a = Matrix::randn(4, 3, rng);
+  Matrix b = Matrix::randn(4, 5, rng);
+  const Matrix expected = a.transposed().matmul(b);
+  const Matrix got = a.transposed_matmul(b);
+  EXPECT_LT((expected - got).max_abs(), 1e-12);
+
+  Matrix c = Matrix::randn(6, 3, rng);
+  const Matrix expected2 = a.matmul(c.transposed());
+  const Matrix got2 = a.matmul_transposed(c);
+  EXPECT_LT((expected2 - got2).max_abs(), 1e-12);
+}
+
+TEST(MatrixTest, ElementwiseArithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  EXPECT_EQ(a + b, (Matrix{{11, 22}, {33, 44}}));
+  EXPECT_EQ(b - a, (Matrix{{9, 18}, {27, 36}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2, 4}, {6, 8}}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a.hadamard(b), (Matrix{{10, 40}, {90, 160}}));
+}
+
+TEST(MatrixTest, RowBroadcastAndSums) {
+  Matrix m{{1, 2}, {3, 4}};
+  Matrix row{{10, 20}};
+  m.add_row_broadcast(row);
+  EXPECT_EQ(m, (Matrix{{11, 22}, {13, 24}}));
+  EXPECT_EQ(m.sum_rows(), (Matrix{{24, 46}}));
+  EXPECT_EQ(m.mean_rows(), (Matrix{{12, 23}}));
+}
+
+TEST(MatrixTest, SelectRowsAndCols) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::vector<std::size_t> rows = {2, 0};
+  EXPECT_EQ(m.select_rows(rows), (Matrix{{7, 8, 9}, {1, 2, 3}}));
+  const std::vector<std::size_t> cols = {1, 1, 0};
+  EXPECT_EQ(m.select_cols(cols), (Matrix{{2, 2, 1}, {5, 5, 4}, {8, 8, 7}}));
+  const std::vector<std::size_t> bad = {3};
+  EXPECT_THROW(m.select_rows(bad), common::InvariantError);
+}
+
+TEST(MatrixTest, ConcatenationRules) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5}, {6}};
+  EXPECT_EQ(a.hcat(b), (Matrix{{1, 2, 5}, {3, 4, 6}}));
+  Matrix c{{7, 8}};
+  EXPECT_EQ(a.vcat(c), (Matrix{{1, 2}, {3, 4}, {7, 8}}));
+  EXPECT_EQ(Matrix{}.hcat(a), a);
+  EXPECT_EQ(a.vcat(Matrix{}), a);
+  Matrix wrong(3, 1);
+  EXPECT_THROW(a.hcat(wrong), common::InvariantError);
+  EXPECT_THROW(a.vcat(wrong), common::InvariantError);
+}
+
+TEST(MatrixTest, RowAndColumnViews) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row_vector(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.col_vector(2), (std::vector<double>{3, 6}));
+  m.set_row(0, std::vector<double>{9, 9, 9});
+  EXPECT_EQ(m.row_vector(0), (std::vector<double>{9, 9, 9}));
+  m.set_col(1, std::vector<double>{0, 0});
+  EXPECT_EQ(m.col_vector(1), (std::vector<double>{0, 0}));
+}
+
+TEST(MatrixTest, NormsAndFiniteness) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+  EXPECT_TRUE(m.all_finite());
+  m(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(m.all_finite());
+}
+
+TEST(MatrixTest, MapAndApply) {
+  Matrix m{{1, -2}, {-3, 4}};
+  const Matrix mapped = m.map([](double x) { return x < 0 ? 0.0 : x; });
+  EXPECT_EQ(mapped, (Matrix{{1, 0}, {0, 4}}));
+  m.apply([](double x) { return 2 * x; });
+  EXPECT_EQ(m, (Matrix{{2, -4}, {-6, 8}}));
+}
+
+TEST(MatrixTest, RandnHasExpectedMoments) {
+  common::Rng rng(42);
+  Matrix m = Matrix::randn(100, 100, rng, 2.0);
+  double mean = 0.0, m2 = 0.0;
+  for (double v : m.data()) {
+    mean += v;
+    m2 += v * v;
+  }
+  mean /= 10000.0;
+  m2 /= 10000.0;
+  EXPECT_NEAR(mean, 0.0, 0.08);
+  EXPECT_NEAR(m2, 4.0, 0.25);
+}
+
+}  // namespace
+}  // namespace fsda::la

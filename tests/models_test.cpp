@@ -1,0 +1,117 @@
+// Tests for the model-agnostic classifier layer (TNet/MLP/RF/XGB).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "models/factory.hpp"
+#include "models/neural.hpp"
+
+namespace fsda::models {
+namespace {
+
+void make_blobs(std::size_t n, std::size_t classes, common::Rng& rng,
+                la::Matrix& x, std::vector<std::int64_t>& y) {
+  x = la::Matrix(n, 6);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<std::int64_t>(i % classes);
+    for (std::size_t c = 0; c < 6; ++c) {
+      x(i, c) = rng.normal(
+          c == static_cast<std::size_t>(y[i]) ? 2.5 : 0.0, 1.0);
+    }
+  }
+}
+
+double accuracy(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& pred) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) hits += truth[i] == pred[i];
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+/// Every factory-produced classifier must learn well-separated blobs.
+class ClassifierSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClassifierSweep, LearnsSeparableBlobs) {
+  common::Rng rng(1);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(400, 4, rng, x, y);
+  auto model = make_classifier_factory(GetParam())(/*seed=*/7);
+  model->fit(x, y, 4, {});
+  EXPECT_GT(accuracy(y, model->predict(x)), 0.9) << GetParam();
+  // Probabilities are valid distributions.
+  const la::Matrix proba = model->predict_proba(x);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double total = 0.0;
+    for (double v : proba.row(r)) {
+      EXPECT_GE(v, -1e-12);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ClassifierSweep,
+                         ::testing::Values("tnet", "mlp", "rf", "xgb"));
+
+TEST(FactoryTest, IsCaseInsensitiveAndRejectsUnknown) {
+  EXPECT_NO_THROW(make_classifier_factory("TNet"));
+  EXPECT_NO_THROW(make_classifier_factory("XGB"));
+  EXPECT_THROW(make_classifier_factory("svm"), common::ArgumentError);
+}
+
+TEST(FactoryTest, Table1ModelOrderMatchesPaper) {
+  EXPECT_EQ(table1_model_names(),
+            (std::vector<std::string>{"TNet", "MLP", "RF", "XGB"}));
+}
+
+TEST(MlpClassifierTest, SampleWeightsTiltDecisions) {
+  common::Rng rng(2);
+  // Conflicting labels at the same point; weights break the tie.
+  la::Matrix x(40, 2, 0.0);
+  std::vector<std::int64_t> y(40);
+  std::vector<double> w(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    y[i] = static_cast<std::int64_t>(i % 2);
+    w[i] = y[i] == 0 ? 8.0 : 1.0;
+  }
+  NeuralOptions options;
+  options.hidden = {8};
+  options.epochs = 500;
+  options.learning_rate = 5e-3;
+  MLPClassifier model(3, options);
+  model.fit(x, y, 2, w);
+  const la::Matrix proba = model.predict_proba(la::Matrix(1, 2, 0.0));
+  EXPECT_GT(proba(0, 0), 0.7);
+}
+
+TEST(MlpClassifierTest, FineTuneMovesTowardNewData) {
+  common::Rng rng(3);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(300, 2, rng, x, y);
+  MLPClassifier model(5);
+  model.fit(x, y, 2, {});
+  // Fine-tune on label-flipped data: predictions must flip.
+  std::vector<std::int64_t> flipped(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) flipped[i] = 1 - y[i];
+  model.fine_tune(x, flipped, /*epochs=*/60, /*learning_rate=*/3e-3);
+  EXPECT_GT(accuracy(flipped, model.predict(x)), 0.8);
+}
+
+TEST(MlpClassifierTest, PredictBeforeFitThrows) {
+  MLPClassifier model(1);
+  EXPECT_THROW(model.predict_proba(la::Matrix(1, 2, 0.0)),
+               common::InvariantError);
+}
+
+TEST(TNetTest, NameAndGateDistinguishIt) {
+  TNetClassifier tnet(1);
+  MLPClassifier mlp(1);
+  EXPECT_EQ(tnet.name(), "TNet");
+  EXPECT_EQ(mlp.name(), "MLP");
+}
+
+}  // namespace
+}  // namespace fsda::models

@@ -1,0 +1,144 @@
+// Tests for the PC algorithm: skeleton recovery, v-structure orientation,
+// and the F-node (sink) constraint.
+#include <gtest/gtest.h>
+
+#include "causal/ci_test.hpp"
+#include "causal/pc.hpp"
+#include "common/rng.hpp"
+
+namespace fsda::causal {
+namespace {
+
+TEST(SubsetEnumerationTest, VisitsAllCombinations) {
+  const std::vector<std::size_t> pool = {10, 20, 30, 40};
+  std::vector<std::vector<std::size_t>> seen;
+  for_each_subset(pool, 2, [&](std::span<const std::size_t> s) {
+    seen.emplace_back(s.begin(), s.end());
+    return false;
+  });
+  EXPECT_EQ(seen.size(), 6u);  // C(4,2)
+  EXPECT_EQ(seen.front(), (std::vector<std::size_t>{10, 20}));
+  EXPECT_EQ(seen.back(), (std::vector<std::size_t>{30, 40}));
+}
+
+TEST(SubsetEnumerationTest, EmptySubsetAndEarlyStop) {
+  const std::vector<std::size_t> pool = {1, 2};
+  std::size_t calls = 0;
+  const bool stopped =
+      for_each_subset(pool, 0, [&](std::span<const std::size_t> s) {
+        ++calls;
+        EXPECT_TRUE(s.empty());
+        return true;
+      });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_FALSE(for_each_subset(pool, 3,
+                               [](std::span<const std::size_t>) {
+                                 return false;
+                               }));
+}
+
+/// Chain A -> B -> C: PC should find skeleton A-B-C with no A-C edge.
+TEST(PcTest, ChainSkeleton) {
+  common::Rng rng(1);
+  const std::size_t n = 3000;
+  la::Matrix data(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double a = rng.normal();
+    const double b = 0.8 * a + 0.5 * rng.normal();
+    const double c = 0.8 * b + 0.5 * rng.normal();
+    data(r, 0) = a;
+    data(r, 1) = b;
+    data(r, 2) = c;
+  }
+  const FisherZTest test(data, 0.01);
+  const PcResult result = pc_algorithm(test);
+  EXPECT_TRUE(result.graph.has_edge(0, 1));
+  EXPECT_TRUE(result.graph.has_edge(1, 2));
+  EXPECT_FALSE(result.graph.has_edge(0, 2));
+  EXPECT_GT(result.ci_tests_performed, 0u);
+}
+
+/// Collider A -> C <- B: PC must orient both edges into C.
+TEST(PcTest, ColliderOrientation) {
+  common::Rng rng(2);
+  const std::size_t n = 3000;
+  la::Matrix data(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    const double c = 0.7 * a + 0.7 * b + 0.4 * rng.normal();
+    data(r, 0) = a;
+    data(r, 1) = b;
+    data(r, 2) = c;
+  }
+  const FisherZTest test(data, 0.01);
+  const PcResult result = pc_algorithm(test);
+  EXPECT_TRUE(result.graph.has_directed_edge(0, 2));
+  EXPECT_TRUE(result.graph.has_directed_edge(1, 2));
+  EXPECT_FALSE(result.graph.has_edge(0, 1));
+}
+
+/// Fork A <- C -> B: skeleton A-C-B, edge A-B absent, no v-structure at C.
+TEST(PcTest, ForkHasNoVStructure) {
+  common::Rng rng(3);
+  const std::size_t n = 3000;
+  la::Matrix data(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double c = rng.normal();
+    data(r, 0) = 0.8 * c + 0.5 * rng.normal();
+    data(r, 1) = 0.8 * c + 0.5 * rng.normal();
+    data(r, 2) = c;
+  }
+  const FisherZTest test(data, 0.01);
+  const PcResult result = pc_algorithm(test);
+  EXPECT_TRUE(result.graph.has_edge(0, 2));
+  EXPECT_TRUE(result.graph.has_edge(1, 2));
+  EXPECT_FALSE(result.graph.has_edge(0, 1));
+  // A fork is Markov-equivalent to chains, so the edges must NOT both be
+  // oriented into C.
+  EXPECT_FALSE(result.graph.has_directed_edge(0, 2) &&
+               result.graph.has_directed_edge(1, 2));
+}
+
+/// With the sink (F-node) constraint, remaining F edges point out of F.
+TEST(PcTest, SinkNodeOrientsOutgoing) {
+  common::Rng rng(4);
+  const std::size_t n = 2000;
+  // F (binary-ish) shifts variable 0; variable 1 independent.
+  la::Matrix data(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double f = r < n / 2 ? 0.0 : 1.0;
+    data(r, 0) = 1.5 * f + rng.normal();
+    data(r, 1) = rng.normal();
+    data(r, 2) = f;
+  }
+  const FisherZTest test(data, 0.01);
+  PcOptions options;
+  options.sink_node = 2;
+  const PcResult result = pc_algorithm(test, options);
+  EXPECT_TRUE(result.graph.has_directed_edge(2, 0));
+  EXPECT_FALSE(result.graph.has_edge(2, 1));
+}
+
+TEST(PcTest, SeparatingSetsAreRecorded) {
+  common::Rng rng(5);
+  const std::size_t n = 3000;
+  la::Matrix data(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double a = rng.normal();
+    const double b = 0.8 * a + 0.5 * rng.normal();
+    const double c = 0.8 * b + 0.5 * rng.normal();
+    data(r, 0) = a;
+    data(r, 1) = b;
+    data(r, 2) = c;
+  }
+  const FisherZTest test(data, 0.01);
+  const PcResult result = pc_algorithm(test);
+  const auto it = result.separating_sets.find({0, 2});
+  ASSERT_NE(it, result.separating_sets.end());
+  EXPECT_EQ(it->second, (std::vector<std::size_t>{1}));  // separated by B
+}
+
+}  // namespace
+}  // namespace fsda::causal

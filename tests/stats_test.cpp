@@ -1,0 +1,167 @@
+// Tests for fsda::la statistics: moments, correlations, partial
+// correlations, tail functions, and two-sample tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/stats.hpp"
+
+namespace fsda::la {
+namespace {
+
+TEST(StatsTest, MeanVarianceStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, DegenerateInputs) {
+  EXPECT_THROW(mean(std::vector<double>{}), common::InvariantError);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(StatsTest, PearsonKnownValues) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  const std::vector<double> constant(5, 3.0);
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+}
+
+TEST(StatsTest, ColumnMomentsMatchScalarVersions) {
+  common::Rng rng(1);
+  Matrix m = Matrix::randn(200, 3, rng);
+  const Matrix means = column_means(m);
+  const Matrix sds = column_stddevs(m);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto col = m.col_vector(c);
+    EXPECT_NEAR(means(0, c), mean(col), 1e-12);
+    EXPECT_NEAR(sds(0, c), stddev(col), 1e-12);
+  }
+}
+
+TEST(StatsTest, CovarianceOfIndependentColumnsIsSmall) {
+  common::Rng rng(2);
+  const Matrix m = Matrix::randn(5000, 2, rng);
+  const Matrix cov = covariance(m);
+  EXPECT_NEAR(cov(0, 0), 1.0, 0.08);
+  EXPECT_NEAR(cov(1, 1), 1.0, 0.08);
+  EXPECT_NEAR(cov(0, 1), 0.0, 0.05);
+}
+
+TEST(StatsTest, CorrelationIsUnitDiagonalAndBounded) {
+  common::Rng rng(3);
+  Matrix m = Matrix::randn(500, 4, rng);
+  // Make column 1 correlated with column 0.
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    m(r, 1) = 0.8 * m(r, 0) + 0.2 * m(r, 1);
+  }
+  const Matrix corr = correlation(m);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(corr(i, i), 1.0);
+  EXPECT_GT(corr(0, 1), 0.9);
+  for (double v : corr.data()) {
+    EXPECT_LE(std::abs(v), 1.0 + 1e-12);
+  }
+}
+
+TEST(StatsTest, CovarianceShrinkageMovesTowardDiagonal) {
+  common::Rng rng(4);
+  Matrix m = Matrix::randn(100, 3, rng);
+  for (std::size_t r = 0; r < m.rows(); ++r) m(r, 2) = m(r, 0);
+  const Matrix raw = covariance(m);
+  const Matrix shrunk = covariance_shrunk(m, 0.5);
+  EXPECT_NEAR(shrunk(0, 2), 0.5 * raw(0, 2), 1e-9);
+  EXPECT_NEAR(shrunk(0, 0), raw(0, 0) + 1e-6, 1e-9);
+  EXPECT_THROW(covariance_shrunk(m, 1.5), common::InvariantError);
+}
+
+// Partial correlation: X -> Z -> Y chain means corr(X,Y) > 0 but
+// partial corr(X,Y | Z) ~ 0.
+TEST(PartialCorrelationTest, ChainVanishesGivenMediator) {
+  common::Rng rng(5);
+  const std::size_t n = 4000;
+  Matrix data(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x = rng.normal();
+    const double z = 0.9 * x + 0.4 * rng.normal();
+    const double y = 0.9 * z + 0.4 * rng.normal();
+    data(r, 0) = x;
+    data(r, 1) = y;
+    data(r, 2) = z;
+  }
+  const Matrix corr = correlation(data);
+  EXPECT_GT(corr(0, 1), 0.5);
+  const std::vector<std::size_t> given = {2};
+  EXPECT_NEAR(partial_correlation(corr, 0, 1, given), 0.0, 0.06);
+}
+
+// Collider: X -> Z <- Y; X,Y marginally independent but dependent given Z.
+TEST(PartialCorrelationTest, ColliderOpensGivenChild) {
+  common::Rng rng(6);
+  const std::size_t n = 4000;
+  Matrix data(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x = rng.normal();
+    const double y = rng.normal();
+    const double z = 0.7 * x + 0.7 * y + 0.3 * rng.normal();
+    data(r, 0) = x;
+    data(r, 1) = y;
+    data(r, 2) = z;
+  }
+  const Matrix corr = correlation(data);
+  EXPECT_NEAR(corr(0, 1), 0.0, 0.05);
+  const std::vector<std::size_t> given = {2};
+  EXPECT_LT(partial_correlation(corr, 0, 1, given), -0.3);
+}
+
+TEST(NormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(two_sided_p(1.96), 0.05, 1e-3);
+  EXPECT_NEAR(two_sided_p(0.0), 1.0, 1e-12);
+}
+
+TEST(KsTest, IdenticalSamplesGiveSmallStatistic) {
+  common::Rng rng(7);
+  std::vector<double> a(500), b(500);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  const double d = ks_statistic(a, b);
+  EXPECT_LT(d, 0.12);
+  EXPECT_GT(ks_p_value(d, a.size(), b.size()), 0.05);
+}
+
+TEST(KsTest, ShiftedSamplesAreDetected) {
+  common::Rng rng(8);
+  std::vector<double> a(500), b(500);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal(1.5, 1.0);
+  const double d = ks_statistic(a, b);
+  EXPECT_GT(d, 0.4);
+  EXPECT_LT(ks_p_value(d, a.size(), b.size()), 1e-6);
+}
+
+TEST(WelchTest, DetectsMeanDifference) {
+  common::Rng rng(9);
+  std::vector<double> a(200), b(200);
+  for (auto& v : a) v = rng.normal(0.0, 1.0);
+  for (auto& v : b) v = rng.normal(1.0, 2.0);
+  EXPECT_LT(welch_t(a, b), -4.0);
+}
+
+TEST(QuantileTest, InterpolatesSortedValues) {
+  const std::vector<double> v = {4, 1, 3, 2};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_THROW(quantile(v, 1.5), common::InvariantError);
+}
+
+}  // namespace
+}  // namespace fsda::la

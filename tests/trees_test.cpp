@@ -1,0 +1,195 @@
+// Tests for the tree learners: CART, random forest, and the XGBoost-style
+// GBDT, including weighted fitting and property sweeps over depth.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "trees/decision_tree.hpp"
+#include "trees/gbdt.hpp"
+#include "trees/random_forest.hpp"
+
+namespace fsda::trees {
+namespace {
+
+/// Two well-separated Gaussian blobs.
+void make_blobs(std::size_t n, common::Rng& rng, la::Matrix& x,
+                std::vector<std::int64_t>& y, double separation = 3.0) {
+  x = la::Matrix(n, 4);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<std::int64_t>(i % 2);
+    const double center = y[i] == 0 ? 0.0 : separation;
+    for (std::size_t c = 0; c < 4; ++c) {
+      x(i, c) = rng.normal(c < 2 ? center : 0.0, 1.0);  // 2 informative dims
+    }
+  }
+}
+
+double tree_accuracy(const std::vector<std::int64_t>& truth,
+                     const std::vector<std::int64_t>& pred) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) hits += truth[i] == pred[i];
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+TEST(DecisionTreeTest, SeparatesBlobs) {
+  common::Rng rng(1);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(400, rng, x, y);
+  DecisionTree tree;
+  tree.fit(x, y, 2, {}, TreeOptions{}, rng);
+  EXPECT_GT(tree_accuracy(y, tree.predict(x)), 0.97);
+  EXPECT_TRUE(tree.is_fitted());
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  common::Rng rng(2);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(300, rng, x, y, /*separation=*/1.0);
+  TreeOptions options;
+  options.max_depth = 2;
+  DecisionTree tree;
+  tree.fit(x, y, 2, {}, options, rng);
+  EXPECT_LE(tree.depth(), 3u);  // depth counts nodes, root at depth 1
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  common::Rng rng(3);
+  la::Matrix x(10, 2);
+  std::vector<std::int64_t> y(10, 1);  // single class
+  for (auto& v : x.data()) v = rng.normal();
+  DecisionTree tree;
+  tree.fit(x, y, 2, {}, TreeOptions{}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  const la::Matrix proba = tree.predict_proba(x);
+  EXPECT_DOUBLE_EQ(proba(0, 1), 1.0);
+}
+
+TEST(DecisionTreeTest, SampleWeightsShiftTheLeafDistribution) {
+  common::Rng rng(4);
+  // One feature, interleaved labels: weights decide which class wins.
+  la::Matrix x(8, 1, 0.0);
+  const std::vector<std::int64_t> y = {0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<double> w = {10, 1, 10, 1, 10, 1, 10, 1};
+  DecisionTree tree;
+  tree.fit(x, y, 2, w, TreeOptions{}, rng);
+  const la::Matrix proba = tree.predict_proba(x);
+  EXPECT_GT(proba(0, 0), 0.8);
+}
+
+TEST(DecisionTreeTest, RejectsBadLabels) {
+  common::Rng rng(5);
+  la::Matrix x(4, 2, 0.0);
+  const std::vector<std::int64_t> y = {0, 1, 2, 1};  // label 2 out of range
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(x, y, 2, {}, TreeOptions{}, rng),
+               common::InvariantError);
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnNoisyData) {
+  common::Rng rng(6);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(600, rng, x, y, /*separation=*/1.4);
+  la::Matrix x_test;
+  std::vector<std::int64_t> y_test;
+  make_blobs(400, rng, x_test, y_test, /*separation=*/1.4);
+
+  RandomForest forest;
+  forest.fit(x, y, 2, {}, /*seed=*/9);
+  const double forest_acc = tree_accuracy(y_test, forest.predict(x_test));
+  EXPECT_GT(forest_acc, 0.75);
+  // Probabilities are valid distributions.
+  const la::Matrix proba = forest.predict_proba(x_test);
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    EXPECT_NEAR(proba(r, 0) + proba(r, 1), 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForestTest, DeterministicInSeed) {
+  common::Rng rng(7);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(200, rng, x, y);
+  RandomForest a, b;
+  a.fit(x, y, 2, {}, 42);
+  b.fit(x, y, 2, {}, 42);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(GbdtTest, FitsMulticlassBlobs) {
+  common::Rng rng(8);
+  const std::size_t n = 600;
+  la::Matrix x(n, 5);
+  std::vector<std::int64_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<std::int64_t>(i % 3);
+    for (std::size_t c = 0; c < 5; ++c) {
+      x(i, c) = rng.normal(c == static_cast<std::size_t>(y[i]) ? 2.5 : 0.0,
+                           1.0);
+    }
+  }
+  Gbdt model;
+  model.fit(x, y, 3, {}, 11);
+  EXPECT_GT(tree_accuracy(y, model.predict(x)), 0.9);
+  EXPECT_GT(model.num_trees(), 0u);
+}
+
+TEST(GbdtTest, ProbabilitiesAreNormalized) {
+  common::Rng rng(9);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(200, rng, x, y);
+  Gbdt model;
+  model.fit(x, y, 2, {}, 3);
+  const la::Matrix proba = model.predict_proba(x);
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    double total = 0.0;
+    for (double v : proba.row(r)) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GbdtTest, MoreRoundsReduceTrainingError) {
+  common::Rng rng(10);
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(400, rng, x, y, /*separation=*/1.2);
+  GbdtOptions few, many;
+  few.rounds = 2;
+  many.rounds = 30;
+  Gbdt model_few(few), model_many(many);
+  model_few.fit(x, y, 2, {}, 5);
+  model_many.fit(x, y, 2, {}, 5);
+  EXPECT_GE(tree_accuracy(y, model_many.predict(x)),
+            tree_accuracy(y, model_few.predict(x)));
+}
+
+/// Property sweep: deeper trees never have more bias on the training set.
+class TreeDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeDepthSweep, TrainingAccuracyIsMonotonicEnough) {
+  common::Rng rng(20 + GetParam());
+  la::Matrix x;
+  std::vector<std::int64_t> y;
+  make_blobs(300, rng, x, y, /*separation=*/1.5);
+  TreeOptions options;
+  options.max_depth = GetParam();
+  DecisionTree tree;
+  tree.fit(x, y, 2, {}, options, rng);
+  // Even a stump must beat chance on separated blobs.
+  EXPECT_GT(tree_accuracy(y, tree.predict(x)), 0.6);
+  EXPECT_LE(tree.depth(), GetParam() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweep,
+                         ::testing::Values(1, 2, 4, 8, 12));
+
+}  // namespace
+}  // namespace fsda::trees
