@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/fsda_bench_util.dir/bench_util.cpp.o.d"
+  "libfsda_bench_util.a"
+  "libfsda_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_microbench.dir/runtime_microbench.cpp.o"
+  "CMakeFiles/runtime_microbench.dir/runtime_microbench.cpp.o.d"
+  "runtime_microbench"
+  "runtime_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_features.dir/sensitivity_features.cpp.o"
+  "CMakeFiles/sensitivity_features.dir/sensitivity_features.cpp.o.d"
+  "sensitivity_features"
+  "sensitivity_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_5gc.dir/table1_5gc.cpp.o"
+  "CMakeFiles/table1_5gc.dir/table1_5gc.cpp.o.d"
+  "table1_5gc"
+  "table1_5gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_5gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_5gipc.dir/table1_5gipc.cpp.o"
+  "CMakeFiles/table1_5gipc.dir/table1_5gipc.cpp.o.d"
+  "table1_5gipc"
+  "table1_5gipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_5gipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ablation.dir/table2_ablation.cpp.o"
+  "CMakeFiles/table2_ablation.dir/table2_ablation.cpp.o.d"
+  "table2_ablation"
+  "table2_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

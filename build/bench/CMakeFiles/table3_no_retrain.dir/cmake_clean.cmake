@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_no_retrain.dir/table3_no_retrain.cpp.o"
+  "CMakeFiles/table3_no_retrain.dir/table3_no_retrain.cpp.o.d"
+  "table3_no_retrain"
+  "table3_no_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_no_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_no_retrain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_model.dir/custom_model.cpp.o"
+  "CMakeFiles/custom_model.dir/custom_model.cpp.o.d"
+  "custom_model"
+  "custom_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

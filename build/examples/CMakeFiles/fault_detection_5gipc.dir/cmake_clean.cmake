@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_detection_5gipc.dir/fault_detection_5gipc.cpp.o"
+  "CMakeFiles/fault_detection_5gipc.dir/fault_detection_5gipc.cpp.o.d"
+  "fault_detection_5gipc"
+  "fault_detection_5gipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_detection_5gipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

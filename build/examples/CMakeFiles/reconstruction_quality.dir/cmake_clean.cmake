@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruction_quality.dir/reconstruction_quality.cpp.o"
+  "CMakeFiles/reconstruction_quality.dir/reconstruction_quality.cpp.o.d"
+  "reconstruction_quality"
+  "reconstruction_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruction_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cmt.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/cmt.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/cmt.cpp.o.d"
+  "/root/repo/src/baselines/coral.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/coral.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/coral.cpp.o.d"
+  "/root/repo/src/baselines/dann.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/dann.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/dann.cpp.o.d"
+  "/root/repo/src/baselines/fewshot_nets.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/fewshot_nets.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/fewshot_nets.cpp.o.d"
+  "/root/repo/src/baselines/icd.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/icd.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/icd.cpp.o.d"
+  "/root/repo/src/baselines/naive.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/naive.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/naive.cpp.o.d"
+  "/root/repo/src/baselines/ours.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/ours.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/ours.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/registry.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/registry.cpp.o.d"
+  "/root/repo/src/baselines/scl.cpp" "src/baselines/CMakeFiles/fsda_baselines.dir/scl.cpp.o" "gcc" "src/baselines/CMakeFiles/fsda_baselines.dir/scl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fsda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fsda_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fsda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fsda_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fsda_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/fsda_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/causal/CMakeFiles/fsda_causal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_baselines.dir/cmt.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/cmt.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/coral.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/coral.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/dann.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/dann.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/fewshot_nets.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/fewshot_nets.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/icd.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/icd.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/naive.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/naive.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/ours.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/ours.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/registry.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/registry.cpp.o.d"
+  "CMakeFiles/fsda_baselines.dir/scl.cpp.o"
+  "CMakeFiles/fsda_baselines.dir/scl.cpp.o.d"
+  "libfsda_baselines.a"
+  "libfsda_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causal/ci_test.cpp" "src/causal/CMakeFiles/fsda_causal.dir/ci_test.cpp.o" "gcc" "src/causal/CMakeFiles/fsda_causal.dir/ci_test.cpp.o.d"
+  "/root/repo/src/causal/fnode.cpp" "src/causal/CMakeFiles/fsda_causal.dir/fnode.cpp.o" "gcc" "src/causal/CMakeFiles/fsda_causal.dir/fnode.cpp.o.d"
+  "/root/repo/src/causal/graph.cpp" "src/causal/CMakeFiles/fsda_causal.dir/graph.cpp.o" "gcc" "src/causal/CMakeFiles/fsda_causal.dir/graph.cpp.o.d"
+  "/root/repo/src/causal/pc.cpp" "src/causal/CMakeFiles/fsda_causal.dir/pc.cpp.o" "gcc" "src/causal/CMakeFiles/fsda_causal.dir/pc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

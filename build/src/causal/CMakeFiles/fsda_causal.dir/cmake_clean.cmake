@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_causal.dir/ci_test.cpp.o"
+  "CMakeFiles/fsda_causal.dir/ci_test.cpp.o.d"
+  "CMakeFiles/fsda_causal.dir/fnode.cpp.o"
+  "CMakeFiles/fsda_causal.dir/fnode.cpp.o.d"
+  "CMakeFiles/fsda_causal.dir/graph.cpp.o"
+  "CMakeFiles/fsda_causal.dir/graph.cpp.o.d"
+  "CMakeFiles/fsda_causal.dir/pc.cpp.o"
+  "CMakeFiles/fsda_causal.dir/pc.cpp.o.d"
+  "libfsda_causal.a"
+  "libfsda_causal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

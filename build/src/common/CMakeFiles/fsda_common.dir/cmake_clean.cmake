@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_common.dir/csv.cpp.o"
+  "CMakeFiles/fsda_common.dir/csv.cpp.o.d"
+  "CMakeFiles/fsda_common.dir/env.cpp.o"
+  "CMakeFiles/fsda_common.dir/env.cpp.o.d"
+  "CMakeFiles/fsda_common.dir/logging.cpp.o"
+  "CMakeFiles/fsda_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fsda_common.dir/rng.cpp.o"
+  "CMakeFiles/fsda_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fsda_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/fsda_common.dir/thread_pool.cpp.o.d"
+  "libfsda_common.a"
+  "libfsda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

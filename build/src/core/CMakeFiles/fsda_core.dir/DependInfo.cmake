@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autoencoder.cpp" "src/core/CMakeFiles/fsda_core.dir/autoencoder.cpp.o" "gcc" "src/core/CMakeFiles/fsda_core.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/core/cgan.cpp" "src/core/CMakeFiles/fsda_core.dir/cgan.cpp.o" "gcc" "src/core/CMakeFiles/fsda_core.dir/cgan.cpp.o.d"
+  "/root/repo/src/core/corruption.cpp" "src/core/CMakeFiles/fsda_core.dir/corruption.cpp.o" "gcc" "src/core/CMakeFiles/fsda_core.dir/corruption.cpp.o.d"
+  "/root/repo/src/core/feature_separation.cpp" "src/core/CMakeFiles/fsda_core.dir/feature_separation.cpp.o" "gcc" "src/core/CMakeFiles/fsda_core.dir/feature_separation.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/fsda_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/fsda_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/vae.cpp" "src/core/CMakeFiles/fsda_core.dir/vae.cpp.o" "gcc" "src/core/CMakeFiles/fsda_core.dir/vae.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/causal/CMakeFiles/fsda_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fsda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fsda_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fsda_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/fsda_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fsda_trees.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

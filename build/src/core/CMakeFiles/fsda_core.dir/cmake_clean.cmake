@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_core.dir/autoencoder.cpp.o"
+  "CMakeFiles/fsda_core.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/fsda_core.dir/cgan.cpp.o"
+  "CMakeFiles/fsda_core.dir/cgan.cpp.o.d"
+  "CMakeFiles/fsda_core.dir/corruption.cpp.o"
+  "CMakeFiles/fsda_core.dir/corruption.cpp.o.d"
+  "CMakeFiles/fsda_core.dir/feature_separation.cpp.o"
+  "CMakeFiles/fsda_core.dir/feature_separation.cpp.o.d"
+  "CMakeFiles/fsda_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fsda_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fsda_core.dir/vae.cpp.o"
+  "CMakeFiles/fsda_core.dir/vae.cpp.o.d"
+  "libfsda_core.a"
+  "libfsda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/fsda_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/fsda_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/gen5gc.cpp" "src/data/CMakeFiles/fsda_data.dir/gen5gc.cpp.o" "gcc" "src/data/CMakeFiles/fsda_data.dir/gen5gc.cpp.o.d"
+  "/root/repo/src/data/gen5gipc.cpp" "src/data/CMakeFiles/fsda_data.dir/gen5gipc.cpp.o" "gcc" "src/data/CMakeFiles/fsda_data.dir/gen5gipc.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/fsda_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/fsda_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/data/CMakeFiles/fsda_data.dir/scaler.cpp.o" "gcc" "src/data/CMakeFiles/fsda_data.dir/scaler.cpp.o.d"
+  "/root/repo/src/data/scm.cpp" "src/data/CMakeFiles/fsda_data.dir/scm.cpp.o" "gcc" "src/data/CMakeFiles/fsda_data.dir/scm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/fsda_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_data.dir/dataset.cpp.o"
+  "CMakeFiles/fsda_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fsda_data.dir/gen5gc.cpp.o"
+  "CMakeFiles/fsda_data.dir/gen5gc.cpp.o.d"
+  "CMakeFiles/fsda_data.dir/gen5gipc.cpp.o"
+  "CMakeFiles/fsda_data.dir/gen5gipc.cpp.o.d"
+  "CMakeFiles/fsda_data.dir/io.cpp.o"
+  "CMakeFiles/fsda_data.dir/io.cpp.o.d"
+  "CMakeFiles/fsda_data.dir/scaler.cpp.o"
+  "CMakeFiles/fsda_data.dir/scaler.cpp.o.d"
+  "CMakeFiles/fsda_data.dir/scm.cpp.o"
+  "CMakeFiles/fsda_data.dir/scm.cpp.o.d"
+  "libfsda_data.a"
+  "libfsda_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_eval.dir/experiment.cpp.o"
+  "CMakeFiles/fsda_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/fsda_eval.dir/metrics.cpp.o"
+  "CMakeFiles/fsda_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/fsda_eval.dir/table.cpp.o"
+  "CMakeFiles/fsda_eval.dir/table.cpp.o.d"
+  "libfsda_eval.a"
+  "libfsda_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

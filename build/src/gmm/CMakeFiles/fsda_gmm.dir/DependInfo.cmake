@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmm/gmm.cpp" "src/gmm/CMakeFiles/fsda_gmm.dir/gmm.cpp.o" "gcc" "src/gmm/CMakeFiles/fsda_gmm.dir/gmm.cpp.o.d"
+  "/root/repo/src/gmm/kmeans.cpp" "src/gmm/CMakeFiles/fsda_gmm.dir/kmeans.cpp.o" "gcc" "src/gmm/CMakeFiles/fsda_gmm.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_gmm.dir/gmm.cpp.o"
+  "CMakeFiles/fsda_gmm.dir/gmm.cpp.o.d"
+  "CMakeFiles/fsda_gmm.dir/kmeans.cpp.o"
+  "CMakeFiles/fsda_gmm.dir/kmeans.cpp.o.d"
+  "libfsda_gmm.a"
+  "libfsda_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

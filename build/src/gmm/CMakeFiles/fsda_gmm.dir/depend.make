@@ -1,0 +1,2 @@
+# Empty dependencies file for fsda_gmm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/linalg.cpp" "src/la/CMakeFiles/fsda_la.dir/linalg.cpp.o" "gcc" "src/la/CMakeFiles/fsda_la.dir/linalg.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/fsda_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/fsda_la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/stats.cpp" "src/la/CMakeFiles/fsda_la.dir/stats.cpp.o" "gcc" "src/la/CMakeFiles/fsda_la.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_la.dir/linalg.cpp.o"
+  "CMakeFiles/fsda_la.dir/linalg.cpp.o.d"
+  "CMakeFiles/fsda_la.dir/matrix.cpp.o"
+  "CMakeFiles/fsda_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/fsda_la.dir/stats.cpp.o"
+  "CMakeFiles/fsda_la.dir/stats.cpp.o.d"
+  "libfsda_la.a"
+  "libfsda_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

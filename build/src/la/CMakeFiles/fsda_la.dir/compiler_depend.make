@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsda_la.
+# This may be replaced when dependencies are built.

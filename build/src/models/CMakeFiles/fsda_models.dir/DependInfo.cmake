@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/factory.cpp" "src/models/CMakeFiles/fsda_models.dir/factory.cpp.o" "gcc" "src/models/CMakeFiles/fsda_models.dir/factory.cpp.o.d"
+  "/root/repo/src/models/forest.cpp" "src/models/CMakeFiles/fsda_models.dir/forest.cpp.o" "gcc" "src/models/CMakeFiles/fsda_models.dir/forest.cpp.o.d"
+  "/root/repo/src/models/neural.cpp" "src/models/CMakeFiles/fsda_models.dir/neural.cpp.o" "gcc" "src/models/CMakeFiles/fsda_models.dir/neural.cpp.o.d"
+  "/root/repo/src/models/xgb.cpp" "src/models/CMakeFiles/fsda_models.dir/xgb.cpp.o" "gcc" "src/models/CMakeFiles/fsda_models.dir/xgb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fsda_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fsda_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

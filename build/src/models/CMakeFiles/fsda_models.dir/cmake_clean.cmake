@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_models.dir/factory.cpp.o"
+  "CMakeFiles/fsda_models.dir/factory.cpp.o.d"
+  "CMakeFiles/fsda_models.dir/forest.cpp.o"
+  "CMakeFiles/fsda_models.dir/forest.cpp.o.d"
+  "CMakeFiles/fsda_models.dir/neural.cpp.o"
+  "CMakeFiles/fsda_models.dir/neural.cpp.o.d"
+  "CMakeFiles/fsda_models.dir/xgb.cpp.o"
+  "CMakeFiles/fsda_models.dir/xgb.cpp.o.d"
+  "libfsda_models.a"
+  "libfsda_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/fsda_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/fsda_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/fsda_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/feature_gate.cpp" "src/nn/CMakeFiles/fsda_nn.dir/feature_gate.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/feature_gate.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/fsda_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fsda_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/fsda_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fsda_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/parallel_sum.cpp" "src/nn/CMakeFiles/fsda_nn.dir/parallel_sum.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/parallel_sum.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/fsda_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/fsda_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/fsda_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_nn.dir/activations.cpp.o"
+  "CMakeFiles/fsda_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/fsda_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/dropout.cpp.o"
+  "CMakeFiles/fsda_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/feature_gate.cpp.o"
+  "CMakeFiles/fsda_nn.dir/feature_gate.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/linear.cpp.o"
+  "CMakeFiles/fsda_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/loss.cpp.o"
+  "CMakeFiles/fsda_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/mlp.cpp.o"
+  "CMakeFiles/fsda_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fsda_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/parallel_sum.cpp.o"
+  "CMakeFiles/fsda_nn.dir/parallel_sum.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/sequential.cpp.o"
+  "CMakeFiles/fsda_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/fsda_nn.dir/serialize.cpp.o"
+  "CMakeFiles/fsda_nn.dir/serialize.cpp.o.d"
+  "libfsda_nn.a"
+  "libfsda_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

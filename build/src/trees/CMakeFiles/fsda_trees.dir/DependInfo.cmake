@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/decision_tree.cpp" "src/trees/CMakeFiles/fsda_trees.dir/decision_tree.cpp.o" "gcc" "src/trees/CMakeFiles/fsda_trees.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/trees/gbdt.cpp" "src/trees/CMakeFiles/fsda_trees.dir/gbdt.cpp.o" "gcc" "src/trees/CMakeFiles/fsda_trees.dir/gbdt.cpp.o.d"
+  "/root/repo/src/trees/random_forest.cpp" "src/trees/CMakeFiles/fsda_trees.dir/random_forest.cpp.o" "gcc" "src/trees/CMakeFiles/fsda_trees.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fsda_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

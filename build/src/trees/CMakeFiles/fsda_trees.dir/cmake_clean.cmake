@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_trees.dir/decision_tree.cpp.o"
+  "CMakeFiles/fsda_trees.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/fsda_trees.dir/gbdt.cpp.o"
+  "CMakeFiles/fsda_trees.dir/gbdt.cpp.o.d"
+  "CMakeFiles/fsda_trees.dir/random_forest.cpp.o"
+  "CMakeFiles/fsda_trees.dir/random_forest.cpp.o.d"
+  "libfsda_trees.a"
+  "libfsda_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

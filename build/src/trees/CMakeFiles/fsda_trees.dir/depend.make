@@ -1,0 +1,2 @@
+# Empty dependencies file for fsda_trees.
+# This may be replaced when dependencies are built.

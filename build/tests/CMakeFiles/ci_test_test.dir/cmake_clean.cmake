@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_test_test.dir/ci_test_test.cpp.o"
+  "CMakeFiles/ci_test_test.dir/ci_test_test.cpp.o.d"
+  "ci_test_test"
+  "ci_test_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

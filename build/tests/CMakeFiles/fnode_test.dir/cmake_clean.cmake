@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnode_test.dir/fnode_test.cpp.o"
+  "CMakeFiles/fnode_test.dir/fnode_test.cpp.o.d"
+  "fnode_test"
+  "fnode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

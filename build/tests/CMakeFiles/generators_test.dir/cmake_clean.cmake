@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generators_test.dir/generators_test.cpp.o"
+  "CMakeFiles/generators_test.dir/generators_test.cpp.o.d"
+  "generators_test"
+  "generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

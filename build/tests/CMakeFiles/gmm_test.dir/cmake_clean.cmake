@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmm_test.dir/gmm_test.cpp.o"
+  "CMakeFiles/gmm_test.dir/gmm_test.cpp.o.d"
+  "gmm_test"
+  "gmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn_layers_test.cpp" "tests/CMakeFiles/nn_layers_test.dir/nn_layers_test.cpp.o" "gcc" "tests/CMakeFiles/nn_layers_test.dir/nn_layers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/fsda_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fsda_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fsda_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fsda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/causal/CMakeFiles/fsda_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fsda_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/fsda_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fsda_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/fsda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

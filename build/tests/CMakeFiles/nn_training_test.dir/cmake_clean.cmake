@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_training_test.dir/nn_training_test.cpp.o"
+  "CMakeFiles/nn_training_test.dir/nn_training_test.cpp.o.d"
+  "nn_training_test"
+  "nn_training_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

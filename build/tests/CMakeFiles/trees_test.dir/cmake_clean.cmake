@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trees_test.dir/trees_test.cpp.o"
+  "CMakeFiles/trees_test.dir/trees_test.cpp.o.d"
+  "trees_test"
+  "trees_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

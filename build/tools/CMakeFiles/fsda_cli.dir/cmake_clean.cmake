@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsda_cli.dir/fsda_cli.cpp.o"
+  "CMakeFiles/fsda_cli.dir/fsda_cli.cpp.o.d"
+  "fsda_cli"
+  "fsda_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsda_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
