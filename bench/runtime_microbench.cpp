@@ -6,11 +6,20 @@
 
 #include "baselines/ours.hpp"
 #include "causal/ci_test.hpp"
+#include "common/rng.hpp"
 #include "core/cgan.hpp"
 #include "core/feature_separation.hpp"
 #include "data/gen5gc.hpp"
 #include "data/scaler.hpp"
+#include "la/kernels.hpp"
 #include "models/factory.hpp"
+#include "models/neural.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/workspace.hpp"
 
 namespace {
 
@@ -39,6 +48,68 @@ const Scaled& scaled_5gc() {
   }();
   return scaled;
 }
+
+// --- Numeric-core kernel benchmarks (views/workspace refactor) ----------
+// Representative shapes from the 5GIPC pipeline: 442 telemetry features,
+// batch 256.  BM_MatmulNaiveReference is the seed implementation (scalar
+// triple loop) kept as the comparison baseline for the blocked kernel.
+
+void BM_MatmulNaiveReference(benchmark::State& state) {
+  common::Rng rng(3);
+  const la::Matrix a = la::Matrix::randn(256, 442, rng);
+  const la::Matrix b = la::Matrix::randn(442, 256, rng);
+  la::Matrix out(256, 256);
+  for (auto _ : state) {
+    for (auto& v : out.data()) v = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double v = a(i, k);
+        for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += v * b(k, j);
+      }
+    }
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_MatmulNaiveReference)->Unit(benchmark::kMillisecond);
+
+void BM_Matmul256x442x256(benchmark::State& state) {
+  common::Rng rng(3);
+  const la::Matrix a = la::Matrix::randn(256, 442, rng);
+  const la::Matrix b = la::Matrix::randn(442, 256, rng);
+  la::Matrix out(256, 256);
+  for (auto _ : state) {
+    la::matmul_into(a, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_Matmul256x442x256)->Unit(benchmark::kMillisecond);
+
+void BM_MlpStep442Batch256(benchmark::State& state) {
+  common::Rng rng(4);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(442, 256, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(256, 256, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(256, 16, rng);
+  nn::Adam optimizer(net.parameters(), 1e-3);
+  nn::Workspace ws;
+  const la::Matrix x = la::Matrix::randn(256, 442, rng);
+  std::vector<std::int64_t> y(256);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<std::int64_t>(i % 16);
+  }
+  la::Matrix loss_grad;
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    const la::Matrix& logits = net.forward(x, /*training=*/true, ws);
+    const double loss = nn::softmax_cross_entropy_into(logits, y, loss_grad);
+    net.backward(loss_grad, ws);
+    optimizer.step();
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_MlpStep442Batch256)->Unit(benchmark::kMillisecond);
 
 void BM_FisherZMarginalTest(benchmark::State& state) {
   const auto& scaled = scaled_5gc();

@@ -1,6 +1,7 @@
 #include "baselines/coral.hpp"
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
 #include "la/linalg.hpp"
 #include "la/stats.hpp"
 
@@ -18,20 +19,17 @@ la::Matrix coral_transform(const la::Matrix& source,
   const la::Matrix color = la::sqrt_spd(cov_t, 1e-6);
   // Center source, whiten, re-color; the downstream scaler handles means.
   const la::Matrix mean_s = la::column_means(source);
-  la::Matrix centered = source;
-  for (std::size_t r = 0; r < centered.rows(); ++r) {
-    for (std::size_t c = 0; c < centered.cols(); ++c) {
-      centered(r, c) -= mean_s(0, c);
-    }
-  }
-  la::Matrix aligned = centered.matmul(whiten).matmul(color);
+  la::Matrix neg_mean_s(1, source.cols());
+  la::scale_into(mean_s, -1.0, neg_mean_s);
+  la::Matrix centered(source.rows(), source.cols());
+  la::add_row_broadcast_into(source, neg_mean_s, centered);
+  la::Matrix whitened(source.rows(), source.cols());
+  la::matmul_into(centered, whiten, whitened);
+  la::Matrix aligned(source.rows(), source.cols());
+  la::matmul_into(whitened, color, aligned);
   // Re-center on the target mean so first moments align too.
   const la::Matrix mean_t = la::column_means(target);
-  for (std::size_t r = 0; r < aligned.rows(); ++r) {
-    for (std::size_t c = 0; c < aligned.cols(); ++c) {
-      aligned(r, c) += mean_t(0, c);
-    }
-  }
+  la::add_row_broadcast_into(aligned, mean_t, aligned);
   return aligned;
 }
 

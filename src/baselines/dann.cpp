@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "nn/loss.hpp"
@@ -64,9 +65,10 @@ void Dann::fit(const DAContext& context) {
       // Assemble mixed batch: source rows then resampled target rows.
       std::vector<std::size_t> tgt_rows(tgt_batch);
       for (auto& r : tgt_rows) r = rng.uniform_index(n_tgt);
-      const la::Matrix xb =
-          xs.select_rows(src_rows).vcat(xt.select_rows(tgt_rows));
-      const std::size_t m = xb.rows();
+      la::select_rows_into(xs, src_rows, src_b_);
+      la::select_rows_into(xt, tgt_rows, tgt_b_);
+      la::vcat_into(src_b_, tgt_b_, xb_);
+      const std::size_t m = xb_.rows();
 
       std::vector<std::int64_t> labels(m);
       std::vector<double> domains(m);
@@ -89,24 +91,28 @@ void Dann::fit(const DAContext& context) {
       ++step;
 
       optimizer.zero_grad();
-      const la::Matrix z = features_->forward(xb, /*training=*/true);
+      const la::Matrix& z = features_->forward(xb_, /*training=*/true, ws_);
 
       // Label loss on all labeled rows (source + labeled shots).
-      const la::Matrix logits = label_head_->forward(z, true);
-      nn::LossResult label_loss = nn::softmax_cross_entropy(logits, labels);
-      la::Matrix grad_z = label_head_->backward(label_loss.grad);
+      const la::Matrix& logits = label_head_->forward(z, true, ws_);
+      nn::softmax_cross_entropy_into(logits, labels, label_grad_);
+      const la::Matrix& grad_z_label =
+          label_head_->backward(label_grad_, ws_);
 
       // Domain loss with gradient reversal into the extractor: the head's
       // own parameters receive the normal gradient; only the gradient
       // flowing back into z is negated and scaled.
-      const la::Matrix domain_logits = domain_head_->forward(z, true);
-      nn::LossResult domain_loss =
-          nn::bce_with_logits(domain_logits, domains);
-      la::Matrix grad_z_domain = domain_head_->backward(domain_loss.grad);
-      grad_z_domain *= -lambda;
-      grad_z += grad_z_domain;
+      const la::Matrix& domain_logits = domain_head_->forward(z, true, ws_);
+      nn::bce_with_logits_into(domain_logits, domains, {}, domain_grad_);
+      const la::Matrix& grad_z_domain =
+          domain_head_->backward(domain_grad_, ws_);
+      // Combine: grad_z_label lives in the label head's workspace slab and
+      // grad_z_domain in the domain head's, so both stay valid here.
+      grad_z_.resize(m, z.cols());
+      la::zip_into(grad_z_label, grad_z_domain, grad_z_,
+                   [lambda](double gl, double gd) { return gl - lambda * gd; });
 
-      features_->backward(grad_z);
+      features_->backward(grad_z_, ws_);
       nn::clip_grad_norm(params, 5.0);
       optimizer.step();
     }
@@ -115,9 +121,9 @@ void Dann::fit(const DAContext& context) {
 
 la::Matrix Dann::predict_proba(const la::Matrix& x_raw) {
   FSDA_CHECK_MSG(features_ != nullptr, "predict before fit");
-  const la::Matrix z =
-      features_->forward(scaler_.transform(x_raw), /*training=*/false);
-  return nn::softmax_rows(label_head_->forward(z, /*training=*/false));
+  const la::Matrix x = scaler_.transform(x_raw);
+  const la::Matrix& z = features_->forward(x, /*training=*/false, ws_);
+  return nn::softmax_rows(label_head_->forward(z, /*training=*/false, ws_));
 }
 
 }  // namespace fsda::baselines

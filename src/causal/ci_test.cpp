@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
 #include "la/linalg.hpp"
 #include "la/stats.hpp"
+#include "la/view.hpp"
 
 namespace fsda::causal {
 
@@ -34,28 +36,39 @@ CiResult FisherZTest::test(std::size_t i, std::size_t j,
   return result;
 }
 
+void ols_residuals_into(const la::Matrix& x_cols, const la::Matrix& ys,
+                        la::Matrix& residuals) {
+  const std::size_t n = ys.rows();
+  FSDA_CHECK(x_cols.rows() == n);
+  // Design with intercept column.
+  la::Matrix design(n, x_cols.cols() + 1, 1.0);
+  if (x_cols.cols() > 0) {
+    la::MatrixView dv(design);
+    la::copy_into(x_cols, dv.col_block(1, x_cols.cols()));
+  }
+  // Normal equations with slight ridge for robustness; one factorization
+  // serves every target column.
+  la::Matrix xtx(design.cols(), design.cols());
+  la::transposed_matmul_into(design, design, xtx);
+  for (std::size_t d = 0; d < xtx.rows(); ++d) xtx(d, d) += 1e-8;
+  la::Matrix xty(design.cols(), ys.cols());
+  la::transposed_matmul_into(design, ys, xty);
+  const la::Matrix beta = la::cholesky_solve(xtx, xty);
+  la::Matrix fitted(n, ys.cols());
+  la::matmul_into(design, beta, fitted);
+  residuals.resize(n, ys.cols());
+  la::sub_into(ys, fitted, residuals);
+}
+
 std::vector<double> ols_residual(const la::Matrix& x_cols,
                                  std::span<const double> y) {
   const std::size_t n = y.size();
   FSDA_CHECK(x_cols.rows() == n);
-  // Design with intercept column.
-  la::Matrix design(n, x_cols.cols() + 1, 1.0);
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < x_cols.cols(); ++c) {
-      design(r, c + 1) = x_cols(r, c);
-    }
-  }
   la::Matrix yv(n, 1);
   for (std::size_t r = 0; r < n; ++r) yv(r, 0) = y[r];
-  // Normal equations with slight ridge for robustness.
-  la::Matrix xtx = design.transposed_matmul(design);
-  for (std::size_t d = 0; d < xtx.rows(); ++d) xtx(d, d) += 1e-8;
-  const la::Matrix xty = design.transposed_matmul(yv);
-  const la::Matrix beta = la::cholesky_solve(xtx, xty);
-  const la::Matrix fitted = design.matmul(beta);
-  std::vector<double> residual(n);
-  for (std::size_t r = 0; r < n; ++r) residual[r] = y[r] - fitted(r, 0);
-  return residual;
+  la::Matrix res;
+  ols_residuals_into(x_cols, yv, res);
+  return res.col_vector(0);
 }
 
 PermutationCiTest::PermutationCiTest(la::Matrix data, double alpha,
@@ -72,16 +85,21 @@ PermutationCiTest::PermutationCiTest(la::Matrix data, double alpha,
 CiResult PermutationCiTest::test(std::size_t i, std::size_t j,
                                  std::span<const std::size_t> given) const {
   FSDA_CHECK(i < data_.cols() && j < data_.cols() && i != j);
-  const std::vector<double> xi = data_.col_vector(i);
-  const std::vector<double> xj = data_.col_vector(j);
-  std::vector<double> ri, rj;
-  if (given.empty()) {
-    ri = xi;
-    rj = xj;
-  } else {
+  std::vector<double> ri = data_.col_vector(i);
+  std::vector<double> rj = data_.col_vector(j);
+  if (!given.empty()) {
+    // Residualize both endpoints against the same conditioning set in one
+    // batched regression (shared Cholesky factorization).
     const la::Matrix z = data_.select_cols(given);
-    ri = ols_residual(z, xi);
-    rj = ols_residual(z, xj);
+    la::Matrix ys(data_.rows(), 2);
+    for (std::size_t r = 0; r < data_.rows(); ++r) {
+      ys(r, 0) = ri[r];
+      ys(r, 1) = rj[r];
+    }
+    la::Matrix res;
+    ols_residuals_into(z, ys, res);
+    ri = res.col_vector(0);
+    rj = res.col_vector(1);
   }
   const double observed = std::abs(la::pearson(ri, rj));
   // Permutation null: shuffle one residual vector.

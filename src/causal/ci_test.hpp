@@ -87,7 +87,16 @@ class PermutationCiTest : public CiTest {
 };
 
 /// Residual of y regressed on design columns X (with intercept), by OLS.
+/// Wraps the batched form below.
 std::vector<double> ols_residual(const la::Matrix& x_cols,
                                  std::span<const double> y);
+
+/// Batched OLS residuals: regresses every column of `ys` (n x m) on the same
+/// design `x_cols` (with intercept), sharing one Cholesky factorization of
+/// X^T X across all targets, and writes the residuals into `residuals`
+/// (resized to n x m).  The PC-style CI tests residualize both endpoints on
+/// the same conditioning set, so this halves the factorization work.
+void ols_residuals_into(const la::Matrix& x_cols, const la::Matrix& ys,
+                        la::Matrix& residuals);
 
 }  // namespace fsda::causal

@@ -8,6 +8,12 @@
 
 namespace fsda::common {
 
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -30,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -62,6 +69,13 @@ void parallel_for_chunked(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  if (ThreadPool::in_worker()) {
+    // Nested parallel region: the caller already occupies a pool worker, so
+    // queueing sub-tasks could deadlock (every worker blocked on futures no
+    // one is left to run).  Run the whole range inline instead.
+    body(0, n);
+    return;
+  }
   ThreadPool& pool = ThreadPool::global();
   const std::size_t workers = std::min(pool.size(), n);
   if (workers <= 1 || n == 1) {

@@ -44,6 +44,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this process's pool workers.
+  /// parallel_for uses it to run nested invocations inline instead of
+  /// re-submitting to the pool, which would deadlock a saturated pool (a
+  /// worker blocking on futures only other workers can drain) and
+  /// oversubscribe otherwise.
+  static bool in_worker();
+
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 

@@ -76,14 +76,14 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
       const std::size_t end = std::min(n, start + batch);
       const std::span<const std::size_t> rows{order.data() + start,
                                               end - start};
-      const la::Matrix inv_b = x_inv.select_rows(rows);
-      const la::Matrix var_b = x_var.select_rows(rows);
+      la::select_rows_into(x_inv, rows, inv_b_);
+      la::select_rows_into(x_var, rows, var_b_);
       optimizer.zero_grad();
-      const la::Matrix recon = net_->forward(inv_b, /*training=*/true);
-      nn::LossResult loss = nn::mse(recon, var_b);
-      net_->backward(loss.grad);
+      const la::Matrix& recon = net_->forward(inv_b_, /*training=*/true, ws_);
+      const double loss = nn::mse_into(recon, var_b_, loss_grad_);
+      net_->backward(loss_grad_, ws_);
       optimizer.step();
-      epoch_loss += loss.value;
+      epoch_loss += loss;
       ++batches;
     }
     last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
@@ -95,7 +95,7 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
 la::Matrix AutoencoderReconstructor::reconstruct(const la::Matrix& x_inv) {
   FSDA_CHECK_MSG(fitted_, "reconstruct before fit");
   FSDA_CHECK(x_inv.cols() == inv_dim_);
-  return net_->forward(x_inv, /*training=*/false);
+  return net_->forward(x_inv, /*training=*/false, ws_);
 }
 
 }  // namespace fsda::core

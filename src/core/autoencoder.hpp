@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "core/reconstructor.hpp"
 #include "nn/sequential.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::core {
 
@@ -40,6 +41,12 @@ class AutoencoderReconstructor : public Reconstructor {
   std::unique_ptr<nn::Sequential> net_;
   double last_loss_ = 0.0;
   bool fitted_ = false;
+
+  // Training workspace and persistent mini-batch buffers.
+  nn::Workspace ws_;
+  la::Matrix inv_b_;
+  la::Matrix var_b_;
+  la::Matrix loss_grad_;
 };
 
 }  // namespace fsda::core

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "la/view.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/dropout.hpp"
@@ -52,10 +54,9 @@ ConditionalGAN::ConditionalGAN(std::size_t inv_dim, std::size_t var_dim,
   }
 }
 
-la::Matrix ConditionalGAN::sample_noise(std::size_t rows) {
-  la::Matrix z(rows, noise_dim_);
+void ConditionalGAN::sample_noise_into(std::size_t rows, la::Matrix& z) {
+  z.resize(rows, noise_dim_);
   for (auto& v : z.data()) v = rng_.normal();
-  return z;
 }
 
 la::Matrix ConditionalGAN::one_hot(const std::vector<std::int64_t>& labels,
@@ -124,6 +125,22 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
   std::iota(order.begin(), order.end(), std::size_t{0});
   const std::size_t batch = std::min(options_.batch_size, n);
 
+  // Assembles [X_inv | var_block (| Y)] into the persistent d_in_ buffer
+  // through column-block views -- no temporaries.
+  const auto build_d_input = [&](const la::Matrix& var_block) -> la::Matrix& {
+    d_in_.resize(var_block.rows(), inv_dim_ + var_dim_ + label_dim);
+    la::MatrixView dv(d_in_);
+    la::copy_into(inv_b_, dv.col_block(0, inv_dim_));
+    la::copy_into(var_block, dv.col_block(inv_dim_, var_dim_));
+    if (options_.conditional) {
+      la::copy_into(y_b_, dv.col_block(inv_dim_ + var_dim_, label_dim));
+    }
+    return d_in_;
+  };
+
+  std::vector<double> ones;
+  std::vector<double> zeros;
+
   history_.clear();
   history_.reserve(options_.epochs);
   for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
@@ -136,71 +153,69 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                                               end - start};
       const std::size_t m = rows.size();
       if (m < 2) continue;  // batch norm needs at least two rows
-      const la::Matrix inv_b = x_inv.select_rows(rows);
-      const la::Matrix var_b = x_var.select_rows(rows);
-      la::Matrix y_b;
-      if (options_.conditional) y_b = y_onehot.select_rows(rows);
+      la::select_rows_into(x_inv, rows, inv_b_);
+      la::select_rows_into(x_var, rows, var_b_);
+      if (options_.conditional) la::select_rows_into(y_onehot, rows, y_b_);
 
-      const std::vector<double> ones(m, 1.0);
-      const std::vector<double> zeros(m, 0.0);
-
-      auto d_input = [&](const la::Matrix& var_block) {
-        la::Matrix in = inv_b.hcat(var_block);
-        if (options_.conditional) in = in.hcat(y_b);
-        return in;
-      };
+      ones.assign(m, 1.0);
+      zeros.assign(m, 0.0);
 
       // ---- Discriminator step (eq. 8) ----
       d_opt.zero_grad();
       {
-        const la::Matrix real_prob =
-            discriminator_->forward(d_input(var_b), /*training=*/true);
-        nn::LossResult real_loss = nn::bce_on_probs(real_prob, ones);
-        discriminator_->backward(real_loss.grad);
+        const la::Matrix& real_prob = discriminator_->forward(
+            build_d_input(var_b_), /*training=*/true, ws_);
+        const double real_loss =
+            nn::bce_on_probs_into(real_prob, ones, loss_grad_);
+        discriminator_->backward(loss_grad_, ws_);
 
-        const la::Matrix g_in =
-            permute_corrupt(inv_b, options_.input_corruption_p, rng_)
-                .hcat(sample_noise(m));
-        const la::Matrix fake = generator_->forward(g_in, /*training=*/true);
-        const la::Matrix fake_prob =
-            discriminator_->forward(d_input(fake), /*training=*/true);
-        nn::LossResult fake_loss = nn::bce_on_probs(fake_prob, zeros);
-        discriminator_->backward(fake_loss.grad);
+        permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                             corrupt_b_);
+        sample_noise_into(m, noise_b_);
+        la::hcat_into(corrupt_b_, noise_b_, g_in_);
+        const la::Matrix& fake =
+            generator_->forward(g_in_, /*training=*/true, ws_);
+        const la::Matrix& fake_prob = discriminator_->forward(
+            build_d_input(fake), /*training=*/true, ws_);
+        const double fake_loss =
+            nn::bce_on_probs_into(fake_prob, zeros, loss_grad_);
+        discriminator_->backward(loss_grad_, ws_);
         d_opt.step();
-        stats.d_loss += real_loss.value + fake_loss.value;
+        stats.d_loss += real_loss + fake_loss;
       }
 
       // ---- Generator step (eq. 9, non-saturating) ----
       g_opt.zero_grad();
       d_opt.zero_grad();  // D accumulates G-step gradients; discard them
       {
-        const la::Matrix g_in =
-            permute_corrupt(inv_b, options_.input_corruption_p, rng_)
-                .hcat(sample_noise(m));
-        const la::Matrix fake = generator_->forward(g_in, /*training=*/true);
-        const la::Matrix fake_prob =
-            discriminator_->forward(d_input(fake), /*training=*/true);
-        nn::LossResult adv_loss = nn::bce_on_probs(fake_prob, ones);
-        const la::Matrix grad_d_input = discriminator_->backward(adv_loss.grad);
+        permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                             corrupt_b_);
+        sample_noise_into(m, noise_b_);
+        la::hcat_into(corrupt_b_, noise_b_, g_in_);
+        const la::Matrix& fake =
+            generator_->forward(g_in_, /*training=*/true, ws_);
+        const la::Matrix& fake_prob = discriminator_->forward(
+            build_d_input(fake), /*training=*/true, ws_);
+        const double adv_loss =
+            nn::bce_on_probs_into(fake_prob, ones, loss_grad_);
+        const la::Matrix& grad_d_input =
+            discriminator_->backward(loss_grad_, ws_);
         // Slice the gradient w.r.t. the generated block out of the
         // discriminator's input gradient.
-        la::Matrix grad_fake(m, var_dim_);
-        for (std::size_t r = 0; r < m; ++r) {
-          for (std::size_t c = 0; c < var_dim_; ++c) {
-            grad_fake(r, c) = grad_d_input(r, inv_dim_ + c);
-          }
-        }
+        grad_fake_.resize(m, var_dim_);
+        la::copy_into(
+            la::ConstMatrixView(grad_d_input).col_block(inv_dim_, var_dim_),
+            grad_fake_);
         double recon_value = 0.0;
         if (options_.recon_weight > 0.0) {
-          nn::LossResult recon = nn::mse(fake, var_b);
-          recon_value = recon.value;
-          recon.grad *= options_.recon_weight;
-          grad_fake += recon.grad;
+          recon_value = nn::mse_into(fake, var_b_, recon_grad_);
+          recon_grad_ *= options_.recon_weight;
+          grad_fake_ += recon_grad_;
         }
-        generator_->backward(grad_fake);
+        generator_->backward(grad_fake_, ws_);
         g_opt.step();
         d_opt.zero_grad();
-        stats.g_adv_loss += adv_loss.value;
+        stats.g_adv_loss += adv_loss;
         stats.g_recon_loss += recon_value;
       }
       ++batches;
@@ -218,8 +233,9 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
 la::Matrix ConditionalGAN::reconstruct(const la::Matrix& x_inv) {
   FSDA_CHECK_MSG(fitted_, "reconstruct before fit");
   FSDA_CHECK(x_inv.cols() == inv_dim_);
-  const la::Matrix g_in = x_inv.hcat(sample_noise(x_inv.rows()));
-  return generator_->forward(g_in, /*training=*/false);
+  sample_noise_into(x_inv.rows(), noise_b_);
+  la::hcat_into(x_inv, noise_b_, g_in_);
+  return generator_->forward(g_in_, /*training=*/false, ws_);
 }
 
 }  // namespace fsda::core

@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "core/reconstructor.hpp"
 #include "nn/sequential.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::core {
 
@@ -75,7 +76,7 @@ class ConditionalGAN : public Reconstructor {
   [[nodiscard]] std::size_t noise_dim() const { return noise_dim_; }
 
  private:
-  [[nodiscard]] la::Matrix sample_noise(std::size_t rows);
+  void sample_noise_into(std::size_t rows, la::Matrix& z);
   [[nodiscard]] la::Matrix one_hot(const std::vector<std::int64_t>& labels,
                                    std::size_t num_classes) const;
 
@@ -88,6 +89,20 @@ class ConditionalGAN : public Reconstructor {
   std::unique_ptr<nn::Sequential> discriminator_;
   std::vector<GanEpochStats> history_;
   bool fitted_ = false;
+
+  // Training workspace and persistent mini-batch buffers: capacities are
+  // reused across batches/epochs so the steady-state step allocates nothing.
+  nn::Workspace ws_;
+  la::Matrix inv_b_;
+  la::Matrix var_b_;
+  la::Matrix y_b_;
+  la::Matrix corrupt_b_;
+  la::Matrix noise_b_;
+  la::Matrix g_in_;
+  la::Matrix d_in_;
+  la::Matrix loss_grad_;
+  la::Matrix grad_fake_;
+  la::Matrix recon_grad_;
 };
 
 }  // namespace fsda::core

@@ -1,13 +1,16 @@
 #include "core/corruption.hpp"
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
 
 namespace fsda::core {
 
-la::Matrix permute_corrupt(const la::Matrix& x, double p, common::Rng& rng) {
+void permute_corrupt_into(const la::Matrix& x, double p, common::Rng& rng,
+                          la::Matrix& out) {
   FSDA_CHECK_MSG(p >= 0.0 && p < 1.0, "corruption probability out of [0,1)");
-  la::Matrix out = x;
-  if (p == 0.0 || x.rows() < 2) return out;
+  out.resize(x.rows(), x.cols());
+  la::copy_into(x, out);
+  if (p == 0.0 || x.rows() < 2) return;
   for (std::size_t r = 0; r < x.rows(); ++r) {
     for (std::size_t c = 0; c < x.cols(); ++c) {
       if (rng.bernoulli(p)) {
@@ -15,6 +18,11 @@ la::Matrix permute_corrupt(const la::Matrix& x, double p, common::Rng& rng) {
       }
     }
   }
+}
+
+la::Matrix permute_corrupt(const la::Matrix& x, double p, common::Rng& rng) {
+  la::Matrix out;
+  permute_corrupt_into(x, p, rng, out);
   return out;
 }
 

@@ -19,4 +19,9 @@ namespace fsda::core {
 /// the value of the same column in a uniformly random row.
 la::Matrix permute_corrupt(const la::Matrix& x, double p, common::Rng& rng);
 
+/// Destination-passing form: writes the corrupted copy into `out` (resized
+/// in place; a reused buffer makes the corruption allocation-free).
+void permute_corrupt_into(const la::Matrix& x, double p, common::Rng& rng,
+                          la::Matrix& out);
+
 }  // namespace fsda::core

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "la/view.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "nn/loss.hpp"
@@ -93,55 +95,58 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
       const std::span<const std::size_t> rows{order.data() + start,
                                               end - start};
       const std::size_t m = rows.size();
-      const la::Matrix inv_b = x_inv.select_rows(rows);
-      const la::Matrix var_b = x_var.select_rows(rows);
+      la::select_rows_into(x_inv, rows, inv_b_);
+      la::select_rows_into(x_var, rows, var_b_);
 
       optimizer.zero_grad();
 
       // Encode: split encoder output into mu | log_var.
-      const la::Matrix enc_out =
-          encoder_->forward(inv_b.hcat(var_b), /*training=*/true);
-      la::Matrix mu(m, latent_dim_), log_var(m, latent_dim_);
+      la::hcat_into(inv_b_, var_b_, enc_in_);
+      const la::Matrix& enc_out =
+          encoder_->forward(enc_in_, /*training=*/true, ws_);
+      mu_.resize(m, latent_dim_);
+      log_var_.resize(m, latent_dim_);
       for (std::size_t r = 0; r < m; ++r) {
         for (std::size_t c = 0; c < latent_dim_; ++c) {
-          mu(r, c) = enc_out(r, c);
+          mu_(r, c) = enc_out(r, c);
           // Clamp log-variance for numerical safety.
-          log_var(r, c) = std::clamp(enc_out(r, latent_dim_ + c), -8.0, 8.0);
+          log_var_(r, c) = std::clamp(enc_out(r, latent_dim_ + c), -8.0, 8.0);
         }
       }
 
       // Reparameterize: z = mu + exp(log_var / 2) * eps.
-      la::Matrix eps(m, latent_dim_);
-      for (auto& v : eps.data()) v = rng_.normal();
-      la::Matrix z = mu;
+      eps_.resize(m, latent_dim_);
+      for (auto& v : eps_.data()) v = rng_.normal();
+      z_.resize(m, latent_dim_);
       for (std::size_t r = 0; r < m; ++r) {
         for (std::size_t c = 0; c < latent_dim_; ++c) {
-          z(r, c) += std::exp(0.5 * log_var(r, c)) * eps(r, c);
+          z_(r, c) = mu_(r, c) + std::exp(0.5 * log_var_(r, c)) * eps_(r, c);
         }
       }
 
       // Decode and compute losses.
-      const la::Matrix recon =
-          decoder_->forward(inv_b.hcat(z), /*training=*/true);
-      nn::LossResult rec = nn::mse(recon, var_b);
-      nn::KlResult kl = nn::gaussian_kl(mu, log_var);
-      epoch_loss += rec.value + options_.kl_weight * kl.value;
+      la::hcat_into(inv_b_, z_, dec_in_);
+      const la::Matrix& recon =
+          decoder_->forward(dec_in_, /*training=*/true, ws_);
+      const double rec_value = nn::mse_into(recon, var_b_, recon_grad_);
+      nn::gaussian_kl_into(mu_, log_var_, kl_);
+      epoch_loss += rec_value + options_.kl_weight * kl_.value;
 
       // Backprop: decoder -> z -> (mu, log_var) -> encoder.
-      const la::Matrix grad_dec_in = decoder_->backward(rec.grad);
-      la::Matrix grad_enc_out(m, 2 * latent_dim_, 0.0);
+      const la::Matrix& grad_dec_in = decoder_->backward(recon_grad_, ws_);
+      grad_enc_out_.resize(m, 2 * latent_dim_);
       for (std::size_t r = 0; r < m; ++r) {
         for (std::size_t c = 0; c < latent_dim_; ++c) {
           const double gz = grad_dec_in(r, inv_dim_ + c);
-          const double sigma = std::exp(0.5 * log_var(r, c));
-          grad_enc_out(r, c) =
-              gz + options_.kl_weight * kl.grad_mu(r, c);
-          grad_enc_out(r, latent_dim_ + c) =
-              gz * eps(r, c) * 0.5 * sigma +
-              options_.kl_weight * kl.grad_log_var(r, c);
+          const double sigma = std::exp(0.5 * log_var_(r, c));
+          grad_enc_out_(r, c) =
+              gz + options_.kl_weight * kl_.grad_mu(r, c);
+          grad_enc_out_(r, latent_dim_ + c) =
+              gz * eps_(r, c) * 0.5 * sigma +
+              options_.kl_weight * kl_.grad_log_var(r, c);
         }
       }
-      encoder_->backward(grad_enc_out);
+      encoder_->backward(grad_enc_out_, ws_);
       optimizer.step();
       ++batches;
     }
@@ -154,9 +159,10 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
 la::Matrix VaeReconstructor::reconstruct(const la::Matrix& x_inv) {
   FSDA_CHECK_MSG(fitted_, "reconstruct before fit");
   FSDA_CHECK(x_inv.cols() == inv_dim_);
-  la::Matrix z(x_inv.rows(), latent_dim_);
-  for (auto& v : z.data()) v = rng_.normal();
-  return decoder_->forward(x_inv.hcat(z), /*training=*/false);
+  z_.resize(x_inv.rows(), latent_dim_);
+  for (auto& v : z_.data()) v = rng_.normal();
+  la::hcat_into(x_inv, z_, dec_in_);
+  return decoder_->forward(dec_in_, /*training=*/false, ws_);
 }
 
 }  // namespace fsda::core

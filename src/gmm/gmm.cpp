@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "gmm/kmeans.hpp"
+#include "la/kernels.hpp"
 
 namespace fsda::gmm {
 
@@ -22,35 +23,51 @@ double log_sum_exp(std::span<const double> values) {
 }  // namespace
 
 la::Matrix Gmm::log_joint(const la::Matrix& x) const {
+  la::Matrix out;
+  log_joint_into(x, out);
+  return out;
+}
+
+void Gmm::log_joint_into(const la::Matrix& x, la::Matrix& out) const {
   FSDA_CHECK_MSG(num_components() > 0, "log_joint before fit");
   FSDA_CHECK(x.cols() == means_.cols());
   const std::size_t n = x.rows();
   const std::size_t k = num_components();
   const std::size_t d = x.cols();
-  // Precompute per-component log normalizers.
-  std::vector<double> log_norm(k);
+  // Expand the diagonal quadratic (x-mu)^2/var = x^2/var - 2*x*mu/var +
+  // mu^2/var so the per-sample work becomes two blocked matrix products.
+  inv_var_.resize(k, d);
+  scaled_mu_.resize(k, d);
+  std::vector<double> offset(k);  // log normalizer minus 0.5 * mu^2/var
   for (std::size_t c = 0; c < k; ++c) {
     double acc = std::log(weights_[c]);
+    const double* mu = means_.row(c).data();
+    const double* var = variances_.row(c).data();
+    double* iv = inv_var_.row(c).data();
+    double* sm = scaled_mu_.row(c).data();
     for (std::size_t f = 0; f < d; ++f) {
-      acc -= 0.5 * std::log(2.0 * std::numbers::pi * variances_(c, f));
+      acc -= 0.5 * std::log(2.0 * std::numbers::pi * var[f]);
+      iv[f] = 1.0 / var[f];
+      sm[f] = mu[f] / var[f];
+      acc -= 0.5 * mu[f] * mu[f] / var[f];
     }
-    log_norm[c] = acc;
+    offset[c] = acc;
   }
-  la::Matrix out(n, k);
+  xsq_.resize(n, d);
+  la::hadamard_into(x, x, xsq_);
+  quad_.resize(n, k);
+  la::matmul_transposed_into(xsq_, inv_var_, quad_);
+  cross_.resize(n, k);
+  la::matmul_transposed_into(x, scaled_mu_, cross_);
+  out.resize(n, k);
   for (std::size_t r = 0; r < n; ++r) {
-    const auto row = x.row(r);
+    const double* q = quad_.row(r).data();
+    const double* cr = cross_.row(r).data();
+    double* o = out.row(r).data();
     for (std::size_t c = 0; c < k; ++c) {
-      double quad = 0.0;
-      const auto mu = means_.row(c);
-      const auto var = variances_.row(c);
-      for (std::size_t f = 0; f < d; ++f) {
-        const double diff = row[f] - mu[f];
-        quad += diff * diff / var[f];
-      }
-      out(r, c) = log_norm[c] - 0.5 * quad;
+      o[c] = offset[c] - 0.5 * q[c] + cr[c];
     }
   }
-  return out;
 }
 
 void Gmm::fit(const la::Matrix& x, std::size_t k, std::uint64_t seed,
@@ -90,35 +107,48 @@ void Gmm::fit(const la::Matrix& x, std::size_t k, std::uint64_t seed,
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     iterations_ = it + 1;
     // E step.
-    la::Matrix lj = log_joint(x);
+    log_joint_into(x, lj_);
     double total_ll = 0.0;
-    la::Matrix resp(n, k);
+    resp_.resize(n, k);
     for (std::size_t r = 0; r < n; ++r) {
-      const double lse = log_sum_exp(lj.row(r));
+      const double lse = log_sum_exp(lj_.row(r));
       total_ll += lse;
+      const double* l = lj_.row(r).data();
+      double* p = resp_.row(r).data();
+      for (std::size_t c = 0; c < k; ++c) p[c] = std::exp(l[c] - lse);
+    }
+    // M step.  Soft counts and weighted means come from the blocked
+    // kernels: nk = column sums of resp, means = resp^T x / nk.
+    nk_.resize(1, k);
+    la::sum_rows_into(resp_, nk_);
+    for (std::size_t c = 0; c < k; ++c) {
+      nk_(0, c) = std::max(nk_(0, c), 1e-8);
+      weights_[c] = nk_(0, c) / static_cast<double>(n);
+    }
+    la::transposed_matmul_into(resp_, x, means_);
+    for (std::size_t c = 0; c < k; ++c) {
+      double* mu = means_.row(c).data();
+      for (std::size_t f = 0; f < d; ++f) mu[f] /= nk_(0, c);
+    }
+    // Weighted variances: accumulate row-major so x is streamed once.
+    variances_.fill(0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* xr = x.row(r).data();
+      const double* p = resp_.row(r).data();
       for (std::size_t c = 0; c < k; ++c) {
-        resp(r, c) = std::exp(lj(r, c) - lse);
+        const double* mu = means_.row(c).data();
+        double* var = variances_.row(c).data();
+        const double w = p[c];
+        for (std::size_t f = 0; f < d; ++f) {
+          const double diff = xr[f] - mu[f];
+          var[f] += w * diff * diff;
+        }
       }
     }
-    // M step.
     for (std::size_t c = 0; c < k; ++c) {
-      double nk = 0.0;
-      for (std::size_t r = 0; r < n; ++r) nk += resp(r, c);
-      nk = std::max(nk, 1e-8);
-      weights_[c] = nk / static_cast<double>(n);
+      double* var = variances_.row(c).data();
       for (std::size_t f = 0; f < d; ++f) {
-        double mean_acc = 0.0;
-        for (std::size_t r = 0; r < n; ++r) mean_acc += resp(r, c) * x(r, f);
-        means_(c, f) = mean_acc / nk;
-      }
-      for (std::size_t f = 0; f < d; ++f) {
-        double var_acc = 0.0;
-        for (std::size_t r = 0; r < n; ++r) {
-          const double diff = x(r, f) - means_(c, f);
-          var_acc += resp(r, c) * diff * diff;
-        }
-        variances_(c, f) =
-            std::max(options.variance_floor, var_acc / nk);
+        var[f] = std::max(options.variance_floor, var[f] / nk_(0, c));
       }
     }
     const double mean_ll = total_ll / static_cast<double>(n);

@@ -49,11 +49,25 @@ class Gmm {
  private:
   /// Per-sample per-component log joint densities log(pi_k) + log N(x|k).
   [[nodiscard]] la::Matrix log_joint(const la::Matrix& x) const;
+  /// Batched destination-passing form: expands the diagonal Mahalanobis
+  /// quadratic into two matrix products so the hot EM loop runs on the
+  /// blocked matmul kernels instead of a scalar triple loop.
+  void log_joint_into(const la::Matrix& x, la::Matrix& out) const;
 
   std::vector<double> weights_;
   la::Matrix means_;      ///< k x d
   la::Matrix variances_;  ///< k x d
   std::size_t iterations_ = 0;
+
+  // EM scratch buffers (mutable: log_joint_into serves const queries too).
+  mutable la::Matrix xsq_;        ///< n x d, x elementwise squared
+  mutable la::Matrix inv_var_;    ///< k x d, 1 / sigma2
+  mutable la::Matrix scaled_mu_;  ///< k x d, mu / sigma2
+  mutable la::Matrix quad_;       ///< n x k, x^2 * inv_var^T
+  mutable la::Matrix cross_;      ///< n x k, x * scaled_mu^T
+  la::Matrix lj_;                 ///< n x k, EM log joints
+  la::Matrix resp_;               ///< n x k, EM responsibilities
+  la::Matrix nk_;                 ///< 1 x k, soft counts
 };
 
 }  // namespace fsda::gmm

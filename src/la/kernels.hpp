@@ -1,0 +1,84 @@
+// fsda::la -- destination-passing kernels over matrix views.
+//
+// Every routine writes its result into a caller-supplied view that must
+// already have the result shape; nothing here allocates.  The matmul family
+// is register-blocked (4 output rows per sweep of B) and parallelised over
+// row panels of the destination via common::ThreadPool::global() once the
+// product is large enough to amortise the fork, so it speeds up both the
+// NN training loops and the CI-test regressions without any caller changes.
+//
+// Aliasing contract: the matmul family requires `out` to be disjoint from
+// both operands (checked, throws InvariantError); the elementwise kernels
+// allow `out` to alias an input exactly (in-place update).
+#pragma once
+
+#include "common/error.hpp"
+#include "la/view.hpp"
+
+namespace fsda::la {
+
+/// out = a * b.  Shapes: (m x k) * (k x n) -> (m x n).
+void matmul_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+
+/// out (+)= a^T * b without materialising the transpose for the caller.
+/// Shapes: (k x m)^T * (k x n) -> (m x n).
+void transposed_matmul_into(ConstMatrixView a, ConstMatrixView b,
+                            MatrixView out, bool accumulate = false);
+
+/// out = a * b^T.  Shapes: (m x k) * (n x k)^T -> (m x n).
+void matmul_transposed_into(ConstMatrixView a, ConstMatrixView b,
+                            MatrixView out);
+
+/// out = a^T (blocked; out must not alias a).
+void transpose_into(ConstMatrixView a, MatrixView out);
+
+/// Elementwise kernels; shapes must match, out may alias an input exactly.
+void add_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+void sub_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+void hadamard_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+void scale_into(ConstMatrixView a, double scalar, MatrixView out);
+void copy_into(ConstMatrixView a, MatrixView out);
+void fill(MatrixView out, double value);
+
+/// out = a + broadcast of the 1 x cols `row` over every row of a.
+void add_row_broadcast_into(ConstMatrixView a, ConstMatrixView row,
+                            MatrixView out);
+
+/// out (1 x cols) (+)= column sums of a.
+void sum_rows_into(ConstMatrixView a, MatrixView out, bool accumulate = false);
+
+namespace detail {
+inline void check_same_shape(ConstMatrixView a, ConstMatrixView b,
+                             const char* op) {
+  FSDA_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                 op << ": shape mismatch (" << a.rows() << "x" << a.cols()
+                    << ") vs (" << b.rows() << "x" << b.cols() << ")");
+}
+}  // namespace detail
+
+/// out[i] = f(a[i]) elementwise.  Templated on the callable so tight loops
+/// inline the body instead of paying a std::function call per element.
+template <typename F>
+void apply_into(ConstMatrixView a, MatrixView out, F&& f) {
+  detail::check_same_shape(a, out, "apply_into");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* in = a.row_data(r);
+    double* o = out.row_data(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) o[c] = f(in[c]);
+  }
+}
+
+/// out[i] = f(a[i], b[i]) elementwise (e.g. activation backward passes).
+template <typename F>
+void zip_into(ConstMatrixView a, ConstMatrixView b, MatrixView out, F&& f) {
+  detail::check_same_shape(a, b, "zip_into");
+  detail::check_same_shape(a, out, "zip_into");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* x = a.row_data(r);
+    const double* y = b.row_data(r);
+    double* o = out.row_data(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) o[c] = f(x[c], y[c]);
+  }
+}
+
+}  // namespace fsda::la

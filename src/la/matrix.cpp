@@ -1,17 +1,21 @@
 #include "la/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "la/view.hpp"
 
 namespace fsda::la {
 
 using common::ShapeError;
 
 namespace {
+
 void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     std::ostringstream os;
@@ -20,19 +24,64 @@ void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
     throw ShapeError(os.str());
   }
 }
+
+std::atomic<std::size_t> g_matrix_allocations{0};
+
+void note_alloc() {
+  g_matrix_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
+std::size_t matrix_allocations() {
+  return g_matrix_allocations.load(std::memory_order_relaxed);
+}
+
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  if (!data_.empty()) note_alloc();
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
   rows_ = values.size();
   cols_ = rows_ == 0 ? 0 : values.begin()->size();
+  if (rows_ * cols_ > 0) note_alloc();
   data_.reserve(rows_ * cols_);
   for (const auto& row : values) {
     FSDA_CHECK_MSG(row.size() == cols_, "ragged initializer list");
     data_.insert(data_.end(), row.begin(), row.end());
   }
+}
+
+Matrix::Matrix(const Matrix& other)
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+  if (!data_.empty()) note_alloc();
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  // assign() reuses existing capacity, unlike vector copy-assignment which
+  // is free to reallocate; only genuine growth counts as an allocation.
+  if (other.data_.size() > data_.capacity()) note_alloc();
+  data_.assign(other.data_.begin(), other.data_.end());
+  return *this;
+}
+
+void Matrix::grow_storage(std::size_t n) {
+  if (n > data_.capacity()) note_alloc();
+  data_.resize(n);
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  grow_storage(rows * cols);
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
 }
 
 Matrix Matrix::from_vector(std::size_t rows, std::size_t cols,
@@ -116,11 +165,7 @@ void Matrix::set_col(std::size_t c, std::span<const double> values) {
 
 Matrix Matrix::transposed() const {
   Matrix out(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      out.data_[c * rows_ + r] = data_[r * cols_ + c];
-    }
-  }
+  transpose_into(*this, out);
   return out;
 }
 
@@ -128,66 +173,34 @@ Matrix Matrix::matmul(const Matrix& other) const {
   FSDA_CHECK_MSG(cols_ == other.rows_, "matmul: " << rows_ << "x" << cols_
                                                   << " * " << other.rows_
                                                   << "x" << other.cols_);
-  Matrix out(rows_, other.cols_, 0.0);
-  // i-k-j loop order: streams through both operands row-major.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = data_.data() + i * cols_;
-    double* o_row = out.data_.data() + i * other.cols_;
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.data_.data() + k * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        o_row[j] += a * b_row[j];
-      }
-    }
-  }
+  Matrix out(rows_, other.cols_);
+  matmul_into(*this, other, out);
   return out;
 }
 
 Matrix Matrix::transposed_matmul(const Matrix& other) const {
   FSDA_CHECK_MSG(rows_ == other.rows_, "transposed_matmul row mismatch");
-  Matrix out(cols_, other.cols_, 0.0);
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const double* a_row = data_.data() + k * cols_;
-    const double* b_row = other.data_.data() + k * other.cols_;
-    for (std::size_t i = 0; i < cols_; ++i) {
-      const double a = a_row[i];
-      if (a == 0.0) continue;
-      double* o_row = out.data_.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        o_row[j] += a * b_row[j];
-      }
-    }
-  }
+  Matrix out(cols_, other.cols_);
+  transposed_matmul_into(*this, other, out);
   return out;
 }
 
 Matrix Matrix::matmul_transposed(const Matrix& other) const {
   FSDA_CHECK_MSG(cols_ == other.cols_, "matmul_transposed col mismatch");
-  Matrix out(rows_, other.rows_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = data_.data() + i * cols_;
-    double* o_row = out.data_.data() + i * other.rows_;
-    for (std::size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.data_.data() + j * other.cols_;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      o_row[j] = acc;
-    }
-  }
+  Matrix out(rows_, other.rows_);
+  matmul_transposed_into(*this, other, out);
   return out;
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   check_same_shape(*this, other, "operator+=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  add_into(*this, other, *this);
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   check_same_shape(*this, other, "operator-=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  sub_into(*this, other, *this);
   return *this;
 }
 
@@ -216,10 +229,8 @@ Matrix Matrix::operator*(double scalar) const {
 
 Matrix Matrix::hadamard(const Matrix& other) const {
   check_same_shape(*this, other, "hadamard");
-  Matrix out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    out.data_[i] *= other.data_[i];
-  }
+  Matrix out(rows_, cols_);
+  hadamard_into(*this, other, out);
   return out;
 }
 
@@ -238,18 +249,12 @@ void Matrix::add_row_broadcast(const Matrix& row_vector) {
                  "add_row_broadcast expects 1x" << cols_ << ", got "
                                                 << row_vector.rows_ << "x"
                                                 << row_vector.cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double* out_row = data_.data() + r * cols_;
-    for (std::size_t c = 0; c < cols_; ++c) out_row[c] += row_vector.data_[c];
-  }
+  add_row_broadcast_into(*this, row_vector, *this);
 }
 
 Matrix Matrix::sum_rows() const {
   Matrix out(1, cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* in_row = data_.data() + r * cols_;
-    for (std::size_t c = 0; c < cols_; ++c) out.data_[c] += in_row[c];
-  }
+  sum_rows_into(*this, out);
   return out;
 }
 
@@ -261,13 +266,8 @@ Matrix Matrix::mean_rows() const {
 }
 
 Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
-  Matrix out(indices.size(), cols_);
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    FSDA_CHECK_MSG(indices[i] < rows_,
-                   "select_rows index " << indices[i] << " out of " << rows_);
-    std::copy_n(data_.data() + indices[i] * cols_, cols_,
-                out.data_.data() + i * cols_);
-  }
+  Matrix out;
+  select_rows_into(*this, indices, out);
   return out;
 }
 
@@ -290,27 +290,16 @@ Matrix Matrix::select_cols(std::span<const std::size_t> indices) const {
 Matrix Matrix::hcat(const Matrix& other) const {
   if (empty()) return other;
   if (other.empty()) return *this;
-  FSDA_CHECK_MSG(rows_ == other.rows_, "hcat row mismatch: " << rows_ << " vs "
-                                                             << other.rows_);
-  Matrix out(rows_, cols_ + other.cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    std::copy_n(data_.data() + r * cols_, cols_,
-                out.data_.data() + r * out.cols_);
-    std::copy_n(other.data_.data() + r * other.cols_, other.cols_,
-                out.data_.data() + r * out.cols_ + cols_);
-  }
+  Matrix out;
+  hcat_into(*this, other, out);
   return out;
 }
 
 Matrix Matrix::vcat(const Matrix& other) const {
   if (empty()) return other;
   if (other.empty()) return *this;
-  FSDA_CHECK_MSG(cols_ == other.cols_, "vcat col mismatch: " << cols_ << " vs "
-                                                             << other.cols_);
-  Matrix out(rows_ + other.rows_, cols_);
-  std::copy(data_.begin(), data_.end(), out.data_.begin());
-  std::copy(other.data_.begin(), other.data_.end(),
-            out.data_.begin() + static_cast<std::ptrdiff_t>(data_.size()));
+  Matrix out;
+  vcat_into(*this, other, out);
   return out;
 }
 
@@ -351,5 +340,36 @@ std::string Matrix::to_string(int precision) const {
 }
 
 Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+void select_rows_into(const Matrix& src, std::span<const std::size_t> indices,
+                      Matrix& out) {
+  out.resize(indices.size(), src.cols());
+  const double* in = src.data().data();
+  double* o = out.data().data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    FSDA_CHECK_MSG(indices[i] < src.rows(), "select_rows index "
+                                                << indices[i] << " out of "
+                                                << src.rows());
+    std::copy_n(in + indices[i] * src.cols(), src.cols(), o + i * src.cols());
+  }
+}
+
+void hcat_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  FSDA_CHECK_MSG(a.rows() == b.rows(),
+                 "hcat row mismatch: " << a.rows() << " vs " << b.rows());
+  out.resize(a.rows(), a.cols() + b.cols());
+  MatrixView ov(out);
+  copy_into(a, ov.col_block(0, a.cols()));
+  copy_into(b, ov.col_block(a.cols(), b.cols()));
+}
+
+void vcat_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  FSDA_CHECK_MSG(a.cols() == b.cols(),
+                 "vcat col mismatch: " << a.cols() << " vs " << b.cols());
+  out.resize(a.rows() + b.rows(), a.cols());
+  MatrixView ov(out);
+  copy_into(a, ov.row_block(0, a.rows()));
+  copy_into(b, ov.row_block(a.rows(), b.rows()));
+}
 
 }  // namespace fsda::la

@@ -5,6 +5,12 @@
 // The class is a regular value type (copyable, movable, equality-comparable)
 // with bounds-checked element access through operator() and FSDA_CHECK-guarded
 // shape contracts on every operation.
+//
+// Since the destination-passing refactor, every value-returning operation is
+// a thin wrapper over the kernels in kernels.hpp; hot paths should call the
+// `*_into` kernels on views (view.hpp) instead so no per-step allocation
+// happens.  A process-wide counter of heap buffer acquisitions
+// (matrix_allocations()) backs the zero-allocation training-step tests.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +24,11 @@
 
 namespace fsda::la {
 
+/// Number of matrix heap-buffer acquisitions since process start.  Counts
+/// fresh allocations and capacity growth, not reuse of existing capacity;
+/// a steady-state workspace training step must not advance this counter.
+std::size_t matrix_allocations();
+
 /// Dense row-major matrix of doubles.
 class Matrix {
  public:
@@ -29,6 +40,11 @@ class Matrix {
 
   /// Builds from nested initializer lists: Matrix{{1,2},{3,4}}.
   Matrix(std::initializer_list<std::initializer_list<double>> values);
+
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
 
   /// Builds a rows x cols matrix that adopts `data` (row-major).
   static Matrix from_vector(std::size_t rows, std::size_t cols,
@@ -49,6 +65,14 @@ class Matrix {
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Reshapes to rows x cols, reusing existing capacity when possible.
+  /// Element values are unspecified afterwards (callers must overwrite);
+  /// this is the workspace-slab primitive, not a data-preserving reshape.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Sets every element to `value`.
+  void fill(double value);
 
   /// Bounds-checked element access.
   double& operator()(std::size_t r, std::size_t c);
@@ -91,7 +115,10 @@ class Matrix {
   [[nodiscard]] Matrix operator*(double scalar) const;
   [[nodiscard]] Matrix hadamard(const Matrix& other) const;
 
-  bool operator==(const Matrix& other) const = default;
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
 
   /// Applies f to every element in place.
   void apply(const std::function<double(double)>& f);
@@ -133,6 +160,10 @@ class Matrix {
   [[nodiscard]] std::string to_string(int precision = 4) const;
 
  private:
+  /// Grows data_ to n elements, bumping the allocation counter when the
+  /// existing capacity is insufficient.
+  void grow_storage(std::size_t n);
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
@@ -140,5 +171,11 @@ class Matrix {
 
 /// scalar * M convenience.
 Matrix operator*(double scalar, const Matrix& m);
+
+/// Destination-passing gather/concat helpers (reuse out's capacity).
+void select_rows_into(const Matrix& src, std::span<const std::size_t> indices,
+                      Matrix& out);
+void hcat_into(const Matrix& a, const Matrix& b, Matrix& out);
+void vcat_into(const Matrix& a, const Matrix& b, Matrix& out);
 
 }  // namespace fsda::la

@@ -1,0 +1,165 @@
+// fsda::la -- non-owning matrix views.
+//
+// MatrixView / ConstMatrixView address a rectangular window of row-major
+// storage as (pointer, rows, cols, row_stride) without copying.  Rows,
+// contiguous column blocks, and mini-batches of a Matrix can therefore be
+// handed to the destination-passing kernels in kernels.hpp with zero
+// allocation, replacing the select_rows/select_cols copies on hot paths.
+//
+// Views never own storage: the viewed Matrix (or buffer) must outlive the
+// view, and growing/destroying the underlying Matrix invalidates it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/error.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::la {
+
+/// Read-only view of a row-major block: element (r, c) lives at
+/// data[r * row_stride + c].
+class ConstMatrixView {
+ public:
+  constexpr ConstMatrixView() = default;
+
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), row_stride_(row_stride) {
+    FSDA_CHECK_MSG(row_stride >= cols,
+                   "view row_stride " << row_stride << " < cols " << cols);
+  }
+
+  /// Whole-matrix view (implicit so Matrix can feed kernels directly).
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data().data()),
+        rows_(m.rows()),
+        cols_(m.cols()),
+        row_stride_(m.cols()) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t row_stride() const { return row_stride_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] bool contiguous() const { return row_stride_ == cols_; }
+
+  [[nodiscard]] const double* row_data(std::size_t r) const {
+    return data_ + r * row_stride_;
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    FSDA_CHECK_MSG(r < rows_, "view row " << r << " out of " << rows_);
+    return {row_data(r), cols_};
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    FSDA_CHECK_MSG(r < rows_ && c < cols_, "view index (" << r << "," << c
+                                                          << ") out of "
+                                                          << rows_ << "x"
+                                                          << cols_);
+    return data_[r * row_stride_ + c];
+  }
+
+  /// View of `count` consecutive rows starting at `begin`.
+  [[nodiscard]] ConstMatrixView row_block(std::size_t begin,
+                                          std::size_t count) const {
+    FSDA_CHECK_MSG(begin + count <= rows_, "row_block out of range");
+    return {data_ + begin * row_stride_, count, cols_, row_stride_};
+  }
+
+  /// View of `count` consecutive columns starting at `begin` (strided).
+  [[nodiscard]] ConstMatrixView col_block(std::size_t begin,
+                                          std::size_t count) const {
+    FSDA_CHECK_MSG(begin + count <= cols_, "col_block out of range");
+    return {data_ + begin, rows_, count, row_stride_};
+  }
+
+  /// First element pointer (for overlap tests).
+  [[nodiscard]] const double* raw() const { return data_; }
+  /// One-past the last addressable element.
+  [[nodiscard]] const double* raw_end() const {
+    if (empty()) return data_;
+    return data_ + (rows_ - 1) * row_stride_ + cols_;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t row_stride_ = 0;
+};
+
+/// Mutable view with the same addressing scheme.
+class MatrixView {
+ public:
+  constexpr MatrixView() = default;
+
+  MatrixView(double* data, std::size_t rows, std::size_t cols,
+             std::size_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), row_stride_(row_stride) {
+    FSDA_CHECK_MSG(row_stride >= cols,
+                   "view row_stride " << row_stride << " < cols " << cols);
+  }
+
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data().data()),
+        rows_(m.rows()),
+        cols_(m.cols()),
+        row_stride_(m.cols()) {}
+
+  operator ConstMatrixView() const {  // NOLINT(google-explicit-constructor)
+    return {data_, rows_, cols_, row_stride_};
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t row_stride() const { return row_stride_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] bool contiguous() const { return row_stride_ == cols_; }
+
+  [[nodiscard]] double* row_data(std::size_t r) const {
+    return data_ + r * row_stride_;
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) const {
+    FSDA_CHECK_MSG(r < rows_, "view row " << r << " out of " << rows_);
+    return {row_data(r), cols_};
+  }
+  double& operator()(std::size_t r, std::size_t c) const {
+    FSDA_CHECK_MSG(r < rows_ && c < cols_, "view index (" << r << "," << c
+                                                          << ") out of "
+                                                          << rows_ << "x"
+                                                          << cols_);
+    return data_[r * row_stride_ + c];
+  }
+
+  [[nodiscard]] MatrixView row_block(std::size_t begin,
+                                     std::size_t count) const {
+    FSDA_CHECK_MSG(begin + count <= rows_, "row_block out of range");
+    return {data_ + begin * row_stride_, count, cols_, row_stride_};
+  }
+
+  [[nodiscard]] MatrixView col_block(std::size_t begin,
+                                     std::size_t count) const {
+    FSDA_CHECK_MSG(begin + count <= cols_, "col_block out of range");
+    return {data_ + begin, rows_, count, row_stride_};
+  }
+
+  [[nodiscard]] double* raw() const { return data_; }
+  [[nodiscard]] const double* raw_end() const {
+    if (empty()) return data_;
+    return data_ + (rows_ - 1) * row_stride_ + cols_;
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t row_stride_ = 0;
+};
+
+/// True when the address ranges of two views can touch the same memory.
+inline bool views_overlap(ConstMatrixView a, ConstMatrixView b) {
+  if (a.empty() || b.empty()) return false;
+  return a.raw() < b.raw_end() && b.raw() < a.raw_end();
+}
+
+}  // namespace fsda::la

@@ -69,6 +69,7 @@ void MLPClassifier::run_epochs(const la::Matrix& x,
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   const std::size_t batch = std::min(options_.batch_size, n);
+  std::vector<std::int64_t> yb;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     rng.shuffle(order);
     double epoch_loss = 0.0;
@@ -77,24 +78,25 @@ void MLPClassifier::run_epochs(const la::Matrix& x,
       const std::size_t end = std::min(n, start + batch);
       const std::span<const std::size_t> rows{order.data() + start,
                                               end - start};
-      const la::Matrix xb = x.select_rows(rows);
-      std::vector<std::int64_t> yb(rows.size());
+      la::select_rows_into(x, rows, xb_);
+      yb.resize(rows.size());
       for (std::size_t i = 0; i < rows.size(); ++i) yb[i] = y[rows[i]];
 
       optimizer.zero_grad();
-      const la::Matrix logits = net_->forward(xb, /*training=*/true);
-      nn::LossResult loss = nn::softmax_cross_entropy(logits, yb);
+      const la::Matrix& logits = net_->forward(xb_, /*training=*/true, ws_);
+      const double loss = nn::softmax_cross_entropy_into(logits, yb,
+                                                         loss_grad_);
       // Apply per-sample weights by scaling gradient rows; the scalar loss
       // reported stays unweighted for readability.
       for (std::size_t i = 0; i < rows.size(); ++i) {
         const double wi = w[rows[i]];
         if (wi == 1.0) continue;
-        auto grow = loss.grad.row(i);
+        auto grow = loss_grad_.row(i);
         for (auto& g : grow) g *= wi;
       }
-      net_->backward(loss.grad);
+      net_->backward(loss_grad_, ws_);
       optimizer.step();
-      epoch_loss += loss.value;
+      epoch_loss += loss;
       ++batches;
     }
     last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
@@ -126,8 +128,8 @@ void MLPClassifier::fine_tune(const la::Matrix& x,
 la::Matrix MLPClassifier::predict_proba(const la::Matrix& x) const {
   FSDA_CHECK_MSG(net_ != nullptr, "predict before fit");
   FSDA_CHECK_MSG(x.cols() == num_features_, "feature width mismatch");
-  const la::Matrix logits =
-      const_cast<nn::Sequential&>(*net_).forward(x, /*training=*/false);
+  const la::Matrix& logits =
+      const_cast<nn::Sequential&>(*net_).forward(x, /*training=*/false, ws_);
   return nn::softmax_rows(logits);
 }
 

@@ -4,23 +4,33 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
-la::Matrix ReLU::forward(const la::Matrix& input, bool /*training*/) {
-  cached_input_ = input;
-  return input.map([](double x) { return x > 0.0 ? x : 0.0; });
+namespace {
+void check_grad_shape(const la::Matrix& grad, const la::Matrix& ref) {
+  FSDA_CHECK(grad.rows() == ref.rows() && grad.cols() == ref.cols());
+}
+}  // namespace
+
+const la::Matrix& ReLU::forward(const la::Matrix& input, bool /*training*/,
+                                Workspace& ws) {
+  cached_input_ = &input;
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
+  la::apply_into(input, out, [](double x) { return x > 0.0 ? x : 0.0; });
+  return out;
 }
 
-la::Matrix ReLU::backward(const la::Matrix& grad_output) {
-  FSDA_CHECK(grad_output.rows() == cached_input_.rows() &&
-             grad_output.cols() == cached_input_.cols());
-  la::Matrix grad = grad_output;
-  auto g = grad.data();
-  auto in = cached_input_.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (in[i] <= 0.0) g[i] = 0.0;
-  }
+const la::Matrix& ReLU::backward(const la::Matrix& grad_output,
+                                 Workspace& ws) {
+  FSDA_CHECK_MSG(cached_input_ != nullptr, "ReLU backward before forward");
+  check_grad_shape(grad_output, *cached_input_);
+  la::Matrix& grad =
+      ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
+  la::zip_into(grad_output, *cached_input_, grad,
+               [](double g, double x) { return x > 0.0 ? g : 0.0; });
   return grad;
 }
 
@@ -28,91 +38,113 @@ LeakyReLU::LeakyReLU(double alpha) : alpha_(alpha) {
   FSDA_CHECK_MSG(alpha >= 0.0 && alpha < 1.0, "LeakyReLU alpha " << alpha);
 }
 
-la::Matrix LeakyReLU::forward(const la::Matrix& input, bool /*training*/) {
-  cached_input_ = input;
+const la::Matrix& LeakyReLU::forward(const la::Matrix& input,
+                                     bool /*training*/, Workspace& ws) {
+  cached_input_ = &input;
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
   const double alpha = alpha_;
-  return input.map([alpha](double x) { return x > 0.0 ? x : alpha * x; });
+  la::apply_into(input, out,
+                 [alpha](double x) { return x > 0.0 ? x : alpha * x; });
+  return out;
 }
 
-la::Matrix LeakyReLU::backward(const la::Matrix& grad_output) {
-  FSDA_CHECK(grad_output.rows() == cached_input_.rows() &&
-             grad_output.cols() == cached_input_.cols());
-  la::Matrix grad = grad_output;
-  auto g = grad.data();
-  auto in = cached_input_.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (in[i] <= 0.0) g[i] *= alpha_;
-  }
+const la::Matrix& LeakyReLU::backward(const la::Matrix& grad_output,
+                                      Workspace& ws) {
+  FSDA_CHECK_MSG(cached_input_ != nullptr,
+                 "LeakyReLU backward before forward");
+  check_grad_shape(grad_output, *cached_input_);
+  la::Matrix& grad =
+      ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
+  const double alpha = alpha_;
+  la::zip_into(grad_output, *cached_input_, grad,
+               [alpha](double g, double x) { return x > 0.0 ? g : alpha * g; });
   return grad;
 }
 
-la::Matrix Tanh::forward(const la::Matrix& input, bool /*training*/) {
-  cached_output_ = input.map([](double x) { return std::tanh(x); });
-  return cached_output_;
+const la::Matrix& Tanh::forward(const la::Matrix& input, bool /*training*/,
+                                Workspace& ws) {
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
+  la::apply_into(input, out, [](double x) { return std::tanh(x); });
+  cached_output_ = &out;
+  return out;
 }
 
-la::Matrix Tanh::backward(const la::Matrix& grad_output) {
-  FSDA_CHECK(grad_output.rows() == cached_output_.rows() &&
-             grad_output.cols() == cached_output_.cols());
-  la::Matrix grad = grad_output;
-  auto g = grad.data();
-  auto out = cached_output_.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    g[i] *= 1.0 - out[i] * out[i];
-  }
+const la::Matrix& Tanh::backward(const la::Matrix& grad_output,
+                                 Workspace& ws) {
+  FSDA_CHECK_MSG(cached_output_ != nullptr, "Tanh backward before forward");
+  check_grad_shape(grad_output, *cached_output_);
+  la::Matrix& grad =
+      ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
+  la::zip_into(grad_output, *cached_output_, grad,
+               [](double g, double y) { return g * (1.0 - y * y); });
   return grad;
 }
 
-la::Matrix Sigmoid::forward(const la::Matrix& input, bool /*training*/) {
-  cached_output_ = input.map([](double x) {
+const la::Matrix& Sigmoid::forward(const la::Matrix& input, bool /*training*/,
+                                   Workspace& ws) {
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
+  la::apply_into(input, out, [](double x) {
     // Split by sign for numerical stability at large |x|.
     if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
     const double e = std::exp(x);
     return e / (1.0 + e);
   });
-  return cached_output_;
-}
-
-la::Matrix Sigmoid::backward(const la::Matrix& grad_output) {
-  FSDA_CHECK(grad_output.rows() == cached_output_.rows() &&
-             grad_output.cols() == cached_output_.cols());
-  la::Matrix grad = grad_output;
-  auto g = grad.data();
-  auto out = cached_output_.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    g[i] *= out[i] * (1.0 - out[i]);
-  }
-  return grad;
-}
-
-la::Matrix softmax_rows(const la::Matrix& logits) {
-  la::Matrix out = logits;
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    auto row = out.row(r);
-    const double mx = *std::max_element(row.begin(), row.end());
-    double total = 0.0;
-    for (auto& v : row) {
-      v = std::exp(v - mx);
-      total += v;
-    }
-    FSDA_CHECK_MSG(total > 0.0, "softmax row summed to zero");
-    for (auto& v : row) v /= total;
-  }
+  cached_output_ = &out;
   return out;
 }
 
-la::Matrix Softmax::forward(const la::Matrix& input, bool /*training*/) {
-  cached_output_ = softmax_rows(input);
-  return cached_output_;
+const la::Matrix& Sigmoid::backward(const la::Matrix& grad_output,
+                                    Workspace& ws) {
+  FSDA_CHECK_MSG(cached_output_ != nullptr,
+                 "Sigmoid backward before forward");
+  check_grad_shape(grad_output, *cached_output_);
+  la::Matrix& grad =
+      ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
+  la::zip_into(grad_output, *cached_output_, grad,
+               [](double g, double y) { return g * y * (1.0 - y); });
+  return grad;
 }
 
-la::Matrix Softmax::backward(const la::Matrix& grad_output) {
-  FSDA_CHECK(grad_output.rows() == cached_output_.rows() &&
-             grad_output.cols() == cached_output_.cols());
+void softmax_rows_into(const la::Matrix& logits, la::Matrix& out) {
+  out.resize(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto in = logits.row(r);
+    auto o = out.row(r);
+    const double mx = *std::max_element(in.begin(), in.end());
+    double total = 0.0;
+    for (std::size_t c = 0; c < in.size(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      total += o[c];
+    }
+    FSDA_CHECK_MSG(total > 0.0, "softmax row summed to zero");
+    for (auto& v : o) v /= total;
+  }
+}
+
+la::Matrix softmax_rows(const la::Matrix& logits) {
+  la::Matrix out;
+  softmax_rows_into(logits, out);
+  return out;
+}
+
+const la::Matrix& Softmax::forward(const la::Matrix& input, bool /*training*/,
+                                   Workspace& ws) {
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
+  softmax_rows_into(input, out);
+  cached_output_ = &out;
+  return out;
+}
+
+const la::Matrix& Softmax::backward(const la::Matrix& grad_output,
+                                    Workspace& ws) {
+  FSDA_CHECK_MSG(cached_output_ != nullptr,
+                 "Softmax backward before forward");
+  check_grad_shape(grad_output, *cached_output_);
   // dL/dx_i = s_i * (g_i - sum_j g_j s_j)
-  la::Matrix grad(grad_output.rows(), grad_output.cols());
+  la::Matrix& grad =
+      ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
   for (std::size_t r = 0; r < grad.rows(); ++r) {
-    auto s = cached_output_.row(r);
+    auto s = cached_output_->row(r);
     auto g = grad_output.row(r);
     double dot = 0.0;
     for (std::size_t c = 0; c < s.size(); ++c) dot += g[c] * s[c];

@@ -12,47 +12,63 @@ namespace fsda::nn {
 /// max(0, x).
 class ReLU : public Layer {
  public:
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
 
  private:
-  la::Matrix cached_input_;
+  const la::Matrix* cached_input_ = nullptr;
 };
 
 /// x for x >= 0, alpha * x otherwise.
 class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(double alpha = 0.2);
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "LeakyReLU"; }
 
  private:
   double alpha_;
-  la::Matrix cached_input_;
+  const la::Matrix* cached_input_ = nullptr;
 };
 
 /// tanh(x).
 class Tanh : public Layer {
  public:
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "Tanh"; }
 
  private:
-  la::Matrix cached_output_;
+  const la::Matrix* cached_output_ = nullptr;
 };
 
 /// 1 / (1 + exp(-x)).
 class Sigmoid : public Layer {
  public:
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "Sigmoid"; }
 
  private:
-  la::Matrix cached_output_;
+  const la::Matrix* cached_output_ = nullptr;
 };
 
 /// Row-wise softmax (numerically stabilized).  backward() assumes the
@@ -60,15 +76,23 @@ class Sigmoid : public Layer {
 /// the full softmax Jacobian.
 class Softmax : public Layer {
  public:
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "Softmax"; }
 
  private:
-  la::Matrix cached_output_;
+  const la::Matrix* cached_output_ = nullptr;
 };
 
 /// Row-wise softmax as a free function (used outside the layer graph).
 la::Matrix softmax_rows(const la::Matrix& logits);
+
+/// Destination-passing softmax; out must be pre-shaped like logits and may
+/// alias it.
+void softmax_rows_into(const la::Matrix& logits, la::Matrix& out);
 
 }  // namespace fsda::nn

@@ -1,8 +1,11 @@
 #include "nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
@@ -18,76 +21,93 @@ BatchNorm1d::BatchNorm1d(std::size_t features, double momentum, double eps)
   FSDA_CHECK(momentum >= 0.0 && momentum < 1.0);
 }
 
-la::Matrix BatchNorm1d::forward(const la::Matrix& input, bool training) {
+const la::Matrix& BatchNorm1d::forward(const la::Matrix& input, bool training,
+                                       Workspace& ws) {
   FSDA_CHECK_MSG(input.cols() == features_, "BatchNorm1d width mismatch");
   const std::size_t n = input.rows();
-  la::Matrix mean(1, features_, 0.0);
-  la::Matrix var(1, features_, 0.0);
+  mean_.resize(1, features_);
+  var_.resize(1, features_);
   last_forward_used_batch_stats_ = training && n > 1;
-  if (training && n > 1) {
-    mean = input.mean_rows();
+  if (last_forward_used_batch_stats_) {
+    la::sum_rows_into(input, mean_);
+    mean_ *= 1.0 / static_cast<double>(n);
+    var_.fill(0.0);
     for (std::size_t r = 0; r < n; ++r) {
+      const double* in = input.row(r).data();
       for (std::size_t c = 0; c < features_; ++c) {
-        const double d = input(r, c) - mean(0, c);
-        var(0, c) += d * d;
+        const double d = in[c] - mean_(0, c);
+        var_(0, c) += d * d;
       }
     }
-    var *= 1.0 / static_cast<double>(n);  // biased, as in standard BN
+    var_ *= 1.0 / static_cast<double>(n);  // biased, as in standard BN
     // update running statistics
     for (std::size_t c = 0; c < features_; ++c) {
       if (seen_batch_) {
         running_mean_(0, c) =
-            momentum_ * running_mean_(0, c) + (1.0 - momentum_) * mean(0, c);
+            momentum_ * running_mean_(0, c) + (1.0 - momentum_) * mean_(0, c);
         running_var_(0, c) =
-            momentum_ * running_var_(0, c) + (1.0 - momentum_) * var(0, c);
+            momentum_ * running_var_(0, c) + (1.0 - momentum_) * var_(0, c);
       } else {
-        running_mean_(0, c) = mean(0, c);
-        running_var_(0, c) = var(0, c);
+        running_mean_(0, c) = mean_(0, c);
+        running_var_(0, c) = var_(0, c);
       }
     }
     seen_batch_ = true;
   } else {
-    mean = running_mean_;
-    var = running_var_;
+    la::copy_into(running_mean_, mean_);
+    la::copy_into(running_var_, var_);
   }
-  cached_inv_std_ = la::Matrix(1, features_);
+  cached_inv_std_.resize(1, features_);
   for (std::size_t c = 0; c < features_; ++c) {
-    cached_inv_std_(0, c) = 1.0 / std::sqrt(var(0, c) + eps_);
+    cached_inv_std_(0, c) = 1.0 / std::sqrt(var_(0, c) + eps_);
   }
-  cached_norm_ = la::Matrix(n, features_);
-  la::Matrix out(n, features_);
+  cached_norm_.resize(n, features_);
+  la::Matrix& out = ws.buffer(this, 0, n, features_);
+  const double* mu = mean_.row(0).data();
+  const double* inv_std = cached_inv_std_.row(0).data();
+  const double* gamma = gamma_.value.row(0).data();
+  const double* beta = beta_.value.row(0).data();
   for (std::size_t r = 0; r < n; ++r) {
+    const double* in = input.row(r).data();
+    double* norm = cached_norm_.row(r).data();
+    double* o = out.row(r).data();
     for (std::size_t c = 0; c < features_; ++c) {
-      const double xn = (input(r, c) - mean(0, c)) * cached_inv_std_(0, c);
-      cached_norm_(r, c) = xn;
-      out(r, c) = gamma_.value(0, c) * xn + beta_.value(0, c);
+      const double xn = (in[c] - mu[c]) * inv_std[c];
+      norm[c] = xn;
+      o[c] = gamma[c] * xn + beta[c];
     }
   }
   return out;
 }
 
-la::Matrix BatchNorm1d::backward(const la::Matrix& grad_output) {
+const la::Matrix& BatchNorm1d::backward(const la::Matrix& grad_output,
+                                        Workspace& ws) {
   const std::size_t n = grad_output.rows();
   FSDA_CHECK(grad_output.cols() == features_ && n == cached_norm_.rows());
   // Accumulate parameter gradients.
-  la::Matrix sum_g(1, features_, 0.0);
-  la::Matrix sum_g_xn(1, features_, 0.0);
+  la::Matrix& sum_g = ws.buffer(this, 2, 1, features_);
+  la::Matrix& sum_g_xn = ws.buffer(this, 3, 1, features_);
+  la::sum_rows_into(grad_output, sum_g);
+  sum_g_xn.fill(0.0);
   for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < features_; ++c) {
-      sum_g(0, c) += grad_output(r, c);
-      sum_g_xn(0, c) += grad_output(r, c) * cached_norm_(r, c);
-    }
+    const double* g = grad_output.row(r).data();
+    const double* xn = cached_norm_.row(r).data();
+    double* acc = sum_g_xn.row(0).data();
+    for (std::size_t c = 0; c < features_; ++c) acc[c] += g[c] * xn[c];
   }
   gamma_.grad += sum_g_xn;
   beta_.grad += sum_g;
-  la::Matrix grad_input(n, features_);
+  la::Matrix& grad_input = ws.buffer(this, 1, n, features_);
+  const double* gamma = gamma_.value.row(0).data();
+  const double* inv_std = cached_inv_std_.row(0).data();
   if (!last_forward_used_batch_stats_) {
     // Running statistics were constants in the forward pass:
     // dx = gamma * inv_std * g.
     for (std::size_t r = 0; r < n; ++r) {
+      const double* g = grad_output.row(r).data();
+      double* gi = grad_input.row(r).data();
       for (std::size_t c = 0; c < features_; ++c) {
-        grad_input(r, c) =
-            gamma_.value(0, c) * cached_inv_std_(0, c) * grad_output(r, c);
+        gi[c] = gamma[c] * inv_std[c] * g[c];
       }
     }
     return grad_input;
@@ -95,13 +115,15 @@ la::Matrix BatchNorm1d::backward(const la::Matrix& grad_output) {
   // Standard batch-norm input gradient:
   // dx = gamma * inv_std / n * (n*g - sum(g) - xn * sum(g*xn))
   const double inv_n = 1.0 / static_cast<double>(std::max<std::size_t>(n, 1));
+  const double* sg = sum_g.row(0).data();
+  const double* sgxn = sum_g_xn.row(0).data();
   for (std::size_t r = 0; r < n; ++r) {
+    const double* g = grad_output.row(r).data();
+    const double* xn = cached_norm_.row(r).data();
+    double* gi = grad_input.row(r).data();
     for (std::size_t c = 0; c < features_; ++c) {
-      const double g = grad_output(r, c);
-      const double xn = cached_norm_(r, c);
-      grad_input(r, c) =
-          gamma_.value(0, c) * cached_inv_std_(0, c) * inv_n *
-          (static_cast<double>(n) * g - sum_g(0, c) - xn * sum_g_xn(0, c));
+      gi[c] = gamma[c] * inv_std[c] * inv_n *
+              (static_cast<double>(n) * g[c] - sg[c] - xn[c] * sgxn[c]);
     }
   }
   return grad_input;

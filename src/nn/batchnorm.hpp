@@ -14,8 +14,12 @@ class BatchNorm1d : public Layer {
   explicit BatchNorm1d(std::size_t features, double momentum = 0.9,
                        double eps = 1e-5);
 
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "BatchNorm1d"; }
 
@@ -30,7 +34,9 @@ class BatchNorm1d : public Layer {
   Parameter beta_;
   la::Matrix running_mean_;
   la::Matrix running_var_;
-  // forward cache
+  // forward cache (persistent members so capacity survives across steps)
+  la::Matrix mean_;            // 1 x d, statistics of the last forward
+  la::Matrix var_;             // 1 x d
   la::Matrix cached_norm_;     // normalized input
   la::Matrix cached_inv_std_;  // 1 x d
   bool seen_batch_ = false;

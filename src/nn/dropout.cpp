@@ -1,6 +1,8 @@
 #include "nn/dropout.hpp"
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
@@ -8,28 +10,34 @@ Dropout::Dropout(double p, common::Rng rng) : p_(p), rng_(rng) {
   FSDA_CHECK_MSG(p >= 0.0 && p < 1.0, "dropout p out of [0,1): " << p);
 }
 
-la::Matrix Dropout::forward(const la::Matrix& input, bool training) {
+const la::Matrix& Dropout::forward(const la::Matrix& input, bool training,
+                                   Workspace& ws) {
   if (!training || p_ == 0.0) {
     masked_ = false;
-    return input;
+    return input;  // identity at inference: pass the caller's buffer through
   }
   const double scale = 1.0 / (1.0 - p_);
-  mask_ = la::Matrix(input.rows(), input.cols());
-  la::Matrix out = input;
+  mask_.resize(input.rows(), input.cols());
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
   auto m = mask_.data();
+  auto in = input.data();
   auto o = out.data();
   for (std::size_t i = 0; i < m.size(); ++i) {
     const double keep = rng_.bernoulli(p_) ? 0.0 : scale;
     m[i] = keep;
-    o[i] *= keep;
+    o[i] = in[i] * keep;
   }
   masked_ = true;
   return out;
 }
 
-la::Matrix Dropout::backward(const la::Matrix& grad_output) {
+const la::Matrix& Dropout::backward(const la::Matrix& grad_output,
+                                    Workspace& ws) {
   if (!masked_) return grad_output;
-  return grad_output.hadamard(mask_);
+  la::Matrix& grad =
+      ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
+  la::hadamard_into(grad_output, mask_, grad);
+  return grad;
 }
 
 }  // namespace fsda::nn

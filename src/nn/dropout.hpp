@@ -13,8 +13,12 @@ class Dropout : public Layer {
  public:
   Dropout(double p, common::Rng rng);
 
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
@@ -15,8 +16,8 @@ FeatureGate::FeatureGate(std::size_t features, double temperature)
   FSDA_CHECK_MSG(temperature > 0.0, "non-positive gate temperature");
 }
 
-la::Matrix FeatureGate::gate_values() const {
-  la::Matrix gate(1, features_);
+void FeatureGate::gate_values_into(la::Matrix& gate) const {
+  gate.resize(1, features_);
   double mx = logits_.value(0, 0);
   for (std::size_t c = 1; c < features_; ++c) {
     mx = std::max(mx, logits_.value(0, c));
@@ -29,31 +30,43 @@ la::Matrix FeatureGate::gate_values() const {
   // Scale by d so that uniform logits give gate == 1 (identity start).
   const double scale = static_cast<double>(features_) / total;
   for (std::size_t c = 0; c < features_; ++c) gate(0, c) *= scale;
+}
+
+la::Matrix FeatureGate::gate_values() const {
+  la::Matrix gate;
+  gate_values_into(gate);
   return gate;
 }
 
-la::Matrix FeatureGate::forward(const la::Matrix& input, bool /*training*/) {
+const la::Matrix& FeatureGate::forward(const la::Matrix& input,
+                                       bool /*training*/, Workspace& ws) {
   FSDA_CHECK_MSG(input.cols() == features_, "FeatureGate width mismatch");
-  cached_input_ = input;
-  cached_gate_ = gate_values();
-  la::Matrix out = input;
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    for (std::size_t c = 0; c < features_; ++c) {
-      out(r, c) *= cached_gate_(0, c);
-    }
+  cached_input_ = &input;
+  gate_values_into(cached_gate_);
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
+  const double* gate = cached_gate_.row(0).data();
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const double* in = input.row(r).data();
+    double* o = out.row(r).data();
+    for (std::size_t c = 0; c < features_; ++c) o[c] = in[c] * gate[c];
   }
   return out;
 }
 
-la::Matrix FeatureGate::backward(const la::Matrix& grad_output) {
-  FSDA_CHECK(grad_output.rows() == cached_input_.rows() &&
+const la::Matrix& FeatureGate::backward(const la::Matrix& grad_output,
+                                        Workspace& ws) {
+  FSDA_CHECK_MSG(cached_input_ != nullptr,
+                 "FeatureGate backward before forward");
+  FSDA_CHECK(grad_output.rows() == cached_input_->rows() &&
              grad_output.cols() == features_);
   // dL/d gate_c = sum_r grad(r,c) * x(r,c)
-  la::Matrix grad_gate(1, features_, 0.0);
+  la::Matrix& grad_gate = ws.buffer(this, 2, 1, features_);
+  grad_gate.fill(0.0);
   for (std::size_t r = 0; r < grad_output.rows(); ++r) {
-    for (std::size_t c = 0; c < features_; ++c) {
-      grad_gate(0, c) += grad_output(r, c) * cached_input_(r, c);
-    }
+    const double* g = grad_output.row(r).data();
+    const double* x = cached_input_->row(r).data();
+    double* acc = grad_gate.row(0).data();
+    for (std::size_t c = 0; c < features_; ++c) acc[c] += g[c] * x[c];
   }
   // gate = d * softmax(l / T); d gate_c / d l_k = gate_c (delta - s_k) / T
   // where s_k = gate_k / d.
@@ -69,11 +82,13 @@ la::Matrix FeatureGate::backward(const la::Matrix& grad_output) {
         temperature_;
   }
   // dL/dx = grad * gate
-  la::Matrix grad_input = grad_output;
-  for (std::size_t r = 0; r < grad_input.rows(); ++r) {
-    for (std::size_t c = 0; c < features_; ++c) {
-      grad_input(r, c) *= cached_gate_(0, c);
-    }
+  la::Matrix& grad_input =
+      ws.buffer(this, 1, grad_output.rows(), features_);
+  const double* gate = cached_gate_.row(0).data();
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    const double* g = grad_output.row(r).data();
+    double* gi = grad_input.row(r).data();
+    for (std::size_t c = 0; c < features_; ++c) gi[c] = g[c] * gate[c];
   }
   return grad_input;
 }

@@ -17,8 +17,12 @@ class FeatureGate : public Layer {
  public:
   explicit FeatureGate(std::size_t features, double temperature = 1.0);
 
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "FeatureGate"; }
 
@@ -26,10 +30,12 @@ class FeatureGate : public Layer {
   [[nodiscard]] la::Matrix gate_values() const;
 
  private:
+  void gate_values_into(la::Matrix& gate) const;
+
   std::size_t features_;
   double temperature_;
   Parameter logits_;
-  la::Matrix cached_input_;
+  const la::Matrix* cached_input_ = nullptr;
   la::Matrix cached_gate_;  // 1 x d
 };
 

@@ -1,0 +1,40 @@
+#include "nn/layer.hpp"
+
+#include "la/kernels.hpp"
+#include "nn/workspace.hpp"
+
+namespace fsda::nn {
+
+namespace {
+// Slots for the legacy wrappers' input staging buffers, far above anything a
+// layer implementation uses for itself.
+constexpr int kLegacyForwardSlot = 1 << 20;
+constexpr int kLegacyBackwardSlot = kLegacyForwardSlot + 1;
+}  // namespace
+
+Layer::~Layer() = default;
+
+Workspace& Layer::own_workspace() {
+  if (!own_ws_) own_ws_ = std::make_unique<Workspace>();
+  return *own_ws_;
+}
+
+la::Matrix Layer::forward(const la::Matrix& input, bool training) {
+  Workspace& ws = own_workspace();
+  // Stage the input in the workspace so callers may pass temporaries even
+  // though the virtual interface caches a pointer to its input.
+  la::Matrix& staged =
+      ws.buffer(this, kLegacyForwardSlot, input.rows(), input.cols());
+  la::copy_into(input, staged);
+  return forward(staged, training, ws);
+}
+
+la::Matrix Layer::backward(const la::Matrix& grad_output) {
+  Workspace& ws = own_workspace();
+  la::Matrix& staged = ws.buffer(this, kLegacyBackwardSlot,
+                                 grad_output.rows(), grad_output.cols());
+  la::copy_into(grad_output, staged);
+  return backward(staged, ws);
+}
+
+}  // namespace fsda::nn

@@ -6,6 +6,17 @@
 // w.r.t. the layer input.  The GAN training loop exploits this split: the
 // generator's gradient is obtained by backpropagating through a frozen
 // discriminator (backward() with parameter updates simply not applied).
+//
+// The primary interface is workspace-based: forward/backward take an
+// nn::Workspace and return references into workspace-owned buffers, so a
+// steady-state training step allocates nothing.  The original value-returning
+// forward(input, training) / backward(grad) API remains as non-virtual
+// wrappers that route through a private per-layer workspace; it is convenient
+// for tests and cold paths but pays a copy per call.
+//
+// Contract for workspace passes: the input reference handed to the
+// workspace forward() must stay alive (and unmoved) until the matching
+// backward() completes -- layers cache pointers to it, not copies.
 #pragma once
 
 #include <memory>
@@ -13,6 +24,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
@@ -24,21 +36,34 @@ struct Parameter {
   explicit Parameter(la::Matrix v)
       : value(std::move(v)), grad(value.rows(), value.cols(), 0.0) {}
 
-  void zero_grad() { grad = la::Matrix(value.rows(), value.cols(), 0.0); }
+  /// Zeroes the gradient in place (no reallocation).
+  void zero_grad() { grad.fill(0.0); }
 };
 
 /// Base class for all layers.  Batches are row-major: one sample per row.
 class Layer {
  public:
-  virtual ~Layer() = default;
+  virtual ~Layer();
 
-  /// Computes the layer output for a batch; `training` toggles behaviours
-  /// such as dropout masking and batch-norm statistics accumulation.
-  virtual la::Matrix forward(const la::Matrix& input, bool training) = 0;
+  /// Computes the layer output for a batch into a workspace buffer;
+  /// `training` toggles behaviours such as dropout masking and batch-norm
+  /// statistics accumulation.  The returned reference points into `ws` (or
+  /// at `input` for identity-at-inference layers) and stays valid until the
+  /// same (layer, workspace) pair runs forward again.
+  virtual const la::Matrix& forward(const la::Matrix& input, bool training,
+                                    Workspace& ws) = 0;
 
   /// Backpropagates `grad_output` (dL/d output of the most recent forward),
-  /// accumulating parameter gradients, and returns dL/d input.
-  virtual la::Matrix backward(const la::Matrix& grad_output) = 0;
+  /// accumulating parameter gradients, and returns dL/d input as a reference
+  /// into `ws`.
+  virtual const la::Matrix& backward(const la::Matrix& grad_output,
+                                     Workspace& ws) = 0;
+
+  /// Value-returning convenience wrappers over the workspace interface.
+  /// They copy the input into a layer-private workspace (so temporaries are
+  /// safe to pass) and copy the result out.
+  la::Matrix forward(const la::Matrix& input, bool training);
+  la::Matrix backward(const la::Matrix& grad_output);
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Parameter*> parameters() { return {}; }
@@ -50,6 +75,11 @@ class Layer {
   [[nodiscard]] virtual std::size_t output_size(std::size_t input_size) const {
     return input_size;
   }
+
+ private:
+  /// Lazily-created workspace backing the legacy value API.
+  Workspace& own_workspace();
+  std::unique_ptr<Workspace> own_ws_;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
@@ -18,23 +20,30 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
                  "Linear with zero-sized dimension");
 }
 
-la::Matrix Linear::forward(const la::Matrix& input, bool /*training*/) {
+const la::Matrix& Linear::forward(const la::Matrix& input, bool /*training*/,
+                                  Workspace& ws) {
   FSDA_CHECK_MSG(input.cols() == in_features_,
                  "Linear forward: got " << input.cols() << " features, expect "
                                         << in_features_);
-  cached_input_ = input;
-  la::Matrix out = input.matmul(weight_.value);
-  out.add_row_broadcast(bias_.value);
+  cached_input_ = &input;
+  la::Matrix& out = ws.buffer(this, 0, input.rows(), out_features_);
+  la::matmul_into(input, weight_.value, out);
+  la::add_row_broadcast_into(out, bias_.value, out);
   return out;
 }
 
-la::Matrix Linear::backward(const la::Matrix& grad_output) {
-  FSDA_CHECK_MSG(grad_output.rows() == cached_input_.rows() &&
+const la::Matrix& Linear::backward(const la::Matrix& grad_output,
+                                   Workspace& ws) {
+  FSDA_CHECK_MSG(cached_input_ != nullptr, "Linear backward before forward");
+  FSDA_CHECK_MSG(grad_output.rows() == cached_input_->rows() &&
                      grad_output.cols() == out_features_,
                  "Linear backward shape mismatch");
-  weight_.grad += cached_input_.transposed_matmul(grad_output);
-  bias_.grad += grad_output.sum_rows();
-  return grad_output.matmul_transposed(weight_.value);
+  la::transposed_matmul_into(*cached_input_, grad_output, weight_.grad,
+                             /*accumulate=*/true);
+  la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
+  la::Matrix& grad_input = ws.buffer(this, 1, grad_output.rows(), in_features_);
+  la::matmul_transposed_into(grad_output, weight_.value, grad_input);
+  return grad_input;
 }
 
 std::vector<Parameter*> Linear::parameters() { return {&weight_, &bias_}; }

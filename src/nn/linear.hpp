@@ -13,8 +13,12 @@ class Linear : public Layer {
   /// N(0, sqrt(2 / (in + out))) entries (Glorot) and b = 0.
   Linear(std::size_t in_features, std::size_t out_features, common::Rng& rng);
 
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "Linear"; }
   [[nodiscard]] std::size_t output_size(std::size_t) const override {
@@ -32,7 +36,7 @@ class Linear : public Layer {
   std::size_t out_features_;
   Parameter weight_;
   Parameter bias_;
-  la::Matrix cached_input_;
+  const la::Matrix* cached_input_ = nullptr;
 };
 
 }  // namespace fsda::nn

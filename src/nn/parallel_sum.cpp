@@ -1,6 +1,8 @@
 #include "nn/parallel_sum.hpp"
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
@@ -9,15 +11,21 @@ ParallelSum::ParallelSum(LayerPtr a, LayerPtr b)
   FSDA_CHECK_MSG(a_ != nullptr && b_ != nullptr, "null branch");
 }
 
-la::Matrix ParallelSum::forward(const la::Matrix& input, bool training) {
-  la::Matrix out = a_->forward(input, training);
-  out += b_->forward(input, training);
+const la::Matrix& ParallelSum::forward(const la::Matrix& input, bool training,
+                                       Workspace& ws) {
+  const la::Matrix& ya = a_->forward(input, training, ws);
+  const la::Matrix& yb = b_->forward(input, training, ws);
+  la::Matrix& out = ws.buffer(this, 0, ya.rows(), ya.cols());
+  la::add_into(ya, yb, out);
   return out;
 }
 
-la::Matrix ParallelSum::backward(const la::Matrix& grad_output) {
-  la::Matrix grad = a_->backward(grad_output);
-  grad += b_->backward(grad_output);
+const la::Matrix& ParallelSum::backward(const la::Matrix& grad_output,
+                                        Workspace& ws) {
+  const la::Matrix& ga = a_->backward(grad_output, ws);
+  const la::Matrix& gb = b_->backward(grad_output, ws);
+  la::Matrix& grad = ws.buffer(this, 1, ga.rows(), ga.cols());
+  la::add_into(ga, gb, grad);
   return grad;
 }
 

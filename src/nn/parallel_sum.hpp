@@ -14,8 +14,12 @@ class ParallelSum : public Layer {
  public:
   ParallelSum(LayerPtr a, LayerPtr b);
 
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "ParallelSum"; }
   [[nodiscard]] std::size_t output_size(std::size_t input_size) const override;

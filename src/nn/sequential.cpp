@@ -1,6 +1,7 @@
 #include "nn/sequential.hpp"
 
 #include "common/error.hpp"
+#include "nn/workspace.hpp"
 
 namespace fsda::nn {
 
@@ -17,18 +18,20 @@ void zero_gradients(const std::vector<Parameter*>& params) {
   for (Parameter* p : params) p->zero_grad();
 }
 
-la::Matrix Sequential::forward(const la::Matrix& input, bool training) {
-  la::Matrix x = input;
-  for (auto& layer : layers_) x = layer->forward(x, training);
-  return x;
+const la::Matrix& Sequential::forward(const la::Matrix& input, bool training,
+                                      Workspace& ws) {
+  const la::Matrix* x = &input;
+  for (auto& layer : layers_) x = &layer->forward(*x, training, ws);
+  return *x;
 }
 
-la::Matrix Sequential::backward(const la::Matrix& grad_output) {
-  la::Matrix g = grad_output;
+const la::Matrix& Sequential::backward(const la::Matrix& grad_output,
+                                       Workspace& ws) {
+  const la::Matrix* g = &grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = &(*it)->backward(*g, ws);
   }
-  return g;
+  return *g;
 }
 
 std::vector<Parameter*> Sequential::parameters() {

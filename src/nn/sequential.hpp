@@ -23,8 +23,12 @@ class Sequential : public Layer {
 
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
 
-  la::Matrix forward(const la::Matrix& input, bool training) override;
-  la::Matrix backward(const la::Matrix& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  const la::Matrix& forward(const la::Matrix& input, bool training,
+                            Workspace& ws) override;
+  const la::Matrix& backward(const la::Matrix& grad_output,
+                             Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "Sequential"; }
   [[nodiscard]] std::size_t output_size(std::size_t input_size) const override;

@@ -1,0 +1,18 @@
+#include "nn/workspace.hpp"
+
+namespace fsda::nn {
+
+la::Matrix& Workspace::buffer(const void* owner, int slot, std::size_t rows,
+                              std::size_t cols) {
+  la::Matrix& m = buffers_[std::make_pair(owner, slot)];
+  m.resize(rows, cols);
+  return m;
+}
+
+std::size_t Workspace::total_elements() const {
+  std::size_t total = 0;
+  for (const auto& [key, m] : buffers_) total += m.size();
+  return total;
+}
+
+}  // namespace fsda::nn

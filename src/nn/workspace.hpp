@@ -1,0 +1,62 @@
+// fsda::nn -- reusable buffer arena for training loops.
+//
+// A Workspace owns the intermediate matrices of forward/backward passes so
+// that a steady-state training step performs zero heap allocations: each
+// (owner, slot) pair maps to one Matrix whose capacity is retained across
+// steps, and Matrix::resize only touches the heap when a request outgrows
+// what a previous step already reserved.
+//
+// Owners are addresses (usually the Layer operating on the buffer), so one
+// Workspace can be threaded through an arbitrary layer graph -- including a
+// GAN's interleaved generator/discriminator passes -- without slot clashes.
+// Buffers returned by buffer() stay valid (stable address) until clear(), so
+// layers may cache pointers into them between forward and backward.
+//
+// A Workspace is not thread-safe; use one per training thread.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "la/matrix.hpp"
+
+namespace fsda::nn {
+
+/// Arena of named, reusable matrices keyed by (owner address, slot index).
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns the buffer for (owner, slot), resized to rows x cols.  Contents
+  /// are unspecified (possibly stale data from a previous step); callers
+  /// must fully overwrite or fill() it.  The reference and the underlying
+  /// storage remain stable until clear() or a larger resize.
+  la::Matrix& buffer(const void* owner, int slot, std::size_t rows,
+                     std::size_t cols);
+
+  /// Number of distinct (owner, slot) buffers created so far.
+  [[nodiscard]] std::size_t num_buffers() const { return buffers_.size(); }
+
+  /// Total doubles currently held across all buffers.
+  [[nodiscard]] std::size_t total_elements() const;
+
+  /// Drops every buffer (invalidates all references handed out).
+  void clear() { buffers_.clear(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::pair<const void*, int>& k) const {
+      const auto h1 = std::hash<const void*>{}(k.first);
+      const auto h2 = std::hash<int>{}(k.second);
+      return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    }
+  };
+
+  std::unordered_map<std::pair<const void*, int>, la::Matrix, KeyHash>
+      buffers_;
+};
+
+}  // namespace fsda::nn

@@ -211,6 +211,29 @@ TEST(ParallelForTest, HandlesZeroIterations) {
   parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
 }
 
+TEST(ParallelForTest, NestedCallsRunInlineOnTheCallingWorker) {
+  // A parallel_for issued from inside a pool worker must not re-enqueue on
+  // a (possibly saturated) pool -- every worker blocking on futures only
+  // other workers can drain is a deadlock.  The in_worker() guard instead
+  // runs the nested range inline on the calling worker, which we observe
+  // via the thread id of every nested iteration.
+  EXPECT_FALSE(ThreadPool::in_worker());
+  ThreadPool pool(1);
+  auto fut = pool.submit([] {
+    if (!ThreadPool::in_worker()) return false;
+    const auto outer_id = std::this_thread::get_id();
+    std::atomic<int> total{0};
+    bool all_inline = true;
+    parallel_for(64, [&](std::size_t) {
+      if (std::this_thread::get_id() != outer_id) all_inline = false;
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    return all_inline && total.load() == 64;
+  });
+  EXPECT_TRUE(fut.get());
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   EXPECT_GE(sw.seconds(), 0.0);

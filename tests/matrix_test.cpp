@@ -1,12 +1,28 @@
-// Tests for fsda::la::Matrix -- shapes, arithmetic, products, selection.
+// Tests for fsda::la::Matrix -- shapes, arithmetic, products, selection --
+// and property tests for the destination-passing kernels against naive
+// reference loops.
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "la/kernels.hpp"
 #include "la/matrix.hpp"
+#include "la/view.hpp"
 
 namespace fsda::la {
 namespace {
+
+/// Naive triple-loop reference product (the pre-refactor implementation).
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double v = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += v * b(k, j);
+    }
+  }
+  return out;
+}
 
 TEST(MatrixTest, ConstructionAndAccess) {
   Matrix m(2, 3, 1.5);
@@ -132,6 +148,125 @@ TEST(MatrixTest, MapAndApply) {
   EXPECT_EQ(mapped, (Matrix{{1, 0}, {0, 4}}));
   m.apply([](double x) { return 2 * x; });
   EXPECT_EQ(m, (Matrix{{2, -4}, {-6, 8}}));
+}
+
+// --- Destination-passing kernel property tests -------------------------
+
+TEST(KernelsTest, MatmulMatchesNaiveAcrossShapes) {
+  common::Rng rng(11);
+  // Includes ragged remainders (rows % 4 != 0) and a size big enough to
+  // cross the parallel/k-blocked path (2*96*96*96 flops > 1<<18).
+  const std::size_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 2}, {4, 4, 4}, {7, 13, 9}, {96, 96, 96}, {33, 70, 17}};
+  for (const auto& s : shapes) {
+    Matrix a = Matrix::randn(s[0], s[1], rng);
+    Matrix b = Matrix::randn(s[1], s[2], rng);
+    Matrix out(s[0], s[2]);
+    matmul_into(a, b, out);
+    EXPECT_LT((out - naive_matmul(a, b)).max_abs(), 1e-10)
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(KernelsTest, TransposedVariantsMatchNaive) {
+  common::Rng rng(12);
+  Matrix a = Matrix::randn(40, 24, rng);
+  Matrix b = Matrix::randn(40, 32, rng);
+  Matrix atb(24, 32);
+  transposed_matmul_into(a, b, atb);
+  EXPECT_LT((atb - naive_matmul(a.transposed(), b)).max_abs(), 1e-10);
+
+  // Accumulating form adds on top of the existing contents.
+  Matrix acc = atb;
+  transposed_matmul_into(a, b, acc, /*accumulate=*/true);
+  EXPECT_LT((acc - atb * 2.0).max_abs(), 1e-10);
+
+  Matrix c = Matrix::randn(48, 24, rng);
+  Matrix abt(40, 48);
+  matmul_transposed_into(a, c, abt);
+  EXPECT_LT((abt - naive_matmul(a, c.transposed())).max_abs(), 1e-10);
+}
+
+TEST(KernelsTest, StridedViewsComputeOnSubBlocks) {
+  common::Rng rng(13);
+  Matrix big = Matrix::randn(10, 12, rng);
+  // A strided 6x5 operand view starting at column 3, row 2.
+  ConstMatrixView a = ConstMatrixView(big).row_block(2, 6).col_block(3, 5);
+  Matrix b = Matrix::randn(5, 4, rng);
+  Matrix dense(6, 5);
+  copy_into(a, dense);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(dense(r, c), big(r + 2, c + 3));
+    }
+  }
+  Matrix out(6, 4);
+  matmul_into(a, b, out);
+  EXPECT_LT((out - naive_matmul(dense, b)).max_abs(), 1e-10);
+
+  // Strided destination: write into a column block of a larger matrix.
+  Matrix target(6, 9, -1.0);
+  MatrixView tv = MatrixView(target).col_block(2, 4);
+  matmul_into(a, b, tv);
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(target(r, 0), -1.0);  // untouched outside the block
+    EXPECT_DOUBLE_EQ(target(r, 8), -1.0);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(target(r, c + 2), out(r, c));
+    }
+  }
+}
+
+TEST(KernelsTest, MatmulAliasedDestinationThrows) {
+  Matrix a = Matrix::identity(4);
+  Matrix b = Matrix::identity(4);
+  EXPECT_THROW(matmul_into(a, b, a), common::InvariantError);
+  EXPECT_THROW(matmul_into(a, b, b), common::InvariantError);
+  EXPECT_THROW(transposed_matmul_into(a, b, a), common::InvariantError);
+  EXPECT_THROW(matmul_transposed_into(a, b, b), common::InvariantError);
+  // Partial overlap through a view is rejected too.
+  MatrixView sub = MatrixView(a).row_block(0, 4).col_block(0, 4);
+  EXPECT_THROW(matmul_into(a, b, sub), common::InvariantError);
+}
+
+TEST(KernelsTest, ElementwiseAllowExactAliasing) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  add_into(a, b, a);
+  EXPECT_EQ(a, (Matrix{{11, 22}, {33, 44}}));
+  scale_into(a, 0.5, a);
+  EXPECT_EQ(a, (Matrix{{5.5, 11}, {16.5, 22}}));
+  hadamard_into(a, a, a);
+  EXPECT_EQ(a, (Matrix{{30.25, 121}, {272.25, 484}}));
+}
+
+TEST(KernelsTest, IntoVariantsOfSelectionAndConcat) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::vector<std::size_t> rows = {2, 0};
+  Matrix sel;
+  select_rows_into(m, rows, sel);
+  EXPECT_EQ(sel, m.select_rows(rows));
+
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5}, {6}};
+  Matrix h;
+  hcat_into(a, b, h);
+  EXPECT_EQ(h, a.hcat(b));
+  Matrix c{{7, 8}};
+  Matrix v;
+  vcat_into(a, c, v);
+  EXPECT_EQ(v, a.vcat(c));
+}
+
+TEST(KernelsTest, ResizeReusesCapacityWithoutAllocating) {
+  Matrix m(8, 8);
+  const std::size_t before = matrix_allocations();
+  m.resize(4, 16);   // same element count
+  m.resize(2, 3);    // shrink
+  m.resize(8, 8);    // back to capacity
+  EXPECT_EQ(matrix_allocations(), before);
+  m.resize(9, 8);    // grow beyond capacity: exactly one allocation
+  EXPECT_EQ(matrix_allocations(), before + 1);
 }
 
 TEST(MatrixTest, RandnHasExpectedMoments) {

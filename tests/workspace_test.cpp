@@ -1,0 +1,104 @@
+// Tests for fsda::nn::Workspace -- buffer identity/reuse and the headline
+// guarantee of the refactor: a steady-state Sequential training step
+// performs zero heap matrix allocations.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/workspace.hpp"
+
+namespace fsda::nn {
+namespace {
+
+TEST(WorkspaceTest, BuffersAreStableAndKeyedByOwnerAndSlot) {
+  Workspace ws;
+  int owner_a = 0;
+  int owner_b = 0;
+  la::Matrix& a0 = ws.buffer(&owner_a, 0, 3, 4);
+  la::Matrix& b0 = ws.buffer(&owner_b, 0, 3, 4);
+  la::Matrix& a1 = ws.buffer(&owner_a, 1, 2, 2);
+  EXPECT_NE(&a0, &b0);
+  EXPECT_NE(&a0, &a1);
+  EXPECT_EQ(ws.num_buffers(), 3u);
+  // Re-requesting the same key returns the same matrix, resized.
+  la::Matrix& a0_again = ws.buffer(&owner_a, 0, 5, 2);
+  EXPECT_EQ(&a0, &a0_again);
+  EXPECT_EQ(a0.rows(), 5u);
+  EXPECT_EQ(a0.cols(), 2u);
+  EXPECT_EQ(ws.num_buffers(), 3u);
+  ws.clear();
+  EXPECT_EQ(ws.num_buffers(), 0u);
+}
+
+TEST(WorkspaceTest, SteadyStateTrainingStepIsAllocationFree) {
+  common::Rng rng(7);
+  Sequential net;
+  net.emplace<Linear>(24, 32, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dropout>(0.3, rng.split(1));
+  net.emplace<Linear>(32, 16, rng);
+  net.emplace<Tanh>();
+  net.emplace<Linear>(16, 3, rng);
+
+  Adam optimizer(net.parameters(), 1e-3);
+  Workspace ws;
+  la::Matrix x = la::Matrix::randn(20, 24, rng);
+  std::vector<std::int64_t> y(20);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 3);
+  la::Matrix loss_grad;
+
+  auto step = [&] {
+    optimizer.zero_grad();
+    const la::Matrix& logits = net.forward(x, /*training=*/true, ws);
+    softmax_cross_entropy_into(logits, y, loss_grad);
+    net.backward(loss_grad, ws);
+    optimizer.step();
+  };
+
+  // Warm up: first steps size the workspace slabs and optimizer state.
+  step();
+  step();
+
+  const std::size_t before = la::matrix_allocations();
+  for (int i = 0; i < 5; ++i) step();
+  EXPECT_EQ(la::matrix_allocations(), before)
+      << "steady-state training step allocated matrix storage";
+}
+
+TEST(WorkspaceTest, BatchSizeShrinkStaysAllocationFree) {
+  common::Rng rng(9);
+  Sequential net;
+  net.emplace<Linear>(8, 12, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(12, 2, rng);
+  Adam optimizer(net.parameters(), 1e-3);
+  Workspace ws;
+  la::Matrix x_full = la::Matrix::randn(16, 8, rng);
+  la::Matrix x_tail = la::Matrix::randn(5, 8, rng);  // ragged last batch
+  std::vector<std::int64_t> y_full(16, 0), y_tail(5, 1);
+  la::Matrix loss_grad;
+
+  auto step = [&](const la::Matrix& x, const std::vector<std::int64_t>& y) {
+    optimizer.zero_grad();
+    const la::Matrix& logits = net.forward(x, true, ws);
+    softmax_cross_entropy_into(logits, y, loss_grad);
+    net.backward(loss_grad, ws);
+    optimizer.step();
+  };
+  step(x_full, y_full);
+  step(x_tail, y_tail);
+
+  const std::size_t before = la::matrix_allocations();
+  step(x_full, y_full);  // alternating sizes reuse the larger capacity
+  step(x_tail, y_tail);
+  EXPECT_EQ(la::matrix_allocations(), before);
+}
+
+}  // namespace
+}  // namespace fsda::nn
