@@ -9,6 +9,7 @@
 #include "causal/pc.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 
 namespace fsda::causal {
@@ -42,6 +43,22 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
   std::vector<char> marginally_independent(d, 0);
   std::atomic<std::size_t> tests_performed{0};
 
+  // Watchdog: once the deadline fires, every worker short-circuits and the
+  // result is flagged truncated.  The flag is sticky so the wall clock is
+  // consulted at most once per deadline overrun per worker.
+  common::Stopwatch deadline_timer;
+  std::atomic<bool> deadline_hit{false};
+  const auto past_deadline = [&]() -> bool {
+    if (options.deadline_ms == 0) return false;
+    if (deadline_hit.load(std::memory_order_relaxed)) return true;
+    if (deadline_timer.millis() >=
+        static_cast<double>(options.deadline_ms)) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
   // Phase 1: marginal tests X ⊥ F for every feature.  Features passing are
   // invariant at level 0 AND become the candidate conditioning pool for
   // phase 2: a valid separating set must not contain descendants of F
@@ -49,6 +66,12 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
   // a co-intervened sibling spuriously explains the shift away), so we only
   // condition on features that already look F-independent.
   auto marginal_phase = [&](std::size_t x) {
+    if (past_deadline()) {
+      // Untested feature: no evidence of dependence, default to invariant
+      // (marginal_p stays 1.0); the truncation flag tells the caller.
+      marginally_independent[x] = 1;
+      return;
+    }
     const CiResult marginal = test.test(x, f_index, {});
     tests_performed.fetch_add(1, std::memory_order_relaxed);
     result.marginal_p[x] = marginal.p_value;
@@ -81,6 +104,7 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
 
     for (std::size_t level = 1; level <= options.max_condition_size; ++level) {
       if (pool.size() < level) break;
+      if (past_deadline()) break;  // keep the marginal verdict: variant
       std::size_t tried = 0;
       bool found_separator = false;
       for_each_subset(pool, level, [&](std::span<const std::size_t> subset) {
@@ -88,6 +112,7 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
             tried >= options.max_subsets_per_level) {
           return true;  // subset budget exhausted; stop enumerating
         }
+        if (past_deadline()) return true;  // watchdog: stop enumerating
         ++tried;
         tests_performed.fetch_add(1, std::memory_order_relaxed);
         if (test.test(x, f_index, subset).independent) {
@@ -112,9 +137,11 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
     else result.invariant.push_back(x);
   }
   result.ci_tests_performed = tests_performed.load();
+  result.truncated = deadline_hit.load();
   FSDA_LOG_INFO << "FNodeSearch: " << result.variant.size() << "/" << d
                 << " variant features, " << result.ci_tests_performed
-                << " CI tests";
+                << " CI tests"
+                << (result.truncated ? " (deadline truncated)" : "");
   return result;
 }
 

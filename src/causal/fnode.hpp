@@ -34,6 +34,12 @@ struct FNodeOptions {
   std::size_t max_subsets_per_level = 64;
   /// Run the per-feature loop on the global thread pool.
   bool parallel = true;
+  /// Wall-clock watchdog in milliseconds (0 = unbounded).  On budget
+  /// exhaustion the search stops issuing CI tests and returns the
+  /// best-so-far partition with `truncated` set: features whose levelwise
+  /// search was cut short keep their marginal verdict (dependent ->
+  /// variant), and features never tested default to invariant.
+  std::size_t deadline_ms = 0;
 };
 
 /// Outcome of the targeted F-node search.
@@ -43,6 +49,9 @@ struct FNodeResult {
   /// Marginal X ⊥ F p-value per feature (diagnostic).
   std::vector<double> marginal_p;
   std::size_t ci_tests_performed = 0;
+  /// True when FNodeOptions::deadline_ms expired before the search
+  /// completed; the partition is then best-so-far, not exhaustive.
+  bool truncated = false;
 };
 
 /// Runs the targeted search on already-combined data.

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 
 namespace fsda::causal {
 
@@ -96,18 +97,33 @@ void apply_meek_rules(Graph& g) {
 PcResult pc_algorithm(const CiTest& test, const PcOptions& options) {
   const std::size_t n = test.num_variables();
   FSDA_CHECK_MSG(n >= 2, "PC needs at least two variables");
-  PcResult result{Graph(n), {}, 0};
+  PcResult result{Graph(n), {}, 0, false};
   Graph& g = result.graph;
   // Start from the complete undirected graph.
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) g.add_undirected_edge(i, j);
   }
 
+  // Watchdog: past the deadline, stop issuing CI tests; untested edges
+  // stay in the skeleton (best-so-far, conservative towards dependence).
+  common::Stopwatch deadline_timer;
+  const auto past_deadline = [&]() -> bool {
+    if (options.deadline_ms == 0) return false;
+    if (result.truncated) return true;
+    if (deadline_timer.millis() >= static_cast<double>(options.deadline_ms)) {
+      result.truncated = true;
+      return true;
+    }
+    return false;
+  };
+
   // Phase 1: skeleton by levelwise CI testing.
-  for (std::size_t level = 0; level <= options.max_condition_size; ++level) {
+  for (std::size_t level = 0;
+       level <= options.max_condition_size && !past_deadline(); ++level) {
     bool any_candidate = false;
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
+        if (past_deadline()) break;
         if (!g.has_edge(i, j)) continue;
         // Conditioning candidates: neighbors of i or of j, excluding each
         // other (the standard PC-stable-ish pool).
@@ -122,13 +138,16 @@ PcResult pc_algorithm(const CiTest& test, const PcOptions& options) {
         }
         if (pool.size() < level) continue;
         any_candidate = true;
-        const bool separated = for_each_subset(
+        bool separated = false;
+        for_each_subset(
             pool, level, [&](std::span<const std::size_t> subset) {
+              if (past_deadline()) return true;  // keep the edge, stop
               ++result.ci_tests_performed;
               const CiResult ci = test.test(i, j, subset);
               if (ci.independent) {
                 result.separating_sets[{i, j}] =
                     std::vector<std::size_t>(subset.begin(), subset.end());
+                separated = true;
                 return true;
               }
               return false;

@@ -26,6 +26,12 @@ struct PcOptions {
   /// Node whose outgoing edges are forbidden (the manually added F-node of
   /// the FS formulation); nullopt for a plain PC run.
   std::optional<std::size_t> sink_node;
+  /// Wall-clock watchdog in milliseconds (0 = unbounded).  On budget
+  /// exhaustion the skeleton search stops issuing CI tests: edges not yet
+  /// separated stay in the graph (best-so-far, conservative towards
+  /// keeping dependence) and `PcResult::truncated` is set.  Orientation
+  /// phases still run on the partial skeleton.
+  std::size_t deadline_ms = 0;
 };
 
 /// Result of a PC run: the CPDAG plus the separating sets found.
@@ -35,6 +41,9 @@ struct PcResult {
   std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
       separating_sets;
   std::size_t ci_tests_performed = 0;
+  /// True when PcOptions::deadline_ms expired mid-skeleton; the CPDAG is
+  /// then built from a partial skeleton, not an exhaustive one.
+  bool truncated = false;
 };
 
 /// Runs PC with the given CI oracle over all variables of the test.

@@ -1,0 +1,37 @@
+#include "common/retry.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::common {
+
+RetryController::RetryController(RetryPolicy policy) : policy_(policy) {
+  FSDA_CHECK_MSG(policy_.max_attempts >= 1, "retry needs at least one attempt");
+  FSDA_CHECK_MSG(policy_.backoff_factor > 0.0, "backoff factor must be > 0");
+  FSDA_CHECK_MSG(policy_.deadline_seconds >= 0.0, "negative retry deadline");
+}
+
+bool RetryController::allow_retry() {
+  if (attempt_ + 1 >= policy_.max_attempts) return false;
+  if (deadline_exhausted()) return false;
+  ++attempt_;
+  return true;
+}
+
+double RetryController::backoff_scale() const {
+  return std::pow(policy_.backoff_factor, static_cast<double>(attempt_));
+}
+
+std::uint64_t RetryController::seed_salt() const {
+  // Golden-ratio increment keeps per-attempt streams well separated even
+  // when the caller mixes the salt into a seed with a plain xor.
+  return 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(attempt_) + 1);
+}
+
+bool RetryController::deadline_exhausted() const {
+  return policy_.deadline_seconds > 0.0 &&
+         timer_.seconds() >= policy_.deadline_seconds;
+}
+
+}  // namespace fsda::common

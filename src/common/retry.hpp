@@ -1,0 +1,64 @@
+// fsda::common -- bounded retry policy for recoverable numeric failures.
+//
+// Trainers (and any other stage that can fail transiently) wrap their work
+// in a RetryController: a fixed attempt budget, a deterministic per-attempt
+// seed salt for reseeding, a geometric backoff scale for tunable knobs
+// (typically the learning rate), and an optional wall-clock deadline that
+// bounds the total time spent across all attempts.  The controller is
+// policy-only -- it never sleeps and never runs the work itself -- so it
+// stays reusable by any trainer regardless of what "one attempt" means.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/stopwatch.hpp"
+
+namespace fsda::common {
+
+/// Bounded-retry policy: how many attempts, how hard to back off, and how
+/// long the whole retry loop may take.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = never retry).
+  std::size_t max_attempts = 3;
+  /// Geometric backoff applied to the caller's tunable knob per retry:
+  /// attempt k runs at knob * backoff_factor^k (e.g. learning-rate decay).
+  double backoff_factor = 0.5;
+  /// Wall-clock budget in seconds across all attempts; 0 = unbounded.
+  double deadline_seconds = 0.0;
+};
+
+/// Tracks attempts against a RetryPolicy.  Usage:
+///
+///   RetryController retry(policy);
+///   do {
+///     ok = attempt(retry.backoff_scale(), retry.seed_salt());
+///   } while (!ok && retry.allow_retry());
+class RetryController {
+ public:
+  explicit RetryController(RetryPolicy policy);
+
+  /// Records a failed attempt; true when another attempt is permitted
+  /// (budget and deadline both unexhausted).
+  bool allow_retry();
+
+  /// 0-based index of the current attempt.
+  [[nodiscard]] std::size_t attempt() const { return attempt_; }
+  /// Retries consumed so far (attempt(), by another name).
+  [[nodiscard]] std::size_t retries_used() const { return attempt_; }
+  /// backoff_factor^attempt -- multiply the tunable knob by this.
+  [[nodiscard]] double backoff_scale() const;
+  /// Deterministic salt distinguishing this attempt's random streams.
+  [[nodiscard]] std::uint64_t seed_salt() const;
+  /// Seconds elapsed since the controller was constructed.
+  [[nodiscard]] double elapsed_seconds() const { return timer_.seconds(); }
+  /// True once the wall-clock budget is spent (always false when 0).
+  [[nodiscard]] bool deadline_exhausted() const;
+
+ private:
+  RetryPolicy policy_;
+  Stopwatch timer_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace fsda::common

@@ -62,33 +62,46 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
     net_->emplace<nn::Tanh>();
   }
 
-  nn::Adam optimizer(net_->parameters(), options_.learning_rate, 0.9, 0.999,
-                     1e-8, options_.weight_decay);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   const std::size_t batch = std::min(options_.batch_size, n);
 
-  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    rng_.shuffle(order);
-    double epoch_loss = 0.0;
-    std::size_t batches = 0;
-    for (std::size_t start = 0; start < n; start += batch) {
-      const std::size_t end = std::min(n, start + batch);
-      const std::span<const std::size_t> rows{order.data() + start,
-                                              end - start};
-      la::select_rows_into(x_inv, rows, inv_b_);
-      la::select_rows_into(x_var, rows, var_b_);
-      optimizer.zero_grad();
-      const la::Matrix& recon = net_->forward(inv_b_, /*training=*/true, ws_);
-      const double loss = nn::mse_into(recon, var_b_, loss_grad_);
-      net_->backward(loss_grad_, ws_);
-      optimizer.step();
-      epoch_loss += loss;
-      ++batches;
+  TrainingSentinel sentinel(net_->parameters(), options_.retry,
+                            options_.divergence, options_.snapshot_every);
+  const auto run_attempt = [&] {
+    if (sentinel.health().retries > 0) rng_ = rng_.split(sentinel.seed_salt());
+    nn::Adam optimizer(net_->parameters(),
+                       options_.learning_rate * sentinel.lr_scale(), 0.9,
+                       0.999, 1e-8, options_.weight_decay);
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      rng_.shuffle(order);
+      double epoch_loss = 0.0;
+      std::size_t batches = 0;
+      for (std::size_t start = 0; start < n; start += batch) {
+        const std::size_t end = std::min(n, start + batch);
+        const std::span<const std::size_t> rows{order.data() + start,
+                                                end - start};
+        la::select_rows_into(x_inv, rows, inv_b_);
+        la::select_rows_into(x_var, rows, var_b_);
+        optimizer.zero_grad();
+        const la::Matrix& recon =
+            net_->forward(inv_b_, /*training=*/true, ws_);
+        const double loss = nn::mse_into(recon, var_b_, loss_grad_);
+        net_->backward(loss_grad_, ws_);
+        optimizer.step();
+        epoch_loss += loss;
+        ++batches;
+      }
+      last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
+                                    1, batches));
+      if (sentinel.observe_epoch(epoch, last_loss_)) return;  // diverged
     }
-    last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
-                                  1, batches));
-  }
+  };
+
+  do {
+    run_attempt();
+  } while (sentinel.retry_after_divergence());
+  train_health_ = sentinel.health();
   fitted_ = true;
 }
 

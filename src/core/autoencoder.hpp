@@ -3,7 +3,9 @@
 // X_var trained with MSE, architecture matching the GAN generator.
 #pragma once
 
+#include "common/retry.hpp"
 #include "common/rng.hpp"
+#include "core/health.hpp"
 #include "core/reconstructor.hpp"
 #include "nn/sequential.hpp"
 #include "nn/workspace.hpp"
@@ -16,6 +18,11 @@ struct AutoencoderOptions {
   std::size_t batch_size = 96;
   double learning_rate = 1e-3;
   double weight_decay = 1e-6;
+  /// Divergence recovery: snapshot/rollback + lr-decayed, reseeded retries
+  /// (same scheme as the GAN; see core/health.hpp).
+  common::RetryPolicy retry;
+  DivergenceMonitorOptions divergence;
+  std::size_t snapshot_every = 10;
 
   static AutoencoderOptions quick();
 };
@@ -33,6 +40,17 @@ class AutoencoderReconstructor : public Reconstructor {
 
   [[nodiscard]] double last_loss() const { return last_loss_; }
 
+  [[nodiscard]] const TrainHealth& train_health() const {
+    return train_health_;
+  }
+  [[nodiscard]] bool healthy() const override { return train_health_.healthy; }
+  [[nodiscard]] std::size_t fit_retries() const override {
+    return train_health_.retries;
+  }
+  [[nodiscard]] std::size_t fit_rollbacks() const override {
+    return train_health_.rollbacks;
+  }
+
  private:
   std::size_t inv_dim_;
   std::size_t var_dim_;
@@ -40,6 +58,7 @@ class AutoencoderReconstructor : public Reconstructor {
   common::Rng rng_;
   std::unique_ptr<nn::Sequential> net_;
   double last_loss_ = 0.0;
+  TrainHealth train_health_;
   bool fitted_ = false;
 
   // Training workspace and persistent mini-batch buffers.

@@ -115,11 +115,6 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
     discriminator_->emplace<nn::Sigmoid>();
   }
 
-  nn::Adam g_opt(generator_->parameters(), options_.learning_rate,
-                 options_.adam_beta1, 0.999, 1e-8, options_.weight_decay);
-  nn::Adam d_opt(discriminator_->parameters(), options_.learning_rate,
-                 options_.adam_beta1, 0.999, 1e-8, options_.weight_decay);
-
   const la::Matrix y_onehot = one_hot(labels, num_classes);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -141,92 +136,119 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
   std::vector<double> ones;
   std::vector<double> zeros;
 
-  history_.clear();
-  history_.reserve(options_.epochs);
-  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    rng_.shuffle(order);
-    GanEpochStats stats;
-    std::size_t batches = 0;
-    for (std::size_t start = 0; start + 1 < n; start += batch) {
-      const std::size_t end = std::min(n, start + batch);
-      const std::span<const std::size_t> rows{order.data() + start,
-                                              end - start};
-      const std::size_t m = rows.size();
-      if (m < 2) continue;  // batch norm needs at least two rows
-      la::select_rows_into(x_inv, rows, inv_b_);
-      la::select_rows_into(x_var, rows, var_b_);
-      if (options_.conditional) la::select_rows_into(y_onehot, rows, y_b_);
+  // Divergence recovery: both networks' parameters are snapshotted every
+  // snapshot_every healthy epochs; a NaN/Inf or sustained-explosion epoch
+  // rolls back to the last snapshot and retries the fit with a decayed
+  // learning rate and a reseeded noise/shuffle stream.
+  std::vector<nn::Parameter*> all_params = generator_->parameters();
+  for (nn::Parameter* p : discriminator_->parameters()) all_params.push_back(p);
+  TrainingSentinel sentinel(all_params, options_.retry, options_.divergence,
+                            options_.snapshot_every);
 
-      ones.assign(m, 1.0);
-      zeros.assign(m, 0.0);
+  const auto run_attempt = [&] {
+    if (sentinel.health().retries > 0) rng_ = rng_.split(sentinel.seed_salt());
+    const double lr = options_.learning_rate * sentinel.lr_scale();
+    nn::Adam g_opt(generator_->parameters(), lr, options_.adam_beta1, 0.999,
+                   1e-8, options_.weight_decay);
+    nn::Adam d_opt(discriminator_->parameters(), lr, options_.adam_beta1,
+                   0.999, 1e-8, options_.weight_decay);
 
-      // ---- Discriminator step (eq. 8) ----
-      d_opt.zero_grad();
-      {
-        const la::Matrix& real_prob = discriminator_->forward(
-            build_d_input(var_b_), /*training=*/true, ws_);
-        const double real_loss =
-            nn::bce_on_probs_into(real_prob, ones, loss_grad_);
-        discriminator_->backward(loss_grad_, ws_);
+    history_.clear();
+    history_.reserve(options_.epochs);
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      rng_.shuffle(order);
+      GanEpochStats stats;
+      std::size_t batches = 0;
+      for (std::size_t start = 0; start + 1 < n; start += batch) {
+        const std::size_t end = std::min(n, start + batch);
+        const std::span<const std::size_t> rows{order.data() + start,
+                                                end - start};
+        const std::size_t m = rows.size();
+        if (m < 2) continue;  // batch norm needs at least two rows
+        la::select_rows_into(x_inv, rows, inv_b_);
+        la::select_rows_into(x_var, rows, var_b_);
+        if (options_.conditional) la::select_rows_into(y_onehot, rows, y_b_);
 
-        permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
-                             corrupt_b_);
-        sample_noise_into(m, noise_b_);
-        la::hcat_into(corrupt_b_, noise_b_, g_in_);
-        const la::Matrix& fake =
-            generator_->forward(g_in_, /*training=*/true, ws_);
-        const la::Matrix& fake_prob = discriminator_->forward(
-            build_d_input(fake), /*training=*/true, ws_);
-        const double fake_loss =
-            nn::bce_on_probs_into(fake_prob, zeros, loss_grad_);
-        discriminator_->backward(loss_grad_, ws_);
-        d_opt.step();
-        stats.d_loss += real_loss + fake_loss;
-      }
+        ones.assign(m, 1.0);
+        zeros.assign(m, 0.0);
 
-      // ---- Generator step (eq. 9, non-saturating) ----
-      g_opt.zero_grad();
-      d_opt.zero_grad();  // D accumulates G-step gradients; discard them
-      {
-        permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
-                             corrupt_b_);
-        sample_noise_into(m, noise_b_);
-        la::hcat_into(corrupt_b_, noise_b_, g_in_);
-        const la::Matrix& fake =
-            generator_->forward(g_in_, /*training=*/true, ws_);
-        const la::Matrix& fake_prob = discriminator_->forward(
-            build_d_input(fake), /*training=*/true, ws_);
-        const double adv_loss =
-            nn::bce_on_probs_into(fake_prob, ones, loss_grad_);
-        const la::Matrix& grad_d_input =
-            discriminator_->backward(loss_grad_, ws_);
-        // Slice the gradient w.r.t. the generated block out of the
-        // discriminator's input gradient.
-        grad_fake_.resize(m, var_dim_);
-        la::copy_into(
-            la::ConstMatrixView(grad_d_input).col_block(inv_dim_, var_dim_),
-            grad_fake_);
-        double recon_value = 0.0;
-        if (options_.recon_weight > 0.0) {
-          recon_value = nn::mse_into(fake, var_b_, recon_grad_);
-          recon_grad_ *= options_.recon_weight;
-          grad_fake_ += recon_grad_;
-        }
-        generator_->backward(grad_fake_, ws_);
-        g_opt.step();
+        // ---- Discriminator step (eq. 8) ----
         d_opt.zero_grad();
-        stats.g_adv_loss += adv_loss;
-        stats.g_recon_loss += recon_value;
+        {
+          const la::Matrix& real_prob = discriminator_->forward(
+              build_d_input(var_b_), /*training=*/true, ws_);
+          const double real_loss =
+              nn::bce_on_probs_into(real_prob, ones, loss_grad_);
+          discriminator_->backward(loss_grad_, ws_);
+
+          permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                               corrupt_b_);
+          sample_noise_into(m, noise_b_);
+          la::hcat_into(corrupt_b_, noise_b_, g_in_);
+          const la::Matrix& fake =
+              generator_->forward(g_in_, /*training=*/true, ws_);
+          const la::Matrix& fake_prob = discriminator_->forward(
+              build_d_input(fake), /*training=*/true, ws_);
+          const double fake_loss =
+              nn::bce_on_probs_into(fake_prob, zeros, loss_grad_);
+          discriminator_->backward(loss_grad_, ws_);
+          d_opt.step();
+          stats.d_loss += real_loss + fake_loss;
+        }
+
+        // ---- Generator step (eq. 9, non-saturating) ----
+        g_opt.zero_grad();
+        d_opt.zero_grad();  // D accumulates G-step gradients; discard them
+        {
+          permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                               corrupt_b_);
+          sample_noise_into(m, noise_b_);
+          la::hcat_into(corrupt_b_, noise_b_, g_in_);
+          const la::Matrix& fake =
+              generator_->forward(g_in_, /*training=*/true, ws_);
+          const la::Matrix& fake_prob = discriminator_->forward(
+              build_d_input(fake), /*training=*/true, ws_);
+          const double adv_loss =
+              nn::bce_on_probs_into(fake_prob, ones, loss_grad_);
+          const la::Matrix& grad_d_input =
+              discriminator_->backward(loss_grad_, ws_);
+          // Slice the gradient w.r.t. the generated block out of the
+          // discriminator's input gradient.
+          grad_fake_.resize(m, var_dim_);
+          la::copy_into(
+              la::ConstMatrixView(grad_d_input).col_block(inv_dim_, var_dim_),
+              grad_fake_);
+          double recon_value = 0.0;
+          if (options_.recon_weight > 0.0) {
+            recon_value = nn::mse_into(fake, var_b_, recon_grad_);
+            recon_grad_ *= options_.recon_weight;
+            grad_fake_ += recon_grad_;
+          }
+          generator_->backward(grad_fake_, ws_);
+          g_opt.step();
+          d_opt.zero_grad();
+          stats.g_adv_loss += adv_loss;
+          stats.g_recon_loss += recon_value;
+        }
+        ++batches;
       }
-      ++batches;
+      if (batches > 0) {
+        stats.d_loss /= static_cast<double>(batches);
+        stats.g_adv_loss /= static_cast<double>(batches);
+        stats.g_recon_loss /= static_cast<double>(batches);
+      }
+      history_.push_back(stats);
+      if (sentinel.observe_epoch(
+              epoch, stats.d_loss + stats.g_adv_loss + stats.g_recon_loss)) {
+        return;  // diverged; parameters rolled back to last healthy snapshot
+      }
     }
-    if (batches > 0) {
-      stats.d_loss /= static_cast<double>(batches);
-      stats.g_adv_loss /= static_cast<double>(batches);
-      stats.g_recon_loss /= static_cast<double>(batches);
-    }
-    history_.push_back(stats);
-  }
+  };
+
+  do {
+    run_attempt();
+  } while (sentinel.retry_after_divergence());
+  train_health_ = sentinel.health();
   fitted_ = true;
 }
 

@@ -14,7 +14,9 @@
 
 #include <optional>
 
+#include "common/retry.hpp"
 #include "common/rng.hpp"
+#include "core/health.hpp"
 #include "core/reconstructor.hpp"
 #include "nn/sequential.hpp"
 #include "nn/workspace.hpp"
@@ -43,6 +45,14 @@ struct CganOptions {
   /// during training (denoising robustness to undetected drift; see
   /// core/corruption.hpp).
   double input_corruption_p = 0.1;
+  /// Divergence recovery (core/health.hpp): on a NaN/Inf or sustained-
+  /// explosion epoch the trainer rolls both networks back to the last
+  /// healthy snapshot, decays the learning rate by retry.backoff_factor,
+  /// reseeds, and retries up to retry.max_attempts total attempts.
+  common::RetryPolicy retry;
+  DivergenceMonitorOptions divergence;
+  /// Epochs between healthy-parameter snapshots (rollback granularity).
+  std::size_t snapshot_every = 10;
 
   static CganOptions quick();  ///< single-core benchmark budget
   static CganOptions paper();  ///< Section V-C3 budget (500 epochs)
@@ -75,6 +85,18 @@ class ConditionalGAN : public Reconstructor {
   }
   [[nodiscard]] std::size_t noise_dim() const { return noise_dim_; }
 
+  /// Divergence-recovery diagnostics of the last fit().
+  [[nodiscard]] const TrainHealth& train_health() const {
+    return train_health_;
+  }
+  [[nodiscard]] bool healthy() const override { return train_health_.healthy; }
+  [[nodiscard]] std::size_t fit_retries() const override {
+    return train_health_.retries;
+  }
+  [[nodiscard]] std::size_t fit_rollbacks() const override {
+    return train_health_.rollbacks;
+  }
+
  private:
   void sample_noise_into(std::size_t rows, la::Matrix& z);
   [[nodiscard]] la::Matrix one_hot(const std::vector<std::int64_t>& labels,
@@ -88,6 +110,7 @@ class ConditionalGAN : public Reconstructor {
   std::unique_ptr<nn::Sequential> generator_;
   std::unique_ptr<nn::Sequential> discriminator_;
   std::vector<GanEpochStats> history_;
+  TrainHealth train_health_;
   bool fitted_ = false;
 
   // Training workspace and persistent mini-batch buffers: capacities are

@@ -8,7 +8,12 @@
 // by the same feature's value from another random row, which destroys the
 // cell's signal while exactly preserving the feature's marginal -- the same
 // corruption model as undetected stealth drift.
+// The fault-injection modes below (NaN cells, stuck sensors, dropped
+// metrics) model the telemetry failures the guardrails in core/health.hpp
+// defend against; they exist for tests and chaos-style evaluation runs.
 #pragma once
+
+#include <span>
 
 #include "common/rng.hpp"
 #include "la/matrix.hpp"
@@ -23,5 +28,31 @@ la::Matrix permute_corrupt(const la::Matrix& x, double p, common::Rng& rng);
 /// in place; a reused buffer makes the corruption allocation-free).
 void permute_corrupt_into(const la::Matrix& x, double p, common::Rng& rng,
                           la::Matrix& out);
+
+/// Fault injection: each cell is, with probability p, replaced by NaN --
+/// the collector-dropped-a-sample failure mode.
+la::Matrix nan_corrupt(const la::Matrix& x, double p, common::Rng& rng);
+void nan_corrupt_into(const la::Matrix& x, double p, common::Rng& rng,
+                      la::Matrix& out);
+
+/// Fault injection: each listed column is frozen at the value it had in one
+/// uniformly random row -- a sensor stuck at its last reading.  The stuck
+/// value is in-distribution, so this corruption is invisible to finite
+/// scans and must be survived by the model itself.
+la::Matrix stuck_sensor_corrupt(const la::Matrix& x,
+                                std::span<const std::size_t> columns,
+                                common::Rng& rng);
+void stuck_sensor_corrupt_into(const la::Matrix& x,
+                               std::span<const std::size_t> columns,
+                               common::Rng& rng, la::Matrix& out);
+
+/// Fault injection: each listed column is replaced wholesale by `fill`
+/// (NaN models a dropped metric; 0.0 models a zero-filled export).
+la::Matrix drop_metric_corrupt(const la::Matrix& x,
+                               std::span<const std::size_t> columns,
+                               double fill);
+void drop_metric_corrupt_into(const la::Matrix& x,
+                              std::span<const std::size_t> columns,
+                              double fill, la::Matrix& out);
 
 }  // namespace fsda::core

@@ -18,6 +18,7 @@ SeparationResult separate_features(const la::Matrix& source,
   result.invariant = found.invariant;
   result.marginal_p = found.marginal_p;
   result.ci_tests_performed = found.ci_tests_performed;
+  result.truncated = found.truncated;
   result.seconds = timer.seconds();
   return result;
 }

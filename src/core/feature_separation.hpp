@@ -22,6 +22,9 @@ struct SeparationResult {
   std::vector<double> marginal_p;      ///< per-feature marginal p-values
   std::size_t ci_tests_performed = 0;
   double seconds = 0.0;
+  /// True when the F-node search hit FNodeOptions::deadline_ms and the
+  /// partition is best-so-far rather than exhaustive.
+  bool truncated = false;
 };
 
 /// Precision/recall of a detected variant set against a ground-truth one

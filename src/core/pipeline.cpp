@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "core/corruption.hpp"
 
 #include "common/rng.hpp"
@@ -65,6 +68,33 @@ data::Dataset match_label_distribution(
   return target.subset(rows);
 }
 
+/// Screens rows with non-finite features out of a few-shot set.  A dirty
+/// shot would poison the F-node correlation matrix (one NaN contaminates
+/// every test involving its column), so screening happens before anything
+/// else touches the data.  Throws when nothing survives.
+data::Dataset drop_nonfinite_rows(const data::Dataset& d,
+                                  std::size_t* dropped) {
+  const std::vector<std::size_t> bad = nonfinite_rows(d.x);
+  *dropped = bad.size();
+  if (bad.empty()) return d;
+  std::vector<std::size_t> keep;
+  keep.reserve(d.size() - bad.size());
+  std::size_t bi = 0;
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    if (bi < bad.size() && bad[bi] == r) {
+      ++bi;
+      continue;
+    }
+    keep.push_back(r);
+  }
+  if (keep.empty()) {
+    throw common::NumericError(
+        "FsGanPipeline: every few-shot target row contains NaN/Inf; "
+        "cannot run feature separation");
+  }
+  return d.subset(keep);
+}
+
 }  // namespace
 
 data::Dataset FsGanPipeline::label_shift_corrected(
@@ -96,27 +126,74 @@ void FsGanPipeline::fit_reconstructor() {
   reconstructor_ =
       reconstructor_factory_(sep.invariant.size(), sep.variant.size(),
                              seed_ ^ 0x6EC0ULL);
-  reconstructor_->fit(x_inv, x_var, source_labels_, num_classes_);
+  bool fit_threw = false;
+  std::string fit_error;
+  try {
+    reconstructor_->fit(x_inv, x_var, source_labels_, num_classes_);
+  } catch (const common::NumericError& e) {
+    fit_threw = true;
+    fit_error = e.what();
+  }
+  health_.reconstructor_retries = fit_threw ? 0 : reconstructor_->fit_retries();
+  health_.reconstructor_rollbacks =
+      fit_threw ? 0 : reconstructor_->fit_rollbacks();
+  if (fit_threw || !reconstructor_->healthy()) {
+    // Every training attempt diverged (or fit itself blew up numerically):
+    // degrade to class-conditional mean imputation so predictions keep
+    // flowing, and say so in the report.
+    const std::string why =
+        fit_threw ? "fit threw NumericError: " + fit_error
+                  : "training diverged and exhausted its retry budget";
+    health_.note_stage("reconstructor", false,
+                       reconstructor_->name() + " " + why +
+                           "; falling back to MeanImpute");
+    health_.fallback_reconstructor = true;
+    auto fallback = std::make_unique<MeanImputeReconstructor>();
+    fallback->fit(x_inv, x_var, source_labels_, num_classes_);
+    reconstructor_ = std::move(fallback);
+  } else if (health_.reconstructor_retries > 0) {
+    health_.note_stage("reconstructor", true,
+                       reconstructor_->name() + " recovered after " +
+                           std::to_string(health_.reconstructor_retries) +
+                           " retry(ies)");
+  }
   reconstructor_seconds_ = timer.seconds();
 }
 
 void FsGanPipeline::train(const data::Dataset& source,
                           const data::Dataset& target_few_shot) {
   source.validate();
-  target_few_shot.validate();
   FSDA_CHECK_MSG(source.num_features() == target_few_shot.num_features(),
                  "source/target feature mismatch");
 
-  scaler_.fit(source.x);
+  health_ = HealthReport{};
+  // Screen before validate(): dirty few-shot rows are an expected telemetry
+  // failure, not a caller bug, so they are dropped rather than rejected.
+  std::size_t dropped = 0;
+  const data::Dataset shots = drop_nonfinite_rows(target_few_shot, &dropped);
+  shots.validate();
+  if (dropped > 0) {
+    health_.note_stage("few_shot_screen", true,
+                       std::to_string(dropped) +
+                           " non-finite few-shot target row(s) dropped");
+  }
+
+  scaler_.fit(source.x);  // throws NumericError on a dirty source
   source_scaled_ = scaler_.transform(source.x);
   source_labels_ = source.y;
   num_classes_ = source.num_classes;
-  const la::Matrix target_scaled = scaler_.transform(
-      label_shift_corrected(source, target_few_shot).x);
+  const la::Matrix target_scaled =
+      scaler_.transform(label_shift_corrected(source, shots).x);
 
   separation_ =
       separate_features(source_scaled_, target_scaled, options_.fs);
   const auto& sep = *separation_;
+  health_.fs_truncated = sep.truncated;
+  if (sep.truncated) {
+    health_.note_stage("feature_separation", false,
+                       "F-node search hit its deadline; partition is "
+                       "best-so-far");
+  }
   FSDA_LOG_INFO << "pipeline: " << sep.variant.size() << " variant / "
                 << sep.invariant.size() << " invariant features";
 
@@ -169,12 +246,25 @@ void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
   FSDA_CHECK_MSG(options_.use_reconstruction,
                  "FS mode cannot adapt without classifier retraining; use "
                  "FS+GAN mode");
-  target_few_shot.validate();
-  const la::Matrix target_scaled = scaler_.transform(
-      label_shift_corrected_cached(target_few_shot).x);
+  std::size_t dropped = 0;
+  const data::Dataset shots = drop_nonfinite_rows(target_few_shot, &dropped);
+  shots.validate();
+  if (dropped > 0) {
+    health_.note_stage("few_shot_screen", true,
+                       std::to_string(dropped) +
+                           " non-finite few-shot target row(s) dropped");
+  }
+  const la::Matrix target_scaled =
+      scaler_.transform(label_shift_corrected_cached(shots).x);
   // Re-run FS against the new target...
   SeparationResult fresh =
       separate_features(source_scaled_, target_scaled, options_.fs);
+  health_.fs_truncated = fresh.truncated;
+  if (fresh.truncated) {
+    health_.note_stage("feature_separation", false,
+                       "F-node search hit its deadline; partition is "
+                       "best-so-far");
+  }
   // ...but keep the classifier's feature partition fixed: the classifier
   // was trained on [inv | var] of the original separation.  The refreshed
   // separation retrains the reconstructor only when the partition size is
@@ -187,9 +277,7 @@ void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
   fit_reconstructor();
 }
 
-la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
-  FSDA_CHECK_MSG(trained_, "predict before train");
-  const la::Matrix x = scaler_.transform(x_raw);
+la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x) {
   const auto& sep = *separation_;
 
   if (!options_.use_reconstruction) {
@@ -215,6 +303,54 @@ la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
     else proba += p;
   }
   proba *= 1.0 / static_cast<double>(options_.monte_carlo_m);
+  return proba;
+}
+
+la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
+  FSDA_CHECK_MSG(trained_, "predict before train");
+
+  // Quarantine rows with non-finite raw features before they reach any
+  // network.  Both policies impute the scaled midpoint first (the matrix
+  // must be finite end to end); Reject additionally overwrites the
+  // quarantined rows' output with the uniform distribution.
+  const std::vector<std::size_t> bad_rows = nonfinite_rows(x_raw);
+  la::Matrix x = scaler_.transform(x_raw);
+  if (!bad_rows.empty()) {
+    health_.quarantined_rows += bad_rows.size();
+    for (std::size_t r : bad_rows) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        if (!std::isfinite(x(r, c))) x(r, c) = 0.0;
+      }
+    }
+  }
+  if (options_.clamp_margin >= 0.0) {
+    health_.clamped_cells +=
+        scaler_.clamp_transformed(x, options_.clamp_margin);
+  }
+
+  la::Matrix proba = predict_proba_scaled(x);
+
+  const double uniform = 1.0 / static_cast<double>(num_classes_);
+  if (!bad_rows.empty() &&
+      options_.quarantine == QuarantinePolicy::Reject) {
+    health_.rejected_rows += bad_rows.size();
+    for (std::size_t r : bad_rows) {
+      for (std::size_t c = 0; c < proba.cols(); ++c) proba(r, c) = uniform;
+    }
+  }
+
+  // Last-line guard: the pipeline never emits a non-finite probability,
+  // whatever state the classifier or reconstructor is in.
+  const std::vector<std::size_t> bad_out = nonfinite_rows(proba);
+  if (!bad_out.empty()) {
+    for (std::size_t r : bad_out) {
+      for (std::size_t c = 0; c < proba.cols(); ++c) proba(r, c) = uniform;
+    }
+    health_.note_stage("predict", false,
+                       std::to_string(bad_out.size()) +
+                           " row(s) produced non-finite probabilities; "
+                           "served uniform");
+  }
   return proba;
 }
 

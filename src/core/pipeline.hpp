@@ -20,12 +20,23 @@
 
 #include "causal/fnode.hpp"
 #include "core/feature_separation.hpp"
+#include "core/health.hpp"
 #include "core/reconstructor.hpp"
 #include "data/dataset.hpp"
 #include "data/scaler.hpp"
 #include "models/classifier.hpp"
 
 namespace fsda::core {
+
+/// Inference-time handling of rows whose raw features contain NaN/Inf.
+enum class QuarantinePolicy {
+  /// Replace non-finite scaled cells with the scaled midpoint (0) and run
+  /// the row through the normal path -- a degraded but usable prediction.
+  Impute,
+  /// Serve the uniform class distribution for the whole row; the row never
+  /// reaches the reconstructor or classifier.
+  Reject,
+};
 
 struct PipelineOptions {
   causal::FNodeOptions fs;
@@ -34,6 +45,12 @@ struct PipelineOptions {
   /// true = FS+GAN (classifier on all features + reconstruction);
   /// false = FS only (classifier on invariant features).
   bool use_reconstruction = true;
+  /// Policy for inference rows with non-finite raw features.
+  QuarantinePolicy quarantine = QuarantinePolicy::Impute;
+  /// Scaled values are clamped into [-1 - clamp_margin, 1 + clamp_margin]
+  /// before reaching any network, so drifted extremes cannot blow up the
+  /// reconstructor.  Negative disables clamping.
+  double clamp_margin = 0.25;
 };
 
 /// The paper's DA framework around a pluggable classifier + reconstructor.
@@ -63,6 +80,11 @@ class FsGanPipeline {
     return reconstructor_seconds_;
   }
 
+  /// Accumulated guardrail diagnostics: training-time divergence recovery,
+  /// fallback activation, and inference-time quarantine/clamp counters.
+  /// `health().degraded` is the one flag monitoring should watch.
+  [[nodiscard]] const HealthReport& health() const { return health_; }
+
   /// Resamples the few-shot target set so its label mix matches the source
   /// prior (see pipeline.cpp); public for white-box tests.
   data::Dataset label_shift_corrected(const data::Dataset& source,
@@ -72,6 +94,8 @@ class FsGanPipeline {
 
  private:
   void fit_reconstructor();
+  /// The pre-guardrail predict path, on already scaled/sanitized inputs.
+  [[nodiscard]] la::Matrix predict_proba_scaled(const la::Matrix& x);
 
   models::ClassifierFactory classifier_factory_;
   ReconstructorFactory reconstructor_factory_;
@@ -88,6 +112,7 @@ class FsGanPipeline {
   std::vector<std::int64_t> source_labels_;
   std::size_t num_classes_ = 0;
   double reconstructor_seconds_ = 0.0;
+  HealthReport health_;
   bool trained_ = false;
 };
 

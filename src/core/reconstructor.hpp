@@ -33,6 +33,16 @@ class Reconstructor {
   [[nodiscard]] virtual la::Matrix reconstruct(const la::Matrix& x_inv) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// False when the last fit() diverged and exhausted its retry budget; the
+  /// pipeline then swaps in the degraded-mode fallback (core/health.hpp).
+  [[nodiscard]] virtual bool healthy() const { return true; }
+
+  /// Extra fit() attempts consumed by divergence recovery.
+  [[nodiscard]] virtual std::size_t fit_retries() const { return 0; }
+
+  /// Parameter rollbacks performed by divergence recovery.
+  [[nodiscard]] virtual std::size_t fit_rollbacks() const { return 0; }
 };
 
 using ReconstructorPtr = std::unique_ptr<Reconstructor>;

@@ -79,80 +79,93 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
 
   std::vector<nn::Parameter*> params = encoder_->parameters();
   for (nn::Parameter* p : decoder_->parameters()) params.push_back(p);
-  nn::Adam optimizer(params, options_.learning_rate, 0.9, 0.999, 1e-8,
-                     options_.weight_decay);
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   const std::size_t batch = std::min(options_.batch_size, n);
 
-  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    rng_.shuffle(order);
-    double epoch_loss = 0.0;
-    std::size_t batches = 0;
-    for (std::size_t start = 0; start < n; start += batch) {
-      const std::size_t end = std::min(n, start + batch);
-      const std::span<const std::size_t> rows{order.data() + start,
-                                              end - start};
-      const std::size_t m = rows.size();
-      la::select_rows_into(x_inv, rows, inv_b_);
-      la::select_rows_into(x_var, rows, var_b_);
+  TrainingSentinel sentinel(params, options_.retry, options_.divergence,
+                            options_.snapshot_every);
+  const auto run_attempt = [&] {
+    if (sentinel.health().retries > 0) rng_ = rng_.split(sentinel.seed_salt());
+    nn::Adam optimizer(params, options_.learning_rate * sentinel.lr_scale(),
+                       0.9, 0.999, 1e-8, options_.weight_decay);
 
-      optimizer.zero_grad();
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      rng_.shuffle(order);
+      double epoch_loss = 0.0;
+      std::size_t batches = 0;
+      for (std::size_t start = 0; start < n; start += batch) {
+        const std::size_t end = std::min(n, start + batch);
+        const std::span<const std::size_t> rows{order.data() + start,
+                                                end - start};
+        const std::size_t m = rows.size();
+        la::select_rows_into(x_inv, rows, inv_b_);
+        la::select_rows_into(x_var, rows, var_b_);
 
-      // Encode: split encoder output into mu | log_var.
-      la::hcat_into(inv_b_, var_b_, enc_in_);
-      const la::Matrix& enc_out =
-          encoder_->forward(enc_in_, /*training=*/true, ws_);
-      mu_.resize(m, latent_dim_);
-      log_var_.resize(m, latent_dim_);
-      for (std::size_t r = 0; r < m; ++r) {
-        for (std::size_t c = 0; c < latent_dim_; ++c) {
-          mu_(r, c) = enc_out(r, c);
-          // Clamp log-variance for numerical safety.
-          log_var_(r, c) = std::clamp(enc_out(r, latent_dim_ + c), -8.0, 8.0);
+        optimizer.zero_grad();
+
+        // Encode: split encoder output into mu | log_var.
+        la::hcat_into(inv_b_, var_b_, enc_in_);
+        const la::Matrix& enc_out =
+            encoder_->forward(enc_in_, /*training=*/true, ws_);
+        mu_.resize(m, latent_dim_);
+        log_var_.resize(m, latent_dim_);
+        for (std::size_t r = 0; r < m; ++r) {
+          for (std::size_t c = 0; c < latent_dim_; ++c) {
+            mu_(r, c) = enc_out(r, c);
+            // Clamp log-variance for numerical safety.
+            log_var_(r, c) =
+                std::clamp(enc_out(r, latent_dim_ + c), -8.0, 8.0);
+          }
         }
-      }
 
-      // Reparameterize: z = mu + exp(log_var / 2) * eps.
-      eps_.resize(m, latent_dim_);
-      for (auto& v : eps_.data()) v = rng_.normal();
-      z_.resize(m, latent_dim_);
-      for (std::size_t r = 0; r < m; ++r) {
-        for (std::size_t c = 0; c < latent_dim_; ++c) {
-          z_(r, c) = mu_(r, c) + std::exp(0.5 * log_var_(r, c)) * eps_(r, c);
+        // Reparameterize: z = mu + exp(log_var / 2) * eps.
+        eps_.resize(m, latent_dim_);
+        for (auto& v : eps_.data()) v = rng_.normal();
+        z_.resize(m, latent_dim_);
+        for (std::size_t r = 0; r < m; ++r) {
+          for (std::size_t c = 0; c < latent_dim_; ++c) {
+            z_(r, c) = mu_(r, c) + std::exp(0.5 * log_var_(r, c)) * eps_(r, c);
+          }
         }
-      }
 
-      // Decode and compute losses.
-      la::hcat_into(inv_b_, z_, dec_in_);
-      const la::Matrix& recon =
-          decoder_->forward(dec_in_, /*training=*/true, ws_);
-      const double rec_value = nn::mse_into(recon, var_b_, recon_grad_);
-      nn::gaussian_kl_into(mu_, log_var_, kl_);
-      epoch_loss += rec_value + options_.kl_weight * kl_.value;
+        // Decode and compute losses.
+        la::hcat_into(inv_b_, z_, dec_in_);
+        const la::Matrix& recon =
+            decoder_->forward(dec_in_, /*training=*/true, ws_);
+        const double rec_value = nn::mse_into(recon, var_b_, recon_grad_);
+        nn::gaussian_kl_into(mu_, log_var_, kl_);
+        epoch_loss += rec_value + options_.kl_weight * kl_.value;
 
-      // Backprop: decoder -> z -> (mu, log_var) -> encoder.
-      const la::Matrix& grad_dec_in = decoder_->backward(recon_grad_, ws_);
-      grad_enc_out_.resize(m, 2 * latent_dim_);
-      for (std::size_t r = 0; r < m; ++r) {
-        for (std::size_t c = 0; c < latent_dim_; ++c) {
-          const double gz = grad_dec_in(r, inv_dim_ + c);
-          const double sigma = std::exp(0.5 * log_var_(r, c));
-          grad_enc_out_(r, c) =
-              gz + options_.kl_weight * kl_.grad_mu(r, c);
-          grad_enc_out_(r, latent_dim_ + c) =
-              gz * eps_(r, c) * 0.5 * sigma +
-              options_.kl_weight * kl_.grad_log_var(r, c);
+        // Backprop: decoder -> z -> (mu, log_var) -> encoder.
+        const la::Matrix& grad_dec_in = decoder_->backward(recon_grad_, ws_);
+        grad_enc_out_.resize(m, 2 * latent_dim_);
+        for (std::size_t r = 0; r < m; ++r) {
+          for (std::size_t c = 0; c < latent_dim_; ++c) {
+            const double gz = grad_dec_in(r, inv_dim_ + c);
+            const double sigma = std::exp(0.5 * log_var_(r, c));
+            grad_enc_out_(r, c) =
+                gz + options_.kl_weight * kl_.grad_mu(r, c);
+            grad_enc_out_(r, latent_dim_ + c) =
+                gz * eps_(r, c) * 0.5 * sigma +
+                options_.kl_weight * kl_.grad_log_var(r, c);
+          }
         }
+        encoder_->backward(grad_enc_out_, ws_);
+        optimizer.step();
+        ++batches;
       }
-      encoder_->backward(grad_enc_out_, ws_);
-      optimizer.step();
-      ++batches;
+      last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
+                                    1, batches));
+      if (sentinel.observe_epoch(epoch, last_loss_)) return;  // diverged
     }
-    last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
-                                  1, batches));
-  }
+  };
+
+  do {
+    run_attempt();
+  } while (sentinel.retry_after_divergence());
+  train_health_ = sentinel.health();
   fitted_ = true;
 }
 

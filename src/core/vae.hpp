@@ -8,7 +8,9 @@
 // generator model").
 #pragma once
 
+#include "common/retry.hpp"
 #include "common/rng.hpp"
+#include "core/health.hpp"
 #include "core/reconstructor.hpp"
 #include "nn/loss.hpp"
 #include "nn/sequential.hpp"
@@ -24,6 +26,11 @@ struct VaeOptions {
   double learning_rate = 1e-3;
   double weight_decay = 1e-6;
   double kl_weight = 0.05;  ///< beta weighting of the KL term
+  /// Divergence recovery: snapshot/rollback + lr-decayed, reseeded retries
+  /// (same scheme as the GAN; see core/health.hpp).
+  common::RetryPolicy retry;
+  DivergenceMonitorOptions divergence;
+  std::size_t snapshot_every = 10;
 
   static VaeOptions quick();
 };
@@ -41,6 +48,17 @@ class VaeReconstructor : public Reconstructor {
 
   [[nodiscard]] double last_loss() const { return last_loss_; }
 
+  [[nodiscard]] const TrainHealth& train_health() const {
+    return train_health_;
+  }
+  [[nodiscard]] bool healthy() const override { return train_health_.healthy; }
+  [[nodiscard]] std::size_t fit_retries() const override {
+    return train_health_.retries;
+  }
+  [[nodiscard]] std::size_t fit_rollbacks() const override {
+    return train_health_.rollbacks;
+  }
+
  private:
   std::size_t inv_dim_;
   std::size_t var_dim_;
@@ -50,6 +68,7 @@ class VaeReconstructor : public Reconstructor {
   std::unique_ptr<nn::Sequential> encoder_;  ///< [inv|var] -> [mu|log_var]
   std::unique_ptr<nn::Sequential> decoder_;  ///< [inv|z] -> var
   double last_loss_ = 0.0;
+  TrainHealth train_health_;
   bool fitted_ = false;
 
   // Training workspace and persistent mini-batch buffers.

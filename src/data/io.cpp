@@ -7,14 +7,14 @@
 
 namespace fsda::data {
 
-using common::ArgumentError;
+using common::IoError;
 
 Dataset read_dataset_csv(const std::string& path,
                          const std::string& label_column,
                          std::size_t num_classes) {
   const common::CsvTable table = common::read_csv(path);
   if (table.rows.empty()) {
-    throw ArgumentError("dataset CSV has no data rows: " + path);
+    throw IoError("dataset CSV has no data rows: " + path);
   }
   const std::size_t label_index = table.column_index(label_column);
   const std::size_t d = table.num_cols() - 1;
@@ -27,6 +27,10 @@ Dataset read_dataset_csv(const std::string& path,
     if (c != label_index) ds.feature_names.push_back(table.header[c]);
   }
 
+  // Data row r sits on file line r + 2: line 1 is the header and line
+  // numbers are 1-based -- matching what an editor or `sed -n` shows.
+  auto file_line = [](std::size_t row) { return std::to_string(row + 2); };
+
   auto parse_double = [&](const std::string& field, std::size_t row) {
     try {
       std::size_t pos = 0;
@@ -34,8 +38,8 @@ Dataset read_dataset_csv(const std::string& path,
       if (pos != field.size()) throw std::invalid_argument(field);
       return value;
     } catch (const std::exception&) {
-      throw ArgumentError("non-numeric value '" + field + "' in row " +
-                          std::to_string(row) + " of " + path);
+      throw IoError("non-numeric value '" + field + "' on line " +
+                    file_line(row) + " of " + path);
     }
   };
 
@@ -48,9 +52,8 @@ Dataset read_dataset_csv(const std::string& path,
         const double value = parse_double(field, r);
         const auto label = static_cast<std::int64_t>(value);
         if (static_cast<double>(label) != value || label < 0) {
-          throw ArgumentError("label '" + field + "' in row " +
-                              std::to_string(r) +
-                              " is not a non-negative integer");
+          throw IoError("label '" + field + "' on line " + file_line(r) +
+                        " of " + path + " is not a non-negative integer");
         }
         ds.y[r] = label;
         max_label = std::max(max_label, label);

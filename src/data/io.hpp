@@ -13,8 +13,9 @@ namespace fsda::data {
 
 /// Reads a dataset from CSV.  `label_column` names the label column (it may
 /// appear at any position); every other column must parse as a double.
-/// `num_classes` of 0 infers max(label)+1.  Throws IoError / ArgumentError
-/// on malformed input.
+/// `num_classes` of 0 infers max(label)+1.  Malformed file content throws
+/// IoError naming the offending 1-based file line (the header is line 1);
+/// bad arguments (e.g. an unknown label column) throw ArgumentError.
 Dataset read_dataset_csv(const std::string& path,
                          const std::string& label_column = "label",
                          std::size_t num_classes = 0);

@@ -1,6 +1,8 @@
 #include "data/scaler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "la/stats.hpp"
@@ -15,9 +17,18 @@ void MinMaxScaler::fit(const la::Matrix& x) {
   for (std::size_t c = 0; c < d; ++c) {
     double lo = x(0, c);
     double hi = x(0, c);
-    for (std::size_t r = 1; r < x.rows(); ++r) {
-      lo = std::min(lo, x(r, c));
-      hi = std::max(hi, x(r, c));
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const double v = x(r, c);
+      if (!std::isfinite(v)) {
+        mins_ = la::Matrix();  // leave the scaler unfitted
+        maxs_ = la::Matrix();
+        throw common::NumericError(
+            "MinMaxScaler::fit: non-finite value in column " +
+            std::to_string(c) + ", row " + std::to_string(r) +
+            " -- clean or quarantine the training data first");
+      }
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
     }
     mins_(0, c) = lo;
     maxs_(0, c) = hi;
@@ -37,6 +48,27 @@ la::Matrix MinMaxScaler::transform(const la::Matrix& x) const {
     }
   }
   return out;
+}
+
+std::size_t MinMaxScaler::clamp_transformed(la::Matrix& x,
+                                            double margin) const {
+  FSDA_CHECK_MSG(is_fitted(), "clamp before fit");
+  FSDA_CHECK_MSG(x.cols() == mins_.cols(), "width mismatch");
+  FSDA_CHECK_MSG(margin >= 0.0, "negative clamp margin");
+  const double lo = -1.0 - margin;
+  const double hi = 1.0 + margin;
+  std::size_t clamped = 0;
+  for (double& v : x.data()) {
+    if (!std::isfinite(v)) continue;
+    if (v < lo) {
+      v = lo;
+      ++clamped;
+    } else if (v > hi) {
+      v = hi;
+      ++clamped;
+    }
+  }
+  return clamped;
 }
 
 la::Matrix MinMaxScaler::inverse_transform(const la::Matrix& x) const {

@@ -13,11 +13,21 @@ namespace fsda::data {
 /// Min-max scaler to [-1, 1] per feature.
 class MinMaxScaler {
  public:
-  /// Learns per-feature min/max; constant features map to 0.
+  /// Learns per-feature min/max; constant features map to 0.  Throws
+  /// NumericError when any fit cell is NaN/Inf -- a non-finite min/max
+  /// would otherwise silently poison every later transform.
   void fit(const la::Matrix& x);
 
-  /// Applies the learned transform (no clipping by default).
+  /// Applies the learned transform (no clipping by default; non-finite
+  /// inputs stay non-finite so callers can quarantine them).
   [[nodiscard]] la::Matrix transform(const la::Matrix& x) const;
+
+  /// Clamps already-transformed values into the envelope
+  /// [-1 - margin, 1 + margin] per column (in place), so drifted target
+  /// extremes far outside the source range cannot blow up downstream
+  /// networks.  Non-finite cells are left untouched.  Returns the number
+  /// of cells clamped.
+  std::size_t clamp_transformed(la::Matrix& x, double margin) const;
 
   /// Inverse transform back to raw units.
   [[nodiscard]] la::Matrix inverse_transform(const la::Matrix& x) const;

@@ -12,12 +12,21 @@
 namespace fsda::gmm {
 
 namespace {
-/// log-sum-exp over a row span.
+/// log-sum-exp over a row span, NaN/Inf-safe: non-finite entries are
+/// skipped (-inf is a legitimate "zero density here" statement, and NaN
+/// must not poison the whole row), and a row with no finite entry returns
+/// -inf -- never NaN -- so callers get a well-defined log-density for
+/// points infinitely far from every component.
 double log_sum_exp(std::span<const double> values) {
-  const double mx = *std::max_element(values.begin(), values.end());
-  if (!std::isfinite(mx)) return mx;
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (std::isfinite(v) && v > mx) mx = v;
+  }
+  if (!std::isfinite(mx)) return -std::numeric_limits<double>::infinity();
   double acc = 0.0;
-  for (double v : values) acc += std::exp(v - mx);
+  for (double v : values) {
+    if (std::isfinite(v)) acc += std::exp(v - mx);
+  }
   return mx + std::log(acc);
 }
 }  // namespace
@@ -112,10 +121,18 @@ void Gmm::fit(const la::Matrix& x, std::size_t k, std::uint64_t seed,
     resp_.resize(n, k);
     for (std::size_t r = 0; r < n; ++r) {
       const double lse = log_sum_exp(lj_.row(r));
-      total_ll += lse;
       const double* l = lj_.row(r).data();
       double* p = resp_.row(r).data();
-      for (std::size_t c = 0; c < k; ++c) p[c] = std::exp(l[c] - lse);
+      if (std::isfinite(lse)) {
+        total_ll += lse;
+        for (std::size_t c = 0; c < k; ++c) p[c] = std::exp(l[c] - lse);
+      } else {
+        // Zero-density row (all components at -inf): exp(l - lse) would be
+        // NaN.  Uniform responsibilities keep EM well-defined; the row is
+        // left out of the likelihood so convergence stays finite.
+        const double u = 1.0 / static_cast<double>(k);
+        for (std::size_t c = 0; c < k; ++c) p[c] = u;
+      }
     }
     // M step.  Soft counts and weighted means come from the blocked
     // kernels: nk = column sums of resp, means = resp^T x / nk.
@@ -165,7 +182,13 @@ la::Matrix Gmm::responsibilities(const la::Matrix& x) const {
   for (std::size_t r = 0; r < lj.rows(); ++r) {
     const double lse = log_sum_exp(lj.row(r));
     auto row = lj.row(r);
-    for (auto& v : row) v = std::exp(v - lse);
+    if (std::isfinite(lse)) {
+      for (auto& v : row) v = std::exp(v - lse);
+    } else {
+      // Zero-density row: uniform is the only finite answer.
+      const double u = 1.0 / static_cast<double>(lj.cols());
+      for (auto& v : row) v = u;
+    }
   }
   return lj;
 }

@@ -51,19 +51,32 @@ TEST(DatasetIoTest, RejectsMalformedInput) {
   const std::string path = temp_path("fsda_io_bad.csv");
   {
     std::ofstream out(path);
-    out << "a,label\nnot_a_number,0\n";
+    out << "a,label\n1.0,0\nnot_a_number,0\n";
   }
-  EXPECT_THROW(read_dataset_csv(path), common::ArgumentError);
+  try {
+    read_dataset_csv(path);
+    FAIL() << "expected IoError";
+  } catch (const common::IoError& e) {
+    // Bad value sits on 1-based file line 3 (line 1 is the header).
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
   {
     std::ofstream out(path);
     out << "a,label\n1.0,2.5\n";  // non-integer label
   }
-  EXPECT_THROW(read_dataset_csv(path), common::ArgumentError);
+  try {
+    read_dataset_csv(path);
+    FAIL() << "expected IoError";
+  } catch (const common::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
   {
     std::ofstream out(path);
     out << "a,label\n";  // no rows
   }
-  EXPECT_THROW(read_dataset_csv(path), common::ArgumentError);
+  EXPECT_THROW(read_dataset_csv(path), common::IoError);
   std::filesystem::remove(path);
 }
 

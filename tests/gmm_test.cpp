@@ -1,6 +1,9 @@
 // Tests for k-means and the EM Gaussian mixture model.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "gmm/gmm.hpp"
@@ -120,6 +123,29 @@ TEST(GmmTest, VarianceFloorPreventsCollapse) {
     EXPECT_GE(v, 1e-6);
   }
   EXPECT_TRUE(model.variances().all_finite());
+}
+
+TEST(GmmTest, ZeroDensityRowsHaveWellDefinedOutputs) {
+  la::Matrix x;
+  make_two_blobs(200, x, 7);
+  Gmm model;
+  model.fit(x, 2, /*seed=*/3);
+  // A probe astronomically far from every component drives each
+  // component's log-joint to -inf (or NaN, via inf - inf in the expanded
+  // quadratic); the guarded log-sum-exp must still produce a defined
+  // log-density and a valid responsibility distribution, never NaN.
+  la::Matrix probe(1, 2, 1e200);
+  const double ll = model.mean_log_likelihood(probe);
+  EXPECT_FALSE(std::isnan(ll));
+  EXPECT_EQ(ll, -std::numeric_limits<double>::infinity());
+  const la::Matrix resp = model.responsibilities(probe);
+  double total = 0.0;
+  for (double v : resp.row(0)) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
 }
 
 }  // namespace
