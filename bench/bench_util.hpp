@@ -1,9 +1,10 @@
 // Shared plumbing for the table-reproduction benches: env-var knobs, method
 // and model filtering, table assembly matching the paper's layout, and CSV
-// export next to the binary.
+// export under the (gitignored) bench output directory.
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -15,6 +16,9 @@
 #include "eval/experiment.hpp"
 #include "eval/table.hpp"
 #include "models/factory.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fsda::bench {
 
@@ -71,14 +75,72 @@ inline bool selected(const std::vector<std::string>& filter,
   return false;
 }
 
-/// Writes a table's CSV next to the binary outputs (best effort).
-inline void export_csv(const eval::TextTable& table, const std::string& path) {
+/// Resolves a bench output filename under FSDA_OUT_DIR (default
+/// "bench/out", relative to the working directory), creating the directory
+/// on first use.  Falls back to the bare filename when the directory cannot
+/// be created (e.g. read-only checkout).
+inline std::string out_path(const std::string& filename) {
+  const std::string dir = common::env_string("FSDA_OUT_DIR", "bench/out");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return filename;
+  return (std::filesystem::path(dir) / filename).string();
+}
+
+/// Writes a table's CSV under the bench output directory (best effort).
+inline void export_csv(const eval::TextTable& table,
+                       const std::string& filename) {
+  const std::string path = out_path(filename);
   std::ofstream out(path);
   if (out) {
     out << table.to_csv();
     std::printf("CSV written to %s\n", path.c_str());
   }
 }
+
+/// Opt-in bench telemetry, driven by environment variables:
+///
+///   FSDA_METRICS_OUT=<file>  append one JSON metrics snapshot at exit
+///                            (resolved under FSDA_OUT_DIR)
+///   FSDA_TRACE=1             enable span tracing; tree printed at exit
+///
+/// Declare one instance at the top of a bench main(); the destructor
+/// flushes.  Telemetry stays fully disabled when neither variable is set,
+/// so default bench timings are unaffected.
+class BenchTelemetry {
+ public:
+  BenchTelemetry() {
+    const std::string metrics = common::env_string("FSDA_METRICS_OUT", "");
+    if (!metrics.empty()) {
+      metrics_path_ = out_path(metrics);
+      obs::set_telemetry_enabled(true);
+    }
+    if (common::env_int("FSDA_TRACE", 0) != 0) {
+      trace_ = true;
+      obs::set_telemetry_enabled(true);
+      obs::Tracer::global().set_enabled(true);
+    }
+  }
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  ~BenchTelemetry() {
+    if (!metrics_path_.empty()) {
+      obs::SnapshotSink sink(metrics_path_);
+      if (sink.flush()) {
+        std::printf("metrics snapshot written to %s\n", metrics_path_.c_str());
+      }
+    }
+    if (trace_) {
+      std::fprintf(stderr, "%s", obs::Tracer::global().to_string().c_str());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  bool trace_ = false;
+};
 
 /// Runs the full (methods x models x shots) grid of Table I on one dataset
 /// and prints the paper-shaped table.

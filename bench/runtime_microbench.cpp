@@ -4,6 +4,8 @@
 // pass; the paper reports ~0.05 s/sample on their hardware).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "baselines/ours.hpp"
 #include "causal/ci_test.hpp"
 #include "common/rng.hpp"
@@ -24,6 +26,11 @@
 namespace {
 
 using namespace fsda;
+
+// Opt-in telemetry (FSDA_METRICS_OUT / FSDA_TRACE); a no-op by default so
+// the published microbench baselines stay comparable.  Static so it wraps
+// BENCHMARK_MAIN(): snapshot flushes at program exit.
+bench::BenchTelemetry g_telemetry;
 
 const data::DomainSplit& split_5gc() {
   static const data::DomainSplit split =

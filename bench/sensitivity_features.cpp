@@ -14,6 +14,7 @@
 
 int main() {
   using namespace fsda;
+  bench::BenchTelemetry telemetry;
   const bench::BenchConfig config = bench::load_bench_config();
   const std::size_t repeats = std::max<std::size_t>(config.repeats, 3);
 

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace fsda;
+  bench::BenchTelemetry telemetry;
   const bench::BenchConfig config = bench::load_bench_config();
   const data::DomainSplit split = data::generate_5gc(
       config.full ? data::Gen5GCConfig::paper() : data::Gen5GCConfig::quick());

@@ -6,6 +6,7 @@
 
 int main() {
   using namespace fsda;
+  bench::BenchTelemetry telemetry;
   const bench::BenchConfig config = bench::load_bench_config();
   const data::DomainSplit split = data::generate_5gipc(
       config.full ? data::Gen5GIPCConfig::paper()

@@ -12,6 +12,7 @@
 
 int main() {
   using namespace fsda;
+  bench::BenchTelemetry telemetry;
   const bench::BenchConfig config = bench::load_bench_config();
   const models::Preset preset =
       config.full ? models::Preset::Full : models::Preset::Quick;

@@ -70,6 +70,11 @@ la::Matrix FsMethod::predict_proba(const la::Matrix& x_raw) {
   return pipeline_->predict_proba(x_raw);
 }
 
+core::FsGanPipeline& FsMethod::pipeline() {
+  FSDA_CHECK_MSG(pipeline_ != nullptr, "pipeline before fit");
+  return *pipeline_;
+}
+
 const core::SeparationResult& FsMethod::separation() const {
   FSDA_CHECK_MSG(pipeline_ != nullptr, "separation before fit");
   return pipeline_->separation();

@@ -33,6 +33,8 @@ class FsMethod : public DAMethod {
   [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw) override;
 
   [[nodiscard]] const core::SeparationResult& separation() const;
+  /// Exposes the pipeline (health report, drift gauges) after fit.
+  [[nodiscard]] core::FsGanPipeline& pipeline();
 
  private:
   causal::FNodeOptions fs_options_;

@@ -11,6 +11,7 @@
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace fsda::causal {
 
@@ -83,6 +84,16 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
     for (std::size_t x = 0; x < d; ++x) marginal_phase(x);
   }
 
+  // Separating-set size distribution: level 0 for marginally independent
+  // features, the successful level L otherwise.  Hoisted once; observe() is
+  // wait-free and safe from pool workers.
+  obs::Histogram& sepset_size = obs::MetricsRegistry::global().histogram(
+      "fs.sepset_size", {0.0, 1.0, 2.0, 3.0, 4.0},
+      "separating-set size at which features tested F-independent");
+  for (std::size_t x = 0; x < d; ++x) {
+    if (marginally_independent[x]) sepset_size.observe(0.0);
+  }
+
   auto process_feature = [&](std::size_t x) {
     if (marginally_independent[x]) return;  // invariant at level 0
 
@@ -121,7 +132,10 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
         }
         return false;
       });
-      if (found_separator) return;  // invariant: some S gives X ⊥ F | S
+      if (found_separator) {
+        sepset_size.observe(static_cast<double>(level));
+        return;  // invariant: some S gives X ⊥ F | S
+      }
     }
     is_variant[x] = 1;  // edge X -- F survived: intervention target (eq. 3)
   };
@@ -138,6 +152,16 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
   }
   result.ci_tests_performed = tests_performed.load();
   result.truncated = deadline_hit.load();
+  auto& registry = obs::MetricsRegistry::global();
+  registry
+      .counter("fs.ci_tests_total", "CI tests run by the F-node search")
+      .inc(result.ci_tests_performed);
+  if (result.truncated) {
+    registry
+        .counter("fs.truncations_total",
+                 "F-node searches cut short by their deadline")
+        .inc();
+  }
   FSDA_LOG_INFO << "FNodeSearch: " << result.variant.size() << "/" << d
                 << " variant features, " << result.ci_tests_performed
                 << " CI tests"

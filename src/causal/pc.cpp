@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
 
 namespace fsda::causal {
 
@@ -195,6 +196,22 @@ PcResult pc_algorithm(const CiTest& test, const PcOptions& options) {
 
   // Phase 3: Meek propagation.
   apply_meek_rules(g);
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("pc.ci_tests_total", "CI tests run by the PC algorithm")
+      .inc(result.ci_tests_performed);
+  if (result.truncated) {
+    registry
+        .counter("pc.truncations_total",
+                 "PC runs cut short by their deadline")
+        .inc();
+  }
+  obs::Histogram& sepset_size = registry.histogram(
+      "pc.sepset_size", {0.0, 1.0, 2.0, 3.0, 4.0},
+      "separating-set sizes found during skeleton pruning");
+  for (const auto& [edge, sepset] : result.separating_sets) {
+    sepset_size.observe(static_cast<double>(sepset.size()));
+  }
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <thread>
 
 namespace fsda::common {
 
@@ -10,6 +12,7 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_mutex;
+LogSink g_sink;  // empty = default stderr writer; guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,24 +25,55 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// `2026-08-06T12:34:56.789Z` for the current wall clock.
+std::string utc_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count();
+  const std::time_t secs = static_cast<std::time_t>(ms / 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms % 1000));
+  return buf;
+}
+
+/// Short numeric thread tag (hashed std::thread::id, truncated for width).
+unsigned long thread_tag() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<unsigned long>(h % 1000000UL);
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  const auto now = std::chrono::system_clock::now();
-  const auto secs =
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          now.time_since_epoch())
-          .count();
+  std::string line = utc_timestamp();
+  line += ' ';
+  line += level_name(level);
+  line += " [tid ";
+  line += std::to_string(thread_tag());
+  line += "] ";
+  line += message;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
-               static_cast<long long>(secs / 1000),
-               static_cast<long long>(secs % 1000), level_name(level),
-               message.c_str());
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace fsda::common

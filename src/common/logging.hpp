@@ -1,9 +1,17 @@
-// fsda::common -- minimal leveled logging to stderr.
+// fsda::common -- minimal leveled logging.
 //
 // The library is quiet by default (level = Warn); benches and examples raise
-// the level to Info.  Logging is line-buffered and thread-safe.
+// the level to Info.  Lines are formatted as
+//
+//   2026-08-06T12:34:56.789Z WARN [tid 140213] message
+//
+// (ISO-8601 UTC timestamp, level tag, OS-opaque thread id) and go to stderr
+// unless a sink is installed with set_log_sink() -- tests use the sink to
+// capture output without touching the process's stderr.  Logging is
+// line-buffered and thread-safe.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -18,7 +26,17 @@ void set_log_level(LogLevel level);
 /// Current global log threshold.
 LogLevel log_level();
 
-/// Emits one formatted line to stderr if `level` passes the threshold.
+/// Receives each formatted line that passes the threshold.  The sink runs
+/// under the logging mutex: keep it fast and never log from inside it.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Installs a sink replacing the stderr writer; an empty function restores
+/// the default.  Returns nothing; callers that need to stack sinks should
+/// capture-and-chain themselves (tests simply save/restore).
+void set_log_sink(LogSink sink);
+
+/// Formats one line (timestamp + level + thread id + message) and emits it
+/// through the active sink if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

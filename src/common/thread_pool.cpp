@@ -15,6 +15,9 @@ thread_local bool t_in_worker = false;
 bool ThreadPool::in_worker() { return t_in_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  // Touch the telemetry singletons before any worker exists so they outlive
+  // the workers (both are leaked, but this also orders their construction).
+  obs::MetricsRegistry::global();
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -37,8 +40,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   t_in_worker = true;
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& tasks_total =
+      registry.counter("pool.tasks_total", "tasks executed by pool workers");
+  obs::Histogram& queue_wait = registry.histogram(
+      "pool.queue_wait_ms", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0},
+      "time tasks spent queued before a worker picked them up (ms)");
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -49,7 +58,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task captures exceptions into the future
+    if (obs::telemetry_enabled() &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      tasks_total.inc();
+      queue_wait.observe(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - task.enqueued)
+                             .count());
+    }
+    task.fn();  // packaged_task captures exceptions into the future
   }
 }
 

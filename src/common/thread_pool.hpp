@@ -6,6 +6,7 @@
 // any chunk and rethrows it on the calling thread.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -14,6 +15,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace fsda::common {
 
@@ -36,7 +39,12 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
+      // The enqueue timestamp feeds the pool.queue_wait_ms histogram; it
+      // is only taken (and later consumed) while telemetry is enabled.
+      queue_.push_back(
+          {[task] { (*task)(); },
+           obs::telemetry_enabled() ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{}});
     }
     cv_.notify_one();
     return fut;
@@ -55,10 +63,17 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// Enqueue time for queue-wait telemetry; default-constructed (and
+    /// ignored at dequeue) when telemetry was disabled at enqueue.
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -9,6 +9,8 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/parallel_sum.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fsda::core {
 
@@ -39,6 +41,7 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
                                    const la::Matrix& x_var,
                                    const std::vector<std::int64_t>& /*labels*/,
                                    std::size_t /*num_classes*/) {
+  FSDA_SPAN("ae.fit");
   const std::size_t n = x_inv.rows();
   FSDA_CHECK(x_var.rows() == n);
   FSDA_CHECK(x_inv.cols() == inv_dim_ && x_var.cols() == var_dim_);
@@ -68,6 +71,8 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
 
   TrainingSentinel sentinel(net_->parameters(), options_.retry,
                             options_.divergence, options_.snapshot_every);
+  obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
+      "ae.epochs_total", "autoencoder training epochs completed");
   const auto run_attempt = [&] {
     if (sentinel.health().retries > 0) rng_ = rng_.split(sentinel.seed_salt());
     nn::Adam optimizer(net_->parameters(),
@@ -94,6 +99,7 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
       }
       last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
                                     1, batches));
+      epochs_total.inc();
       if (sentinel.observe_epoch(epoch, last_loss_)) return;  // diverged
     }
   };
@@ -102,6 +108,9 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
     run_attempt();
   } while (sentinel.retry_after_divergence());
   train_health_ = sentinel.health();
+  obs::MetricsRegistry::global()
+      .gauge("ae.loss", "mean epoch loss of the last autoencoder epoch")
+      .set(last_loss_);
   fitted_ = true;
 }
 

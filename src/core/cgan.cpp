@@ -15,6 +15,8 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/parallel_sum.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fsda::core {
 
@@ -73,6 +75,7 @@ la::Matrix ConditionalGAN::one_hot(const std::vector<std::int64_t>& labels,
 void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                          const std::vector<std::int64_t>& labels,
                          std::size_t num_classes) {
+  FSDA_SPAN("cgan.fit");
   const std::size_t n = x_inv.rows();
   FSDA_CHECK(x_var.rows() == n && labels.size() == n);
   FSDA_CHECK(x_inv.cols() == inv_dim_ && x_var.cols() == var_dim_);
@@ -144,6 +147,10 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
   for (nn::Parameter* p : discriminator_->parameters()) all_params.push_back(p);
   TrainingSentinel sentinel(all_params, options_.retry, options_.divergence,
                             options_.snapshot_every);
+
+  // Hoisted once per fit; inc() per epoch is a gated atomic add.
+  obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
+      "cgan.epochs_total", "CGAN training epochs completed");
 
   const auto run_attempt = [&] {
     if (sentinel.health().retries > 0) rng_ = rng_.split(sentinel.seed_salt());
@@ -238,6 +245,7 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
         stats.g_recon_loss /= static_cast<double>(batches);
       }
       history_.push_back(stats);
+      epochs_total.inc();
       if (sentinel.observe_epoch(
               epoch, stats.d_loss + stats.g_adv_loss + stats.g_recon_loss)) {
         return;  // diverged; parameters rolled back to last healthy snapshot
@@ -249,6 +257,19 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
     run_attempt();
   } while (sentinel.retry_after_divergence());
   train_health_ = sentinel.health();
+  if (!history_.empty()) {
+    auto& registry = obs::MetricsRegistry::global();
+    const GanEpochStats& last = history_.back();
+    registry.gauge("cgan.d_loss", "discriminator loss, last CGAN epoch")
+        .set(last.d_loss);
+    registry
+        .gauge("cgan.g_adv_loss", "generator adversarial loss, last epoch")
+        .set(last.g_adv_loss);
+    registry
+        .gauge("cgan.g_recon_loss", "generator reconstruction loss, last "
+                                    "epoch")
+        .set(last.g_recon_loss);
+  }
   fitted_ = true;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace fsda::core {
 
@@ -146,6 +148,10 @@ bool TrainingSentinel::observe_epoch(std::size_t epoch, double loss) {
     health_.healthy = false;
     restore_parameters(params_, snapshot_);
     ++health_.rollbacks;
+    obs::MetricsRegistry::global()
+        .counter("train.rollbacks_total",
+                 "parameter rollbacks after a divergent epoch")
+        .inc();
     return true;
   }
   // Healthy epoch: refresh the rollback target on snapshot boundaries, but
@@ -161,6 +167,10 @@ bool TrainingSentinel::retry_after_divergence() {
   if (!health_.diverged || health_.healthy) return false;
   if (!retry_.allow_retry()) return false;
   ++health_.retries;
+  obs::MetricsRegistry::global()
+      .counter("train.retries_total",
+               "training attempts restarted after divergence")
+      .inc();
   health_.healthy = true;  // provisional; next divergence clears it again
   monitor_.reset();
   return true;
@@ -188,6 +198,28 @@ std::string HealthReport::to_string() const {
     if (!s.note.empty()) os << ": " << s.note;
   }
   os << "}";
+  return os.str();
+}
+
+std::string HealthReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"degraded\":" << (degraded ? "true" : "false")
+     << ",\"fallback_reconstructor\":"
+     << (fallback_reconstructor ? "true" : "false")
+     << ",\"fs_truncated\":" << (fs_truncated ? "true" : "false")
+     << ",\"reconstructor_retries\":" << reconstructor_retries
+     << ",\"reconstructor_rollbacks\":" << reconstructor_rollbacks
+     << ",\"quarantined_rows\":" << quarantined_rows
+     << ",\"rejected_rows\":" << rejected_rows
+     << ",\"clamped_cells\":" << clamped_cells << ",\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageHealth& s = stages[i];
+    if (i > 0) os << ",";
+    os << "{\"stage\":" << obs::json_string(s.stage)
+       << ",\"ok\":" << (s.ok ? "true" : "false")
+       << ",\"note\":" << obs::json_string(s.note) << "}";
+  }
+  os << "]}";
   return os.str();
 }
 

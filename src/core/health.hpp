@@ -180,6 +180,9 @@ struct HealthReport {
   /// Appends a stage record; not-ok stages mark the report degraded.
   void note_stage(std::string stage, bool ok, std::string note = {});
   [[nodiscard]] std::string to_string() const;
+  /// Single JSON object (flags, counters, per-stage records); embedded
+  /// verbatim in metrics snapshots.
+  [[nodiscard]] std::string to_json() const;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -10,6 +11,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fsda::core {
 
@@ -114,7 +117,13 @@ data::Dataset FsGanPipeline::label_shift_corrected_cached(
                                       4 * target_few_shot.size(), 64));
 }
 
+double FsGanPipeline::reconstructor_train_seconds() const {
+  return obs::MetricsRegistry::global().gauge_value(
+      "pipeline.reconstructor_fit_seconds", 0.0);
+}
+
 void FsGanPipeline::fit_reconstructor() {
+  FSDA_SPAN("pipeline.reconstructor_fit");
   const auto& sep = *separation_;
   if (sep.variant.empty() || sep.invariant.empty()) {
     reconstructor_.reset();  // nothing to reconstruct / condition on
@@ -157,11 +166,18 @@ void FsGanPipeline::fit_reconstructor() {
                            std::to_string(health_.reconstructor_retries) +
                            " retry(ies)");
   }
-  reconstructor_seconds_ = timer.seconds();
+  // Gauge (not span) so the most recent fit time is readable even with
+  // tracing off; reconstructor_train_seconds() is a view over it.
+  obs::MetricsRegistry::global()
+      .gauge("pipeline.reconstructor_fit_seconds",
+             "wall seconds of the most recent reconstructor fit")
+      .set(timer.seconds());
 }
 
 void FsGanPipeline::train(const data::Dataset& source,
                           const data::Dataset& target_few_shot) {
+  FSDA_SPAN("pipeline.train");
+  auto& registry = obs::MetricsRegistry::global();
   source.validate();
   FSDA_CHECK_MSG(source.num_features() == target_few_shot.num_features(),
                  "source/target feature mismatch");
@@ -178,16 +194,44 @@ void FsGanPipeline::train(const data::Dataset& source,
                            " non-finite few-shot target row(s) dropped");
   }
 
-  scaler_.fit(source.x);  // throws NumericError on a dirty source
-  source_scaled_ = scaler_.transform(source.x);
-  source_labels_ = source.y;
-  num_classes_ = source.num_classes;
-  const la::Matrix target_scaled =
-      scaler_.transform(label_shift_corrected(source, shots).x);
+  la::Matrix target_scaled;
+  {
+    FSDA_SPAN("pipeline.scaler_fit");
+    common::Stopwatch timer;
+    scaler_.fit(source.x);  // throws NumericError on a dirty source
+    source_scaled_ = scaler_.transform(source.x);
+    source_labels_ = source.y;
+    num_classes_ = source.num_classes;
+    target_scaled = scaler_.transform(label_shift_corrected(source, shots).x);
+    registry
+        .gauge("pipeline.scaler_fit_seconds",
+               "wall seconds spent fitting the scaler and scaling inputs")
+        .set(timer.seconds());
+  }
 
-  separation_ =
-      separate_features(source_scaled_, target_scaled, options_.fs);
+  {
+    FSDA_SPAN("pipeline.feature_separation");
+    common::Stopwatch timer;
+    separation_ =
+        separate_features(source_scaled_, target_scaled, options_.fs);
+    registry
+        .gauge("pipeline.feature_separation_seconds",
+               "wall seconds of the most recent F-node search")
+        .set(timer.seconds());
+  }
   const auto& sep = *separation_;
+  registry
+      .gauge("fs.variant_features",
+             "variant feature count of the current separation")
+      .set(static_cast<double>(sep.variant.size()));
+  registry
+      .gauge("fs.invariant_features",
+             "invariant feature count of the current separation")
+      .set(static_cast<double>(sep.invariant.size()));
+  // The PSI reference is the scaled source restricted to the variant block:
+  // those are the features expected to drift, so their batch-vs-source
+  // divergence is the drift signal worth exporting.
+  drift_monitor_.fit(source_scaled_, sep.variant, {});
   health_.fs_truncated = sep.truncated;
   if (sep.truncated) {
     health_.note_stage("feature_separation", false,
@@ -198,6 +242,7 @@ void FsGanPipeline::train(const data::Dataset& source,
                 << sep.invariant.size() << " invariant features";
 
   classifier_ = classifier_factory_(seed_ ^ 0xC1A55ULL);
+  common::Stopwatch classifier_timer;
   if (options_.use_reconstruction) {
     // Classifier sees all features, reordered [X_inv | X_var] so that
     // inference-time assembly (eq. 11) matches the training feature order.
@@ -227,10 +272,14 @@ void FsGanPipeline::train(const data::Dataset& source,
                        source_labels_.end());
       }
     }
+    classifier_timer.reset();
+    FSDA_SPAN("pipeline.classifier_fit");
     classifier_->fit(x_train, y_train, num_classes_, {});
   } else {
     // FS mode: invariant features only.  An empty invariant set would leave
     // nothing to train on; fall back to all features (degenerate but safe).
+    classifier_timer.reset();
+    FSDA_SPAN("pipeline.classifier_fit");
     if (sep.invariant.empty()) {
       classifier_->fit(source_scaled_, source_labels_, num_classes_, {});
     } else {
@@ -238,10 +287,15 @@ void FsGanPipeline::train(const data::Dataset& source,
                        source_labels_, num_classes_, {});
     }
   }
+  registry
+      .gauge("pipeline.classifier_fit_seconds",
+             "wall seconds of the most recent classifier fit")
+      .set(classifier_timer.seconds());
   trained_ = true;
 }
 
 void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
+  FSDA_SPAN("pipeline.adapt");
   FSDA_CHECK_MSG(trained_, "adapt_to_new_target before train");
   FSDA_CHECK_MSG(options_.use_reconstruction,
                  "FS mode cannot adapt without classifier retraining; use "
@@ -273,6 +327,7 @@ void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
   // so the original partition remains serviceable).
   if (fresh.variant.size() == separation_->variant.size()) {
     separation_ = std::move(fresh);
+    drift_monitor_.fit(source_scaled_, separation_->variant, {});
   }
   fit_reconstructor();
 }
@@ -294,8 +349,17 @@ la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x) {
   }
 
   const la::Matrix x_inv = x.select_cols(sep.invariant);
+  // Static handles: the registry is leaked, so these references never
+  // dangle, and the per-call cost is two gated atomic adds.
+  static obs::Counter& draws_total = obs::MetricsRegistry::global().counter(
+      "recon.draws_total", "Monte-Carlo reconstruction draws performed");
+  static obs::Counter& recon_rows_total =
+      obs::MetricsRegistry::global().counter(
+          "recon.rows_total", "rows passed through the reconstructor");
   la::Matrix proba;
   for (std::size_t m = 0; m < options_.monte_carlo_m; ++m) {
+    draws_total.inc();
+    recon_rows_total.inc(x_inv.rows());
     const la::Matrix x_var_hat = reconstructor_->reconstruct(x_inv);
     const la::Matrix assembled = x_inv.hcat(x_var_hat);  // eq. 11
     la::Matrix p = classifier_->predict_proba(assembled);
@@ -307,7 +371,24 @@ la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x) {
 }
 
 la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
+  FSDA_SPAN("pipeline.predict");
   FSDA_CHECK_MSG(trained_, "predict before train");
+  static auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& rows_total =
+      registry.counter("predict.rows_total", "rows scored by predict_proba");
+  static obs::Counter& batches_total = registry.counter(
+      "predict.batches_total", "predict_proba batch invocations");
+  static obs::Counter& quarantined_total = registry.counter(
+      "predict.quarantined_rows_total",
+      "inference rows quarantined for non-finite raw features");
+  static obs::Counter& clamped_total = registry.counter(
+      "predict.clamped_cells_total",
+      "scaled inference cells clamped into the envelope");
+  static obs::Histogram& latency_ms = registry.histogram(
+      "predict.latency_ms", {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0},
+      "predict_proba batch latency (ms)");
+  const bool telemetry = obs::telemetry_enabled();
+  common::Stopwatch timer;
 
   // Quarantine rows with non-finite raw features before they reach any
   // network.  Both policies impute the scaled midpoint first (the matrix
@@ -317,16 +398,20 @@ la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
   la::Matrix x = scaler_.transform(x_raw);
   if (!bad_rows.empty()) {
     health_.quarantined_rows += bad_rows.size();
+    quarantined_total.inc(bad_rows.size());
     for (std::size_t r : bad_rows) {
       for (std::size_t c = 0; c < x.cols(); ++c) {
         if (!std::isfinite(x(r, c))) x(r, c) = 0.0;
       }
     }
   }
+  std::size_t clamped_now = 0;
   if (options_.clamp_margin >= 0.0) {
-    health_.clamped_cells +=
-        scaler_.clamp_transformed(x, options_.clamp_margin);
+    clamped_now = scaler_.clamp_transformed(x, options_.clamp_margin);
+    health_.clamped_cells += clamped_now;
+    clamped_total.inc(clamped_now);
   }
+  if (telemetry) update_drift_gauges(x, bad_rows.size(), clamped_now);
 
   la::Matrix proba = predict_proba_scaled(x);
 
@@ -351,7 +436,47 @@ la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
                            " row(s) produced non-finite probabilities; "
                            "served uniform");
   }
+  rows_total.inc(x_raw.rows());
+  batches_total.inc();
+  latency_ms.observe(timer.millis());
   return proba;
+}
+
+void FsGanPipeline::update_drift_gauges(const la::Matrix& x_scaled,
+                                        std::size_t quarantined,
+                                        std::size_t clamped) {
+  auto& registry = obs::MetricsRegistry::global();
+  const double rows = static_cast<double>(x_scaled.rows());
+  const double cells = rows * static_cast<double>(x_scaled.cols());
+  registry
+      .gauge("drift.quarantine_rate",
+             "fraction of the last batch's rows quarantined for NaN/Inf")
+      .set(rows > 0 ? static_cast<double>(quarantined) / rows : 0.0);
+  registry
+      .gauge("drift.clamped_fraction",
+             "fraction of the last batch's scaled cells clamped")
+      .set(cells > 0 ? static_cast<double>(clamped) / cells : 0.0);
+  if (!drift_monitor_.fitted()) return;
+  const std::vector<double> psi = drift_monitor_.psi(x_scaled);
+  const std::vector<std::size_t>& cols = drift_monitor_.columns();
+  double psi_max = 0.0;
+  double psi_sum = 0.0;
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    // Labelled per original feature index so dashboards line up across
+    // separations: drift.psi{feature="17"}.
+    registry
+        .gauge("drift.psi{feature=\"" + std::to_string(cols[i]) + "\"}",
+               "PSI of the last batch vs. scaled source, per variant feature")
+        .set(psi[i]);
+    psi_max = std::max(psi_max, psi[i]);
+    psi_sum += psi[i];
+  }
+  registry
+      .gauge("drift.psi_max", "max per-feature PSI of the last batch")
+      .set(psi_max);
+  registry
+      .gauge("drift.psi_mean", "mean per-feature PSI of the last batch")
+      .set(psi.empty() ? 0.0 : psi_sum / static_cast<double>(psi.size()));
 }
 
 std::vector<std::int64_t> FsGanPipeline::predict(const la::Matrix& x_raw) {

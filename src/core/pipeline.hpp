@@ -25,6 +25,7 @@
 #include "data/dataset.hpp"
 #include "data/scaler.hpp"
 #include "models/classifier.hpp"
+#include "obs/drift.hpp"
 
 namespace fsda::core {
 
@@ -76,9 +77,11 @@ class FsGanPipeline {
 
   [[nodiscard]] const SeparationResult& separation() const;
   [[nodiscard]] bool is_trained() const { return trained_; }
-  [[nodiscard]] double reconstructor_train_seconds() const {
-    return reconstructor_seconds_;
-  }
+  /// Wall seconds of the most recent reconstructor fit, read back from the
+  /// `pipeline.reconstructor_fit_seconds` gauge (the gauge is process-wide:
+  /// with several pipelines fitting concurrently it reports the last
+  /// finished fit).
+  [[nodiscard]] double reconstructor_train_seconds() const;
 
   /// Accumulated guardrail diagnostics: training-time divergence recovery,
   /// fallback activation, and inference-time quarantine/clamp counters.
@@ -96,6 +99,10 @@ class FsGanPipeline {
   void fit_reconstructor();
   /// The pre-guardrail predict path, on already scaled/sanitized inputs.
   [[nodiscard]] la::Matrix predict_proba_scaled(const la::Matrix& x);
+  /// Publishes per-batch drift gauges (PSI over the variant block,
+  /// quarantine rate, clamped fraction); called only with telemetry on.
+  void update_drift_gauges(const la::Matrix& x_scaled, std::size_t quarantined,
+                           std::size_t clamped);
 
   models::ClassifierFactory classifier_factory_;
   ReconstructorFactory reconstructor_factory_;
@@ -111,7 +118,10 @@ class FsGanPipeline {
   la::Matrix source_scaled_;
   std::vector<std::int64_t> source_labels_;
   std::size_t num_classes_ = 0;
-  double reconstructor_seconds_ = 0.0;
+  /// Per-feature PSI reference over the variant block of the scaled source;
+  /// refit whenever the separation changes.  Inference batches are compared
+  /// against it when telemetry is enabled.
+  obs::DriftMonitor drift_monitor_;
   HealthReport health_;
   bool trained_ = false;
 };

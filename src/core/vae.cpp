@@ -12,6 +12,8 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/parallel_sum.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fsda::core {
 
@@ -43,6 +45,7 @@ VaeReconstructor::VaeReconstructor(std::size_t inv_dim, std::size_t var_dim,
 void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                            const std::vector<std::int64_t>& /*labels*/,
                            std::size_t /*num_classes*/) {
+  FSDA_SPAN("vae.fit");
   const std::size_t n = x_inv.rows();
   FSDA_CHECK(x_var.rows() == n);
   FSDA_CHECK(x_inv.cols() == inv_dim_ && x_var.cols() == var_dim_);
@@ -86,6 +89,8 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
 
   TrainingSentinel sentinel(params, options_.retry, options_.divergence,
                             options_.snapshot_every);
+  obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
+      "vae.epochs_total", "VAE training epochs completed");
   const auto run_attempt = [&] {
     if (sentinel.health().retries > 0) rng_ = rng_.split(sentinel.seed_salt());
     nn::Adam optimizer(params, options_.learning_rate * sentinel.lr_scale(),
@@ -158,6 +163,7 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
       }
       last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
                                     1, batches));
+      epochs_total.inc();
       if (sentinel.observe_epoch(epoch, last_loss_)) return;  // diverged
     }
   };
@@ -166,6 +172,9 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
     run_attempt();
   } while (sentinel.retry_after_divergence());
   train_health_ = sentinel.health();
+  obs::MetricsRegistry::global()
+      .gauge("vae.loss", "mean epoch loss of the last VAE epoch")
+      .set(last_loss_);
   fitted_ = true;
 }
 

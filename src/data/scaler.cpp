@@ -5,12 +5,15 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 #include "la/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace fsda::data {
 
 void MinMaxScaler::fit(const la::Matrix& x) {
   FSDA_CHECK_MSG(x.rows() > 0, "fit on empty data");
+  common::Stopwatch timer;
   const std::size_t d = x.cols();
   mins_ = la::Matrix(1, d);
   maxs_ = la::Matrix(1, d);
@@ -33,11 +36,18 @@ void MinMaxScaler::fit(const la::Matrix& x) {
     mins_(0, c) = lo;
     maxs_(0, c) = hi;
   }
+  obs::MetricsRegistry::global()
+      .gauge("scaler.fit_seconds",
+             "wall seconds of the most recent MinMaxScaler fit")
+      .set(timer.seconds());
 }
 
 la::Matrix MinMaxScaler::transform(const la::Matrix& x) const {
   FSDA_CHECK_MSG(is_fitted(), "transform before fit");
   FSDA_CHECK_MSG(x.cols() == mins_.cols(), "width mismatch");
+  static obs::Counter& rows_total = obs::MetricsRegistry::global().counter(
+      "scaler.transform_rows_total", "rows scaled by MinMaxScaler::transform");
+  rows_total.inc(x.rows());
   la::Matrix out = x;
   for (std::size_t c = 0; c < x.cols(); ++c) {
     const double range = maxs_(0, c) - mins_(0, c);
@@ -68,6 +78,10 @@ std::size_t MinMaxScaler::clamp_transformed(la::Matrix& x,
       ++clamped;
     }
   }
+  static obs::Counter& clamped_total = obs::MetricsRegistry::global().counter(
+      "scaler.clamped_cells_total",
+      "scaled cells clamped into the envelope by clamp_transformed");
+  clamped_total.inc(clamped);
   return clamped;
 }
 

@@ -1,0 +1,74 @@
+#include "obs/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsda::obs {
+
+std::size_t DriftMonitor::bin_of(double v) const {
+  if (v < options_.lo) return 0;
+  if (v >= options_.hi) return options_.bins + 1;
+  const double width = (options_.hi - options_.lo) /
+                       static_cast<double>(options_.bins);
+  const auto b = static_cast<std::size_t>((v - options_.lo) / width);
+  return 1 + std::min(b, options_.bins - 1);
+}
+
+void DriftMonitor::fit(la::ConstMatrixView reference,
+                       const std::vector<std::size_t>& columns,
+                       DriftOptions options) {
+  FSDA_CHECK_MSG(options.bins >= 2, "need at least two PSI bins");
+  FSDA_CHECK_MSG(options.hi > options.lo, "empty PSI range");
+  FSDA_CHECK_MSG(reference.rows() > 0, "empty PSI reference");
+  options_ = options;
+  columns_ = columns;
+  ref_props_.assign(columns_.size(),
+                    std::vector<double>(options_.bins + 2, 0.0));
+  for (std::size_t k = 0; k < columns_.size(); ++k) {
+    const std::size_t c = columns_[k];
+    FSDA_CHECK_MSG(c < reference.cols(),
+                   "PSI column " << c << " out of " << reference.cols());
+    double n = 0.0;
+    for (std::size_t r = 0; r < reference.rows(); ++r) {
+      const double v = reference(r, c);
+      if (!std::isfinite(v)) continue;
+      ref_props_[k][bin_of(v)] += 1.0;
+      n += 1.0;
+    }
+    if (n > 0.0) {
+      for (double& p : ref_props_[k]) p /= n;
+    }
+  }
+}
+
+std::vector<double> DriftMonitor::psi(la::ConstMatrixView batch) const {
+  FSDA_CHECK_MSG(fitted(), "psi before fit");
+  std::vector<double> out(columns_.size(), 0.0);
+  std::vector<double> props(options_.bins + 2);
+  for (std::size_t k = 0; k < columns_.size(); ++k) {
+    const std::size_t c = columns_[k];
+    FSDA_CHECK_MSG(c < batch.cols(),
+                   "PSI column " << c << " out of " << batch.cols());
+    std::fill(props.begin(), props.end(), 0.0);
+    double n = 0.0;
+    for (std::size_t r = 0; r < batch.rows(); ++r) {
+      const double v = batch(r, c);
+      if (!std::isfinite(v)) continue;
+      props[bin_of(v)] += 1.0;
+      n += 1.0;
+    }
+    if (n == 0.0) continue;  // all-quarantined column: report 0, not NaN
+    double value = 0.0;
+    for (std::size_t b = 0; b < props.size(); ++b) {
+      const double q = std::max(props[b] / n, options_.min_proportion);
+      const double p = std::max(ref_props_[k][b], options_.min_proportion);
+      value += (q - p) * std::log(q / p);
+    }
+    out[k] = value;
+  }
+  return out;
+}
+
+}  // namespace fsda::obs

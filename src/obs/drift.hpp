@@ -1,0 +1,69 @@
+// fsda::obs -- inference-time drift telemetry.
+//
+// The pipeline's scaler and feature partition are fitted on source data
+// only, so drift shows up at inference as target batches whose per-feature
+// distributions move away from the cached scaled-source reference.  The
+// Population Stability Index over the variant block is the per-feature
+// signal (Eastwood et al. frame measurement shift as exactly this kind of
+// progressively monitorable quantity; the variant/invariant split of
+// Wu & Chen tells us *which* features are worth the gauges):
+//
+//   PSI(p, q) = sum_b (p_b - q_b) * ln(p_b / q_b)
+//
+// over fixed bins spanning the scaled envelope, with underflow/overflow
+// bins and epsilon-floored proportions.  Rules of thumb: < 0.1 stable,
+// 0.1-0.25 moderate shift, > 0.25 action needed.
+//
+// DriftMonitor is deliberately matrix-library-light: it reads element
+// views only (no owning la::Matrix operations), so fsda_obs stays
+// link-independent of fsda_la.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/view.hpp"
+
+namespace fsda::obs {
+
+struct DriftOptions {
+  /// Interior bins over [lo, hi]; two outlier bins are added outside.
+  std::size_t bins = 16;
+  /// Scaled-feature envelope; the default covers [-1, 1] plus the
+  /// pipeline's clamp margin.
+  double lo = -1.5;
+  double hi = 1.5;
+  /// Floor applied to bin proportions so empty bins cannot blow up the log.
+  double min_proportion = 1e-4;
+};
+
+/// Caches per-column reference histograms of a (scaled) source matrix and
+/// scores later batches against them with PSI.
+class DriftMonitor {
+ public:
+  /// Builds reference proportions for the listed columns of `reference`.
+  void fit(la::ConstMatrixView reference,
+           const std::vector<std::size_t>& columns, DriftOptions options = {});
+
+  [[nodiscard]] bool fitted() const { return !ref_props_.empty(); }
+  [[nodiscard]] const std::vector<std::size_t>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const DriftOptions& options() const { return options_; }
+
+  /// PSI of each monitored column of `batch` (full-width matrix; the
+  /// monitor indexes its own columns) against the reference, in
+  /// columns() order.  Non-finite cells are ignored.
+  [[nodiscard]] std::vector<double> psi(la::ConstMatrixView batch) const;
+
+ private:
+  /// Bin index of value v: 0 = underflow, 1..bins = interior, bins+1 = over.
+  [[nodiscard]] std::size_t bin_of(double v) const;
+
+  DriftOptions options_;
+  std::vector<std::size_t> columns_;
+  /// Per monitored column: bins + 2 reference proportions.
+  std::vector<std::vector<double>> ref_props_;
+};
+
+}  // namespace fsda::obs

@@ -1,0 +1,46 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace fsda::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_string(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf, end);
+}
+
+std::string json_number(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace fsda::obs

@@ -1,0 +1,24 @@
+// fsda::obs -- minimal JSON emission helpers shared by the exporters.
+//
+// Emission only: the repository never parses JSON, it writes snapshots for
+// external collectors.  Numbers are rendered with enough precision to
+// round-trip doubles; non-finite doubles become null (JSON has no NaN).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsda::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// `"s"` with escaping.
+[[nodiscard]] std::string json_string(const std::string& s);
+
+/// Shortest-round-trip rendering of a double; null when non-finite.
+[[nodiscard]] std::string json_number(double v);
+
+[[nodiscard]] std::string json_number(std::uint64_t v);
+
+}  // namespace fsda::obs

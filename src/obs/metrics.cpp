@@ -1,0 +1,254 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace fsda::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t shard_index() noexcept {
+  // One hash per thread, cached; threads spread across shards so two pool
+  // workers rarely contend on the same cache line.
+  thread_local const std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return index;
+}
+
+}  // namespace detail
+
+bool telemetry_enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_telemetry_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  FSDA_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  sums_[detail::shard_index()].sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const SumCell& c : sums_) {
+    total += c.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  for (SumCell& c : sums_) c.sum.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked singleton: pool workers and static handles may outlive any
+  // destruction order the runtime would pick.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FSDA_CHECK_MSG(!gauges_.count(name) && !histograms_.count(name),
+                 "metric '" << name << "' already registered with another type");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    if (!help.empty()) help_[name] = help;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FSDA_CHECK_MSG(!counters_.count(name) && !histograms_.count(name),
+                 "metric '" << name << "' already registered with another type");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    if (!help.empty()) help_[name] = help;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FSDA_CHECK_MSG(!counters_.count(name) && !gauges_.count(name),
+                 "metric '" << name << "' already registered with another type");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+    if (!help.empty()) help_[name] = help;
+  }
+  return *it->second;
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         histograms_.count(name) != 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? fallback : it->second->value();
+}
+
+namespace {
+
+/// Splits `drift.psi{feature="17"}` into ("drift.psi", `{feature="17"}`).
+std::pair<std::string, std::string> split_label(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// Prometheus metric name: dots become underscores, `fsda_` prefix.
+std::string prom_name(const std::string& base) {
+  std::string out = "fsda_";
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::expose_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  const auto help_line = [&](const std::string& name, const char* type) {
+    const auto [base, label] = split_label(name);
+    (void)label;
+    const auto h = help_.find(name);
+    if (h != help_.end()) {
+      os << "# HELP " << prom_name(base) << " " << h->second << "\n";
+    }
+    os << "# TYPE " << prom_name(base) << " " << type << "\n";
+  };
+  for (const auto& [name, c] : counters_) {
+    help_line(name, "counter");
+    const auto [base, label] = split_label(name);
+    os << prom_name(base) << label << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    help_line(name, "gauge");
+    const auto [base, label] = split_label(name);
+    os << prom_name(base) << label << " " << json_number(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    help_line(name, "histogram");
+    const auto [base, label] = split_label(name);
+    (void)label;
+    const std::string pname = prom_name(base);
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      cumulative += counts[b];
+      const std::string le =
+          b < h->bounds().size() ? json_number(h->bounds()[b]) : "+Inf";
+      os << pname << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    os << pname << "_sum " << json_number(h->sum()) << "\n";
+    os << pname << "_count " << cumulative << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << json_string(name) << ":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << json_string(name) << ":"
+       << json_number(g->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << json_string(name) << ":{\"bounds\":[";
+    for (std::size_t b = 0; b < h->bounds().size(); ++b) {
+      os << (b ? "," : "") << json_number(h->bounds()[b]);
+    }
+    os << "],\"counts\":[";
+    const auto counts = h->bucket_counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      os << (b ? "," : "") << counts[b];
+    }
+    os << "],\"count\":" << h->count()
+       << ",\"sum\":" << json_number(h->sum()) << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace fsda::obs

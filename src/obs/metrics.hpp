@@ -1,0 +1,158 @@
+// fsda::obs -- process-wide metrics registry: counters, gauges, and
+// fixed-bucket histograms.
+//
+// Hot-path increments must be safe inside ThreadPool workers and must not
+// serialize them: Counter and Histogram spread their cells across
+// cache-line-aligned shards updated with relaxed atomics, so an increment
+// is a single wait-free fetch_add on the calling thread's shard.  Reads
+// (value(), the exporters) sum the shards; they are monotonic but not a
+// linearizable snapshot, which is all a telemetry scrape needs.
+//
+// Naming scheme (DESIGN.md §9): `<subsystem>.<metric>[_total|_seconds|_ms]`,
+// e.g. `fs.ci_tests_total`, `cgan.epochs_total`, `predict.latency_ms`.
+// A metric may carry one Prometheus-style label suffix in its name, e.g.
+// `drift.psi{feature="17"}`; the registry treats the full string as the
+// key and the text exposition splits it back into name + label.
+//
+// The global enabled flag gates Counter::inc and Histogram::observe (the
+// hot paths).  Gauge::set always applies: gauges are cold-path stage
+// summaries that double as accessors (e.g. reconstructor fit seconds), so
+// they must stay truthful even with telemetry off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fsda::obs {
+
+/// True when counter/histogram recording is active (default: off --
+/// exporters, the CLI telemetry flags, and FSDA_METRICS_OUT turn it on).
+[[nodiscard]] bool telemetry_enabled() noexcept;
+
+/// Toggles counter/histogram recording process-wide.
+void set_telemetry_enabled(bool on) noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Stable per-thread shard index in [0, kShards).
+inline constexpr std::size_t kShards = 16;
+[[nodiscard]] std::size_t shard_index() noexcept;
+}  // namespace detail
+
+/// Monotonic counter with sharded cells; inc() is wait-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    cells_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, detail::kShards> cells_{};
+};
+
+/// Last-write-wins instantaneous value.  set()/add() apply regardless of
+/// the enabled flag (see file comment).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges,
+/// with an implicit +inf bucket appended.  observe() is two relaxed
+/// fetch_adds (bucket count + sharded sum cell) after a linear bound scan.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last is +inf).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  struct alignas(64) SumCell {
+    std::atomic<double> sum{0.0};
+  };
+  std::array<SumCell, detail::kShards> sums_{};
+};
+
+/// Name -> metric map with stable handles: counter()/gauge()/histogram()
+/// find-or-create under a mutex and return a reference that stays valid
+/// for the registry's lifetime, so call sites resolve once and increment
+/// lock-free afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry (never destroyed, so handles cached in
+  /// long-lived threads stay valid through shutdown).
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = {});
+  Gauge& gauge(const std::string& name, const std::string& help = {});
+  /// `bounds` are consulted only on first registration.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = {});
+
+  /// True when a metric of any type with this exact name exists.
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Gauge value by name; `fallback` when absent.
+  [[nodiscard]] double gauge_value(const std::string& name,
+                                   double fallback = 0.0) const;
+
+  /// Prometheus-style text exposition (names sanitized, `fsda_` prefix).
+  [[nodiscard]] std::string expose_text() const;
+  /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Zeroes every registered metric (tests); registrations are kept.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace fsda::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace fsda::obs {
+
+thread_local Tracer::Node* Tracer::t_current_ = nullptr;
+
+const SpanSnapshot* SpanSnapshot::child(const std::string& child_name) const {
+  for (const SpanSnapshot& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // leaked, like the registry
+  return *tracer;
+}
+
+Tracer::Node* Tracer::open(const char* name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* parent = t_current_ != nullptr ? t_current_ : &root_;
+  for (auto& child : parent->children) {
+    if (child->name == name) {
+      t_current_ = child.get();
+      return child.get();
+    }
+  }
+  auto node = std::make_unique<Node>();
+  node->name = name;
+  node->parent = parent;
+  Node* raw = node.get();
+  parent->children.push_back(std::move(node));
+  t_current_ = raw;
+  return raw;
+}
+
+void Tracer::close(Node* node, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  node->seconds += seconds;
+  node->count += 1;
+  t_current_ = node->parent == &root_ ? nullptr : node->parent;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Zero stats in place; see header for why nodes are not freed.
+  const auto zero = [](const auto& self, Node& n) -> void {
+    n.seconds = 0.0;
+    n.count = 0;
+    for (auto& c : n.children) self(self, *c);
+  };
+  zero(zero, root_);
+}
+
+SpanSnapshot Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto copy = [](const auto& self, const Node& n) -> SpanSnapshot {
+    SpanSnapshot out{n.name, n.seconds, n.count, {}};
+    for (const auto& c : n.children) {
+      if (c->count == 0 && c->children.empty()) continue;  // reset leftover
+      out.children.push_back(self(self, *c));
+    }
+    return out;
+  };
+  return copy(copy, root_);
+}
+
+std::string Tracer::to_string() const {
+  const SpanSnapshot root = snapshot();
+  std::ostringstream os;
+  const auto render = [&os](const auto& self, const SpanSnapshot& n,
+                            int depth) -> void {
+    if (depth >= 0) {
+      for (int i = 0; i < depth; ++i) os << "  ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f ms", n.seconds * 1e3);
+      os << n.name << ": " << buf << " (x" << n.count << ")\n";
+    }
+    for (const SpanSnapshot& c : n.children) self(self, c, depth + 1);
+  };
+  render(render, root, -1);
+  return os.str();
+}
+
+std::string Tracer::to_json() const {
+  const SpanSnapshot root = snapshot();
+  std::ostringstream os;
+  const auto render = [&os](const auto& self, const SpanSnapshot& n) -> void {
+    os << "{\"name\":" << json_string(n.name)
+       << ",\"seconds\":" << json_number(n.seconds) << ",\"count\":" << n.count
+       << ",\"children\":[";
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) os << ",";
+      self(self, n.children[i]);
+    }
+    os << "]}";
+  };
+  render(render, root);
+  return os.str();
+}
+
+SpanGuard::SpanGuard(const char* name) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  node_ = tracer.open(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+SpanGuard::~SpanGuard() {
+  if (node_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Tracer::global().close(node_, seconds);
+}
+
+}  // namespace fsda::obs

@@ -1,0 +1,114 @@
+// fsda::obs -- scoped trace spans building a per-run timing tree.
+//
+//   void FsGanPipeline::train(...) {
+//     FSDA_SPAN("pipeline.train");
+//     ...
+//     { FSDA_SPAN("pipeline.classifier_fit"); classifier_->fit(...); }
+//   }
+//
+// Spans nest via a thread-local cursor: a span opened while another is
+// active on the same thread becomes (or merges into) a child node keyed by
+// name, accumulating wall seconds and an invocation count.  Spans opened
+// on ThreadPool workers attach under the tracer root (worker tasks have no
+// portable way to know their logical parent), which is why instrumentation
+// stays at stage granularity rather than inside parallel_for bodies.
+//
+// Tracing is OFF by default.  A disabled span is one relaxed atomic load
+// in the constructor and a null check in the destructor -- no clock reads,
+// no locking -- so permanently-compiled-in spans cost nothing measurable.
+// Enabled spans take one short mutex section at open and one at close;
+// they are placed on paths that run at most a few times per second.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fsda::obs {
+
+/// Plain-value copy of the span tree for tests and exporters.
+struct SpanSnapshot {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  std::vector<SpanSnapshot> children;
+
+  /// First direct child with this name, or nullptr.
+  [[nodiscard]] const SpanSnapshot* child(const std::string& child_name) const;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by FSDA_SPAN (never destroyed).
+  static Tracer& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes all recorded stats.  Node storage is retained so in-flight
+  /// guards stay valid; nodes with no post-reset activity are omitted
+  /// from snapshots and exports.
+  void reset();
+
+  /// Copy of the tree; the root is a synthetic node named "root".
+  [[nodiscard]] SpanSnapshot snapshot() const;
+
+  /// Indented human-readable tree (seconds, counts).
+  [[nodiscard]] std::string to_string() const;
+
+  /// {"name":...,"seconds":...,"count":...,"children":[...]} of the root.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  friend class SpanGuard;
+  struct Node {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  Node* open(const char* name);
+  void close(Node* node, double seconds);
+
+  /// Innermost open span on this thread (into the global tracer's tree).
+  static thread_local Node* t_current_;
+
+  mutable std::mutex mutex_;
+  Node root_{"root", 0.0, 0, nullptr, {}};
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span handle; records into Tracer::global() on destruction.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name);
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard();
+
+ private:
+  Tracer::Node* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fsda::obs
+
+#define FSDA_SPAN_CONCAT_INNER(a, b) a##b
+#define FSDA_SPAN_CONCAT(a, b) FSDA_SPAN_CONCAT_INNER(a, b)
+/// Opens a scoped trace span named `name` (a string literal).
+#define FSDA_SPAN(name) \
+  ::fsda::obs::SpanGuard FSDA_SPAN_CONCAT(fsda_span_, __LINE__)(name)

@@ -5,10 +5,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
@@ -239,6 +243,49 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_GE(sw.seconds(), 0.0);
   sw.reset();
   EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(LoggingTest, SinkCapturesFilteredFormattedLines) {
+  const LogLevel prior_level = log_level();
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  set_log_level(LogLevel::Warn);
+
+  FSDA_LOG_DEBUG << "dropped debug";
+  FSDA_LOG_INFO << "dropped info " << 1;
+  FSDA_LOG_WARN << "kept warn " << 2;
+  FSDA_LOG_ERROR << "kept error";
+
+  set_log_sink({});  // restore the stderr writer
+  set_log_level(prior_level);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::Warn);
+  EXPECT_EQ(captured[1].first, LogLevel::Error);
+
+  // Line format: <ISO-8601 UTC ts> <LEVEL> [tid <n>] <message>.
+  const std::string& line = captured[0].second;
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" WARN [tid "), std::string::npos);
+  EXPECT_NE(line.find("kept warn 2"), std::string::npos);
+  EXPECT_NE(captured[1].second.find(" ERROR [tid "), std::string::npos);
+
+  // Off silences everything, including errors.
+  set_log_sink([&captured](LogLevel level, const std::string& line_text) {
+    captured.emplace_back(level, line_text);
+  });
+  set_log_level(LogLevel::Off);
+  FSDA_LOG_ERROR << "silenced";
+  set_log_sink({});
+  set_log_level(prior_level);
+  EXPECT_EQ(captured.size(), 2u);
 }
 
 TEST(ErrorTest, CheckMacroThrowsWithMessage) {

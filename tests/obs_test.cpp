@@ -1,0 +1,347 @@
+// fsda::obs unit tests: sharded counters/histograms under concurrent
+// hammering, gating, exposition/JSON formats, span trees, drift PSI, and
+// the snapshot sink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "la/matrix.hpp"
+#include "obs/drift.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fsda {
+namespace {
+
+/// Enables counter/histogram recording for one test, restoring the prior
+/// state afterwards (the flag is process-global).
+class TelemetryOn {
+ public:
+  TelemetryOn() : prior_(obs::telemetry_enabled()) {
+    obs::set_telemetry_enabled(true);
+  }
+  ~TelemetryOn() { obs::set_telemetry_enabled(prior_); }
+
+ private:
+  bool prior_;
+};
+
+TEST(CounterTest, ExactTotalUnderConcurrentIncrements) {
+  TelemetryOn on;
+  obs::Counter counter;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, ExactTotalFromPoolWorkers) {
+  TelemetryOn on;
+  obs::Counter counter;
+  // Hammer through parallel_for so increments run on the global pool's
+  // worker threads (inline on a single-core host; the total is exact
+  // either way).
+  constexpr std::size_t kIters = 50000;
+  common::parallel_for(kIters, [&counter](std::size_t) { counter.inc(2); });
+  EXPECT_EQ(counter.value(), 2 * kIters);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, DisabledIncrementIsDropped) {
+  obs::Counter counter;
+  const bool prior = obs::telemetry_enabled();
+  obs::set_telemetry_enabled(false);
+  counter.inc(100);
+  EXPECT_EQ(counter.value(), 0u);
+  obs::set_telemetry_enabled(prior);
+}
+
+TEST(GaugeTest, SetAppliesEvenWhenDisabled) {
+  obs::Gauge gauge;
+  const bool prior = obs::telemetry_enabled();
+  obs::set_telemetry_enabled(false);
+  gauge.set(3.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.25);
+  gauge.add(0.75);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  obs::set_telemetry_enabled(prior);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  TelemetryOn on;
+  obs::Histogram hist({1.0, 10.0});
+  hist.observe(0.5);   // bucket le=1
+  hist.observe(1.0);   // inclusive upper edge: still le=1
+  hist.observe(5.0);   // le=10
+  hist.observe(100.0); // +inf
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 106.5);
+  const auto counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(HistogramTest, ExactTotalsUnderConcurrentObserves) {
+  TelemetryOn on;
+  obs::Histogram hist({1.0, 2.0, 3.0});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        hist.observe(static_cast<double>(i % 4));  // 0,1,2,3
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  const auto counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  // i%4 == 0 and == 1 both land in the le=1 bucket.
+  EXPECT_EQ(counts[0], 2 * kThreads * (kPerThread / 4));
+  EXPECT_EQ(counts[1], kThreads * (kPerThread / 4));
+  EXPECT_EQ(counts[2], kThreads * (kPerThread / 4));
+  EXPECT_EQ(counts[3], 0u);  // no value exceeds 3
+  EXPECT_DOUBLE_EQ(hist.sum(),
+                   static_cast<double>(kThreads * (kPerThread / 4) * 6));
+}
+
+TEST(ThreadPoolTelemetryTest, WorkersRecordTasksAndQueueWait) {
+  TelemetryOn on;
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t before =
+      registry.counter("pool.tasks_total").value();
+  common::ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(registry.counter("pool.tasks_total").value(), before + 16);
+}
+
+TEST(RegistryTest, HandlesAreStableAndTyped) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c1 = reg.counter("a.b_total");
+  obs::Counter& c2 = reg.counter("a.b_total");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_TRUE(reg.has("a.b_total"));
+  EXPECT_FALSE(reg.has("missing"));
+  reg.gauge("a.g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("a.g"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("missing", -1.0), -1.0);
+  // Same name with a different type is a registration bug.
+  EXPECT_THROW(reg.gauge("a.b_total"), common::InvariantError);
+}
+
+TEST(RegistryTest, ExpositionGolden) {
+  TelemetryOn on;
+  obs::MetricsRegistry reg;
+  reg.counter("fs.ci_tests_total", "CI tests run").inc(3);
+  reg.gauge("drift.psi{feature=\"3\"}").set(0.5);
+  obs::Histogram& hist =
+      reg.histogram("predict.latency_ms", {1.0, 10.0}, "batch latency");
+  hist.observe(0.5);
+  hist.observe(5.0);
+  hist.observe(100.0);
+  const std::string expected =
+      "# HELP fsda_fs_ci_tests_total CI tests run\n"
+      "# TYPE fsda_fs_ci_tests_total counter\n"
+      "fsda_fs_ci_tests_total 3\n"
+      "# TYPE fsda_drift_psi gauge\n"
+      "fsda_drift_psi{feature=\"3\"} 0.5\n"
+      "# HELP fsda_predict_latency_ms batch latency\n"
+      "# TYPE fsda_predict_latency_ms histogram\n"
+      "fsda_predict_latency_ms_bucket{le=\"1\"} 1\n"
+      "fsda_predict_latency_ms_bucket{le=\"10\"} 2\n"
+      "fsda_predict_latency_ms_bucket{le=\"+Inf\"} 3\n"
+      "fsda_predict_latency_ms_sum 105.5\n"
+      "fsda_predict_latency_ms_count 3\n";
+  EXPECT_EQ(reg.expose_text(), expected);
+}
+
+TEST(RegistryTest, SnapshotJsonGolden) {
+  TelemetryOn on;
+  obs::MetricsRegistry reg;
+  reg.counter("c.n_total").inc(7);
+  reg.gauge("g.v").set(1.5);
+  reg.histogram("h.ms", {2.0}).observe(1.0);
+  const std::string expected =
+      "{\"counters\":{\"c.n_total\":7},"
+      "\"gauges\":{\"g.v\":1.5},"
+      "\"histograms\":{\"h.ms\":{\"bounds\":[2],\"counts\":[1,0],"
+      "\"count\":1,\"sum\":1}}}";
+  EXPECT_EQ(reg.snapshot_json(), expected);
+}
+
+TEST(RegistryTest, ResetValuesKeepsRegistrations) {
+  TelemetryOn on;
+  obs::MetricsRegistry reg;
+  reg.counter("x_total").inc(5);
+  reg.gauge("y").set(2.0);
+  reg.histogram("z", {1.0}).observe(0.5);
+  reg.reset_values();
+  EXPECT_TRUE(reg.has("x_total"));
+  EXPECT_EQ(reg.counter("x_total").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("y"), 0.0);
+  EXPECT_EQ(reg.histogram("z", {}).count(), 0u);
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(obs::json_string("plain"), "\"plain\"");
+  EXPECT_EQ(obs::json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(obs::json_string("line\nbreak\ttab"),
+            "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(obs::json_number(2.0), "2");
+  EXPECT_EQ(obs::json_number(0.5), "0.5");
+  // Non-finite doubles have no JSON literal; exported as null.
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST(TracerTest, SpanTreeNestsAndAggregates) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.reset();
+  {
+    FSDA_SPAN("outer");
+    { FSDA_SPAN("inner"); }
+    { FSDA_SPAN("inner"); }
+    { FSDA_SPAN("other"); }
+  }
+  { FSDA_SPAN("outer"); }
+  const obs::SpanSnapshot root = tracer.snapshot();
+  tracer.set_enabled(false);
+
+  const obs::SpanSnapshot* outer = root.child("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  EXPECT_GE(outer->seconds, 0.0);
+  const obs::SpanSnapshot* inner = outer->child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2u);
+  ASSERT_NE(outer->child("other"), nullptr);
+  EXPECT_EQ(outer->child("other")->count, 1u);
+  // Children's time is contained in the parent's.
+  EXPECT_LE(inner->seconds, outer->seconds);
+
+  const std::string text = tracer.to_string();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(false);
+  tracer.reset();
+  { FSDA_SPAN("ghost"); }
+  EXPECT_EQ(tracer.snapshot().child("ghost"), nullptr);
+}
+
+TEST(DriftMonitorTest, IdenticalDistributionScoresNearZero) {
+  la::Matrix ref(512, 3);
+  for (std::size_t r = 0; r < ref.rows(); ++r) {
+    const double v = -1.0 + 2.0 * static_cast<double>(r) /
+                                static_cast<double>(ref.rows() - 1);
+    ref(r, 0) = v;
+    ref(r, 1) = v * 0.5;
+    ref(r, 2) = 42.0;  // ignored: not monitored
+  }
+  obs::DriftMonitor monitor;
+  monitor.fit(ref, {0, 1});
+  ASSERT_TRUE(monitor.fitted());
+  const std::vector<double> psi = monitor.psi(ref);
+  ASSERT_EQ(psi.size(), 2u);
+  EXPECT_LT(psi[0], 0.1);  // "stable" per the PSI rule of thumb
+  EXPECT_LT(psi[1], 0.1);
+}
+
+TEST(DriftMonitorTest, ShiftedDistributionScoresHigh) {
+  la::Matrix ref(512, 2);
+  la::Matrix shifted(512, 2);
+  for (std::size_t r = 0; r < ref.rows(); ++r) {
+    const double v = -0.9 + 1.0 * static_cast<double>(r) /
+                                static_cast<double>(ref.rows() - 1);
+    ref(r, 0) = v;
+    ref(r, 1) = v;
+    shifted(r, 0) = v + 0.8;  // bulk moves most of a bin width
+    shifted(r, 1) = v;        // unchanged
+  }
+  obs::DriftMonitor monitor;
+  monitor.fit(ref, {0, 1});
+  const std::vector<double> psi = monitor.psi(shifted);
+  ASSERT_EQ(psi.size(), 2u);
+  EXPECT_GT(psi[0], 0.25);  // "action needed"
+  EXPECT_LT(psi[1], 0.1);
+}
+
+TEST(DriftMonitorTest, NonFiniteCellsAreSkipped) {
+  la::Matrix ref(512, 1);
+  for (std::size_t r = 0; r < ref.rows(); ++r) {
+    ref(r, 0) = -1.0 + 2.0 * static_cast<double>(r) / 511.0;
+  }
+  obs::DriftMonitor monitor;
+  monitor.fit(ref, {0});
+  la::Matrix batch = ref;
+  batch(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  batch(1, 0) = std::numeric_limits<double>::infinity();
+  const std::vector<double> psi = monitor.psi(batch);
+  ASSERT_EQ(psi.size(), 1u);
+  EXPECT_TRUE(std::isfinite(psi[0]));
+  EXPECT_LT(psi[0], 0.1);
+}
+
+TEST(SnapshotSinkTest, AppendsJsonLinesWithExtras) {
+  TelemetryOn on;
+  const std::string path =
+      testing::TempDir() + "/fsda_obs_test_snapshot.jsonl";
+  std::remove(path.c_str());
+  obs::SnapshotSink sink(path);
+  EXPECT_TRUE(sink.flush({{"health", "{\"degraded\":false}"}}));
+  EXPECT_TRUE(sink.flush());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line1, line2, line3;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line1)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line2)));
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, line3)));
+  EXPECT_NE(line1.find("\"ts_unix_ms\":"), std::string::npos);
+  EXPECT_NE(line1.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(line1.find("\"health\":{\"degraded\":false}"),
+            std::string::npos);
+  EXPECT_EQ(line2.find("\"health\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotSinkTest, UnwritablePathFailsWithoutThrowing) {
+  obs::SnapshotSink sink("/nonexistent-dir/nope/metrics.json");
+  EXPECT_FALSE(sink.flush());
+}
+
+}  // namespace
+}  // namespace fsda

@@ -7,8 +7,11 @@
 //       Write source_train.csv / target_pool.csv / target_test.csv there.
 //   fsda_cli run <source.csv> <shots.csv> <test.csv>
 //         [--model tnet|mlp|rf|xgb] [--method fs|fs+gan] [--label label]
-//         [--out predictions.csv]
+//         [--out predictions.csv] [--metrics-out snapshot.json] [--trace]
 //       Fit the pipeline on your own data and score/emit predictions.
+//       --metrics-out writes one JSON metrics snapshot (stage timings,
+//       drift gauges, health report) after scoring; --trace prints the
+//       span timing tree to stderr.
 //
 // CSVs carry one sample per row, numeric feature columns, and an integer
 // label column (default name "label").
@@ -24,6 +27,9 @@
 #include "data/io.hpp"
 #include "eval/metrics.hpp"
 #include "models/factory.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace fsda;
 
@@ -36,7 +42,8 @@ int usage() {
                "  fsda_cli export <dir> [5gc|5gipc]\n"
                "  fsda_cli run <source.csv> <shots.csv> <test.csv>\n"
                "           [--model tnet|mlp|rf|xgb] [--method fs|fs+gan]\n"
-               "           [--label <column>] [--out <predictions.csv>]\n");
+               "           [--label <column>] [--out <predictions.csv>]\n"
+               "           [--metrics-out <snapshot.json>] [--trace]\n");
   return 2;
 }
 
@@ -85,13 +92,28 @@ int cmd_run(int argc, char** argv) {
   const std::string shots_path = argv[3];
   const std::string test_path = argv[4];
   std::string model = "tnet", method = "fs+gan", label = "label", out;
-  for (int i = 5; i + 1 < argc; i += 2) {
+  std::string metrics_out;
+  bool trace = false;
+  for (int i = 5; i < argc;) {
     const std::string flag = argv[i];
+    if (flag == "--trace") {
+      trace = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
     if (flag == "--model") model = argv[i + 1];
     else if (flag == "--method") method = argv[i + 1];
     else if (flag == "--label") label = argv[i + 1];
     else if (flag == "--out") out = argv[i + 1];
+    else if (flag == "--metrics-out") metrics_out = argv[i + 1];
     else return usage();
+    i += 2;
+  }
+  if (!metrics_out.empty()) obs::set_telemetry_enabled(true);
+  if (trace) {
+    obs::set_telemetry_enabled(true);
+    obs::Tracer::global().set_enabled(true);
   }
 
   const data::Dataset source = data::read_dataset_csv(source_path, label);
@@ -125,6 +147,26 @@ int cmd_run(int argc, char** argv) {
     }
     common::write_csv(out, table);
     std::printf("predictions written to %s\n", out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::ExtraFields extra;
+    auto* fs_gan = dynamic_cast<baselines::FsReconMethod*>(da.get());
+    auto* fs_only = dynamic_cast<baselines::FsMethod*>(da.get());
+    const core::HealthReport& health = fs_gan != nullptr
+                                           ? fs_gan->pipeline().health()
+                                           : fs_only->pipeline().health();
+    extra.emplace_back("health", health.to_json());
+    obs::SnapshotSink sink(metrics_out);
+    if (sink.flush(extra)) {
+      std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write metrics snapshot to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (trace) {
+    std::fprintf(stderr, "%s", obs::Tracer::global().to_string().c_str());
   }
   return 0;
 }
