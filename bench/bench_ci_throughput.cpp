@@ -1,0 +1,178 @@
+// CI-test engine throughput: partial correlations at conditioning levels
+// 0-3 on a 442-feature SCM draw (the 5GIPC feature width), comparing the
+// inverse-based baseline (`partial_correlation`, an (L+2)x(L+2) LU solved
+// against identity per test) with the allocation-free fast path
+// (`partial_correlation_fast`, closed forms / Cholesky + triangular
+// solves into a reusable scratch), the full FisherZTest wrapper, and the
+// PC-stable skeleton serial vs parallel.
+//
+// items/sec in the google-benchmark output is CI tests per second; the
+// recorded baseline lives in EXPERIMENTS.md next to the matmul baselines.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_util.hpp"
+
+#include "causal/ci_test.hpp"
+#include "causal/pc.hpp"
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+#include "la/stats.hpp"
+
+namespace {
+
+using namespace fsda;
+
+bench::BenchTelemetry g_telemetry;
+
+constexpr std::size_t kFeatures = 442;  // 5GIPC telemetry width
+constexpr std::size_t kSamples = 1024;
+
+/// Sparse linear SCM draw over kFeatures variables: each depends on up to
+/// three predecessors, giving the correlated-but-nonsingular structure the
+/// F-node search sees on real telemetry.
+const la::Matrix& scm_correlation() {
+  static const la::Matrix corr = [] {
+    common::Rng rng(97);
+    la::Matrix x(kSamples, kFeatures);
+    for (std::size_t r = 0; r < kSamples; ++r) {
+      for (std::size_t c = 0; c < kFeatures; ++c) {
+        double v = rng.normal();
+        const std::size_t parents = std::min<std::size_t>(c, 3);
+        // Decaying stationary weights (sum < 1) keep long-range
+        // correlations bounded away from 1, like real telemetry.
+        for (std::size_t p = 1; p <= parents; ++p) {
+          v += (0.4 / static_cast<double>(p)) * x(r, c - p);
+        }
+        x(r, c) = v;
+      }
+    }
+    return la::correlation(x);
+  }();
+  return corr;
+}
+
+struct Tuple {
+  std::size_t i, j;
+  std::vector<std::size_t> given;
+};
+
+/// Pregenerated distinct (i, j | S) tuples so the benchmark loop measures
+/// only the test itself.
+std::vector<Tuple> make_tuples(std::size_t level, std::size_t count) {
+  common::Rng rng(1000 + level);
+  std::vector<std::size_t> order(kFeatures);
+  for (std::size_t v = 0; v < kFeatures; ++v) order[v] = v;
+  std::vector<Tuple> tuples;
+  tuples.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    rng.shuffle(order);
+    tuples.push_back(
+        {order[0], order[1], {order.begin() + 2, order.begin() + 2 + level}});
+  }
+  return tuples;
+}
+
+void BM_PartialCorrInverseBaseline(benchmark::State& state) {
+  const la::Matrix& corr = scm_correlation();
+  const auto tuples = make_tuples(static_cast<std::size_t>(state.range(0)), 256);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    const Tuple& tuple = tuples[t];
+    benchmark::DoNotOptimize(
+        la::partial_correlation(corr, tuple.i, tuple.j, tuple.given));
+    t = (t + 1) % tuples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartialCorrInverseBaseline)->DenseRange(0, 3)->ArgName("level");
+
+void BM_PartialCorrFast(benchmark::State& state) {
+  const la::Matrix& corr = scm_correlation();
+  const auto tuples = make_tuples(static_cast<std::size_t>(state.range(0)), 256);
+  la::PartialCorrScratch scratch;
+  std::size_t t = 0;
+  for (auto _ : state) {
+    const Tuple& tuple = tuples[t];
+    benchmark::DoNotOptimize(la::partial_correlation_fast(
+        corr, tuple.i, tuple.j, tuple.given, scratch));
+    t = (t + 1) % tuples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartialCorrFast)->DenseRange(0, 3)->ArgName("level");
+
+/// The full CI test as the PC / F-node searches call it: fast partial
+/// correlation through the per-thread scratch plus the Fisher-z transform.
+void BM_FisherZTestLevel(benchmark::State& state) {
+  static const causal::FisherZTest* test = [] {
+    common::Rng rng(97);
+    la::Matrix x(kSamples, kFeatures);
+    for (std::size_t r = 0; r < kSamples; ++r) {
+      for (std::size_t c = 0; c < kFeatures; ++c) {
+        double v = rng.normal();
+        const std::size_t parents = std::min<std::size_t>(c, 3);
+        // Decaying stationary weights (sum < 1) keep long-range
+        // correlations bounded away from 1, like real telemetry.
+        for (std::size_t p = 1; p <= parents; ++p) {
+          v += (0.4 / static_cast<double>(p)) * x(r, c - p);
+        }
+        x(r, c) = v;
+      }
+    }
+    return new causal::FisherZTest(x, 0.01);
+  }();
+  const auto tuples = make_tuples(static_cast<std::size_t>(state.range(0)), 256);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    const Tuple& tuple = tuples[t];
+    benchmark::DoNotOptimize(test->test(tuple.i, tuple.j, tuple.given));
+    t = (t + 1) % tuples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FisherZTestLevel)->DenseRange(0, 3)->ArgName("level");
+
+/// PC-stable skeleton + orientation on a 64-variable slice of the SCM,
+/// serial (arg 0) vs thread pool (arg 1).  Reported time is the whole
+/// pc_algorithm call; the two must produce identical CPDAGs.
+void BM_PcStable(benchmark::State& state) {
+  static const causal::FisherZTest* test = [] {
+    common::Rng rng(177);
+    const std::size_t d = 64, n = 2048;
+    la::Matrix x(n, d);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        double v = rng.normal();
+        const std::size_t parents = std::min<std::size_t>(c, 3);
+        // Decaying stationary weights (sum < 1) keep long-range
+        // correlations bounded away from 1, like real telemetry.
+        for (std::size_t p = 1; p <= parents; ++p) {
+          v += (0.4 / static_cast<double>(p)) * x(r, c - p);
+        }
+        x(r, c) = v;
+      }
+    }
+    return new causal::FisherZTest(x, 0.01);
+  }();
+  causal::PcOptions options;
+  options.max_condition_size = 2;
+  options.parallel = state.range(0) != 0;
+  std::size_t ci_tests = 0;
+  for (auto _ : state) {
+    const causal::PcResult result = causal::pc_algorithm(*test, options);
+    ci_tests = result.ci_tests_performed;
+    benchmark::DoNotOptimize(result.graph);
+  }
+  state.counters["ci_tests"] = static_cast<double>(ci_tests);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * ci_tests));
+}
+BENCHMARK(BM_PcStable)->Arg(0)->Arg(1)->ArgName("parallel")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -27,7 +27,11 @@ CiResult FisherZTest::test(std::size_t i, std::size_t j,
     // (no evidence either way), matching the conservative PC convention.
     return result;
   }
-  double r = la::partial_correlation(corr_, i, j, given);
+  // One scratch arena per thread: PC-stable and the F-node search fan CI
+  // tests out across pool workers, and each worker reuses its arena across
+  // every test it runs, so steady-state testing never touches the heap.
+  static thread_local la::PartialCorrScratch scratch;
+  double r = la::partial_correlation_fast(corr_, i, j, given, scratch);
   r = std::clamp(r, -0.999999, 0.999999);
   const double z = std::sqrt(df) * std::atanh(r);
   result.statistic = z;

@@ -24,6 +24,9 @@ struct CiResult {
 };
 
 /// Interface: tests column i ⊥ column j given columns `given` in `data`.
+/// Implementations must be safe to call concurrently from multiple threads
+/// on one const instance: the PC-stable skeleton and the F-node search both
+/// issue tests from pool workers in parallel.
 class CiTest {
  public:
   virtual ~CiTest() = default;

@@ -152,10 +152,17 @@ FNodeResult find_intervention_targets(const la::Matrix& source,
   }
   result.ci_tests_performed = tests_performed.load();
   result.truncated = deadline_hit.load();
+  const double search_seconds = deadline_timer.seconds();
   auto& registry = obs::MetricsRegistry::global();
   registry
       .counter("fs.ci_tests_total", "CI tests run by the F-node search")
       .inc(result.ci_tests_performed);
+  if (search_seconds > 0.0 && result.ci_tests_performed > 0) {
+    registry
+        .gauge("fs.ci_tests_per_second",
+               "CI-test throughput of the most recent F-node search")
+        .set(static_cast<double>(result.ci_tests_performed) / search_seconds);
+  }
   if (result.truncated) {
     registry
         .counter("fs.truncations_total",

@@ -1,38 +1,14 @@
 #include "causal/pc.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <atomic>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace fsda::causal {
-
-bool for_each_subset(
-    const std::vector<std::size_t>& pool, std::size_t k,
-    const std::function<bool(std::span<const std::size_t>)>& visit) {
-  if (k > pool.size()) return false;
-  std::vector<std::size_t> subset(k);
-  // Iterative combination enumeration over indices into `pool`.
-  std::vector<std::size_t> idx(k);
-  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
-  for (;;) {
-    for (std::size_t i = 0; i < k; ++i) subset[i] = pool[idx[i]];
-    if (visit(subset)) return true;
-    if (k == 0) return false;
-    // advance combination
-    std::size_t pos = k;
-    while (pos > 0) {
-      --pos;
-      if (idx[pos] != pos + pool.size() - k) break;
-      if (pos == 0) return false;
-    }
-    if (idx[pos] == pos + pool.size() - k) return false;
-    ++idx[pos];
-    for (std::size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
-  }
-}
 
 namespace {
 
@@ -107,57 +83,101 @@ PcResult pc_algorithm(const CiTest& test, const PcOptions& options) {
 
   // Watchdog: past the deadline, stop issuing CI tests; untested edges
   // stay in the skeleton (best-so-far, conservative towards dependence).
+  // The sticky flag is shared by every worker, matching the F-node search.
   common::Stopwatch deadline_timer;
+  std::atomic<bool> deadline_hit{false};
   const auto past_deadline = [&]() -> bool {
     if (options.deadline_ms == 0) return false;
-    if (result.truncated) return true;
+    if (deadline_hit.load(std::memory_order_relaxed)) return true;
     if (deadline_timer.millis() >= static_cast<double>(options.deadline_ms)) {
-      result.truncated = true;
+      deadline_hit.store(true, std::memory_order_relaxed);
       return true;
     }
     return false;
   };
 
-  // Phase 1: skeleton by levelwise CI testing.
+  // Phase 1: skeleton by levelwise CI testing, PC-stable: the adjacency
+  // sets feeding the conditioning pools are frozen at the start of each
+  // level and removals are committed only after the whole level finishes,
+  // so every edge's test sequence is independent of the order (and thread
+  // interleaving) in which the other edges are processed.
+  common::Stopwatch skeleton_timer;
+  std::atomic<std::size_t> ci_tests{0};
   for (std::size_t level = 0;
        level <= options.max_condition_size && !past_deadline(); ++level) {
-    bool any_candidate = false;
+    // Frozen adjacency snapshot and the edge worklist for this level.
+    std::vector<std::vector<std::size_t>> adjacency(n);
+    for (std::size_t i = 0; i < n; ++i) adjacency[i] = g.neighbors(i);
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
-        if (past_deadline()) break;
-        if (!g.has_edge(i, j)) continue;
-        // Conditioning candidates: neighbors of i or of j, excluding each
-        // other (the standard PC-stable-ish pool).
-        std::vector<std::size_t> pool;
-        for (std::size_t v : g.neighbors(i)) {
-          if (v != j) pool.push_back(v);
-        }
-        for (std::size_t v : g.neighbors(j)) {
-          if (v != i && std::find(pool.begin(), pool.end(), v) == pool.end()) {
+        if (g.has_edge(i, j)) edges.emplace_back(i, j);
+      }
+    }
+    // Deferred outcomes, one slot per edge: workers write disjoint slots,
+    // the commit below merges them at the level barrier.
+    struct EdgeOutcome {
+      bool separated = false;
+      std::vector<std::size_t> sepset;
+    };
+    std::vector<EdgeOutcome> outcomes(edges.size());
+    std::atomic<bool> any_candidate{false};
+
+    auto process_edges = [&](std::size_t begin, std::size_t end) {
+      // Conditioning-pool scratch, sized once per worker chunk: the
+      // membership bitmap replaces the former std::find dedup (O(deg^2)
+      // per edge) with O(deg) flag checks.
+      std::vector<char> in_pool(n, 0);
+      std::vector<std::size_t> pool;
+      pool.reserve(n);
+      for (std::size_t e = begin; e < end; ++e) {
+        if (past_deadline()) break;  // remaining edges stay untested
+        const auto [i, j] = edges[e];
+        // Conditioning candidates: frozen neighbors of i or of j,
+        // excluding each other.
+        pool.clear();
+        for (std::size_t v : adjacency[i]) {
+          if (v != j) {
+            in_pool[v] = 1;
             pool.push_back(v);
           }
         }
+        for (std::size_t v : adjacency[j]) {
+          if (v != i && !in_pool[v]) pool.push_back(v);
+        }
+        for (std::size_t v : pool) in_pool[v] = 0;
         if (pool.size() < level) continue;
-        any_candidate = true;
-        bool separated = false;
-        for_each_subset(
-            pool, level, [&](std::span<const std::size_t> subset) {
-              if (past_deadline()) return true;  // keep the edge, stop
-              ++result.ci_tests_performed;
-              const CiResult ci = test.test(i, j, subset);
-              if (ci.independent) {
-                result.separating_sets[{i, j}] =
-                    std::vector<std::size_t>(subset.begin(), subset.end());
-                separated = true;
-                return true;
-              }
-              return false;
-            });
-        if (separated) g.remove_edge(i, j);
+        any_candidate.store(true, std::memory_order_relaxed);
+        for_each_subset(pool, level, [&](std::span<const std::size_t> subset) {
+          if (past_deadline()) return true;  // keep the edge, stop
+          ci_tests.fetch_add(1, std::memory_order_relaxed);
+          const CiResult ci = test.test(i, j, subset);
+          if (ci.independent) {
+            outcomes[e].separated = true;
+            outcomes[e].sepset.assign(subset.begin(), subset.end());
+            return true;
+          }
+          return false;
+        });
       }
+    };
+    if (options.parallel) {
+      common::parallel_for_chunked(edges.size(), process_edges);
+    } else {
+      process_edges(0, edges.size());
     }
-    if (!any_candidate) break;
+
+    // Level barrier: commit removals and separating sets in edge order.
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!outcomes[e].separated) continue;
+      g.remove_edge(edges[e].first, edges[e].second);
+      result.separating_sets[edges[e]] = std::move(outcomes[e].sepset);
+    }
+    if (!any_candidate.load()) break;
   }
+  result.ci_tests_performed = ci_tests.load();
+  result.truncated = deadline_hit.load();
+  const double skeleton_seconds = skeleton_timer.seconds();
 
   // Phase 2: orient v-structures i -> k <- j when k is not in sepset(i, j).
   for (std::size_t k = 0; k < n; ++k) {
@@ -200,6 +220,13 @@ PcResult pc_algorithm(const CiTest& test, const PcOptions& options) {
   auto& registry = obs::MetricsRegistry::global();
   registry.counter("pc.ci_tests_total", "CI tests run by the PC algorithm")
       .inc(result.ci_tests_performed);
+  if (skeleton_seconds > 0.0 && result.ci_tests_performed > 0) {
+    registry
+        .gauge("pc.ci_tests_per_second",
+               "CI-test throughput of the most recent PC skeleton phase")
+        .set(static_cast<double>(result.ci_tests_performed) /
+             skeleton_seconds);
+  }
   if (result.truncated) {
     registry
         .counter("pc.truncations_total",

@@ -1,17 +1,22 @@
 // fsda::causal -- the PC algorithm (Spirtes, Glymour, Scheines).
 //
-// Phase 1 learns the skeleton by levelwise CI tests with conditioning sets
-// drawn from current adjacencies; phase 2 orients v-structures from the
-// recorded separating sets; phase 3 applies the Meek rules to propagate
-// orientations.  The result is a CPDAG.
+// Phase 1 learns the skeleton by levelwise CI tests in the PC-stable
+// variant (Colombo & Maathuis): adjacency sets are frozen at the start of
+// each level and edge removals are committed only at the level barrier, so
+// the per-edge tests are order-independent and run in parallel on the
+// global thread pool without changing the result.  Phase 2 orients
+// v-structures from the recorded separating sets; phase 3 applies the Meek
+// rules to propagate orientations.  The result is a CPDAG.
 //
 // The FS method does not need the full graph -- it uses the targeted F-node
 // search in fnode.hpp -- but the complete PC implementation is part of the
 // public causal API and is what the paper's Section V-A2 references.
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "causal/ci_test.hpp"
@@ -32,6 +37,12 @@ struct PcOptions {
   /// keeping dependence) and `PcResult::truncated` is set.  Orientation
   /// phases still run on the partial skeleton.
   std::size_t deadline_ms = 0;
+  /// Run each level's per-edge CI tests on the global thread pool.  The
+  /// PC-stable freeze makes the tests order-independent, so serial and
+  /// parallel runs produce identical skeletons and separating sets
+  /// (deadline-truncated runs excepted: which edges got tested before the
+  /// cutoff then depends on scheduling).
+  bool parallel = true;
 };
 
 /// Result of a PC run: the CPDAG plus the separating sets found.
@@ -49,10 +60,47 @@ struct PcResult {
 /// Runs PC with the given CI oracle over all variables of the test.
 PcResult pc_algorithm(const CiTest& test, const PcOptions& options = {});
 
-/// Enumerates all k-subsets of `pool`, invoking `visit` for each; `visit`
-/// returns true to stop early (subset found).  Exposed for testing.
+/// Enumerates all k-subsets of `pool` in lexicographic order, invoking
+/// `visit(std::span<const std::size_t>)` for each; `visit` returns true to
+/// stop early (subset found), and for_each_subset returns whether it was
+/// stopped.  Templated on the visitor so the innermost CI-test loop inlines
+/// the callback instead of paying a std::function indirect call per subset;
+/// subsets of size <= 8 (every real conditioning level) enumerate without
+/// touching the heap.
+template <typename Visitor>
 bool for_each_subset(const std::vector<std::size_t>& pool, std::size_t k,
-                     const std::function<bool(std::span<const std::size_t>)>&
-                         visit);
+                     Visitor&& visit) {
+  if (k > pool.size()) return false;
+  constexpr std::size_t kInline = 8;
+  std::array<std::size_t, kInline> subset_buf{};
+  std::array<std::size_t, kInline> idx_buf{};
+  std::vector<std::size_t> subset_heap;
+  std::vector<std::size_t> idx_heap;
+  std::size_t* subset = subset_buf.data();
+  std::size_t* idx = idx_buf.data();
+  if (k > kInline) {
+    subset_heap.resize(k);
+    idx_heap.resize(k);
+    subset = subset_heap.data();
+    idx = idx_heap.data();
+  }
+  // Iterative combination enumeration over indices into `pool`.
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) subset[i] = pool[idx[i]];
+    if (visit(std::span<const std::size_t>(subset, k))) return true;
+    if (k == 0) return false;
+    // advance combination
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (idx[pos] != pos + pool.size() - k) break;
+      if (pos == 0) return false;
+    }
+    if (idx[pos] == pos + pool.size() - k) return false;
+    ++idx[pos];
+    for (std::size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
 
 }  // namespace fsda::causal

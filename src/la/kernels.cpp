@@ -1,6 +1,7 @@
 #include "la/kernels.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/thread_pool.hpp"
 
@@ -200,6 +201,70 @@ void add_row_broadcast_into(ConstMatrixView a, ConstMatrixView row,
     const double* in = a.row_data(r);
     double* o = out.row_data(r);
     for (std::size_t c = 0; c < a.cols(); ++c) o[c] = in[c] + bias[c];
+  }
+}
+
+void cholesky_into(ConstMatrixView a, MatrixView out, double min_pivot) {
+  FSDA_CHECK_MSG(a.rows() == a.cols(),
+                 "cholesky_into requires a square matrix, got "
+                     << a.rows() << "x" << a.cols());
+  detail::check_same_shape(a, out, "cholesky_into");
+  const bool in_place = a.raw() == out.raw() && a.row_stride() == out.row_stride();
+  FSDA_CHECK_MSG(in_place || !views_overlap(out, a),
+                 "cholesky_into: destination partially aliases the input");
+  if (!in_place) copy_into(a, out);
+  const std::size_t n = out.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* __restrict ri = out.row_data(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double* __restrict rj = out.row_data(j);
+      double acc = ri[j];
+      for (std::size_t k = 0; k < j; ++k) acc -= ri[k] * rj[k];
+      ri[j] = acc / rj[j];
+    }
+    double acc = ri[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= ri[k] * ri[k];
+    if (acc <= min_pivot) {
+      throw common::NumericError("cholesky_into: matrix not positive definite");
+    }
+    ri[i] = std::sqrt(acc);
+    for (std::size_t j = i + 1; j < n; ++j) ri[j] = 0.0;
+  }
+}
+
+void solve_triangular_into(ConstMatrixView tri, MatrixView b, bool transpose) {
+  const std::size_t n = tri.rows();
+  FSDA_CHECK_MSG(tri.cols() == n,
+                 "solve_triangular_into requires a square factor");
+  FSDA_CHECK_MSG(b.rows() == n, "solve_triangular_into: rhs has "
+                                    << b.rows() << " rows, factor is " << n);
+  const std::size_t m = b.cols();
+  if (!transpose) {
+    // Forward substitution with the lower factor.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* __restrict li = tri.row_data(i);
+      double* __restrict bi = b.row_data(i);
+      for (std::size_t k = 0; k < i; ++k) {
+        const double factor = li[k];
+        const double* __restrict bk = b.row_data(k);
+        for (std::size_t c = 0; c < m; ++c) bi[c] -= factor * bk[c];
+      }
+      const double inv = 1.0 / li[i];
+      for (std::size_t c = 0; c < m; ++c) bi[c] *= inv;
+    }
+  } else {
+    // Backward substitution with the transposed factor: L^T x = b reads
+    // column i of L as row i of L^T, i.e. tri(k, i) for k > i.
+    for (std::size_t i = n; i-- > 0;) {
+      double* __restrict bi = b.row_data(i);
+      for (std::size_t k = i + 1; k < n; ++k) {
+        const double factor = tri(k, i);
+        const double* __restrict bk = b.row_data(k);
+        for (std::size_t c = 0; c < m; ++c) bi[c] -= factor * bk[c];
+      }
+      const double inv = 1.0 / tri(i, i);
+      for (std::size_t c = 0; c < m; ++c) bi[c] *= inv;
+    }
   }
 }
 

@@ -47,6 +47,21 @@ void add_row_broadcast_into(ConstMatrixView a, ConstMatrixView row,
 /// out (1 x cols) (+)= column sums of a.
 void sum_rows_into(ConstMatrixView a, MatrixView out, bool accumulate = false);
 
+/// Writes the lower-triangular Cholesky factor of SPD `a` into `out` (the
+/// strict upper triangle is zeroed).  `out` may alias `a` exactly, in which
+/// case the factorization runs in place.  Throws NumericError when any pivot
+/// (squared diagonal entry of the factor) falls at or below `min_pivot`; the
+/// default rejects only non-positive pivots.  Callers that need a breakdown
+/// signal for nearly-singular inputs (the CI-test fast path) pass a small
+/// positive threshold instead.
+void cholesky_into(ConstMatrixView a, MatrixView out, double min_pivot = 0.0);
+
+/// Solves L X = B (transpose = false) or L^T X = B (transpose = true) in
+/// place on `b`, where `tri` holds a lower-triangular factor as produced by
+/// cholesky_into.  B may have any number of columns.
+void solve_triangular_into(ConstMatrixView tri, MatrixView b,
+                           bool transpose = false);
+
 namespace detail {
 inline void check_same_shape(ConstMatrixView a, ConstMatrixView b,
                              const char* op) {

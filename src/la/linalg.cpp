@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
+#include "la/view.hpp"
 
 namespace fsda::la {
 
@@ -60,44 +62,18 @@ Lu lu_decompose(const Matrix& a) {
 
 Matrix cholesky(const Matrix& a) {
   check_square(a, "cholesky");
-  const std::size_t n = a.rows();
-  Matrix l(n, n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      double acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-      if (i == j) {
-        if (acc <= 0.0) {
-          throw NumericError("cholesky: matrix not positive definite");
-        }
-        l(i, i) = std::sqrt(acc);
-      } else {
-        l(i, j) = acc / l(j, j);
-      }
-    }
-  }
+  Matrix l(a.rows(), a.rows());
+  cholesky_into(a, l);
   return l;
 }
 
 Matrix cholesky_solve(const Matrix& a, const Matrix& b) {
   FSDA_CHECK_MSG(a.rows() == b.rows(), "cholesky_solve shape mismatch");
   const Matrix l = cholesky(a);
-  const std::size_t n = a.rows();
   Matrix x = b;
-  // forward substitution L y = b
-  for (std::size_t col = 0; col < b.cols(); ++col) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = x(i, col);
-      for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * x(k, col);
-      x(i, col) = acc / l(i, i);
-    }
-    // backward substitution L^T x = y
-    for (std::size_t ii = n; ii-- > 0;) {
-      double acc = x(ii, col);
-      for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x(k, col);
-      x(ii, col) = acc / l(ii, ii);
-    }
-  }
+  MatrixView xv(x);
+  solve_triangular_into(l, xv, /*transpose=*/false);  // L y = b
+  solve_triangular_into(l, xv, /*transpose=*/true);   // L^T x = y
   return x;
 }
 

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
 #include "la/linalg.hpp"
+#include "la/view.hpp"
 
 namespace fsda::la {
 
@@ -139,6 +141,111 @@ double partial_correlation(const Matrix& corr, std::size_t i, std::size_t j,
   return std::clamp(r, -1.0, 1.0);
 }
 
+namespace {
+
+// Ridge matching the slow path's first attempt; both paths perturb the
+// submatrix diagonal identically so their results agree to rounding.
+constexpr double kPcorrRidge = 1e-10;
+
+// Breakdown threshold for the fast path: a Cholesky pivot (or 2x2
+// determinant) of the unit-diagonal conditioning block at or below this
+// means the block is near-singular enough that the factored and
+// LU-inverted computations could drift apart, so the fast path defers to
+// the exact slow path instead.
+constexpr double kPcorrBreakdown = 1e-8;
+
+/// Computes the 2x2 Schur complement M = B - C^T D^{-1} C of the ridged
+/// submatrix over {i, j} ∪ given, where D is the conditioning block and
+/// B the {i, j} block.  Returns false when D (or the complement diagonal)
+/// is too close to singular to trust the factorization.
+bool pcorr_schur_block(const Matrix& corr, std::size_t i, std::size_t j,
+                       std::span<const std::size_t> given,
+                       PartialCorrScratch& scratch, double& m00, double& m01,
+                       double& m11) {
+  const double diag = 1.0 + kPcorrRidge;
+  const std::size_t size = given.size();
+  if (size == 1) {
+    const std::size_t g = given[0];
+    const double ci = corr(g, i);
+    const double cj = corr(g, j);
+    m00 = diag - ci * ci / diag;
+    m01 = corr(i, j) - ci * cj / diag;
+    m11 = diag - cj * cj / diag;
+  } else if (size == 2) {
+    const std::size_t g0 = given[0];
+    const std::size_t g1 = given[1];
+    const double d01 = corr(g0, g1);
+    const double det = diag * diag - d01 * d01;
+    if (det <= kPcorrBreakdown) return false;
+    const double ci0 = corr(g0, i);
+    const double ci1 = corr(g1, i);
+    const double cj0 = corr(g0, j);
+    const double cj1 = corr(g1, j);
+    // D^{-1} c by Cramer's rule on the 2x2 conditioning block.
+    const double ui0 = (diag * ci0 - d01 * ci1) / det;
+    const double ui1 = (diag * ci1 - d01 * ci0) / det;
+    const double uj0 = (diag * cj0 - d01 * cj1) / det;
+    const double uj1 = (diag * cj1 - d01 * cj0) / det;
+    m00 = diag - (ci0 * ui0 + ci1 * ui1);
+    m01 = corr(i, j) - (ci0 * uj0 + ci1 * uj1);
+    m11 = diag - (cj0 * uj0 + cj1 * uj1);
+  } else {
+    scratch.ensure(size);
+    double* d = scratch.chol.data();
+    for (std::size_t a = 0; a < size; ++a) {
+      for (std::size_t b = 0; b < size; ++b) {
+        d[a * size + b] = a == b ? diag : corr(given[a], given[b]);
+      }
+      scratch.yi[a] = corr(given[a], i);
+      scratch.yj[a] = corr(given[a], j);
+    }
+    MatrixView d_view(d, size, size, size);
+    try {
+      cholesky_into(d_view, d_view, kPcorrBreakdown);
+    } catch (const common::NumericError&) {
+      return false;
+    }
+    MatrixView yi_view(scratch.yi.data(), size, 1, 1);
+    MatrixView yj_view(scratch.yj.data(), size, 1, 1);
+    solve_triangular_into(d_view, yi_view);
+    solve_triangular_into(d_view, yj_view);
+    // With D = L L^T, c_a^T D^{-1} c_b = (L^{-1} c_a) . (L^{-1} c_b).
+    double sii = 0.0, sij = 0.0, sjj = 0.0;
+    for (std::size_t a = 0; a < size; ++a) {
+      sii += scratch.yi[a] * scratch.yi[a];
+      sij += scratch.yi[a] * scratch.yj[a];
+      sjj += scratch.yj[a] * scratch.yj[a];
+    }
+    m00 = diag - sii;
+    m01 = corr(i, j) - sij;
+    m11 = diag - sjj;
+  }
+  return m00 > kPcorrBreakdown && m11 > kPcorrBreakdown;
+}
+
+}  // namespace
+
+double partial_correlation_fast(const Matrix& corr, std::size_t i,
+                                std::size_t j,
+                                std::span<const std::size_t> given,
+                                PartialCorrScratch& scratch) {
+  FSDA_CHECK_MSG(i < corr.rows() && j < corr.rows(), "index out of range");
+  FSDA_CHECK_MSG(i != j, "partial correlation of a variable with itself");
+  if (given.empty()) return corr(i, j);
+  for (std::size_t g : given) {
+    FSDA_CHECK_MSG(g != i && g != j, "conditioning set overlaps {i,j}");
+  }
+  double m00, m01, m11;
+  if (!pcorr_schur_block(corr, i, j, given, scratch, m00, m01, m11)) {
+    // Near-singular conditioning block: defer to the inverse-based path so
+    // pathological inputs keep their exact historical behaviour (ridge
+    // retry included).
+    return partial_correlation(corr, i, j, given);
+  }
+  const double r = m01 / std::sqrt(m00 * m11);
+  return std::clamp(r, -1.0, 1.0);
+}
+
 double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
 
 double two_sided_p(double z) { return 2.0 * (1.0 - normal_cdf(std::abs(z))); }
@@ -168,11 +275,12 @@ double ks_p_value(double statistic, std::size_t n_a, std::size_t n_b) {
   const double lambda = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * statistic;
   // Kolmogorov distribution tail series.
   double p = 0.0;
+  double sign = 1.0;
   for (int k = 1; k <= 100; ++k) {
-    const double term =
-        2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * lambda * lambda);
+    const double term = 2.0 * sign * std::exp(-2.0 * k * k * lambda * lambda);
     p += term;
     if (std::abs(term) < 1e-12) break;
+    sign = -sign;
   }
   return std::clamp(p, 0.0, 1.0);
 }

@@ -47,6 +47,41 @@ Matrix correlation(const Matrix& x);
 double partial_correlation(const Matrix& corr, std::size_t i, std::size_t j,
                            std::span<const std::size_t> given);
 
+/// Reusable buffers for partial_correlation_fast.  The arena grows to the
+/// largest conditioning set it has seen and is then reused, so a steady
+/// stream of CI tests performs zero heap allocations.  One scratch per
+/// thread: typically a function-local thread_local at the call site, or one
+/// instance per worker in an explicitly sharded loop.
+struct PartialCorrScratch {
+  std::vector<double> chol;  ///< L x L conditioning block, factored in place
+  std::vector<double> yi;    ///< forward-solve of corr(S, i)
+  std::vector<double> yj;    ///< forward-solve of corr(S, j)
+
+  void ensure(std::size_t size) {
+    if (chol.size() < size * size) chol.resize(size * size);
+    if (yi.size() < size) {
+      yi.resize(size);
+      yj.resize(size);
+    }
+  }
+};
+
+/// Allocation-free partial correlation, numerically equivalent to
+/// partial_correlation: instead of inverting the (L+2)x(L+2) submatrix over
+/// {i, j} ∪ S against the identity, it forms the 2x2 Schur complement
+/// M = B - C^T D^{-1} C of the (identically ridged) submatrix and reads
+/// r = M01 / sqrt(M00 * M11) directly.  L ∈ {1, 2} use closed-form scalar /
+/// 2x2 elimination; L >= 3 runs one Cholesky factorization of the
+/// conditioning block D plus two forward triangular solves (O(L^3/3) versus
+/// the full inverse's O((L+2)^3)), writing only into `scratch`.  When the
+/// conditioning block is too close to singular for the factorization to be
+/// trustworthy, it falls back to partial_correlation itself (including that
+/// path's ridge retry), so results match the slow path bit-for-bit there.
+double partial_correlation_fast(const Matrix& corr, std::size_t i,
+                                std::size_t j,
+                                std::span<const std::size_t> given,
+                                PartialCorrScratch& scratch);
+
 /// Standard normal CDF.
 double normal_cdf(double z);
 

@@ -2,6 +2,7 @@
 // correlations, tail functions, and two-sample tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -145,6 +146,27 @@ TEST(KsTest, ShiftedSamplesAreDetected) {
   const double d = ks_statistic(a, b);
   EXPECT_GT(d, 0.4);
   EXPECT_LT(ks_p_value(d, a.size(), b.size()), 1e-6);
+}
+
+TEST(KsTest, PValueMatchesPowSeries) {
+  // The alternating-sign variable in ks_p_value must reproduce the
+  // textbook series sum_{k>=1} 2 (-1)^{k-1} exp(-2 k^2 lambda^2) exactly.
+  for (const double stat : {0.02, 0.05, 0.1, 0.3, 0.6}) {
+    for (const std::size_t n : {std::size_t{50}, std::size_t{500}}) {
+      const double nn = static_cast<double>(n) / 2.0;
+      const double lambda =
+          (std::sqrt(nn) + 0.12 + 0.11 / std::sqrt(nn)) * stat;
+      double expected = 0.0;
+      for (int k = 1; k <= 100; ++k) {
+        const double term = 2.0 * std::pow(-1.0, k - 1) *
+                            std::exp(-2.0 * k * k * lambda * lambda);
+        expected += term;
+        if (std::abs(term) < 1e-12) break;
+      }
+      expected = std::clamp(expected, 0.0, 1.0);
+      EXPECT_DOUBLE_EQ(ks_p_value(stat, n, n), expected);
+    }
+  }
 }
 
 TEST(WelchTest, DetectsMeanDifference) {
