@@ -1,0 +1,111 @@
+// Shared measurement harness for the packed serving path: single-sample
+// latency percentiles and micro-batch throughput, measured for both the
+// packed-plan session and the layer-API fallback on the same trained
+// pipeline (bench_inference and `fsda_cli serve-bench` both use it).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "core/pipeline.hpp"
+#include "la/matrix.hpp"
+
+namespace fsda::bench {
+
+struct LatencyStats {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One serving path's numbers: per-call latency and batched throughput.
+struct PathStats {
+  LatencyStats single;
+  double samples_per_sec = 0.0;
+};
+
+struct ServingBenchResult {
+  PathStats packed;
+  PathStats baseline;
+  std::size_t single_iters = 0;
+  std::size_t batch_rows = 0;
+  std::size_t batch_reps = 0;
+};
+
+inline LatencyStats percentiles(std::vector<double>& ms) {
+  LatencyStats out;
+  if (ms.empty()) return out;
+  std::sort(ms.begin(), ms.end());
+  out.p50_ms = ms[ms.size() / 2];
+  out.p99_ms = ms[std::min(ms.size() - 1, (ms.size() * 99) / 100)];
+  return out;
+}
+
+/// Measures whatever path the pipeline currently routes through.  Rows of
+/// `test` are cycled so successive calls do not hit identical inputs.
+inline PathStats measure_serving_path(core::FsGanPipeline& pipeline,
+                                      const la::Matrix& test,
+                                      std::size_t single_iters,
+                                      std::size_t batch_rows,
+                                      std::size_t batch_reps) {
+  PathStats stats;
+  la::Matrix proba;
+  {
+    la::Matrix sample(1, test.cols());
+    for (std::size_t c = 0; c < test.cols(); ++c) sample(0, c) = test(0, c);
+    for (int warm = 0; warm < 3; ++warm) {
+      pipeline.predict_proba_into(sample, proba);
+    }
+    std::vector<double> ms;
+    ms.reserve(single_iters);
+    common::Stopwatch timer;
+    for (std::size_t i = 0; i < single_iters; ++i) {
+      const std::size_t r = i % test.rows();
+      for (std::size_t c = 0; c < test.cols(); ++c) sample(0, c) = test(r, c);
+      timer.reset();
+      pipeline.predict_proba_into(sample, proba);
+      ms.push_back(timer.millis());
+    }
+    stats.single = percentiles(ms);
+  }
+  {
+    const std::size_t rows = std::min(batch_rows, test.rows());
+    la::Matrix batch(rows, test.cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < test.cols(); ++c) batch(r, c) = test(r, c);
+    }
+    pipeline.predict_proba_into(batch, proba);  // warm the batch buffers
+    common::Stopwatch timer;
+    for (std::size_t rep = 0; rep < batch_reps; ++rep) {
+      pipeline.predict_proba_into(batch, proba);
+    }
+    const double secs = timer.seconds();
+    stats.samples_per_sec =
+        secs > 0.0 ? static_cast<double>(rows * batch_reps) / secs : 0.0;
+  }
+  return stats;
+}
+
+/// Packed vs. layer-API comparison on one trained pipeline.  Leaves the
+/// packed plans re-enabled afterwards.
+inline ServingBenchResult run_serving_bench(core::FsGanPipeline& pipeline,
+                                            const la::Matrix& test,
+                                            std::size_t single_iters,
+                                            std::size_t batch_rows,
+                                            std::size_t batch_reps) {
+  ServingBenchResult out;
+  out.single_iters = single_iters;
+  out.batch_rows = std::min(batch_rows, test.rows());
+  out.batch_reps = batch_reps;
+  pipeline.set_serving_plans_enabled(true);
+  out.packed =
+      measure_serving_path(pipeline, test, single_iters, batch_rows, batch_reps);
+  pipeline.set_serving_plans_enabled(false);
+  out.baseline =
+      measure_serving_path(pipeline, test, single_iters, batch_rows, batch_reps);
+  pipeline.set_serving_plans_enabled(true);
+  return out;
+}
+
+}  // namespace fsda::bench

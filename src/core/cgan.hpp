@@ -85,6 +85,20 @@ class ConditionalGAN : public Reconstructor {
   }
   [[nodiscard]] std::size_t noise_dim() const { return noise_dim_; }
 
+  /// Fills `z` with rows x noise_dim N(0,1) draws from the GAN's own rng
+  /// stream.  Public so the serving path (core/inference_session.hpp) can
+  /// consume the stream in exactly the order reconstruct() would, keeping
+  /// packed and layer-API predictions on the same noise sequence.
+  void sample_noise_into(std::size_t rows, la::Matrix& z);
+
+  /// The trained generator network, or nullptr before fit(); used by the
+  /// inference-plan compiler.  The pointer is invalidated by the next fit().
+  [[nodiscard]] nn::Sequential* generator_network() {
+    return fitted_ ? generator_.get() : nullptr;
+  }
+  [[nodiscard]] std::size_t inv_dim() const { return inv_dim_; }
+  [[nodiscard]] std::size_t var_dim() const { return var_dim_; }
+
   /// Divergence-recovery diagnostics of the last fit().
   [[nodiscard]] const TrainHealth& train_health() const {
     return train_health_;
@@ -98,7 +112,6 @@ class ConditionalGAN : public Reconstructor {
   }
 
  private:
-  void sample_noise_into(std::size_t rows, la::Matrix& z);
   [[nodiscard]] la::Matrix one_hot(const std::vector<std::int64_t>& labels,
                                    std::size_t num_classes) const;
 

@@ -1,0 +1,196 @@
+#include "core/inference_session.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "core/cgan.hpp"
+#include "la/view.hpp"
+#include "models/neural.hpp"
+#include "obs/inference_metrics.hpp"
+#include "obs/metrics.hpp"
+
+namespace fsda::core {
+
+namespace {
+
+/// dst(r, i) = x(r, cols[i]) -- the view-level equivalent of select_cols.
+void gather_cols(const la::Matrix& x, const std::vector<std::size_t>& cols,
+                 la::MatrixView dst) {
+  const la::ConstMatrixView xv(x);
+  for (std::size_t r = 0; r < xv.rows(); ++r) {
+    const double* in = xv.row_data(r);
+    double* out = dst.row_data(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) out[i] = in[cols[i]];
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<InferenceSession> InferenceSession::build(
+    models::Classifier& classifier, Reconstructor* reconstructor,
+    const SeparationResult& sep, std::size_t monte_carlo_m,
+    bool use_reconstruction) {
+  // Only the neural classifiers expose a compilable network; tree/linear
+  // baselines keep the layer-API path.
+  auto* mlp = dynamic_cast<models::MLPClassifier*>(&classifier);
+  if (mlp == nullptr || mlp->network() == nullptr) return nullptr;
+  auto clf_plan = nn::InferencePlan::compile(*mlp->network(),
+                                             mlp->num_features(),
+                                             /*append_softmax=*/true);
+  if (!clf_plan.has_value()) return nullptr;
+
+  std::unique_ptr<InferenceSession> s(new InferenceSession());
+  s->num_classes_ = mlp->num_classes();
+  s->monte_carlo_m_ = std::max<std::size_t>(monte_carlo_m, 1);
+  s->clf_plan_ = std::move(clf_plan);
+
+  if (!use_reconstruction) {
+    // FS mode mirrors the layer path: invariant columns, or everything when
+    // the invariant set is empty (degenerate fallback).
+    if (sep.invariant.empty()) return s;  // Mode::Direct
+    s->mode_ = Mode::Select;
+    s->cols_ = sep.invariant;
+    if (s->cols_.size() != s->clf_plan_->in_features()) return nullptr;
+    return s;
+  }
+  if (sep.variant.empty() || reconstructor == nullptr) {
+    // Nothing to reconstruct: classifier input is the [inv | var] gather.
+    s->mode_ = Mode::Select;
+    s->cols_ = sep.invariant;
+    s->cols_.insert(s->cols_.end(), sep.variant.begin(), sep.variant.end());
+    if (s->cols_.size() != s->clf_plan_->in_features()) return nullptr;
+    return s;
+  }
+  // Full FS+GAN: only the CGAN generator is compilable (the MeanImpute
+  // fallback has no network and keeps the layer path).
+  auto* gan = dynamic_cast<ConditionalGAN*>(reconstructor);
+  if (gan == nullptr || gan->generator_network() == nullptr) return nullptr;
+  if (gan->inv_dim() != sep.invariant.size()) return nullptr;
+  auto gen_plan = nn::InferencePlan::compile(
+      *gan->generator_network(), gan->inv_dim() + gan->noise_dim());
+  if (!gen_plan.has_value()) return nullptr;
+  if (gen_plan->out_features() != gan->var_dim()) return nullptr;
+  if (s->clf_plan_->in_features() != gan->inv_dim() + gan->var_dim()) {
+    return nullptr;
+  }
+  s->mode_ = Mode::Reconstruct;
+  s->gan_ = gan;
+  s->gen_plan_ = std::move(gen_plan);
+  s->cols_ = sep.invariant;
+  return s;
+}
+
+InferenceSession::Ctx* InferenceSession::acquire_ctx() {
+  std::lock_guard<std::mutex> lk(ctx_mu_);
+  if (!ctx_free_.empty()) {
+    Ctx* c = ctx_free_.back();
+    ctx_free_.pop_back();
+    return c;
+  }
+  ctx_pool_.push_back(std::make_unique<Ctx>());
+  return ctx_pool_.back().get();
+}
+
+void InferenceSession::release_ctx(Ctx* ctx) {
+  std::lock_guard<std::mutex> lk(ctx_mu_);
+  ctx_free_.push_back(ctx);
+}
+
+void InferenceSession::predict_proba_scaled(const la::Matrix& x,
+                                            la::Matrix& proba) {
+  common::Stopwatch timer;
+  const std::size_t rows = x.rows();
+  proba.resize(rows, num_classes_);
+  if (rows == 0) return;
+
+  // Shards [0, rows) over the global pool; each chunk borrows a Ctx so
+  // concurrent chunks never share plan workspaces.  The single-row (and
+  // serial) path calls the body directly -- no task queue, no std::function.
+  auto run_chunked = [&](auto&& body) {
+    if (threading_enabled_ && rows > 1 && !common::ThreadPool::in_worker()) {
+      common::parallel_for_chunked(rows, [&](std::size_t b, std::size_t e) {
+        Ctx* ctx = acquire_ctx();
+        body(b, e, *ctx);
+        release_ctx(ctx);
+      });
+    } else {
+      Ctx* ctx = acquire_ctx();
+      body(0, rows, *ctx);
+      release_ctx(ctx);
+    }
+  };
+
+  switch (mode_) {
+    case Mode::Direct:
+    case Mode::Select: {
+      la::ConstMatrixView in(x);
+      if (mode_ == Mode::Select) {
+        selected_.resize(rows, cols_.size());
+        gather_cols(x, cols_, selected_);
+        in = selected_;
+      }
+      run_chunked([&](std::size_t b, std::size_t e, Ctx& ctx) {
+        clf_plan_->run(in.row_block(b, e - b),
+                       la::MatrixView(proba).row_block(b, e - b), ctx.clf_ws);
+      });
+      break;
+    }
+    case Mode::Reconstruct: {
+      const std::size_t inv = cols_.size();
+      const std::size_t var = gan_->var_dim();
+      const std::size_t nz = gan_->noise_dim();
+      assembled_.resize(rows, inv + var);
+      g_in_.resize(rows, inv + nz);
+      gather_cols(x, cols_, la::MatrixView(assembled_).col_block(0, inv));
+      gather_cols(x, cols_, la::MatrixView(g_in_).col_block(0, inv));
+      // Same counters the layer path bumps, so dashboards agree.
+      static obs::Counter& draws_total =
+          obs::MetricsRegistry::global().counter(
+              "recon.draws_total", "Monte-Carlo reconstruction draws performed");
+      static obs::Counter& recon_rows_total =
+          obs::MetricsRegistry::global().counter(
+              "recon.rows_total", "rows passed through the reconstructor");
+      for (std::size_t m = 0; m < monte_carlo_m_; ++m) {
+        draws_total.inc();
+        recon_rows_total.inc(rows);
+        // Noise is drawn serially from the GAN's stream -- exactly the
+        // sequence reconstruct() would consume -- then chunks only read it,
+        // so threaded and serial execution are bitwise-identical.
+        gan_->sample_noise_into(rows, noise_);
+        la::MatrixView zdst = la::MatrixView(g_in_).col_block(inv, nz);
+        const la::ConstMatrixView zsrc(noise_);
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::copy_n(zsrc.row_data(r), nz, zdst.row_data(r));
+        }
+        la::Matrix& dst = m == 0 ? proba : mc_tmp_;
+        dst.resize(rows, num_classes_);
+        run_chunked([&](std::size_t b, std::size_t e, Ctx& ctx) {
+          const std::size_t n = e - b;
+          // The generator writes its rows straight into the variant block
+          // of the assembled classifier input -- no hcat, no copies.
+          gen_plan_->run(
+              la::ConstMatrixView(g_in_).row_block(b, n),
+              la::MatrixView(assembled_).col_block(inv, var).row_block(b, n),
+              ctx.gen_ws);
+          clf_plan_->run(la::ConstMatrixView(assembled_).row_block(b, n),
+                         la::MatrixView(dst).row_block(b, n), ctx.clf_ws);
+        });
+        if (m > 0) proba += mc_tmp_;
+      }
+      proba *= 1.0 / static_cast<double>(monte_carlo_m_);
+      break;
+    }
+  }
+
+  auto& im = obs::InferenceMetrics::global();
+  im.samples_total.inc(rows);
+  const double ms = timer.millis();
+  im.batch_latency_ms.observe(ms);
+  im.samples_per_second.set(ms > 0.0 ? 1000.0 * static_cast<double>(rows) / ms
+                                     : 0.0);
+}
+
+}  // namespace fsda::core

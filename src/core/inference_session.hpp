@@ -1,0 +1,107 @@
+// fsda::core -- the packed serving path for a trained pipeline.
+//
+// An InferenceSession freezes the reconstruct->classify hot path of
+// FsGanPipeline::predict_proba into nn::InferencePlans (DESIGN.md §11):
+// the CGAN generator and the neural classifier are compiled once -- weights
+// packed into the panel-major GEMM layout, activations fused, dropout and
+// batch-norm folded -- and every subsequent prediction executes into
+// session-owned buffers with zero steady-state heap allocations.
+//
+// The session serves the same three separation regimes as the layer-API
+// path (FS-only / no-reconstructor / full FS+GAN) and reproduces its
+// numerics: the generator consumes the GAN's own noise stream in the same
+// order as reconstruct(), and the plan forwards match the layer forwards
+// to ~1e-12 under either GEMM kernel.
+//
+// build() returns nullptr whenever the classifier or reconstructor is not
+// plan-compatible (non-MLP classifier, MeanImpute fallback, unsupported
+// layer kinds); the pipeline then falls back to the layer API untouched.
+// Health guardrails (quarantine, clamp envelope, uniform-row rewrites) stay
+// in the predict_proba wrapper and therefore apply to both paths.
+//
+// Micro-batches are sharded over the global ThreadPool (noise is drawn
+// serially first, so serial and threaded execution are bitwise-identical);
+// single samples run inline.  predict_proba_scaled is not re-entrant --
+// call it from one thread at a time, as with the pipeline itself.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/feature_separation.hpp"
+#include "core/reconstructor.hpp"
+#include "la/matrix.hpp"
+#include "models/classifier.hpp"
+#include "nn/inference.hpp"
+
+namespace fsda::core {
+
+class ConditionalGAN;
+
+class InferenceSession {
+ public:
+  /// Compiles plans for the classifier (and reconstructor when the regime
+  /// needs one).  Returns nullptr when anything is not plan-compatible.
+  static std::unique_ptr<InferenceSession> build(models::Classifier& classifier,
+                                                 Reconstructor* reconstructor,
+                                                 const SeparationResult& sep,
+                                                 std::size_t monte_carlo_m,
+                                                 bool use_reconstruction);
+
+  /// The packed equivalent of FsGanPipeline::predict_proba_scaled: `x` is
+  /// the scaled, sanitized batch in original feature order; `proba` is
+  /// resized to rows x num_classes.  Allocation-free once warm.
+  void predict_proba_scaled(const la::Matrix& x, la::Matrix& proba);
+
+  /// Toggles ThreadPool sharding of micro-batches (on by default); serial
+  /// and threaded execution produce identical output.
+  void set_threading_enabled(bool on) { threading_enabled_ = on; }
+
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  /// True when this session runs the generator plan (full FS+GAN regime).
+  [[nodiscard]] bool reconstructs() const { return gen_plan_.has_value(); }
+
+ private:
+  /// Per-execution-context workspaces (one per concurrent chunk).
+  struct Ctx {
+    nn::InferenceWorkspace gen_ws;
+    nn::InferenceWorkspace clf_ws;
+  };
+
+  enum class Mode {
+    Direct,       ///< classify x as-is (FS-only, empty invariant set)
+    Select,       ///< classify a column gather of x
+    Reconstruct,  ///< gather inv block, generate var block, classify
+  };
+
+  InferenceSession() = default;
+
+  Ctx* acquire_ctx();
+  void release_ctx(Ctx* ctx);
+
+  Mode mode_ = Mode::Direct;
+  std::size_t num_classes_ = 0;
+  std::size_t monte_carlo_m_ = 1;
+  bool threading_enabled_ = true;
+
+  std::optional<nn::InferencePlan> clf_plan_;
+  std::optional<nn::InferencePlan> gen_plan_;
+  ConditionalGAN* gan_ = nullptr;  // non-owning; Mode::Reconstruct only
+  std::vector<std::size_t> cols_;  // gather list (Select: all, Reconstruct: inv)
+
+  // Persistent buffers -- capacity reused across calls.
+  la::Matrix selected_;   // Select: gathered classifier input
+  la::Matrix assembled_;  // Reconstruct: [x_inv | x̂_var] classifier input
+  la::Matrix g_in_;       // Reconstruct: [x_inv | z] generator input
+  la::Matrix noise_;      // Reconstruct: z draws
+  la::Matrix mc_tmp_;     // Reconstruct: per-draw probabilities (M > 1)
+
+  std::mutex ctx_mu_;
+  std::vector<std::unique_ptr<Ctx>> ctx_pool_;
+  std::vector<Ctx*> ctx_free_;
+};
+
+}  // namespace fsda::core

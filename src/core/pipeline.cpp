@@ -292,6 +292,7 @@ void FsGanPipeline::train(const data::Dataset& source,
              "wall seconds of the most recent classifier fit")
       .set(classifier_timer.seconds());
   trained_ = true;
+  rebuild_session();
 }
 
 void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
@@ -330,6 +331,23 @@ void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
     drift_monitor_.fit(source_scaled_, separation_->variant, {});
   }
   fit_reconstructor();
+  rebuild_session();
+}
+
+void FsGanPipeline::rebuild_session() {
+  session_.reset();
+  if (!serving_plans_enabled_ || !trained_ || classifier_ == nullptr ||
+      !separation_.has_value()) {
+    return;
+  }
+  session_ = InferenceSession::build(*classifier_, reconstructor_.get(),
+                                     *separation_, options_.monte_carlo_m,
+                                     options_.use_reconstruction);
+}
+
+void FsGanPipeline::set_serving_plans_enabled(bool on) {
+  serving_plans_enabled_ = on;
+  rebuild_session();
 }
 
 la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x) {
@@ -371,6 +389,13 @@ la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x) {
 }
 
 la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
+  la::Matrix proba;
+  predict_proba_into(x_raw, proba);
+  return proba;
+}
+
+void FsGanPipeline::predict_proba_into(const la::Matrix& x_raw,
+                                       la::Matrix& proba) {
   FSDA_SPAN("pipeline.predict");
   FSDA_CHECK_MSG(trained_, "predict before train");
   static auto& registry = obs::MetricsRegistry::global();
@@ -395,7 +420,8 @@ la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
   // must be finite end to end); Reject additionally overwrites the
   // quarantined rows' output with the uniform distribution.
   const std::vector<std::size_t> bad_rows = nonfinite_rows(x_raw);
-  la::Matrix x = scaler_.transform(x_raw);
+  scaler_.transform_into(x_raw, predict_x_);
+  la::Matrix& x = predict_x_;
   if (!bad_rows.empty()) {
     health_.quarantined_rows += bad_rows.size();
     quarantined_total.inc(bad_rows.size());
@@ -413,7 +439,11 @@ la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
   }
   if (telemetry) update_drift_gauges(x, bad_rows.size(), clamped_now);
 
-  la::Matrix proba = predict_proba_scaled(x);
+  if (session_ != nullptr) {
+    session_->predict_proba_scaled(x, proba);
+  } else {
+    proba = predict_proba_scaled(x);
+  }
 
   const double uniform = 1.0 / static_cast<double>(num_classes_);
   if (!bad_rows.empty() &&
@@ -439,7 +469,6 @@ la::Matrix FsGanPipeline::predict_proba(const la::Matrix& x_raw) {
   rows_total.inc(x_raw.rows());
   batches_total.inc();
   latency_ms.observe(timer.millis());
-  return proba;
 }
 
 void FsGanPipeline::update_drift_gauges(const la::Matrix& x_scaled,

@@ -21,6 +21,7 @@
 #include "causal/fnode.hpp"
 #include "core/feature_separation.hpp"
 #include "core/health.hpp"
+#include "core/inference_session.hpp"
 #include "core/reconstructor.hpp"
 #include "data/dataset.hpp"
 #include "data/scaler.hpp"
@@ -73,7 +74,24 @@ class FsGanPipeline {
 
   /// Class probabilities for raw (unscaled) target-domain samples.
   [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw);
+  /// Destination-passing predict_proba: identical output, but scaling and
+  /// scoring reuse `proba`'s and the pipeline's persistent buffers -- the
+  /// zero-allocation serving loop once warm.
+  void predict_proba_into(const la::Matrix& x_raw, la::Matrix& proba);
   [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x_raw);
+
+  /// Enables/disables the packed serving plans (core/inference_session.hpp).
+  /// Disabling routes predictions through the layer API; re-enabling
+  /// recompiles the plans from the current networks.  Test/benchmark hook.
+  void set_serving_plans_enabled(bool on);
+  /// True when predictions currently route through packed inference plans
+  /// (false before train() or when a component is not plan-compatible).
+  [[nodiscard]] bool serving_plans_active() const {
+    return session_ != nullptr;
+  }
+  /// The active session, or nullptr; white-box access for tests/benchmarks
+  /// (e.g. toggling micro-batch threading).  Invalidated by train/adapt.
+  [[nodiscard]] InferenceSession* serving_session() { return session_.get(); }
 
   [[nodiscard]] const SeparationResult& separation() const;
   [[nodiscard]] bool is_trained() const { return trained_; }
@@ -97,6 +115,9 @@ class FsGanPipeline {
 
  private:
   void fit_reconstructor();
+  /// Recompiles the packed serving session from the current classifier and
+  /// reconstructor; leaves session_ null when either is not plan-compatible.
+  void rebuild_session();
   /// The pre-guardrail predict path, on already scaled/sanitized inputs.
   [[nodiscard]] la::Matrix predict_proba_scaled(const la::Matrix& x);
   /// Publishes per-batch drift gauges (PSI over the variant block,
@@ -124,6 +145,12 @@ class FsGanPipeline {
   obs::DriftMonitor drift_monitor_;
   HealthReport health_;
   bool trained_ = false;
+
+  /// Packed serving path (nullptr = layer-API fallback) and the persistent
+  /// buffers predict_proba_into scales/scores into.
+  std::unique_ptr<InferenceSession> session_;
+  bool serving_plans_enabled_ = true;
+  la::Matrix predict_x_;
 };
 
 }  // namespace fsda::core

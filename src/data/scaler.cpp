@@ -43,12 +43,18 @@ void MinMaxScaler::fit(const la::Matrix& x) {
 }
 
 la::Matrix MinMaxScaler::transform(const la::Matrix& x) const {
+  la::Matrix out;
+  transform_into(x, out);
+  return out;
+}
+
+void MinMaxScaler::transform_into(const la::Matrix& x, la::Matrix& out) const {
   FSDA_CHECK_MSG(is_fitted(), "transform before fit");
   FSDA_CHECK_MSG(x.cols() == mins_.cols(), "width mismatch");
   static obs::Counter& rows_total = obs::MetricsRegistry::global().counter(
       "scaler.transform_rows_total", "rows scaled by MinMaxScaler::transform");
   rows_total.inc(x.rows());
-  la::Matrix out = x;
+  out.resize(x.rows(), x.cols());
   for (std::size_t c = 0; c < x.cols(); ++c) {
     const double range = maxs_(0, c) - mins_(0, c);
     for (std::size_t r = 0; r < x.rows(); ++r) {
@@ -57,7 +63,6 @@ la::Matrix MinMaxScaler::transform(const la::Matrix& x) const {
                       : 0.0;
     }
   }
-  return out;
 }
 
 std::size_t MinMaxScaler::clamp_transformed(la::Matrix& x,

@@ -22,6 +22,10 @@ class MinMaxScaler {
   /// inputs stay non-finite so callers can quarantine them).
   [[nodiscard]] la::Matrix transform(const la::Matrix& x) const;
 
+  /// Destination-passing transform: identical arithmetic, reusing `out`'s
+  /// capacity so steady-state serving loops stay allocation-free.
+  void transform_into(const la::Matrix& x, la::Matrix& out) const;
+
   /// Clamps already-transformed values into the envelope
   /// [-1 - margin, 1 + margin] per column (in place), so drifted target
   /// extremes far outside the source range cannot blow up downstream

@@ -1,0 +1,116 @@
+// fsda::la -- packed-weight GEMM micro-kernels with fused epilogues.
+//
+// The serving hot path (reconstruct -> classify, DESIGN.md §11) multiplies
+// small activation batches (1..256 rows) against fixed trained weight
+// matrices thousands of times.  The training kernels in kernels.hpp keep B
+// in its row-major layout and re-stream it per call; here the weights are
+// re-laid out ONCE into a panel-major PackedB (contiguous k x 8 column
+// slabs, zero-padded at the right edge) so the inner loop always reads
+// unit-stride full-width vectors, and the bias add plus activation are
+// fused into the same pass over the output -- no intermediate activation
+// matrix is ever materialized.
+//
+// Two kernels sit behind gemm_packed():
+//   - an AVX2/FMA micro-kernel (4 output rows x 8 columns per register
+//     tile), selected at runtime when the CPU supports it;
+//   - a portable scalar kernel whose accumulation order matches
+//     matmul_into (per output element: k ascending), so its results agree
+//     with the training kernel to the ULP (the compiler's FMA grouping
+//     differs with loop structure, so the match is ~1e-12, not bitwise).
+// The choice can be forced with set_gemm_isa() (tests exercise both).
+//
+// Nothing here allocates after PackedB::pack(); all routines write into
+// caller-owned views.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/view.hpp"
+
+namespace fsda::la {
+
+/// Instruction-set choice for gemm_packed.  Auto resolves to Avx2 when the
+/// CPU supports AVX2+FMA, Scalar otherwise.
+enum class GemmIsa { Auto, Scalar, Avx2 };
+
+/// True when this process can run the AVX2/FMA micro-kernel (compiled in
+/// AND supported by the CPU).
+[[nodiscard]] bool gemm_avx2_available();
+
+/// Forces the ISA used by gemm_packed (tests and benchmarks); Auto restores
+/// runtime detection.  Forcing Avx2 on a CPU without it falls back to
+/// Scalar rather than faulting.
+void set_gemm_isa(GemmIsa isa);
+
+/// The ISA gemm_packed will actually run with right now.
+[[nodiscard]] GemmIsa active_gemm_isa();
+
+/// Activation fused into the epilogue of gemm_packed.  ReLU and LeakyReLU
+/// run vectorized inside the micro-kernel tile; Tanh/Sigmoid/Softmax are
+/// applied in a second in-place sweep over the destination (still no
+/// separate activation matrix), using exactly the same scalar expressions
+/// as the nn layers so plan-vs-layer outputs agree.
+enum class GemmAct { None, ReLU, LeakyReLU, Tanh, Sigmoid, Softmax };
+
+/// Fused epilogue: out = act(a * B + bias).  `bias` is nullptr or a 1 x n
+/// row; `leaky_alpha` feeds LeakyReLU only.
+struct GemmEpilogue {
+  const double* bias = nullptr;
+  GemmAct act = GemmAct::None;
+  double leaky_alpha = 0.2;
+};
+
+/// Weight matrix re-laid out for the packed kernels: column panels of
+/// width kPanel, each stored as a contiguous k x kPanel slab (row-major
+/// within the slab), right edge zero-padded.  Pack once at plan-build
+/// time; pack() reuses the existing buffer capacity on repack.
+class PackedB {
+ public:
+  static constexpr std::size_t kPanel = 8;
+
+  PackedB() = default;
+
+  /// Packs `b` (k x n, any row stride).  O(k*n) copy, done once per plan.
+  void pack(ConstMatrixView b);
+
+  [[nodiscard]] std::size_t rows() const { return k_; }
+  [[nodiscard]] std::size_t cols() const { return n_; }
+  [[nodiscard]] bool empty() const { return k_ == 0 || n_ == 0; }
+  [[nodiscard]] std::size_t num_panels() const {
+    return (n_ + kPanel - 1) / kPanel;
+  }
+  /// Contiguous k x kPanel slab for panel p (covers columns
+  /// [p*kPanel, min(n, (p+1)*kPanel)), padded lanes are zero).
+  [[nodiscard]] const double* panel(std::size_t p) const {
+    return data_.data() + p * k_ * kPanel;
+  }
+
+ private:
+  std::vector<double> data_;
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// out = act(a * B + bias).  Shapes: (m x k) * (k x n) -> (m x n); `out`
+/// may be strided (e.g. a column block of a wider assembly buffer) and
+/// must not alias `a`.  Dispatches to the AVX2 or scalar micro-kernel per
+/// set_gemm_isa()/runtime detection.  Allocation-free.
+void gemm_packed(ConstMatrixView a, const PackedB& b, MatrixView out,
+                 const GemmEpilogue& epilogue = {});
+
+namespace detail {
+/// Scalar micro-kernel (also the reference for the AVX2 path); public in
+/// detail for the property tests.  Computes out = a*B + bias with optional
+/// fused ReLU/LeakyReLU; transcendental activations are handled by
+/// gemm_packed.
+void gemm_packed_scalar(ConstMatrixView a, const PackedB& b, MatrixView out,
+                        const GemmEpilogue& epilogue);
+/// AVX2/FMA micro-kernel; only callable when gemm_avx2_available().
+void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
+                      const GemmEpilogue& epilogue);
+/// True when the AVX2 TU was compiled with AVX2+FMA support.
+[[nodiscard]] bool gemm_avx2_compiled();
+}  // namespace detail
+
+}  // namespace fsda::la

@@ -1,0 +1,156 @@
+// AVX2/FMA micro-kernel for gemm_packed.  This translation unit is the only
+// one compiled with -mavx2 -mfma (see la/CMakeLists.txt); callers reach it
+// exclusively through the runtime dispatch in gemm.cpp, which checks
+// __builtin_cpu_supports before jumping here, so the binary stays safe on
+// older x86-64 and non-x86 hosts (where the stub below reports the kernel
+// as not compiled).
+//
+// Register tile: 4 output rows x 8 columns = 8 ymm accumulators plus one
+// broadcast register per A row and two B loads per k step; accumulation per
+// output element runs over k in ascending order, matching the scalar kernel
+// and matmul_into up to FMA rounding (the fused multiply-add rounds once
+// where the scalar path rounds twice -- within 1e-12 over the depths used
+// here, which inference_test pins).
+#include "la/gemm.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+#include <algorithm>
+
+namespace fsda::la::detail {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+bool gemm_avx2_compiled() { return true; }
+
+namespace {
+
+/// Fused ReLU / LeakyReLU on a vector: exact vector forms of the scalar
+/// expressions (max(0,x); x>0 ? x : alpha*x).
+inline __m256d apply_act(__m256d v, GemmAct act, __m256d alpha) {
+  if (act == GemmAct::ReLU) {
+    return _mm256_max_pd(v, _mm256_setzero_pd());
+  }
+  if (act == GemmAct::LeakyReLU) {
+    const __m256d scaled = _mm256_mul_pd(v, alpha);
+    const __m256d mask = _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_GT_OQ);
+    return _mm256_blendv_pd(scaled, v, mask);
+  }
+  return v;
+}
+
+/// Stores the low `width` lanes of {lo, hi} to dst (width in (0, 8]).
+inline void store_panel(double* dst, __m256d lo, __m256d hi,
+                        std::size_t width) {
+  if (width == PackedB::kPanel) {
+    _mm256_storeu_pd(dst, lo);
+    _mm256_storeu_pd(dst + 4, hi);
+    return;
+  }
+  alignas(32) double tmp[PackedB::kPanel];
+  _mm256_store_pd(tmp, lo);
+  _mm256_store_pd(tmp + 4, hi);
+  for (std::size_t j = 0; j < width; ++j) dst[j] = tmp[j];
+}
+
+}  // namespace
+
+void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
+                      const GemmEpilogue& epi) {
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  constexpr std::size_t NR = PackedB::kPanel;
+  const GemmAct fused = (epi.act == GemmAct::ReLU ||
+                         epi.act == GemmAct::LeakyReLU)
+                            ? epi.act
+                            : GemmAct::None;
+  const __m256d valpha = _mm256_set1_pd(epi.leaky_alpha);
+  for (std::size_t p = 0; p * NR < n; ++p) {
+    const double* __restrict slab = b.panel(p);
+    const std::size_t c0 = p * NR;
+    const std::size_t width = std::min(NR, n - c0);
+    __m256d bias_lo = _mm256_setzero_pd();
+    __m256d bias_hi = _mm256_setzero_pd();
+    if (epi.bias != nullptr) {
+      if (width == NR) {
+        bias_lo = _mm256_loadu_pd(epi.bias + c0);
+        bias_hi = _mm256_loadu_pd(epi.bias + c0 + 4);
+      } else {
+        alignas(32) double tmp[NR] = {0, 0, 0, 0, 0, 0, 0, 0};
+        for (std::size_t j = 0; j < width; ++j) tmp[j] = epi.bias[c0 + j];
+        bias_lo = _mm256_load_pd(tmp);
+        bias_hi = _mm256_load_pd(tmp + 4);
+      }
+    }
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double* a0 = a.row_data(i);
+      const double* a1 = a.row_data(i + 1);
+      const double* a2 = a.row_data(i + 2);
+      const double* a3 = a.row_data(i + 3);
+      __m256d acc0l = _mm256_setzero_pd(), acc0h = _mm256_setzero_pd();
+      __m256d acc1l = _mm256_setzero_pd(), acc1h = _mm256_setzero_pd();
+      __m256d acc2l = _mm256_setzero_pd(), acc2h = _mm256_setzero_pd();
+      __m256d acc3l = _mm256_setzero_pd(), acc3h = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < kk; ++k) {
+        const __m256d blo = _mm256_loadu_pd(slab + k * NR);
+        const __m256d bhi = _mm256_loadu_pd(slab + k * NR + 4);
+        const __m256d c0v = _mm256_set1_pd(a0[k]);
+        acc0l = _mm256_fmadd_pd(c0v, blo, acc0l);
+        acc0h = _mm256_fmadd_pd(c0v, bhi, acc0h);
+        const __m256d c1v = _mm256_set1_pd(a1[k]);
+        acc1l = _mm256_fmadd_pd(c1v, blo, acc1l);
+        acc1h = _mm256_fmadd_pd(c1v, bhi, acc1h);
+        const __m256d c2v = _mm256_set1_pd(a2[k]);
+        acc2l = _mm256_fmadd_pd(c2v, blo, acc2l);
+        acc2h = _mm256_fmadd_pd(c2v, bhi, acc2h);
+        const __m256d c3v = _mm256_set1_pd(a3[k]);
+        acc3l = _mm256_fmadd_pd(c3v, blo, acc3l);
+        acc3h = _mm256_fmadd_pd(c3v, bhi, acc3h);
+      }
+      acc0l = apply_act(_mm256_add_pd(acc0l, bias_lo), fused, valpha);
+      acc0h = apply_act(_mm256_add_pd(acc0h, bias_hi), fused, valpha);
+      acc1l = apply_act(_mm256_add_pd(acc1l, bias_lo), fused, valpha);
+      acc1h = apply_act(_mm256_add_pd(acc1h, bias_hi), fused, valpha);
+      acc2l = apply_act(_mm256_add_pd(acc2l, bias_lo), fused, valpha);
+      acc2h = apply_act(_mm256_add_pd(acc2h, bias_hi), fused, valpha);
+      acc3l = apply_act(_mm256_add_pd(acc3l, bias_lo), fused, valpha);
+      acc3h = apply_act(_mm256_add_pd(acc3h, bias_hi), fused, valpha);
+      store_panel(out.row_data(i) + c0, acc0l, acc0h, width);
+      store_panel(out.row_data(i + 1) + c0, acc1l, acc1h, width);
+      store_panel(out.row_data(i + 2) + c0, acc2l, acc2h, width);
+      store_panel(out.row_data(i + 3) + c0, acc3l, acc3h, width);
+    }
+    for (; i < m; ++i) {
+      const double* arow = a.row_data(i);
+      __m256d accl = _mm256_setzero_pd();
+      __m256d acch = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < kk; ++k) {
+        const __m256d cv = _mm256_set1_pd(arow[k]);
+        accl = _mm256_fmadd_pd(cv, _mm256_loadu_pd(slab + k * NR), accl);
+        acch = _mm256_fmadd_pd(cv, _mm256_loadu_pd(slab + k * NR + 4), acch);
+      }
+      accl = apply_act(_mm256_add_pd(accl, bias_lo), fused, valpha);
+      acch = apply_act(_mm256_add_pd(acch, bias_hi), fused, valpha);
+      store_panel(out.row_data(i) + c0, accl, acch, width);
+    }
+  }
+}
+
+#else  // !(__AVX2__ && __FMA__)
+
+bool gemm_avx2_compiled() { return false; }
+
+void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
+                      const GemmEpilogue& epi) {
+  // Unreachable through the dispatcher (gemm_avx2_available() is false when
+  // the kernel was not compiled); keep behaviour defined regardless.
+  gemm_packed_scalar(a, b, out, epi);
+}
+
+#endif
+
+}  // namespace fsda::la::detail

@@ -96,6 +96,12 @@ Matrix Matrix::from_vector(std::size_t rows, std::size_t cols,
   return m;
 }
 
+Matrix Matrix::uninit(std::size_t rows, std::size_t cols) {
+  Matrix m;
+  m.resize(rows, cols);
+  return m;
+}
+
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
@@ -104,14 +110,14 @@ Matrix Matrix::identity(std::size_t n) {
 
 Matrix Matrix::randn(std::size_t rows, std::size_t cols, common::Rng& rng,
                      double stddev) {
-  Matrix m(rows, cols);
+  Matrix m = uninit(rows, cols);
   for (auto& x : m.data_) x = rng.normal(0.0, stddev);
   return m;
 }
 
 Matrix Matrix::rand_uniform(std::size_t rows, std::size_t cols,
                             common::Rng& rng, double lo, double hi) {
-  Matrix m(rows, cols);
+  Matrix m = uninit(rows, cols);
   for (auto& x : m.data_) x = rng.uniform(lo, hi);
   return m;
 }
@@ -164,7 +170,7 @@ void Matrix::set_col(std::size_t c, std::span<const double> values) {
 }
 
 Matrix Matrix::transposed() const {
-  Matrix out(cols_, rows_);
+  Matrix out = uninit(cols_, rows_);
   transpose_into(*this, out);
   return out;
 }
@@ -173,21 +179,21 @@ Matrix Matrix::matmul(const Matrix& other) const {
   FSDA_CHECK_MSG(cols_ == other.rows_, "matmul: " << rows_ << "x" << cols_
                                                   << " * " << other.rows_
                                                   << "x" << other.cols_);
-  Matrix out(rows_, other.cols_);
+  Matrix out = uninit(rows_, other.cols_);
   matmul_into(*this, other, out);
   return out;
 }
 
 Matrix Matrix::transposed_matmul(const Matrix& other) const {
   FSDA_CHECK_MSG(rows_ == other.rows_, "transposed_matmul row mismatch");
-  Matrix out(cols_, other.cols_);
+  Matrix out = uninit(cols_, other.cols_);
   transposed_matmul_into(*this, other, out);
   return out;
 }
 
 Matrix Matrix::matmul_transposed(const Matrix& other) const {
   FSDA_CHECK_MSG(cols_ == other.cols_, "matmul_transposed col mismatch");
-  Matrix out(rows_, other.rows_);
+  Matrix out = uninit(rows_, other.rows_);
   matmul_transposed_into(*this, other, out);
   return out;
 }
@@ -229,7 +235,7 @@ Matrix Matrix::operator*(double scalar) const {
 
 Matrix Matrix::hadamard(const Matrix& other) const {
   check_same_shape(*this, other, "hadamard");
-  Matrix out(rows_, cols_);
+  Matrix out = uninit(rows_, cols_);
   hadamard_into(*this, other, out);
   return out;
 }
@@ -253,7 +259,8 @@ void Matrix::add_row_broadcast(const Matrix& row_vector) {
 }
 
 Matrix Matrix::sum_rows() const {
-  Matrix out(1, cols_, 0.0);
+  // sum_rows_into zero-initialises the destination when not accumulating.
+  Matrix out = uninit(1, cols_);
   sum_rows_into(*this, out);
   return out;
 }
@@ -272,7 +279,7 @@ Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
 }
 
 Matrix Matrix::select_cols(std::span<const std::size_t> indices) const {
-  Matrix out(rows_, indices.size());
+  Matrix out = uninit(rows_, indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {
     FSDA_CHECK_MSG(indices[i] < cols_,
                    "select_cols index " << indices[i] << " out of " << cols_);

@@ -50,6 +50,11 @@ class Matrix {
   static Matrix from_vector(std::size_t rows, std::size_t cols,
                             std::vector<double> data);
 
+  /// rows x cols matrix with unspecified element values.  Use when every
+  /// element is about to be overwritten (kernel destinations, scratch) so
+  /// the zero-fill bandwidth of the filling constructor isn't paid twice.
+  static Matrix uninit(std::size_t rows, std::size_t cols);
+
   /// Identity matrix of size n.
   static Matrix identity(std::size_t n);
 

@@ -46,6 +46,12 @@ class MLPClassifier : public Classifier {
   /// Mean training loss of the last epoch run (diagnostic).
   [[nodiscard]] double last_epoch_loss() const { return last_loss_; }
 
+  /// The trained network, or nullptr before fit(); used by the
+  /// inference-plan compiler.  Invalidated by the next fit().
+  [[nodiscard]] nn::Sequential* network() const { return net_.get(); }
+  [[nodiscard]] std::size_t num_features() const { return num_features_; }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
  private:
   void run_epochs(const la::Matrix& x, const std::vector<std::int64_t>& y,
                   const std::vector<double>& weights, std::size_t epochs,

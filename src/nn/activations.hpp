@@ -35,6 +35,7 @@ class LeakyReLU : public Layer {
   const la::Matrix& backward(const la::Matrix& grad_output,
                              Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "LeakyReLU"; }
+  [[nodiscard]] double alpha() const { return alpha_; }
 
  private:
   double alpha_;

@@ -25,6 +25,9 @@ class BatchNorm1d : public Layer {
 
   [[nodiscard]] const la::Matrix& running_mean() const { return running_mean_; }
   [[nodiscard]] const la::Matrix& running_var() const { return running_var_; }
+  [[nodiscard]] const la::Matrix& gamma() const { return gamma_.value; }
+  [[nodiscard]] const la::Matrix& beta() const { return beta_.value; }
+  [[nodiscard]] double eps() const { return eps_; }
 
  private:
   std::size_t features_;

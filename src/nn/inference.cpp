@@ -1,0 +1,411 @@
+#include "nn/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "la/gemm.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/feature_gate.hpp"
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+#include "nn/parallel_sum.hpp"
+#include "nn/sequential.hpp"
+
+namespace fsda::nn {
+
+namespace {
+
+// Op locations: non-negative values index workspace slots.
+constexpr int kLocInput = -1;  // the plan (or branch) input view
+constexpr int kLocOut = -2;    // the plan (or branch) destination view
+
+}  // namespace
+
+/// One step of a compiled plan.  Reads from in_loc, writes to out_loc; map
+/// ops (Affine/Act) may have in_loc == out_loc (in-place).
+struct InferencePlan::Op {
+  enum class Kind { Gemm, Affine, Act, Branch };
+
+  Kind kind = Kind::Gemm;
+  int in_loc = kLocInput;
+  int out_loc = kLocOut;
+
+  // Gemm: out = act(in * weights + bias); also carries the act for Kind::Act.
+  la::PackedB weights;
+  la::Matrix bias;  // 1 x n
+  la::GemmAct act = la::GemmAct::None;
+  double leaky_alpha = 0.2;
+
+  // Affine: out[c] = gamma[c] * ((in[c] - mu[c]) * inv_std[c]) + beta[c]
+  // -- the exact BatchNorm1d inference expression; FeatureGate uses
+  // mu = 0, inv_std = 1, gamma = gate, beta = 0.
+  la::Matrix mu, inv_std, gamma, beta;  // 1 x d each
+
+  // Branch (ParallelSum): out = run(branch_a) + run(branch_b), with
+  // branch_b evaluated into scratch slot b_slot and summed in place.
+  std::vector<Op> branch_a;
+  std::vector<Op> branch_b;
+  int b_slot = -1;
+};
+
+namespace {
+
+using Op = InferencePlan::Op;
+
+/// Shared compile state: slot ids (and their widths) are global across
+/// nested branch plans so one flat workspace serves the whole graph.
+struct CompileCtx {
+  std::vector<std::size_t> slot_cols;
+
+  int alloc_slot(std::size_t cols) {
+    slot_cols.push_back(cols);
+    return static_cast<int>(slot_cols.size()) - 1;
+  }
+};
+
+std::optional<la::GemmAct> act_of(Layer& layer, double* leaky_alpha) {
+  if (dynamic_cast<ReLU*>(&layer) != nullptr) return la::GemmAct::ReLU;
+  if (auto* leaky = dynamic_cast<LeakyReLU*>(&layer)) {
+    *leaky_alpha = leaky->alpha();
+    return la::GemmAct::LeakyReLU;
+  }
+  if (dynamic_cast<Tanh*>(&layer) != nullptr) return la::GemmAct::Tanh;
+  if (dynamic_cast<Sigmoid*>(&layer) != nullptr) return la::GemmAct::Sigmoid;
+  if (dynamic_cast<Softmax*>(&layer) != nullptr) return la::GemmAct::Softmax;
+  return std::nullopt;
+}
+
+/// After a (sub-)plan is fully emitted, redirect its final location to the
+/// destination view.  The final slot was written exactly once (by its
+/// producer) and then only read/updated in place, so a straight id rewrite
+/// over the op list is sound; slot ids are never reused across producers.
+void retarget_final(std::vector<Op>& ops, CompileCtx& ctx) {
+  const int final_loc = ops.back().out_loc;
+  for (Op& op : ops) {
+    if (op.in_loc == final_loc) op.in_loc = kLocOut;
+    if (op.out_loc == final_loc) op.out_loc = kLocOut;
+  }
+  // The producer's slot is now unused; reclaim it when it is the newest one.
+  if (final_loc >= 0 &&
+      final_loc == static_cast<int>(ctx.slot_cols.size()) - 1) {
+    ctx.slot_cols.pop_back();
+  }
+}
+
+// Emits ops for `layer` onto `ops`, threading the current data location and
+// row width through.  Returns false on an unsupported layer kind.
+bool emit_layer(Layer& layer, std::size_t& width, int& cur_loc,
+                std::vector<Op>& ops, CompileCtx& ctx);
+
+bool emit_sequential(Sequential& seq, std::size_t& width, int& cur_loc,
+                     std::vector<Op>& ops, CompileCtx& ctx) {
+  for (std::size_t i = 0; i < seq.num_layers(); ++i) {
+    Layer& l = seq.layer(i);
+    if (auto* lin = dynamic_cast<Linear*>(&l)) {
+      if (lin->in_features() != width) return false;
+      Op op;
+      op.kind = Op::Kind::Gemm;
+      op.in_loc = cur_loc;
+      op.weights.pack(lin->weight().value);
+      op.bias = lin->bias().value;
+      // Peephole: fuse the following activation into the GEMM epilogue.
+      if (i + 1 < seq.num_layers()) {
+        if (auto fused = act_of(seq.layer(i + 1), &op.leaky_alpha)) {
+          op.act = *fused;
+          ++i;
+        }
+      }
+      width = lin->out_features();
+      op.out_loc = ctx.alloc_slot(width);
+      cur_loc = op.out_loc;
+      ops.push_back(std::move(op));
+      continue;
+    }
+    if (!emit_layer(l, width, cur_loc, ops, ctx)) return false;
+  }
+  return true;
+}
+
+bool emit_layer(Layer& layer, std::size_t& width, int& cur_loc,
+                std::vector<Op>& ops, CompileCtx& ctx) {
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    return emit_sequential(*seq, width, cur_loc, ops, ctx);
+  }
+  if (dynamic_cast<Dropout*>(&layer) != nullptr) {
+    return true;  // identity at inference
+  }
+  if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+    if (lin->in_features() != width) return false;
+    Op op;
+    op.kind = Op::Kind::Gemm;
+    op.in_loc = cur_loc;
+    op.weights.pack(lin->weight().value);
+    op.bias = lin->bias().value;
+    width = lin->out_features();
+    op.out_loc = ctx.alloc_slot(width);
+    cur_loc = op.out_loc;
+    ops.push_back(std::move(op));
+    return true;
+  }
+  double leaky_alpha = 0.2;
+  if (auto act = act_of(layer, &leaky_alpha)) {
+    Op op;
+    op.kind = Op::Kind::Act;
+    op.act = *act;
+    op.leaky_alpha = leaky_alpha;
+    op.in_loc = cur_loc;
+    // Map ops run in place on a slot; only a plan-input source needs a
+    // fresh slot (the caller's input must stay untouched).
+    op.out_loc = cur_loc == kLocInput ? ctx.alloc_slot(width) : cur_loc;
+    cur_loc = op.out_loc;
+    ops.push_back(std::move(op));
+    return true;
+  }
+  if (auto* bn = dynamic_cast<BatchNorm1d*>(&layer)) {
+    if (bn->running_mean().cols() != width) return false;
+    Op op;
+    op.kind = Op::Kind::Affine;
+    op.mu = bn->running_mean();
+    op.inv_std = la::Matrix::uninit(1, width);
+    for (std::size_t c = 0; c < width; ++c) {
+      // Same expression as the BatchNorm1d inference forward.
+      op.inv_std(0, c) = 1.0 / std::sqrt(bn->running_var()(0, c) + bn->eps());
+    }
+    op.gamma = bn->gamma();
+    op.beta = bn->beta();
+    op.in_loc = cur_loc;
+    op.out_loc = cur_loc == kLocInput ? ctx.alloc_slot(width) : cur_loc;
+    cur_loc = op.out_loc;
+    ops.push_back(std::move(op));
+    return true;
+  }
+  if (auto* gate = dynamic_cast<FeatureGate*>(&layer)) {
+    la::Matrix g = gate->gate_values();
+    if (g.cols() != width) return false;
+    Op op;
+    op.kind = Op::Kind::Affine;
+    op.mu = la::Matrix(1, width, 0.0);
+    op.inv_std = la::Matrix(1, width, 1.0);
+    op.gamma = std::move(g);
+    op.beta = la::Matrix(1, width, 0.0);
+    op.in_loc = cur_loc;
+    op.out_loc = cur_loc == kLocInput ? ctx.alloc_slot(width) : cur_loc;
+    cur_loc = op.out_loc;
+    ops.push_back(std::move(op));
+    return true;
+  }
+  if (auto* par = dynamic_cast<ParallelSum*>(&layer)) {
+    Op op;
+    op.kind = Op::Kind::Branch;
+    op.in_loc = cur_loc;
+    std::size_t width_a = width;
+    std::size_t width_b = width;
+    int loc_a = kLocInput;
+    int loc_b = kLocInput;
+    if (!emit_layer(par->branch_a(), width_a, loc_a, op.branch_a, ctx) ||
+        !emit_layer(par->branch_b(), width_b, loc_b, op.branch_b, ctx)) {
+      return false;
+    }
+    // Empty branches (identity) or width disagreement cannot be summed
+    // into a single destination by this scheme.
+    if (op.branch_a.empty() || op.branch_b.empty() || width_a != width_b) {
+      return false;
+    }
+    retarget_final(op.branch_a, ctx);
+    retarget_final(op.branch_b, ctx);
+    op.b_slot = ctx.alloc_slot(width_b);
+    width = width_a;
+    op.out_loc = ctx.alloc_slot(width);
+    cur_loc = op.out_loc;
+    ops.push_back(std::move(op));
+    return true;
+  }
+  return false;
+}
+
+/// In-place / out-of-place per-element activation, matching the nn layer
+/// forward expressions exactly (activations.cpp).
+void apply_act_map(la::ConstMatrixView in, la::MatrixView out, la::GemmAct act,
+                   double leaky_alpha) {
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    const double* src = in.row_data(r);
+    double* dst = out.row_data(r);
+    switch (act) {
+      case la::GemmAct::ReLU:
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+          dst[c] = src[c] > 0.0 ? src[c] : 0.0;
+        }
+        break;
+      case la::GemmAct::LeakyReLU:
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+          dst[c] = src[c] > 0.0 ? src[c] : leaky_alpha * src[c];
+        }
+        break;
+      case la::GemmAct::Tanh:
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+          dst[c] = std::tanh(src[c]);
+        }
+        break;
+      case la::GemmAct::Sigmoid:
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+          const double x = src[c];
+          if (x >= 0.0) {
+            dst[c] = 1.0 / (1.0 + std::exp(-x));
+          } else {
+            const double e = std::exp(x);
+            dst[c] = e / (1.0 + e);
+          }
+        }
+        break;
+      case la::GemmAct::Softmax: {
+        const std::size_t n = in.cols();
+        double mx = src[0];
+        for (std::size_t c = 1; c < n; ++c) mx = std::max(mx, src[c]);
+        double total = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+          dst[c] = std::exp(src[c] - mx);
+          total += dst[c];
+        }
+        FSDA_CHECK_MSG(total > 0.0, "inference softmax row summed to zero");
+        for (std::size_t c = 0; c < n; ++c) dst[c] /= total;
+        break;
+      }
+      case la::GemmAct::None:
+        if (dst != src) std::copy_n(src, in.cols(), dst);
+        break;
+    }
+  }
+}
+
+void run_ops(const std::vector<Op>& ops, la::ConstMatrixView in,
+             la::MatrixView out, std::vector<la::Matrix>& slots) {
+  auto cview = [&](int loc) -> la::ConstMatrixView {
+    if (loc == kLocInput) return in;
+    if (loc == kLocOut) return out;
+    return slots[static_cast<std::size_t>(loc)];
+  };
+  auto mview = [&](int loc) -> la::MatrixView {
+    if (loc == kLocOut) return out;
+    return slots[static_cast<std::size_t>(loc)];
+  };
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::Gemm: {
+        la::GemmEpilogue epi;
+        epi.bias = op.bias.data().data();
+        epi.act = op.act;
+        epi.leaky_alpha = op.leaky_alpha;
+        la::gemm_packed(cview(op.in_loc), op.weights, mview(op.out_loc), epi);
+        break;
+      }
+      case Op::Kind::Affine: {
+        la::ConstMatrixView src = cview(op.in_loc);
+        la::MatrixView dst = mview(op.out_loc);
+        const double* mu = op.mu.data().data();
+        const double* inv_std = op.inv_std.data().data();
+        const double* gamma = op.gamma.data().data();
+        const double* beta = op.beta.data().data();
+        for (std::size_t r = 0; r < src.rows(); ++r) {
+          const double* x = src.row_data(r);
+          double* o = dst.row_data(r);
+          for (std::size_t c = 0; c < src.cols(); ++c) {
+            const double xn = (x[c] - mu[c]) * inv_std[c];
+            o[c] = gamma[c] * xn + beta[c];
+          }
+        }
+        break;
+      }
+      case Op::Kind::Act:
+        apply_act_map(cview(op.in_loc), mview(op.out_loc), op.act,
+                      op.leaky_alpha);
+        break;
+      case Op::Kind::Branch: {
+        la::ConstMatrixView src = cview(op.in_loc);
+        la::MatrixView dst = mview(op.out_loc);
+        run_ops(op.branch_a, src, dst, slots);
+        la::Matrix& scratch = slots[static_cast<std::size_t>(op.b_slot)];
+        run_ops(op.branch_b, src, scratch, slots);
+        // dst = a(x) + b(x), elementwise as in ParallelSum::forward.
+        for (std::size_t r = 0; r < dst.rows(); ++r) {
+          const double* bsrc = scratch.row(r).data();
+          double* o = dst.row_data(r);
+          for (std::size_t c = 0; c < dst.cols(); ++c) o[c] += bsrc[c];
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t InferenceWorkspace::total_elements() const {
+  std::size_t total = 0;
+  for (const la::Matrix& m : slots_) total += m.size();
+  return total;
+}
+
+InferencePlan::InferencePlan() = default;
+InferencePlan::~InferencePlan() = default;
+InferencePlan::InferencePlan(InferencePlan&&) noexcept = default;
+InferencePlan& InferencePlan::operator=(InferencePlan&&) noexcept = default;
+
+std::optional<InferencePlan> InferencePlan::compile(Layer& net,
+                                                    std::size_t in_features,
+                                                    bool append_softmax) {
+  if (in_features == 0) return std::nullopt;
+  InferencePlan plan;
+  plan.in_features_ = in_features;
+  CompileCtx ctx;
+  std::size_t width = in_features;
+  int cur_loc = kLocInput;
+  if (!emit_layer(net, width, cur_loc, plan.ops_, ctx)) return std::nullopt;
+  if (plan.ops_.empty()) return std::nullopt;  // identity graphs unsupported
+  if (append_softmax) {
+    Op& last = plan.ops_.back();
+    if (last.kind == Op::Kind::Gemm && last.act == la::GemmAct::None) {
+      last.act = la::GemmAct::Softmax;
+    } else {
+      Op op;
+      op.kind = Op::Kind::Act;
+      op.act = la::GemmAct::Softmax;
+      op.in_loc = cur_loc;
+      op.out_loc = cur_loc == kLocInput ? ctx.alloc_slot(width) : cur_loc;
+      plan.ops_.push_back(std::move(op));
+    }
+  }
+  retarget_final(plan.ops_, ctx);
+  plan.slot_cols_ = std::move(ctx.slot_cols);
+  plan.out_features_ = width;
+  return plan;
+}
+
+void InferencePlan::reserve(std::size_t rows, InferenceWorkspace& ws) const {
+  if (ws.slots_.size() < slot_cols_.size()) ws.slots_.resize(slot_cols_.size());
+  for (std::size_t s = 0; s < slot_cols_.size(); ++s) {
+    ws.slots_[s].resize(rows, slot_cols_[s]);
+  }
+}
+
+void InferencePlan::run(la::ConstMatrixView in, la::MatrixView out,
+                        InferenceWorkspace& ws) const {
+  FSDA_CHECK_MSG(in.cols() == in_features_,
+                 "InferencePlan::run: input has " << in.cols()
+                                                  << " features, expect "
+                                                  << in_features_);
+  FSDA_CHECK_MSG(out.rows() == in.rows() && out.cols() == out_features_,
+                 "InferencePlan::run: destination is "
+                     << out.rows() << "x" << out.cols() << ", expected "
+                     << in.rows() << "x" << out_features_);
+  FSDA_CHECK_MSG(!la::views_overlap(out, in),
+                 "InferencePlan::run: destination aliases the input");
+  if (in.rows() == 0) return;
+  reserve(in.rows(), ws);
+  run_ops(ops_, in, out, ws.slots_);
+}
+
+}  // namespace fsda::nn

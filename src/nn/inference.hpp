@@ -1,0 +1,105 @@
+// fsda::nn -- frozen inference plans for trained networks.
+//
+// An InferencePlan is the serving-time form of a trained Sequential
+// (DESIGN.md §11): compile() walks the layer graph once, packs every Linear
+// weight into the panel-major PackedB layout used by la::gemm_packed, fuses
+// each Linear with the activation that follows it (so intermediate
+// activation matrices are never materialized), folds BatchNorm1d and
+// FeatureGate into per-feature affine ops evaluated from their inference
+// statistics, and drops Dropout entirely.  The result is a flat list of ops
+// over a fixed set of scratch slots whose widths are known at compile time.
+//
+// run() executes the plan into a caller-owned destination view using an
+// InferenceWorkspace for the scratch slots.  After the first call (or an
+// explicit reserve()) a steady-state run performs zero heap allocations --
+// the property the serving path is built on, pinned by inference_test via
+// la::matrix_allocations().
+//
+// Numerics: the ops reproduce the layer forward expressions exactly (same
+// accumulation order, same bias/normalization arithmetic), so a plan's
+// output matches Layer::forward(training=false) to ~1e-12 under either
+// GEMM kernel (ULP-level FMA-contraction differences only).
+//
+// compile() returns nullopt when the graph contains a layer kind it does
+// not understand; callers (core::InferenceSession) fall back to the layer
+// API in that case.
+//
+// Plans are immutable after compile and safe to run from many threads at
+// once; the InferenceWorkspace is not -- use one per thread, and do not
+// share one workspace between two different plans.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/view.hpp"
+
+namespace fsda::nn {
+
+class Layer;
+
+/// Scratch slots for InferencePlan::run.  Buffer capacity is retained
+/// across calls; one workspace serves exactly one plan (slot indices are
+/// plan-private) and one thread.
+class InferenceWorkspace {
+ public:
+  InferenceWorkspace() = default;
+  InferenceWorkspace(const InferenceWorkspace&) = delete;
+  InferenceWorkspace& operator=(const InferenceWorkspace&) = delete;
+  InferenceWorkspace(InferenceWorkspace&&) noexcept = default;
+  InferenceWorkspace& operator=(InferenceWorkspace&&) noexcept = default;
+
+  /// Total doubles currently held across all slots.
+  [[nodiscard]] std::size_t total_elements() const;
+
+ private:
+  friend class InferencePlan;
+  std::vector<la::Matrix> slots_;
+};
+
+/// Frozen, packed execution plan for one trained network.
+class InferencePlan {
+ public:
+  /// Implementation detail (defined in inference.cpp); public only so the
+  /// compile/run helpers there can name it.
+  struct Op;
+
+  ~InferencePlan();
+  InferencePlan(InferencePlan&&) noexcept;
+  InferencePlan& operator=(InferencePlan&&) noexcept;
+  InferencePlan(const InferencePlan&) = delete;
+  InferencePlan& operator=(const InferencePlan&) = delete;
+
+  /// Compiles `net` (which must map `in_features`-wide rows to some output
+  /// width) into a plan.  `append_softmax` fuses a row-softmax onto the
+  /// final op -- the plan then produces probabilities instead of logits.
+  /// Returns nullopt if the graph contains an unsupported layer kind.
+  static std::optional<InferencePlan> compile(Layer& net,
+                                              std::size_t in_features,
+                                              bool append_softmax = false);
+
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t out_features() const { return out_features_; }
+
+  /// Executes the plan: out = net(in).  Shapes: in is rows x in_features,
+  /// out is rows x out_features; both may be strided views, and they must
+  /// not overlap.  Allocation-free once ws is warm for this row count.
+  void run(la::ConstMatrixView in, la::MatrixView out,
+           InferenceWorkspace& ws) const;
+
+  /// Pre-sizes every scratch slot for batches of up to `rows` rows, so the
+  /// first run() is already allocation-free.
+  void reserve(std::size_t rows, InferenceWorkspace& ws) const;
+
+ private:
+  InferencePlan();
+
+  std::vector<Op> ops_;
+  std::vector<std::size_t> slot_cols_;
+  std::size_t in_features_ = 0;
+  std::size_t out_features_ = 0;
+};
+
+}  // namespace fsda::nn

@@ -24,6 +24,10 @@ class ParallelSum : public Layer {
   [[nodiscard]] std::string name() const override { return "ParallelSum"; }
   [[nodiscard]] std::size_t output_size(std::size_t input_size) const override;
 
+  /// Branch access (used by the inference-plan compiler).
+  [[nodiscard]] Layer& branch_a() { return *a_; }
+  [[nodiscard]] Layer& branch_b() { return *b_; }
+
  private:
   LayerPtr a_;
   LayerPtr b_;

@@ -1,0 +1,36 @@
+// fsda::obs -- metric handles for the packed serving path.
+//
+// The InferenceSession (core/inference_session.hpp) reports through these
+// three instruments; they live in the global registry and are exported by
+// the existing Prometheus/JSON exporters like every other metric.  Grouped
+// here so the session, the benchmarks, and the tests agree on names.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace fsda::obs {
+
+/// Lazily-registered handles; references stay valid for process lifetime
+/// (the registry is leaked by design, see metrics.hpp).
+struct InferenceMetrics {
+  Counter& samples_total;
+  Histogram& batch_latency_ms;
+  Gauge& samples_per_second;
+
+  static InferenceMetrics& global() {
+    static InferenceMetrics m{
+        MetricsRegistry::global().counter(
+            "inference.samples_total",
+            "samples served through the packed inference session"),
+        MetricsRegistry::global().histogram(
+            "inference.batch_latency_ms",
+            {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0},
+            "inference session batch latency (ms)"),
+        MetricsRegistry::global().gauge(
+            "inference.samples_per_second",
+            "throughput of the most recent inference session batch")};
+    return m;
+  }
+};
+
+}  // namespace fsda::obs

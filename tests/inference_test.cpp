@@ -1,0 +1,513 @@
+// Tests for the packed inference engine: GEMM kernel equivalence across
+// ISAs and epilogues, InferencePlan-vs-layer forward equality, the
+// zero-allocation serving loop, serial/threaded micro-batch determinism,
+// and guardrail preservation on the packed pipeline path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/cgan.hpp"
+#include "core/inference_session.hpp"
+#include "core/pipeline.hpp"
+#include "la/gemm.hpp"
+#include "la/kernels.hpp"
+#include "la/matrix.hpp"
+#include "la/view.hpp"
+#include "models/neural.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/feature_gate.hpp"
+#include "nn/inference.hpp"
+#include "nn/linear.hpp"
+#include "nn/parallel_sum.hpp"
+#include "nn/sequential.hpp"
+#include "nn/workspace.hpp"
+
+namespace fsda {
+namespace {
+
+/// Forces a GEMM ISA for the scope of one test body.
+class IsaGuard {
+ public:
+  explicit IsaGuard(la::GemmIsa isa) { la::set_gemm_isa(isa); }
+  ~IsaGuard() { la::set_gemm_isa(la::GemmIsa::Auto); }
+};
+
+la::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  common::Rng rng(seed);
+  return la::Matrix::randn(r, c, rng);
+}
+
+/// Reference epilogue: out = act(a*b + bias) via the existing kernels.
+la::Matrix reference_gemm(const la::Matrix& a, const la::Matrix& b,
+                          const la::Matrix& bias, la::GemmAct act,
+                          double alpha) {
+  la::Matrix out(a.rows(), b.cols());
+  la::matmul_into(a, b, out);
+  if (bias.size() > 0) la::add_row_broadcast_into(out, bias, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    switch (act) {
+      case la::GemmAct::None:
+        break;
+      case la::GemmAct::ReLU:
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+          out(r, c) = out(r, c) > 0.0 ? out(r, c) : 0.0;
+        }
+        break;
+      case la::GemmAct::LeakyReLU:
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+          out(r, c) = out(r, c) > 0.0 ? out(r, c) : alpha * out(r, c);
+        }
+        break;
+      case la::GemmAct::Tanh:
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+          out(r, c) = std::tanh(out(r, c));
+        }
+        break;
+      case la::GemmAct::Sigmoid:
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+          const double x = out(r, c);
+          out(r, c) = x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                               : std::exp(x) / (1.0 + std::exp(x));
+        }
+        break;
+      case la::GemmAct::Softmax: {
+        double mx = out(r, 0);
+        for (std::size_t c = 1; c < out.cols(); ++c) {
+          mx = std::max(mx, out(r, c));
+        }
+        double total = 0.0;
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+          out(r, c) = std::exp(out(r, c) - mx);
+          total += out(r, c);
+        }
+        for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= total;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void expect_close(const la::Matrix& a, const la::Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM kernel layer
+// ---------------------------------------------------------------------------
+
+TEST(GemmTest, ScalarKernelMatchesMatmulWithinTolerance) {
+  IsaGuard guard(la::GemmIsa::Scalar);
+  // Shapes straddle the panel width (8): full panels, ragged edges, and
+  // single-column outputs.  Both kernels accumulate over k ascending, but
+  // the compiler's FMA grouping differs with the loop structure, so the
+  // match is ULP-level rather than bitwise.
+  const std::size_t shapes[][3] = {
+      {1, 7, 3}, {4, 16, 8}, {5, 13, 12}, {9, 32, 17}, {3, 5, 1}, {2, 442, 30}};
+  for (const auto& s : shapes) {
+    const la::Matrix a = random_matrix(s[0], s[1], 11 + s[2]);
+    const la::Matrix b = random_matrix(s[1], s[2], 23 + s[1]);
+    la::PackedB packed;
+    packed.pack(b);
+    la::Matrix expect(s[0], s[2]);
+    la::matmul_into(a, b, expect);
+    la::Matrix got(s[0], s[2]);
+    la::gemm_packed(a, packed, got);
+    for (std::size_t r = 0; r < expect.rows(); ++r) {
+      for (std::size_t c = 0; c < expect.cols(); ++c) {
+        EXPECT_NEAR(got(r, c), expect(r, c), 1e-12)
+            << "scalar packed kernel diverged at (" << r << "," << c << ") "
+            << "for shape " << s[0] << "x" << s[1] << "x" << s[2];
+      }
+    }
+  }
+}
+
+TEST(GemmTest, Avx2MatchesScalarWithinTolerance) {
+  if (!la::gemm_avx2_available()) {
+    GTEST_SKIP() << "AVX2+FMA not available";
+  }
+  const la::Matrix a = random_matrix(7, 61, 5);
+  const la::Matrix b = random_matrix(61, 19, 6);
+  const la::Matrix bias = random_matrix(1, 19, 7);
+  la::PackedB packed;
+  packed.pack(b);
+  la::GemmEpilogue epi;
+  epi.bias = bias.data().data();
+  la::Matrix scalar_out(7, 19);
+  {
+    IsaGuard guard(la::GemmIsa::Scalar);
+    la::gemm_packed(a, packed, scalar_out, epi);
+  }
+  la::Matrix avx_out(7, 19);
+  {
+    IsaGuard guard(la::GemmIsa::Avx2);
+    la::gemm_packed(a, packed, avx_out, epi);
+  }
+  expect_close(avx_out, scalar_out, 1e-12);
+}
+
+TEST(GemmTest, FusedEpiloguesMatchReferenceOnBothIsas) {
+  const la::GemmAct acts[] = {la::GemmAct::None,    la::GemmAct::ReLU,
+                              la::GemmAct::LeakyReLU, la::GemmAct::Tanh,
+                              la::GemmAct::Sigmoid, la::GemmAct::Softmax};
+  const la::Matrix a = random_matrix(6, 21, 31);
+  const la::Matrix b = random_matrix(21, 10, 37);
+  const la::Matrix bias = random_matrix(1, 10, 41);
+  la::PackedB packed;
+  packed.pack(b);
+  for (la::GemmAct act : acts) {
+    const la::Matrix expect = reference_gemm(a, b, bias, act, 0.2);
+    for (la::GemmIsa isa : {la::GemmIsa::Scalar, la::GemmIsa::Avx2}) {
+      if (isa == la::GemmIsa::Avx2 && !la::gemm_avx2_available()) continue;
+      IsaGuard guard(isa);
+      la::GemmEpilogue epi;
+      epi.bias = bias.data().data();
+      epi.act = act;
+      la::Matrix got(6, 10);
+      la::gemm_packed(a, packed, got, epi);
+      expect_close(got, expect, 1e-12);
+    }
+  }
+}
+
+TEST(GemmTest, StridedDestinationWritesOnlyItsBlock) {
+  const la::Matrix a = random_matrix(5, 12, 3);
+  const la::Matrix b = random_matrix(12, 9, 4);
+  la::PackedB packed;
+  packed.pack(b);
+  la::Matrix expect(5, 9);
+  la::matmul_into(a, b, expect);
+  // Destination is an interior column block of a wider matrix.
+  la::Matrix wide(5, 15, -7.0);
+  la::gemm_packed(a, packed, la::MatrixView(wide).col_block(3, 9));
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 15; ++c) {
+      if (c < 3 || c >= 12) {
+        EXPECT_EQ(wide(r, c), -7.0) << "padding clobbered at " << r << "," << c;
+      } else {
+        EXPECT_NEAR(wide(r, c), expect(r, c - 3), 1e-12);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InferencePlan vs. layer-API forward
+// ---------------------------------------------------------------------------
+
+/// Runs plan and layer forward on the same net/input and compares.
+void check_plan_equals_forward(nn::Sequential& net, std::size_t in_features,
+                               bool append_softmax, std::size_t rows,
+                               double tol) {
+  auto plan = nn::InferencePlan::compile(net, in_features, append_softmax);
+  ASSERT_TRUE(plan.has_value());
+  const la::Matrix x = random_matrix(rows, in_features, 97 + rows);
+  nn::Workspace ws;
+  la::Matrix expect = net.forward(x, /*training=*/false, ws);
+  if (append_softmax) expect = nn::softmax_rows(expect);
+  nn::InferenceWorkspace iws;
+  la::Matrix got(rows, plan->out_features());
+  plan->run(x, got, iws);
+  expect_close(got, expect, tol);
+}
+
+std::unique_ptr<nn::Sequential> make_mlp(std::uint64_t seed, bool gate) {
+  common::Rng rng(seed);
+  auto net = std::make_unique<nn::Sequential>();
+  if (gate) net->emplace<nn::FeatureGate>(14);
+  net->emplace<nn::Linear>(14, 24, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Dropout>(0.3, rng.split(1));
+  net->emplace<nn::Linear>(24, 16, rng);
+  net->emplace<nn::LeakyReLU>(0.1);
+  net->emplace<nn::Linear>(16, 10, rng);
+  net->emplace<nn::Sigmoid>();
+  net->emplace<nn::Linear>(10, 4, rng);
+  return net;
+}
+
+TEST(InferencePlanTest, MatchesLayerForwardAcrossActivations) {
+  for (la::GemmIsa isa : {la::GemmIsa::Scalar, la::GemmIsa::Avx2}) {
+    if (isa == la::GemmIsa::Avx2 && !la::gemm_avx2_available()) continue;
+    IsaGuard guard(isa);
+    auto net = make_mlp(12, /*gate=*/false);
+    check_plan_equals_forward(*net, 14, /*append_softmax=*/false, 9, 1e-12);
+    auto probs = make_mlp(13, /*gate=*/false);
+    check_plan_equals_forward(*probs, 14, /*append_softmax=*/true, 9, 1e-12);
+    auto gated = make_mlp(14, /*gate=*/true);
+    check_plan_equals_forward(*gated, 14, /*append_softmax=*/true, 9, 1e-12);
+  }
+}
+
+TEST(InferencePlanTest, GeneratorArchitectureWithBranchAndBatchNorm) {
+  // The CGAN generator shape: ParallelSum(skip Linear, trunk with
+  // Linear+ReLU+BatchNorm1d) followed by Tanh.
+  common::Rng rng(21);
+  auto trunk = std::make_unique<nn::Sequential>();
+  trunk->emplace<nn::Linear>(18, 20, rng);
+  trunk->emplace<nn::ReLU>();
+  trunk->emplace<nn::BatchNorm1d>(20);
+  trunk->emplace<nn::Linear>(20, 6, rng);
+  auto skip = std::make_unique<nn::Linear>(18, 6, rng);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::ParallelSum>(std::move(skip), std::move(trunk)));
+  net.emplace<nn::Tanh>();
+  // Advance batch-norm running stats so the inference form is non-trivial.
+  {
+    nn::Workspace ws;
+    const la::Matrix warm = random_matrix(32, 18, 77);
+    (void)net.forward(warm, /*training=*/true, ws);
+  }
+  for (la::GemmIsa isa : {la::GemmIsa::Scalar, la::GemmIsa::Avx2}) {
+    if (isa == la::GemmIsa::Avx2 && !la::gemm_avx2_available()) continue;
+    IsaGuard guard(isa);
+    check_plan_equals_forward(net, 18, /*append_softmax=*/false, 7, 1e-12);
+  }
+  // And with a strided destination: the plan writes straight into an
+  // interior column block, as the serving path does for the variant block.
+  auto plan = nn::InferencePlan::compile(net, 18, false);
+  ASSERT_TRUE(plan.has_value());
+  const la::Matrix x = random_matrix(5, 18, 88);
+  nn::Workspace ws;
+  const la::Matrix expect = net.forward(x, false, ws);
+  la::Matrix wide(5, 10, 3.5);
+  nn::InferenceWorkspace iws;
+  plan->run(x, la::MatrixView(wide).col_block(2, 6), iws);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(wide(r, 0), 3.5);
+    EXPECT_EQ(wide(r, 9), 3.5);
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(wide(r, c + 2), expect(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(InferencePlanTest, UnsupportedLayerYieldsNullopt) {
+  /// A layer kind the compiler does not know.
+  class Unknown : public nn::Layer {
+   public:
+    using nn::Layer::forward;
+    using nn::Layer::backward;
+    const la::Matrix& forward(const la::Matrix& input, bool, nn::Workspace& ws)
+        override {
+      la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
+      out = input;
+      return out;
+    }
+    const la::Matrix& backward(const la::Matrix& grad, nn::Workspace&)
+        override {
+      return grad;
+    }
+    [[nodiscard]] std::string name() const override { return "Unknown"; }
+  };
+  common::Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(4, 4, rng);
+  net.emplace<Unknown>();
+  EXPECT_FALSE(nn::InferencePlan::compile(net, 4, false).has_value());
+  // Width mismatch is also rejected.
+  nn::Sequential ok;
+  ok.emplace<nn::Linear>(4, 4, rng);
+  EXPECT_FALSE(nn::InferencePlan::compile(ok, 5, false).has_value());
+  EXPECT_TRUE(nn::InferencePlan::compile(ok, 4, false).has_value());
+}
+
+TEST(InferencePlanTest, WarmRunIsAllocationFree) {
+  auto net = make_mlp(31, /*gate=*/true);
+  auto plan = nn::InferencePlan::compile(*net, 14, true);
+  ASSERT_TRUE(plan.has_value());
+  const la::Matrix x = random_matrix(1, 14, 55);
+  la::Matrix out(1, plan->out_features());
+  nn::InferenceWorkspace iws;
+  plan->run(x, out, iws);  // warm: slots allocate once
+  const std::size_t before = la::matrix_allocations();
+  for (int i = 0; i < 100; ++i) plan->run(x, out, iws);
+  EXPECT_EQ(la::matrix_allocations(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline serving path
+// ---------------------------------------------------------------------------
+
+/// Small synthetic drift problem: class-dependent means everywhere, strong
+/// target-side shift on the back half of the features.
+data::Dataset make_source(std::uint64_t seed) {
+  common::Rng rng(seed);
+  const std::size_t n = 120, d = 12, k = 3;
+  data::Dataset ds;
+  ds.x = la::Matrix(n, d);
+  ds.y.resize(n);
+  ds.num_classes = k;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto label = static_cast<std::int64_t>(r % k);
+    ds.y[r] = label;
+    for (std::size_t c = 0; c < d; ++c) {
+      ds.x(r, c) = rng.normal() + 0.8 * static_cast<double>(label) *
+                                      (c % 2 == 0 ? 1.0 : -1.0);
+    }
+  }
+  return ds;
+}
+
+data::Dataset make_target(std::uint64_t seed) {
+  data::Dataset ds = make_source(seed);
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    for (std::size_t c = 6; c < ds.num_features(); ++c) {
+      ds.x(r, c) = 3.0 * ds.x(r, c) + 2.5;  // drifted block
+    }
+  }
+  return ds;
+}
+
+core::FsGanPipeline make_pipeline(std::uint64_t seed) {
+  models::NeuralOptions nopt;
+  nopt.hidden = {16};
+  nopt.epochs = 6;
+  core::CganOptions gopt;
+  gopt.epochs = 4;
+  gopt.hidden = {16};
+  core::PipelineOptions popt;
+  popt.monte_carlo_m = 2;
+  return core::FsGanPipeline(
+      [nopt](std::uint64_t s) {
+        return std::make_unique<models::MLPClassifier>(s, nopt);
+      },
+      [gopt](std::size_t inv, std::size_t var, std::uint64_t s) {
+        return std::make_unique<core::ConditionalGAN>(inv, var, gopt, s);
+      },
+      popt, seed);
+}
+
+TEST(InferenceSessionTest, PackedPathMatchesLayerPath) {
+  const data::Dataset source = make_source(100);
+  const data::Dataset shots = make_target(200);
+  core::FsGanPipeline packed = make_pipeline(9);
+  core::FsGanPipeline layered = make_pipeline(9);
+  layered.set_serving_plans_enabled(false);
+  packed.train(source, shots);
+  layered.train(source, shots);
+  ASSERT_TRUE(packed.serving_plans_active());
+  ASSERT_FALSE(layered.serving_plans_active());
+
+  la::Matrix test = make_target(300).x;
+  // A quarantined row and an out-of-envelope value exercise the guardrails
+  // on both paths.
+  test(1, 4) = std::numeric_limits<double>::quiet_NaN();
+  test(2, 7) = 1e9;
+  const la::Matrix p_packed = packed.predict_proba(test);
+  const la::Matrix p_layer = layered.predict_proba(test);
+  expect_close(p_packed, p_layer, 1e-12);
+  EXPECT_EQ(packed.health().quarantined_rows, layered.health().quarantined_rows);
+  EXPECT_EQ(packed.health().clamped_cells, layered.health().clamped_cells);
+  EXPECT_GT(packed.health().quarantined_rows, 0u);
+  EXPECT_GT(packed.health().clamped_cells, 0u);
+}
+
+TEST(InferenceSessionTest, SteadyStateSingleSampleLoopIsAllocationFree) {
+  core::FsGanPipeline pipeline = make_pipeline(17);
+  pipeline.train(make_source(101), make_target(201));
+  ASSERT_TRUE(pipeline.serving_plans_active());
+  const la::Matrix test = make_target(301).x;
+  la::Matrix sample(1, test.cols());
+  la::Matrix proba;
+  for (std::size_t c = 0; c < test.cols(); ++c) sample(0, c) = test(0, c);
+  // Warm the buffers, then the loop must not touch the heap.
+  pipeline.predict_proba_into(sample, proba);
+  pipeline.predict_proba_into(sample, proba);
+  const std::size_t before = la::matrix_allocations();
+  for (int i = 0; i < 10000; ++i) {
+    for (std::size_t c = 0; c < test.cols(); ++c) {
+      sample(0, c) = test(static_cast<std::size_t>(i) % test.rows(), c);
+    }
+    pipeline.predict_proba_into(sample, proba);
+  }
+  EXPECT_EQ(la::matrix_allocations(), before)
+      << "steady-state serving loop allocated";
+}
+
+TEST(InferenceSessionTest, SerialAndThreadedMicroBatchesAgree) {
+  const data::Dataset source = make_source(102);
+  const data::Dataset shots = make_target(202);
+  core::FsGanPipeline threaded = make_pipeline(23);
+  core::FsGanPipeline serial = make_pipeline(23);
+  threaded.train(source, shots);
+  serial.train(source, shots);
+  ASSERT_TRUE(threaded.serving_plans_active());
+  ASSERT_TRUE(serial.serving_plans_active());
+  serial.serving_session()->set_threading_enabled(false);
+  const la::Matrix test = make_target(302).x;
+  const la::Matrix p_threaded = threaded.predict_proba(test);
+  const la::Matrix p_serial = serial.predict_proba(test);
+  ASSERT_EQ(p_threaded.rows(), p_serial.rows());
+  for (std::size_t r = 0; r < p_threaded.rows(); ++r) {
+    for (std::size_t c = 0; c < p_threaded.cols(); ++c) {
+      EXPECT_EQ(p_threaded(r, c), p_serial(r, c))
+          << "thread sharding changed the result at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(InferenceSessionTest, RejectPolicyServesUniformOnPackedPath) {
+  models::NeuralOptions nopt;
+  nopt.hidden = {16};
+  nopt.epochs = 6;
+  core::PipelineOptions popt;
+  popt.use_reconstruction = false;
+  popt.quarantine = core::QuarantinePolicy::Reject;
+  core::FsGanPipeline pipeline(
+      [nopt](std::uint64_t s) {
+        return std::make_unique<models::MLPClassifier>(s, nopt);
+      },
+      nullptr, popt, 31);
+  pipeline.train(make_source(103), make_target(203));
+  ASSERT_TRUE(pipeline.serving_plans_active());
+  la::Matrix test = make_target(303).x;
+  test(0, 0) = std::numeric_limits<double>::infinity();
+  const la::Matrix proba = pipeline.predict_proba(test);
+  for (std::size_t c = 0; c < proba.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(proba(0, c), 1.0 / static_cast<double>(proba.cols()));
+  }
+}
+
+TEST(InferenceSessionTest, NonNeuralClassifierFallsBackTransparently) {
+  // A classifier without a compilable network: the pipeline must serve
+  // through the layer API with no session.
+  class Constant : public models::Classifier {
+   public:
+    void fit(const la::Matrix&, const std::vector<std::int64_t>&,
+             std::size_t num_classes, const std::vector<double>&) override {
+      k_ = num_classes;
+    }
+    [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x) const override {
+      return {x.rows(), k_, 1.0 / static_cast<double>(k_)};
+    }
+    [[nodiscard]] std::string name() const override { return "Constant"; }
+
+   private:
+    std::size_t k_ = 2;
+  };
+  core::PipelineOptions popt;
+  popt.use_reconstruction = false;
+  core::FsGanPipeline pipeline(
+      [](std::uint64_t) { return std::make_unique<Constant>(); }, nullptr,
+      popt, 37);
+  pipeline.train(make_source(104), make_target(204));
+  EXPECT_FALSE(pipeline.serving_plans_active());
+  const la::Matrix proba = pipeline.predict_proba(make_target(304).x);
+  EXPECT_EQ(proba.rows(), 120u);
+  EXPECT_NEAR(proba(0, 0), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fsda

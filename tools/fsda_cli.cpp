@@ -12,6 +12,11 @@
 //       --metrics-out writes one JSON metrics snapshot (stage timings,
 //       drift gauges, health report) after scoring; --trace prints the
 //       span timing tree to stderr.
+//   fsda_cli serve-bench [5gc|5gipc] [--iters N] [--batch N] [--reps N]
+//       Train an FS+GAN pipeline on the synthetic instance and benchmark
+//       the serving path: single-sample p50/p99 and batched samples/sec,
+//       packed inference session vs. the layer API.  Honors the bench
+//       telemetry env knobs (FSDA_METRICS_OUT, FSDA_TRACE).
 //
 // CSVs carry one sample per row, numeric feature columns, and an integer
 // label column (default name "label").
@@ -21,15 +26,18 @@
 
 #include "baselines/naive.hpp"
 #include "baselines/ours.hpp"
+#include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "data/gen5gc.hpp"
 #include "data/gen5gipc.hpp"
 #include "data/io.hpp"
 #include "eval/metrics.hpp"
+#include "la/gemm.hpp"
 #include "models/factory.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serving_bench.hpp"
 
 using namespace fsda;
 
@@ -43,7 +51,9 @@ int usage() {
                "  fsda_cli run <source.csv> <shots.csv> <test.csv>\n"
                "           [--model tnet|mlp|rf|xgb] [--method fs|fs+gan]\n"
                "           [--label <column>] [--out <predictions.csv>]\n"
-               "           [--metrics-out <snapshot.json>] [--trace]\n");
+               "           [--metrics-out <snapshot.json>] [--trace]\n"
+               "  fsda_cli serve-bench [5gc|5gipc] [--iters N] [--batch N]\n"
+               "           [--reps N]\n");
   return 2;
 }
 
@@ -171,6 +181,58 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve_bench(int argc, char** argv) {
+  bench::BenchTelemetry telemetry;
+  std::string which = "5gc";
+  std::size_t iters = 1000, batch = 256, reps = 10;
+  for (int i = 2; i < argc;) {
+    const std::string arg = argv[i];
+    if (arg == "5gc" || arg == "5gipc") {
+      which = arg;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    if (arg == "--iters") iters = std::stoul(argv[i + 1]);
+    else if (arg == "--batch") batch = std::stoul(argv[i + 1]);
+    else if (arg == "--reps") reps = std::stoul(argv[i + 1]);
+    else return usage();
+    i += 2;
+  }
+
+  const data::DomainSplit split = make_split(which);
+  const data::Dataset shots = data::sample_few_shot(split.target_pool, 5, 7);
+  std::printf("serve-bench %s: %zu features, %zu classes, AVX2 %s\n",
+              split.name.c_str(), split.source_train.num_features(),
+              split.source_train.num_classes,
+              la::gemm_avx2_available() ? "on" : "off");
+  baselines::FsReconMethod method;
+  baselines::DAContext context{split.source_train, shots,
+                               models::make_classifier_factory("mlp"), 42};
+  method.fit(context);
+  core::FsGanPipeline& pipeline = method.pipeline();
+  std::printf("packed plans %s\n",
+              pipeline.serving_plans_active() ? "active" : "UNAVAILABLE");
+
+  const bench::ServingBenchResult r = bench::run_serving_bench(
+      pipeline, split.target_test.x, iters, batch, reps);
+  std::printf("%-10s %12s %12s %16s\n", "path", "p50 (ms)", "p99 (ms)",
+              "samples/sec");
+  std::printf("%-10s %12.4f %12.4f %16.0f\n", "packed", r.packed.single.p50_ms,
+              r.packed.single.p99_ms, r.packed.samples_per_sec);
+  std::printf("%-10s %12.4f %12.4f %16.0f\n", "baseline",
+              r.baseline.single.p50_ms, r.baseline.single.p99_ms,
+              r.baseline.samples_per_sec);
+  std::printf("speedup: %.2fx p50 latency, %.2fx batched throughput\n",
+              r.packed.single.p50_ms > 0.0
+                  ? r.baseline.single.p50_ms / r.packed.single.p50_ms
+                  : 0.0,
+              r.baseline.samples_per_sec > 0.0
+                  ? r.packed.samples_per_sec / r.baseline.samples_per_sec
+                  : 0.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +248,9 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return cmd_run(argc, argv);
+    }
+    if (command == "serve-bench") {
+      return cmd_serve_bench(argc, argv);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
