@@ -17,10 +17,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -33,26 +29,9 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
 Rng Rng::split(std::uint64_t tag) {
   const std::uint64_t a = (*this)();
   return Rng(a ^ (tag * 0xD1342543DE82EF95ULL) ^ 0xA0761D6478BD642FULL);
-}
-
-double Rng::uniform() {
-  // 53 random bits -> double in [0, 1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -94,11 +73,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   FSDA_CHECK_MSG(lo <= hi, "uniform_int bounds inverted");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(uniform_index(span));
-}
-
-bool Rng::bernoulli(double p) {
-  FSDA_CHECK_MSG(p >= 0.0 && p <= 1.0, "bernoulli p out of range: " << p);
-  return uniform() < p;
 }
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {

@@ -28,15 +28,29 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
-  /// Next raw 64 random bits.
-  result_type operator()();
+  /// Next raw 64 random bits.  Inline: this is the per-element draw under
+  /// dropout masks and noise sampling, where a call per element dominates
+  /// the loop body.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Derives an independent child generator; deriving with distinct tags
   /// yields decorrelated streams (used to hand sub-seeds to components).
   [[nodiscard]] Rng split(std::uint64_t tag);
 
-  /// Uniform double in [0, 1).
-  double uniform();
+  /// Uniform double in [0, 1): 53 random bits scaled by 2^-53.
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -53,8 +67,9 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
-  /// Bernoulli draw with success probability p in [0, 1].
-  bool bernoulli(double p);
+  /// Bernoulli draw with success probability p in [0, 1].  Consumes one
+  /// uniform regardless of p, so streams stay aligned across call sites.
+  bool bernoulli(double p) { return uniform() < p; }
 
   /// Draws an index in [0, weights.size()) proportionally to weights.
   /// Weights must be non-negative with a positive sum.
@@ -78,6 +93,10 @@ class Rng {
   std::vector<double> normal_vector(std::size_t n);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -6,15 +6,18 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 #include "la/kernels.hpp"
 #include "la/view.hpp"
 #include "nn/activations.hpp"
+#include "nn/backend.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/dropout.hpp"
 #include "nn/linear.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/parallel_sum.hpp"
+#include "nn/sharded.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -76,6 +79,9 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                          const std::vector<std::int64_t>& labels,
                          std::size_t num_classes) {
   FSDA_SPAN("cgan.fit");
+  common::Stopwatch fit_watch;
+  const double pack_seconds0 = nn::gemm_pack_seconds();
+  std::size_t step_count = 0;  // one D+G optimizer-step pair per batch
   const std::size_t n = x_inv.rows();
   FSDA_CHECK(x_var.rows() == n && labels.size() == n);
   FSDA_CHECK(x_inv.cols() == inv_dim_ && x_var.cols() == var_dim_);
@@ -84,39 +90,44 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
   // Generator: tanh( linear([X_inv, Z]) + MLP([X_inv, Z]) ).  The parallel
   // linear path captures the dominant linear structure of telemetry
   // conditionals immediately; the ReLU+BN trunk (CTGAN-style) learns the
-  // nonlinear correction and the noise-driven spread.
-  generator_ = std::make_unique<nn::Sequential>();
-  {
+  // nonlinear correction and the noise-driven spread.  Builders take the rng
+  // so the same architecture can be cloned for shard replicas; the master
+  // consumes init_rng in the exact pre-sharding order.
+  const auto make_generator = [&](common::Rng& rng) {
+    auto net = std::make_unique<nn::Sequential>();
     const std::size_t in = inv_dim_ + noise_dim_;
     auto trunk = std::make_unique<nn::Sequential>();
     std::size_t width = in;
     for (std::size_t h : options_.hidden) {
-      trunk->emplace<nn::Linear>(width, h, init_rng);
+      trunk->emplace<nn::Linear>(width, h, rng);
       trunk->emplace<nn::ReLU>();
       trunk->emplace<nn::BatchNorm1d>(h);
       width = h;
     }
-    trunk->emplace<nn::Linear>(width, var_dim_, init_rng);
-    auto skip = std::make_unique<nn::Linear>(in, var_dim_, init_rng);
-    generator_->add(std::make_unique<nn::ParallelSum>(std::move(skip),
-                                                      std::move(trunk)));
-    generator_->emplace<nn::Tanh>();
-  }
+    trunk->emplace<nn::Linear>(width, var_dim_, rng);
+    auto skip = std::make_unique<nn::Linear>(in, var_dim_, rng);
+    net->add(
+        std::make_unique<nn::ParallelSum>(std::move(skip), std::move(trunk)));
+    net->emplace<nn::Tanh>();
+    return net;
+  };
   // Discriminator: [X_inv, X_var(, Y)] -> LeakyReLU+Dropout x2 -> sigmoid.
   const std::size_t label_dim = options_.conditional ? num_classes : 0;
-  discriminator_ = std::make_unique<nn::Sequential>();
-  {
+  const auto make_discriminator = [&](common::Rng& rng) {
+    auto net = std::make_unique<nn::Sequential>();
     std::size_t width = inv_dim_ + var_dim_ + label_dim;
     for (std::size_t h : options_.hidden) {
-      discriminator_->emplace<nn::Linear>(width, h, init_rng);
-      discriminator_->emplace<nn::LeakyReLU>(0.2);
-      discriminator_->emplace<nn::Dropout>(options_.dropout,
-                                           init_rng.split(h));
+      net->emplace<nn::Linear>(width, h, rng);
+      net->emplace<nn::LeakyReLU>(0.2);
+      net->emplace<nn::Dropout>(options_.dropout, rng.split(h));
       width = h;
     }
-    discriminator_->emplace<nn::Linear>(width, 1, init_rng);
-    discriminator_->emplace<nn::Sigmoid>();
-  }
+    net->emplace<nn::Linear>(width, 1, rng);
+    net->emplace<nn::Sigmoid>();
+    return net;
+  };
+  generator_ = make_generator(init_rng);
+  discriminator_ = make_discriminator(init_rng);
 
   const la::Matrix y_onehot = one_hot(labels, num_classes);
   std::vector<std::size_t> order(n);
@@ -152,6 +163,91 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
   obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
       "cgan.epochs_total", "CGAN training epochs completed");
 
+  // Deterministic data-parallel sharding (nn/sharded.hpp).  Each replica is
+  // an architecture clone with its own workspace, staging buffers, and
+  // dropout stream; parameter values are broadcast from the master before
+  // every shard pass (version-gated) and shard gradients fold back through a
+  // fixed pairwise tree, so serial and threaded shard execution are bitwise
+  // identical.  train_shards == 1 (the default) never builds replicas and
+  // runs the exact pre-sharding trajectory.
+  const std::vector<nn::Parameter*> g_params = generator_->parameters();
+  const std::vector<nn::Parameter*> d_params = discriminator_->parameters();
+  struct GanReplica {
+    std::unique_ptr<nn::Sequential> gen;
+    std::unique_ptr<nn::Sequential> dis;
+    std::vector<nn::Parameter*> g_params;
+    std::vector<nn::Parameter*> d_params;
+    nn::Workspace ws;
+    la::Matrix g_in;
+    la::Matrix d_in;
+    la::Matrix var;
+    la::Matrix loss_grad;
+    la::Matrix grad_fake;
+    la::Matrix recon_grad;
+    std::vector<double> ones;
+    std::vector<double> zeros;
+    double d_loss = 0.0;
+    double g_adv = 0.0;
+    double g_recon = 0.0;
+  };
+  const std::size_t max_shards =
+      nn::resolve_shard_count(options_.train_shards, batch);
+  std::vector<std::unique_ptr<GanReplica>> replicas;
+  std::vector<std::vector<nn::Parameter*>> all_g_lists;
+  std::vector<std::vector<nn::Parameter*>> all_d_lists;
+  nn::GhostBatchNormSync g_bn_sync;
+  if (max_shards > 1) {
+    replicas.reserve(max_shards);
+    for (std::size_t r = 0; r < max_shards; ++r) {
+      // The replica rng seeds throwaway initial weights (broadcast always
+      // overwrites them) and, importantly, a per-replica dropout stream.
+      common::Rng rep_rng = init_rng.split(0xD15C0ULL + r);
+      auto rep = std::make_unique<GanReplica>();
+      rep->gen = make_generator(rep_rng);
+      rep->dis = make_discriminator(rep_rng);
+      rep->g_params = rep->gen->parameters();
+      rep->d_params = rep->dis->parameters();
+      replicas.push_back(std::move(rep));
+    }
+    std::vector<nn::Layer*> replica_gens;
+    for (const auto& rep : replicas) {
+      replica_gens.push_back(rep->gen.get());
+      all_g_lists.push_back(rep->g_params);
+      all_d_lists.push_back(rep->d_params);
+    }
+    g_bn_sync.bind(*generator_, replica_gens);
+  }
+  std::vector<nn::ShardRange> ranges;
+  // Assembles a replica's discriminator input from row blocks of the shared
+  // batch buffers plus the shard-local variant block.
+  const auto build_rep_d_input =
+      [&](GanReplica& rep, std::size_t row0, std::size_t mr,
+          la::ConstMatrixView var_block) -> la::Matrix& {
+    rep.d_in.resize(mr, inv_dim_ + var_dim_ + label_dim);
+    la::MatrixView dv(rep.d_in);
+    la::copy_into(la::ConstMatrixView(inv_b_).row_block(row0, mr),
+                  dv.col_block(0, inv_dim_));
+    la::copy_into(var_block, dv.col_block(inv_dim_, var_dim_));
+    if (options_.conditional) {
+      la::copy_into(la::ConstMatrixView(y_b_).row_block(row0, mr),
+                    dv.col_block(inv_dim_ + var_dim_, label_dim));
+    }
+    return rep.d_in;
+  };
+  const auto reduce_active =
+      [](const std::vector<nn::Parameter*>& master,
+         const std::vector<std::vector<nn::Parameter*>>& all,
+         std::size_t shards) {
+        if (shards == all.size()) {
+          nn::reduce_shard_gradients(master, all);
+        } else {  // tail batch resolved to fewer shards
+          const std::vector<std::vector<nn::Parameter*>> active(
+              all.begin(),
+              all.begin() + static_cast<std::ptrdiff_t>(shards));
+          nn::reduce_shard_gradients(master, active);
+        }
+      };
+
   const auto run_attempt = [&] {
     if (sentinel.health().retries > 0) rng_ = rng_.split(sentinel.seed_salt());
     const double lr = options_.learning_rate * sentinel.lr_scale();
@@ -176,67 +272,189 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
         la::select_rows_into(x_var, rows, var_b_);
         if (options_.conditional) la::select_rows_into(y_onehot, rows, y_b_);
 
-        ones.assign(m, 1.0);
-        zeros.assign(m, 0.0);
+        const std::size_t shards =
+            replicas.empty()
+                ? 1
+                : std::min(nn::resolve_shard_count(options_.train_shards, m),
+                           replicas.size());
+        if (shards <= 1) {
+          ones.assign(m, 1.0);
+          zeros.assign(m, 0.0);
 
-        // ---- Discriminator step (eq. 8) ----
-        d_opt.zero_grad();
-        {
-          const la::Matrix& real_prob = discriminator_->forward(
-              build_d_input(var_b_), /*training=*/true, ws_);
-          const double real_loss =
-              nn::bce_on_probs_into(real_prob, ones, loss_grad_);
-          discriminator_->backward(loss_grad_, ws_);
-
-          permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
-                               corrupt_b_);
-          sample_noise_into(m, noise_b_);
-          la::hcat_into(corrupt_b_, noise_b_, g_in_);
-          const la::Matrix& fake =
-              generator_->forward(g_in_, /*training=*/true, ws_);
-          const la::Matrix& fake_prob = discriminator_->forward(
-              build_d_input(fake), /*training=*/true, ws_);
-          const double fake_loss =
-              nn::bce_on_probs_into(fake_prob, zeros, loss_grad_);
-          discriminator_->backward(loss_grad_, ws_);
-          d_opt.step();
-          stats.d_loss += real_loss + fake_loss;
-        }
-
-        // ---- Generator step (eq. 9, non-saturating) ----
-        g_opt.zero_grad();
-        d_opt.zero_grad();  // D accumulates G-step gradients; discard them
-        {
-          permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
-                               corrupt_b_);
-          sample_noise_into(m, noise_b_);
-          la::hcat_into(corrupt_b_, noise_b_, g_in_);
-          const la::Matrix& fake =
-              generator_->forward(g_in_, /*training=*/true, ws_);
-          const la::Matrix& fake_prob = discriminator_->forward(
-              build_d_input(fake), /*training=*/true, ws_);
-          const double adv_loss =
-              nn::bce_on_probs_into(fake_prob, ones, loss_grad_);
-          const la::Matrix& grad_d_input =
-              discriminator_->backward(loss_grad_, ws_);
-          // Slice the gradient w.r.t. the generated block out of the
-          // discriminator's input gradient.
-          grad_fake_.resize(m, var_dim_);
-          la::copy_into(
-              la::ConstMatrixView(grad_d_input).col_block(inv_dim_, var_dim_),
-              grad_fake_);
-          double recon_value = 0.0;
-          if (options_.recon_weight > 0.0) {
-            recon_value = nn::mse_into(fake, var_b_, recon_grad_);
-            recon_grad_ *= options_.recon_weight;
-            grad_fake_ += recon_grad_;
-          }
-          generator_->backward(grad_fake_, ws_);
-          g_opt.step();
+          // ---- Discriminator step (eq. 8) ----
           d_opt.zero_grad();
-          stats.g_adv_loss += adv_loss;
-          stats.g_recon_loss += recon_value;
+          {
+            const la::Matrix& real_prob = discriminator_->forward(
+                build_d_input(var_b_), /*training=*/true, ws_);
+            const double real_loss =
+                nn::bce_on_probs_into(real_prob, ones, loss_grad_);
+            discriminator_->backward(loss_grad_, ws_);
+
+            permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                                 corrupt_b_);
+            sample_noise_into(m, noise_b_);
+            la::hcat_into(corrupt_b_, noise_b_, g_in_);
+            const la::Matrix& fake =
+                generator_->forward(g_in_, /*training=*/true, ws_);
+            const la::Matrix& fake_prob = discriminator_->forward(
+                build_d_input(fake), /*training=*/true, ws_);
+            const double fake_loss =
+                nn::bce_on_probs_into(fake_prob, zeros, loss_grad_);
+            discriminator_->backward(loss_grad_, ws_);
+            d_opt.step();
+            stats.d_loss += real_loss + fake_loss;
+          }
+
+          // ---- Generator step (eq. 9, non-saturating) ----
+          g_opt.zero_grad();
+          d_opt.zero_grad();  // D accumulates G-step gradients; discard them
+          {
+            permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                                 corrupt_b_);
+            sample_noise_into(m, noise_b_);
+            la::hcat_into(corrupt_b_, noise_b_, g_in_);
+            const la::Matrix& fake =
+                generator_->forward(g_in_, /*training=*/true, ws_);
+            const la::Matrix& fake_prob = discriminator_->forward(
+                build_d_input(fake), /*training=*/true, ws_);
+            const double adv_loss =
+                nn::bce_on_probs_into(fake_prob, ones, loss_grad_);
+            const la::Matrix& grad_d_input =
+                discriminator_->backward(loss_grad_, ws_);
+            // Slice the gradient w.r.t. the generated block out of the
+            // discriminator's input gradient.
+            grad_fake_.resize(m, var_dim_);
+            la::copy_into(la::ConstMatrixView(grad_d_input)
+                              .col_block(inv_dim_, var_dim_),
+                          grad_fake_);
+            double recon_value = 0.0;
+            if (options_.recon_weight > 0.0) {
+              recon_value = nn::mse_into(fake, var_b_, recon_grad_);
+              recon_grad_ *= options_.recon_weight;
+              grad_fake_ += recon_grad_;
+            }
+            generator_->backward(grad_fake_, ws_);
+            g_opt.step();
+            d_opt.zero_grad();
+            stats.g_adv_loss += adv_loss;
+            stats.g_recon_loss += recon_value;
+          }
+        } else {
+          // ---- Sharded D+G step pair ----
+          // All randomness the shards consume (corruption, noise, shard
+          // ranges) is pregenerated on the master stream; each shard then
+          // touches only its own replica, so pool execution is bitwise
+          // identical to a serial sweep.  Per-shard losses and loss
+          // gradients are weighted by rows_r / rows so the reduced gradient
+          // equals the full-batch mean-loss gradient.
+          ranges.clear();
+          for (std::size_t r = 0; r < shards; ++r) {
+            ranges.push_back(nn::shard_range(m, shards, r));
+          }
+          const double total_m = static_cast<double>(m);
+
+          // ---- Discriminator step (eq. 8) ----
+          d_opt.zero_grad();
+          permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                               corrupt_b_);
+          sample_noise_into(m, noise_b_);
+          la::hcat_into(corrupt_b_, noise_b_, g_in_);
+          nn::run_sharded(shards, options_.shard_threads, [&](std::size_t r) {
+            GanReplica& rep = *replicas[r];
+            const std::size_t row0 = ranges[r].first;
+            const std::size_t mr = ranges[r].second - ranges[r].first;
+            const double w = static_cast<double>(mr) / total_m;
+            nn::broadcast_parameters(g_params, rep.g_params);
+            nn::broadcast_parameters(d_params, rep.d_params);
+            for (nn::Parameter* p : rep.d_params) p->grad.fill(0.0);
+            rep.ones.assign(mr, 1.0);
+            rep.zeros.assign(mr, 0.0);
+            const la::Matrix& real_prob = rep.dis->forward(
+                build_rep_d_input(
+                    rep, row0, mr,
+                    la::ConstMatrixView(var_b_).row_block(row0, mr)),
+                /*training=*/true, rep.ws);
+            const double real_loss =
+                nn::bce_on_probs_into(real_prob, rep.ones, rep.loss_grad);
+            rep.loss_grad *= w;
+            rep.dis->backward(rep.loss_grad, rep.ws);
+            rep.g_in.resize(mr, g_in_.cols());
+            la::copy_into(la::ConstMatrixView(g_in_).row_block(row0, mr),
+                          rep.g_in);
+            const la::Matrix& fake =
+                rep.gen->forward(rep.g_in, /*training=*/true, rep.ws);
+            const la::Matrix& fake_prob =
+                rep.dis->forward(build_rep_d_input(rep, row0, mr, fake),
+                                 /*training=*/true, rep.ws);
+            const double fake_loss =
+                nn::bce_on_probs_into(fake_prob, rep.zeros, rep.loss_grad);
+            rep.loss_grad *= w;
+            rep.dis->backward(rep.loss_grad, rep.ws);
+            rep.d_loss = w * (real_loss + fake_loss);
+          });
+          g_bn_sync.update(ranges);  // G ran a training forward per shard
+          reduce_active(d_params, all_d_lists, shards);
+          d_opt.step();
+          for (std::size_t r = 0; r < shards; ++r) {
+            stats.d_loss += replicas[r]->d_loss;
+          }
+
+          // ---- Generator step (eq. 9, non-saturating) ----
+          g_opt.zero_grad();
+          permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
+                               corrupt_b_);
+          sample_noise_into(m, noise_b_);
+          la::hcat_into(corrupt_b_, noise_b_, g_in_);
+          nn::run_sharded(shards, options_.shard_threads, [&](std::size_t r) {
+            GanReplica& rep = *replicas[r];
+            const std::size_t row0 = ranges[r].first;
+            const std::size_t mr = ranges[r].second - ranges[r].first;
+            const double w = static_cast<double>(mr) / total_m;
+            nn::broadcast_parameters(g_params, rep.g_params);
+            nn::broadcast_parameters(d_params, rep.d_params);
+            for (nn::Parameter* p : rep.g_params) p->grad.fill(0.0);
+            rep.ones.assign(mr, 1.0);
+            rep.g_in.resize(mr, g_in_.cols());
+            la::copy_into(la::ConstMatrixView(g_in_).row_block(row0, mr),
+                          rep.g_in);
+            const la::Matrix& fake =
+                rep.gen->forward(rep.g_in, /*training=*/true, rep.ws);
+            const la::Matrix& fake_prob =
+                rep.dis->forward(build_rep_d_input(rep, row0, mr, fake),
+                                 /*training=*/true, rep.ws);
+            const double adv_loss =
+                nn::bce_on_probs_into(fake_prob, rep.ones, rep.loss_grad);
+            rep.loss_grad *= w;
+            // The replica D's gradients absorb (and discard) the G-step
+            // backward; the next D step zeroes them before use.
+            const la::Matrix& grad_d_input =
+                rep.dis->backward(rep.loss_grad, rep.ws);
+            rep.grad_fake.resize(mr, var_dim_);
+            la::copy_into(la::ConstMatrixView(grad_d_input)
+                              .col_block(inv_dim_, var_dim_),
+                          rep.grad_fake);
+            double recon_value = 0.0;
+            if (options_.recon_weight > 0.0) {
+              rep.var.resize(mr, var_dim_);
+              la::copy_into(la::ConstMatrixView(var_b_).row_block(row0, mr),
+                            rep.var);
+              recon_value = nn::mse_into(fake, rep.var, rep.recon_grad);
+              rep.recon_grad *= options_.recon_weight * w;
+              rep.grad_fake += rep.recon_grad;
+            }
+            rep.gen->backward(rep.grad_fake, rep.ws);
+            rep.g_adv = w * adv_loss;
+            rep.g_recon = w * recon_value;
+          });
+          g_bn_sync.update(ranges);
+          reduce_active(g_params, all_g_lists, shards);
+          g_opt.step();
+          for (std::size_t r = 0; r < shards; ++r) {
+            stats.g_adv_loss += replicas[r]->g_adv;
+            stats.g_recon_loss += replicas[r]->g_recon;
+          }
         }
+        ++step_count;
         ++batches;
       }
       if (batches > 0) {
@@ -269,6 +487,19 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
         .gauge("cgan.g_recon_loss", "generator reconstruction loss, last "
                                     "epoch")
         .set(last.g_recon_loss);
+  }
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    const double fit_seconds = fit_watch.seconds();
+    registry
+        .gauge("training.steps_per_second",
+               "optimizer steps per second, last fit")
+        .set(fit_seconds > 0.0 ? static_cast<double>(step_count) / fit_seconds
+                               : 0.0);
+    registry
+        .gauge("training.gemm_pack_seconds",
+               "wall-clock seconds spent packing GEMM panels, last fit")
+        .set(nn::gemm_pack_seconds() - pack_seconds0);
   }
   fitted_ = true;
 }

@@ -118,6 +118,7 @@ void restore_parameters(const std::vector<nn::Parameter*>& params,
     FSDA_CHECK(params[i]->value.rows() == snapshot[i].rows() &&
                params[i]->value.cols() == snapshot[i].cols());
     params[i]->value = snapshot[i];
+    params[i]->bump_version();
     params[i]->zero_grad();
   }
 }

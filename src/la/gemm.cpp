@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace fsda::la {
 
@@ -66,6 +67,23 @@ void apply_transcendental(MatrixView out, GemmAct act) {
   }
 }
 
+// Same threshold as the blocked kernels (kernels.cpp): below it the pool
+// dispatch overhead outweighs the work.
+constexpr std::size_t kParallelFlopThreshold = std::size_t{1} << 18;
+
+void check_grad_weight_shapes(ConstMatrixView a, ConstMatrixView dy,
+                              MatrixView dw) {
+  FSDA_CHECK_MSG(a.rows() == dy.rows(),
+                 "gemm_grad_weights: batch mismatch, a has "
+                     << a.rows() << " rows, dy has " << dy.rows());
+  FSDA_CHECK_MSG(dw.rows() == a.cols() && dw.cols() == dy.cols(),
+                 "gemm_grad_weights: destination is "
+                     << dw.rows() << "x" << dw.cols() << ", expected "
+                     << a.cols() << "x" << dy.cols());
+  FSDA_CHECK_MSG(!views_overlap(dw, a) && !views_overlap(dw, dy),
+                 "gemm_grad_weights: destination aliases an input");
+}
+
 void check_gemm_shapes(ConstMatrixView a, const PackedB& b, MatrixView out) {
   FSDA_CHECK_MSG(a.cols() == b.rows(), "gemm_packed: " << a.rows() << "x"
                                                        << a.cols() << " * "
@@ -95,6 +113,25 @@ void PackedB::pack(ConstMatrixView b) {
       const double* brow = b.row_data(k) + c0;
       double* dst = slab + k * kPanel;
       for (std::size_t j = 0; j < width; ++j) dst[j] = brow[j];
+    }
+  }
+}
+
+void PackedB::pack_transposed(ConstMatrixView b) {
+  k_ = b.cols();
+  n_ = b.rows();
+  const std::size_t panels = num_panels();
+  data_.assign(panels * k_ * kPanel, 0.0);
+  // Panel p covers rows [c0, c0+width) of b, i.e. columns of bᵀ; lane j at
+  // depth k holds bᵀ(k, c0+j) = b(c0+j, k).  Reads are contiguous along the
+  // source row, writes stride kPanel within the slab.
+  for (std::size_t p = 0; p < panels; ++p) {
+    double* slab = data_.data() + p * k_ * kPanel;
+    const std::size_t c0 = p * kPanel;
+    const std::size_t width = std::min(kPanel, n_ - c0);
+    for (std::size_t j = 0; j < width; ++j) {
+      const double* brow = b.row_data(c0 + j);
+      for (std::size_t k = 0; k < k_; ++k) slab[k * kPanel + j] = brow[k];
     }
   }
 }
@@ -164,18 +201,75 @@ void gemm_packed_scalar(ConstMatrixView a, const PackedB& b, MatrixView out,
   }
 }
 
+void gemm_grad_weights_scalar(ConstMatrixView a, ConstMatrixView dy,
+                              MatrixView dw, bool accumulate) {
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = dy.cols();
+  // k outer so each dw row is finished in one sweep; per dw element the
+  // accumulation runs i ascending -- the same chain as transposed_matmul_into,
+  // which keeps packed-vs-legacy training within rounding noise.
+  for (std::size_t k = 0; k < kk; ++k) {
+    double* __restrict out = dw.row_data(k);
+    if (!accumulate) std::fill_n(out, n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double c = a.row_data(i)[k];
+      const double* __restrict g = dy.row_data(i);
+      for (std::size_t j = 0; j < n; ++j) out[j] += c * g[j];
+    }
+  }
+}
+
 }  // namespace detail
 
 void gemm_packed(ConstMatrixView a, const PackedB& b, MatrixView out,
                  const GemmEpilogue& epilogue) {
   check_gemm_shapes(a, b, out);
   if (out.empty()) return;
-  if (active_gemm_isa() == GemmIsa::Avx2) {
-    detail::gemm_packed_avx2(a, b, out, epilogue);
+  const bool avx2 = active_gemm_isa() == GemmIsa::Avx2;
+  auto run = [&](std::size_t r0, std::size_t r1) {
+    const ConstMatrixView ab = a.row_block(r0, r1 - r0);
+    const MatrixView ob = out.row_block(r0, r1 - r0);
+    if (avx2) {
+      detail::gemm_packed_avx2(ab, b, ob, epilogue);
+    } else {
+      detail::gemm_packed_scalar(ab, b, ob, epilogue);
+    }
+  };
+  // Row partitioning never splits a per-element accumulation chain, so the
+  // threaded result is bitwise identical to the serial one.
+  const std::size_t flops = a.rows() * a.cols() * b.cols();
+  if (flops >= kParallelFlopThreshold && a.rows() >= 8) {
+    common::parallel_for_chunked(a.rows(), run);
   } else {
-    detail::gemm_packed_scalar(a, b, out, epilogue);
+    run(0, a.rows());
   }
   apply_transcendental(out, epilogue.act);
+}
+
+void gemm_grad_weights(ConstMatrixView a, ConstMatrixView dy, MatrixView dw,
+                       bool accumulate) {
+  check_grad_weight_shapes(a, dy, dw);
+  if (dw.empty()) return;
+  const bool avx2 = active_gemm_isa() == GemmIsa::Avx2;
+  auto run = [&](std::size_t k0, std::size_t k1) {
+    const ConstMatrixView ab = a.col_block(k0, k1 - k0);
+    const MatrixView dwb = dw.row_block(k0, k1 - k0);
+    if (avx2) {
+      detail::gemm_grad_weights_avx2(ab, dy, dwb, accumulate);
+    } else {
+      detail::gemm_grad_weights_scalar(ab, dy, dwb, accumulate);
+    }
+  };
+  // Partitioned over dw rows (input features), NOT batch rows: splitting the
+  // batch would split each element's i-ascending chain and break the
+  // serial==threaded bitwise guarantee.
+  const std::size_t flops = a.rows() * a.cols() * dy.cols();
+  if (flops >= kParallelFlopThreshold && dw.rows() >= 8) {
+    common::parallel_for_chunked(dw.rows(), run);
+  } else {
+    run(0, dw.rows());
+  }
 }
 
 }  // namespace fsda::la

@@ -19,6 +19,19 @@
 //     differs with loop structure, so the match is ~1e-12, not bitwise).
 // The choice can be forced with set_gemm_isa() (tests exercise both).
 //
+// The training path (DESIGN.md §12) runs on the same engine:
+//   - pack_transposed() lays out Bᵀ in the identical panel format, so the
+//     backward-pass dX = dY·Wᵀ is just gemm_packed() against the transposed
+//     pack -- packed once per step, reused across the step's backward calls;
+//   - gemm_grad_weights() computes dW (+)= Aᵀ·dY directly from the row-major
+//     activations (A changes every call, so packing it would not amortize),
+//     with a scalar kernel whose per-element accumulation chain matches
+//     transposed_matmul_into and an AVX2/FMA variant of the same shape.
+// Both large-shape entry points split output rows (gemm_packed) or dW rows
+// (gemm_grad_weights) across the thread pool above a flop threshold; row
+// partitioning never splits a per-element accumulation chain, so threaded
+// results are bitwise identical to serial ones.
+//
 // Nothing here allocates after PackedB::pack(); all routines write into
 // caller-owned views.
 #pragma once
@@ -74,6 +87,12 @@ class PackedB {
   /// Packs `b` (k x n, any row stride).  O(k*n) copy, done once per plan.
   void pack(ConstMatrixView b);
 
+  /// Packs bᵀ without materializing the transpose: after this call the pack
+  /// represents a b.cols() x b.rows() matrix, so gemm_packed(dY, pack)
+  /// computes dY·bᵀ with the forward micro-kernels.  Same O(k*n) cost and
+  /// capacity reuse as pack().
+  void pack_transposed(ConstMatrixView b);
+
   [[nodiscard]] std::size_t rows() const { return k_; }
   [[nodiscard]] std::size_t cols() const { return n_; }
   [[nodiscard]] bool empty() const { return k_ == 0 || n_ == 0; }
@@ -99,6 +118,15 @@ class PackedB {
 void gemm_packed(ConstMatrixView a, const PackedB& b, MatrixView out,
                  const GemmEpilogue& epilogue = {});
 
+/// Weight gradient of an affine layer: dw (+)= aᵀ * dy, shapes
+/// (m x k)ᵀ * (m x n) -> (k x n).  `accumulate` adds into dw (the layer
+/// convention); otherwise dw is overwritten.  Dispatches per
+/// set_gemm_isa()/runtime detection and splits dw rows across the thread
+/// pool above a flop threshold (bitwise-stable: every dw element keeps one
+/// ascending accumulation chain over the batch rows).  Allocation-free.
+void gemm_grad_weights(ConstMatrixView a, ConstMatrixView dy, MatrixView dw,
+                       bool accumulate);
+
 namespace detail {
 /// Scalar micro-kernel (also the reference for the AVX2 path); public in
 /// detail for the property tests.  Computes out = a*B + bias with optional
@@ -109,6 +137,14 @@ void gemm_packed_scalar(ConstMatrixView a, const PackedB& b, MatrixView out,
 /// AVX2/FMA micro-kernel; only callable when gemm_avx2_available().
 void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
                       const GemmEpilogue& epilogue);
+/// Scalar weight-gradient kernel: per dw element one ascending chain over
+/// the batch rows, matching transposed_matmul_into.
+void gemm_grad_weights_scalar(ConstMatrixView a, ConstMatrixView dy,
+                              MatrixView dw, bool accumulate);
+/// AVX2/FMA weight-gradient kernel (8-wide j vectorization, same i-ascending
+/// chain per element); only callable when gemm_avx2_available().
+void gemm_grad_weights_avx2(ConstMatrixView a, ConstMatrixView dy,
+                            MatrixView dw, bool accumulate);
 /// True when the AVX2 TU was compiled with AVX2+FMA support.
 [[nodiscard]] bool gemm_avx2_compiled();
 }  // namespace detail

@@ -5,12 +5,16 @@
 // older x86-64 and non-x86 hosts (where the stub below reports the kernel
 // as not compiled).
 //
-// Register tile: 4 output rows x 8 columns = 8 ymm accumulators plus one
-// broadcast register per A row and two B loads per k step; accumulation per
-// output element runs over k in ascending order, matching the scalar kernel
-// and matmul_into up to FMA rounding (the fused multiply-add rounds once
-// where the scalar path rounds twice -- within 1e-12 over the depths used
-// here, which inference_test pins).
+// Register tile: 6 output rows x 8 columns = 12 ymm accumulators plus one
+// broadcast register per A row and two B loads per k step (15 of the 16 ymm
+// registers).  Six rows matter on a single port-pair: with 8 accumulators
+// each chain is touched every ~4 cycles, inside FMA latency, so the 4x8
+// tile stalls; 12 accumulators space the chains past the latency and keep
+// both FMA ports busy.  Accumulation per output element runs over k in
+// ascending order regardless of the row grouping, matching the scalar
+// kernel and matmul_into up to FMA rounding (the fused multiply-add rounds
+// once where the scalar path rounds twice -- within 1e-12 over the depths
+// used here, which inference_test pins).
 #include "la/gemm.hpp"
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -86,31 +90,49 @@ void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
       }
     }
     std::size_t i = 0;
-    for (; i + 4 <= m; i += 4) {
+    for (; i + 6 <= m; i += 6) {
       const double* a0 = a.row_data(i);
       const double* a1 = a.row_data(i + 1);
       const double* a2 = a.row_data(i + 2);
       const double* a3 = a.row_data(i + 3);
+      const double* a4 = a.row_data(i + 4);
+      const double* a5 = a.row_data(i + 5);
       __m256d acc0l = _mm256_setzero_pd(), acc0h = _mm256_setzero_pd();
       __m256d acc1l = _mm256_setzero_pd(), acc1h = _mm256_setzero_pd();
       __m256d acc2l = _mm256_setzero_pd(), acc2h = _mm256_setzero_pd();
       __m256d acc3l = _mm256_setzero_pd(), acc3h = _mm256_setzero_pd();
-      for (std::size_t k = 0; k < kk; ++k) {
+      __m256d acc4l = _mm256_setzero_pd(), acc4h = _mm256_setzero_pd();
+      __m256d acc5l = _mm256_setzero_pd(), acc5h = _mm256_setzero_pd();
+      // k unrolled by two: trims loop overhead per FMA without changing
+      // any per-element accumulation order.
+      const auto step = [&](std::size_t k) {
         const __m256d blo = _mm256_loadu_pd(slab + k * NR);
         const __m256d bhi = _mm256_loadu_pd(slab + k * NR + 4);
-        const __m256d c0v = _mm256_set1_pd(a0[k]);
-        acc0l = _mm256_fmadd_pd(c0v, blo, acc0l);
-        acc0h = _mm256_fmadd_pd(c0v, bhi, acc0h);
-        const __m256d c1v = _mm256_set1_pd(a1[k]);
-        acc1l = _mm256_fmadd_pd(c1v, blo, acc1l);
-        acc1h = _mm256_fmadd_pd(c1v, bhi, acc1h);
-        const __m256d c2v = _mm256_set1_pd(a2[k]);
-        acc2l = _mm256_fmadd_pd(c2v, blo, acc2l);
-        acc2h = _mm256_fmadd_pd(c2v, bhi, acc2h);
-        const __m256d c3v = _mm256_set1_pd(a3[k]);
-        acc3l = _mm256_fmadd_pd(c3v, blo, acc3l);
-        acc3h = _mm256_fmadd_pd(c3v, bhi, acc3h);
+        __m256d cv = _mm256_set1_pd(a0[k]);
+        acc0l = _mm256_fmadd_pd(cv, blo, acc0l);
+        acc0h = _mm256_fmadd_pd(cv, bhi, acc0h);
+        cv = _mm256_set1_pd(a1[k]);
+        acc1l = _mm256_fmadd_pd(cv, blo, acc1l);
+        acc1h = _mm256_fmadd_pd(cv, bhi, acc1h);
+        cv = _mm256_set1_pd(a2[k]);
+        acc2l = _mm256_fmadd_pd(cv, blo, acc2l);
+        acc2h = _mm256_fmadd_pd(cv, bhi, acc2h);
+        cv = _mm256_set1_pd(a3[k]);
+        acc3l = _mm256_fmadd_pd(cv, blo, acc3l);
+        acc3h = _mm256_fmadd_pd(cv, bhi, acc3h);
+        cv = _mm256_set1_pd(a4[k]);
+        acc4l = _mm256_fmadd_pd(cv, blo, acc4l);
+        acc4h = _mm256_fmadd_pd(cv, bhi, acc4h);
+        cv = _mm256_set1_pd(a5[k]);
+        acc5l = _mm256_fmadd_pd(cv, blo, acc5l);
+        acc5h = _mm256_fmadd_pd(cv, bhi, acc5h);
+      };
+      std::size_t k = 0;
+      for (; k + 2 <= kk; k += 2) {
+        step(k);
+        step(k + 1);
       }
+      if (k < kk) step(k);
       acc0l = apply_act(_mm256_add_pd(acc0l, bias_lo), fused, valpha);
       acc0h = apply_act(_mm256_add_pd(acc0h, bias_hi), fused, valpha);
       acc1l = apply_act(_mm256_add_pd(acc1l, bias_lo), fused, valpha);
@@ -119,10 +141,16 @@ void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
       acc2h = apply_act(_mm256_add_pd(acc2h, bias_hi), fused, valpha);
       acc3l = apply_act(_mm256_add_pd(acc3l, bias_lo), fused, valpha);
       acc3h = apply_act(_mm256_add_pd(acc3h, bias_hi), fused, valpha);
+      acc4l = apply_act(_mm256_add_pd(acc4l, bias_lo), fused, valpha);
+      acc4h = apply_act(_mm256_add_pd(acc4h, bias_hi), fused, valpha);
+      acc5l = apply_act(_mm256_add_pd(acc5l, bias_lo), fused, valpha);
+      acc5h = apply_act(_mm256_add_pd(acc5h, bias_hi), fused, valpha);
       store_panel(out.row_data(i) + c0, acc0l, acc0h, width);
       store_panel(out.row_data(i + 1) + c0, acc1l, acc1h, width);
       store_panel(out.row_data(i + 2) + c0, acc2l, acc2h, width);
       store_panel(out.row_data(i + 3) + c0, acc3l, acc3h, width);
+      store_panel(out.row_data(i + 4) + c0, acc4l, acc4h, width);
+      store_panel(out.row_data(i + 5) + c0, acc5l, acc5h, width);
     }
     for (; i < m; ++i) {
       const double* arow = a.row_data(i);
@@ -140,6 +168,127 @@ void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
   }
 }
 
+namespace {
+
+// Finishes one dw row from column `j0` on: a 4-wide vector tile, then a
+// scalar tail.  Shared by the remainder paths of gemm_grad_weights_avx2.
+void grad_weights_row_tail(ConstMatrixView a, ConstMatrixView dy,
+                           double* __restrict out, std::size_t k,
+                           std::size_t j0, bool accumulate) {
+  const std::size_t m = a.rows();
+  const std::size_t n = dy.cols();
+  std::size_t j = j0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d acc =
+        accumulate ? _mm256_loadu_pd(out + j) : _mm256_setzero_pd();
+    for (std::size_t i = 0; i < m; ++i) {
+      const __m256d av = _mm256_set1_pd(a.row_data(i)[k]);
+      acc = _mm256_fmadd_pd(av, _mm256_loadu_pd(dy.row_data(i) + j), acc);
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+  for (; j < n; ++j) {
+    double acc = accumulate ? out[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      acc += a.row_data(i)[k] * dy.row_data(i)[j];
+    }
+    out[j] = acc;
+  }
+}
+
+}  // namespace
+
+void gemm_grad_weights_avx2(ConstMatrixView a, ConstMatrixView dy,
+                            MatrixView dw, bool accumulate) {
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = dy.cols();
+  // 6x8 register tile: six dw rows x eight columns, twelve ymm accumulators
+  // (plus gl/gh and one broadcast register -- 15 of 16 ymm).  Per reduction
+  // step i the kernel loads a(i, k..k+5) -- contiguous within a's row -- and
+  // two ymm of dy(i, j..j+7); each dy load feeds six accumulator rows and
+  // each broadcast feeds eight columns, which is what the one-row-at-a-time
+  // sweep lacked (it re-streamed all of dy once per dw row).  Twelve chains
+  // also space each accumulator's reuse past the FMA latency, like the
+  // forward kernel's 6x8 tile.  Per element the i loop still ascends in a
+  // single chain, the same order as the scalar kernel up to FMA rounding.
+  std::size_t k = 0;
+  for (; k + 6 <= kk; k += 6) {
+    double* __restrict out0 = dw.row_data(k);
+    double* __restrict out1 = dw.row_data(k + 1);
+    double* __restrict out2 = dw.row_data(k + 2);
+    double* __restrict out3 = dw.row_data(k + 3);
+    double* __restrict out4 = dw.row_data(k + 4);
+    double* __restrict out5 = dw.row_data(k + 5);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d a0l, a0h, a1l, a1h, a2l, a2h, a3l, a3h, a4l, a4h, a5l, a5h;
+      if (accumulate) {
+        a0l = _mm256_loadu_pd(out0 + j);
+        a0h = _mm256_loadu_pd(out0 + j + 4);
+        a1l = _mm256_loadu_pd(out1 + j);
+        a1h = _mm256_loadu_pd(out1 + j + 4);
+        a2l = _mm256_loadu_pd(out2 + j);
+        a2h = _mm256_loadu_pd(out2 + j + 4);
+        a3l = _mm256_loadu_pd(out3 + j);
+        a3h = _mm256_loadu_pd(out3 + j + 4);
+        a4l = _mm256_loadu_pd(out4 + j);
+        a4h = _mm256_loadu_pd(out4 + j + 4);
+        a5l = _mm256_loadu_pd(out5 + j);
+        a5h = _mm256_loadu_pd(out5 + j + 4);
+      } else {
+        a0l = a0h = a1l = a1h = a2l = a2h = _mm256_setzero_pd();
+        a3l = a3h = a4l = a4h = a5l = a5h = _mm256_setzero_pd();
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* __restrict arow = a.row_data(i) + k;
+        const double* __restrict g = dy.row_data(i) + j;
+        const __m256d gl = _mm256_loadu_pd(g);
+        const __m256d gh = _mm256_loadu_pd(g + 4);
+        __m256d av = _mm256_set1_pd(arow[0]);
+        a0l = _mm256_fmadd_pd(av, gl, a0l);
+        a0h = _mm256_fmadd_pd(av, gh, a0h);
+        av = _mm256_set1_pd(arow[1]);
+        a1l = _mm256_fmadd_pd(av, gl, a1l);
+        a1h = _mm256_fmadd_pd(av, gh, a1h);
+        av = _mm256_set1_pd(arow[2]);
+        a2l = _mm256_fmadd_pd(av, gl, a2l);
+        a2h = _mm256_fmadd_pd(av, gh, a2h);
+        av = _mm256_set1_pd(arow[3]);
+        a3l = _mm256_fmadd_pd(av, gl, a3l);
+        a3h = _mm256_fmadd_pd(av, gh, a3h);
+        av = _mm256_set1_pd(arow[4]);
+        a4l = _mm256_fmadd_pd(av, gl, a4l);
+        a4h = _mm256_fmadd_pd(av, gh, a4h);
+        av = _mm256_set1_pd(arow[5]);
+        a5l = _mm256_fmadd_pd(av, gl, a5l);
+        a5h = _mm256_fmadd_pd(av, gh, a5h);
+      }
+      _mm256_storeu_pd(out0 + j, a0l);
+      _mm256_storeu_pd(out0 + j + 4, a0h);
+      _mm256_storeu_pd(out1 + j, a1l);
+      _mm256_storeu_pd(out1 + j + 4, a1h);
+      _mm256_storeu_pd(out2 + j, a2l);
+      _mm256_storeu_pd(out2 + j + 4, a2h);
+      _mm256_storeu_pd(out3 + j, a3l);
+      _mm256_storeu_pd(out3 + j + 4, a3h);
+      _mm256_storeu_pd(out4 + j, a4l);
+      _mm256_storeu_pd(out4 + j + 4, a4h);
+      _mm256_storeu_pd(out5 + j, a5l);
+      _mm256_storeu_pd(out5 + j + 4, a5h);
+    }
+    grad_weights_row_tail(a, dy, out0, k, j, accumulate);
+    grad_weights_row_tail(a, dy, out1, k + 1, j, accumulate);
+    grad_weights_row_tail(a, dy, out2, k + 2, j, accumulate);
+    grad_weights_row_tail(a, dy, out3, k + 3, j, accumulate);
+    grad_weights_row_tail(a, dy, out4, k + 4, j, accumulate);
+    grad_weights_row_tail(a, dy, out5, k + 5, j, accumulate);
+  }
+  for (; k < kk; ++k) {
+    grad_weights_row_tail(a, dy, dw.row_data(k), k, 0, accumulate);
+  }
+}
+
 #else  // !(__AVX2__ && __FMA__)
 
 bool gemm_avx2_compiled() { return false; }
@@ -149,6 +298,11 @@ void gemm_packed_avx2(ConstMatrixView a, const PackedB& b, MatrixView out,
   // Unreachable through the dispatcher (gemm_avx2_available() is false when
   // the kernel was not compiled); keep behaviour defined regardless.
   gemm_packed_scalar(a, b, out, epi);
+}
+
+void gemm_grad_weights_avx2(ConstMatrixView a, ConstMatrixView dy,
+                            MatrixView dw, bool accumulate) {
+  gemm_grad_weights_scalar(a, dy, dw, accumulate);
 }
 
 #endif

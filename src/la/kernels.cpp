@@ -268,6 +268,26 @@ void solve_triangular_into(ConstMatrixView tri, MatrixView b, bool transpose) {
   }
 }
 
+void relu_into(ConstMatrixView a, MatrixView out) {
+  apply_into(a, out, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+void relu_backward_into(ConstMatrixView grad_out, ConstMatrixView input,
+                        MatrixView grad_in) {
+  zip_into(grad_out, input, grad_in,
+           [](double g, double x) { return x > 0.0 ? g : 0.0; });
+}
+
+void leaky_relu_into(ConstMatrixView a, MatrixView out, double alpha) {
+  apply_into(a, out, [alpha](double x) { return x > 0.0 ? x : alpha * x; });
+}
+
+void leaky_relu_backward_into(ConstMatrixView grad_out, ConstMatrixView input,
+                              MatrixView grad_in, double alpha) {
+  zip_into(grad_out, input, grad_in,
+           [alpha](double g, double x) { return x > 0.0 ? g : alpha * g; });
+}
+
 void sum_rows_into(ConstMatrixView a, MatrixView out, bool accumulate) {
   FSDA_CHECK_MSG(out.rows() == 1 && out.cols() == a.cols(),
                  "sum_rows_into expects a 1x" << a.cols() << " destination");

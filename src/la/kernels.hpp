@@ -71,6 +71,19 @@ inline void check_same_shape(ConstMatrixView a, ConstMatrixView b,
 }
 }  // namespace detail
 
+/// ReLU / LeakyReLU forward and backward, elementwise.  These live in the
+/// kernels TU (compiled -O3 -march=native) so the select loops vectorize
+/// with the full ISA instead of baseline SSE2 in whichever TU a layer
+/// happens to sit.  Pure compare/select/multiply -- no adds to contract --
+/// so results are bitwise identical to the header-template apply_into /
+/// zip_into forms they replace.
+void relu_into(ConstMatrixView a, MatrixView out);
+void relu_backward_into(ConstMatrixView grad_out, ConstMatrixView input,
+                        MatrixView grad_in);
+void leaky_relu_into(ConstMatrixView a, MatrixView out, double alpha);
+void leaky_relu_backward_into(ConstMatrixView grad_out, ConstMatrixView input,
+                              MatrixView grad_in, double alpha);
+
 /// out[i] = f(a[i]) elementwise.  Templated on the callable so tight loops
 /// inline the body instead of paying a std::function call per element.
 template <typename F>

@@ -122,20 +122,6 @@ Matrix Matrix::rand_uniform(std::size_t rows, std::size_t cols,
   return m;
 }
 
-double& Matrix::operator()(std::size_t r, std::size_t c) {
-  FSDA_CHECK_MSG(r < rows_ && c < cols_, "index (" << r << "," << c
-                                                   << ") out of " << rows_
-                                                   << "x" << cols_);
-  return data_[r * cols_ + c];
-}
-
-double Matrix::operator()(std::size_t r, std::size_t c) const {
-  FSDA_CHECK_MSG(r < rows_ && c < cols_, "index (" << r << "," << c
-                                                   << ") out of " << rows_
-                                                   << "x" << cols_);
-  return data_[r * cols_ + c];
-}
-
 std::span<double> Matrix::row(std::size_t r) {
   FSDA_CHECK_MSG(r < rows_, "row " << r << " out of " << rows_);
   return {data_.data() + r * cols_, cols_};

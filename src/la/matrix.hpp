@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace fsda::la {
@@ -79,9 +80,21 @@ class Matrix {
   /// Sets every element to `value`.
   void fill(double value);
 
-  /// Bounds-checked element access.
-  double& operator()(std::size_t r, std::size_t c);
-  double operator()(std::size_t r, std::size_t c) const;
+  /// Bounds-checked element access.  Inline: per-element call overhead in
+  /// assembly/corruption loops shows up in training profiles; the check
+  /// itself stays (it only formats on failure).
+  double& operator()(std::size_t r, std::size_t c) {
+    FSDA_CHECK_MSG(r < rows_ && c < cols_, "index (" << r << "," << c
+                                                     << ") out of " << rows_
+                                                     << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    FSDA_CHECK_MSG(r < rows_ && c < cols_, "index (" << r << "," << c
+                                                     << ") out of " << rows_
+                                                     << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
 
   /// Raw row-major storage.
   [[nodiscard]] std::span<double> data() { return data_; }

@@ -1,0 +1,44 @@
+// Scalar fused-Adam kernel and runtime dispatch.  Compiled with
+// -ffp-contract=off and WITHOUT -march=native (la/CMakeLists.txt): the
+// bitwise scalar==AVX2 contract in optim_kernels.hpp forbids the compiler
+// from fusing the multiply-adds here into FMAs the intrinsics path does not
+// perform.
+#include "la/optim_kernels.hpp"
+
+#include <cmath>
+
+#include "la/gemm.hpp"
+
+namespace fsda::la {
+
+namespace detail {
+
+void fused_adam_scalar(double* value, double* m, double* v, const double* grad,
+                       std::size_t n, const AdamStepConstants& c) {
+  const double omb1 = 1.0 - c.beta1;
+  const double omb2 = 1.0 - c.beta2;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double g = grad[j];
+    m[j] = c.beta1 * m[j] + omb1 * g;
+    v[j] = c.beta2 * v[j] + omb2 * g * g;
+    const double m_hat = m[j] / c.bias_corr1;
+    const double v_hat = v[j] / c.bias_corr2;
+    value[j] -= c.lr * (m_hat / (std::sqrt(v_hat) + c.eps) +
+                        c.weight_decay * value[j]);
+  }
+}
+
+}  // namespace detail
+
+void fused_adam_update(double* value, double* m, double* v, const double* grad,
+                       std::size_t n, const AdamStepConstants& c) {
+  if (n == 0) return;
+  if (active_gemm_isa() == GemmIsa::Avx2 &&
+      detail::fused_adam_avx2_compiled()) {
+    detail::fused_adam_avx2(value, m, v, grad, n, c);
+  } else {
+    detail::fused_adam_scalar(value, m, v, grad, n, c);
+  }
+}
+
+}  // namespace fsda::la

@@ -1,0 +1,55 @@
+// fsda::la -- fused optimizer update kernels.
+//
+// Adam's per-element update reads four streams (value, m, v, grad) and
+// writes three; the nn::Adam loop used to do this with scalar arithmetic
+// that the compiler could not vectorize profitably across the div/sqrt.
+// fused_adam_update() sweeps a parameter block once, applying the moment
+// updates, bias correction, and decoupled weight decay in a single pass,
+// with an AVX2 path (4 doubles per iteration) selected at runtime.
+//
+// Bitwise contract: scalar and AVX2 paths produce IDENTICAL results.  Both
+// translation units are compiled with -ffp-contract=off (no silent FMA
+// contraction) and the AVX2 kernel uses only mul/add/sub/div/sqrt
+// intrinsics -- each a single correctly-rounded IEEE operation -- arranged
+// in exactly the scalar expression order.  training_engine_test pins this,
+// and it is what lets a fit running on any ISA reproduce the reference
+// trajectory exactly.
+#pragma once
+
+#include <cstddef>
+
+namespace fsda::la {
+
+/// Per-step constants of the Adam update, hoisted out of the element loop.
+/// bias_corr1/2 are 1 - beta^t for the current step t.
+struct AdamStepConstants {
+  double lr = 0.0;
+  double beta1 = 0.0;
+  double beta2 = 0.0;
+  double eps = 0.0;
+  double weight_decay = 0.0;
+  double bias_corr1 = 1.0;
+  double bias_corr2 = 1.0;
+};
+
+/// One fused Adam sweep over a contiguous block of n elements:
+///   m = beta1*m + (1-beta1)*g
+///   v = beta2*v + (1-beta2)*g*g
+///   value -= lr * ((m/bc1) / (sqrt(v/bc2) + eps) + weight_decay*value)
+/// Dispatches to the AVX2 kernel when active_gemm_isa() is Avx2; results are
+/// bitwise identical either way (see file header).  Allocation-free.
+void fused_adam_update(double* value, double* m, double* v, const double* grad,
+                       std::size_t n, const AdamStepConstants& c);
+
+namespace detail {
+/// Scalar reference kernel (compiled with -ffp-contract=off).
+void fused_adam_scalar(double* value, double* m, double* v, const double* grad,
+                       std::size_t n, const AdamStepConstants& c);
+/// AVX2 kernel, 4 lanes per iteration, scalar tail via fused_adam_scalar.
+void fused_adam_avx2(double* value, double* m, double* v, const double* grad,
+                     std::size_t n, const AdamStepConstants& c);
+/// True when the AVX2 optimizer TU was compiled with AVX2 support.
+[[nodiscard]] bool fused_adam_avx2_compiled();
+}  // namespace detail
+
+}  // namespace fsda::la

@@ -19,7 +19,7 @@ const la::Matrix& ReLU::forward(const la::Matrix& input, bool /*training*/,
                                 Workspace& ws) {
   cached_input_ = &input;
   la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
-  la::apply_into(input, out, [](double x) { return x > 0.0 ? x : 0.0; });
+  la::relu_into(input, out);
   return out;
 }
 
@@ -29,8 +29,7 @@ const la::Matrix& ReLU::backward(const la::Matrix& grad_output,
   check_grad_shape(grad_output, *cached_input_);
   la::Matrix& grad =
       ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
-  la::zip_into(grad_output, *cached_input_, grad,
-               [](double g, double x) { return x > 0.0 ? g : 0.0; });
+  la::relu_backward_into(grad_output, *cached_input_, grad);
   return grad;
 }
 
@@ -42,9 +41,7 @@ const la::Matrix& LeakyReLU::forward(const la::Matrix& input,
                                      bool /*training*/, Workspace& ws) {
   cached_input_ = &input;
   la::Matrix& out = ws.buffer(this, 0, input.rows(), input.cols());
-  const double alpha = alpha_;
-  la::apply_into(input, out,
-                 [alpha](double x) { return x > 0.0 ? x : alpha * x; });
+  la::leaky_relu_into(input, out, alpha_);
   return out;
 }
 
@@ -55,9 +52,7 @@ const la::Matrix& LeakyReLU::backward(const la::Matrix& grad_output,
   check_grad_shape(grad_output, *cached_input_);
   la::Matrix& grad =
       ws.buffer(this, 1, grad_output.rows(), grad_output.cols());
-  const double alpha = alpha_;
-  la::zip_into(grad_output, *cached_input_, grad,
-               [alpha](double g, double x) { return x > 0.0 ? g : alpha * g; });
+  la::leaky_relu_backward_into(grad_output, *cached_input_, grad, alpha_);
   return grad;
 }
 

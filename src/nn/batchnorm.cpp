@@ -129,6 +129,25 @@ const la::Matrix& BatchNorm1d::backward(const la::Matrix& grad_output,
   return grad_input;
 }
 
+void BatchNorm1d::apply_running_update(const la::Matrix& mean,
+                                       const la::Matrix& var) {
+  FSDA_CHECK_MSG(mean.cols() == features_ && var.cols() == features_ &&
+                     mean.rows() == 1 && var.rows() == 1,
+                 "BatchNorm1d::apply_running_update shape mismatch");
+  for (std::size_t c = 0; c < features_; ++c) {
+    if (seen_batch_) {
+      running_mean_(0, c) =
+          momentum_ * running_mean_(0, c) + (1.0 - momentum_) * mean(0, c);
+      running_var_(0, c) =
+          momentum_ * running_var_(0, c) + (1.0 - momentum_) * var(0, c);
+    } else {
+      running_mean_(0, c) = mean(0, c);
+      running_var_(0, c) = var(0, c);
+    }
+  }
+  seen_batch_ = true;
+}
+
 std::vector<Parameter*> BatchNorm1d::parameters() {
   return {&gamma_, &beta_};
 }

@@ -29,6 +29,22 @@ class BatchNorm1d : public Layer {
   [[nodiscard]] const la::Matrix& beta() const { return beta_.value; }
   [[nodiscard]] double eps() const { return eps_; }
 
+  /// Batch statistics of the most recent forward and whether that forward
+  /// actually used them (training mode, batch > 1).  The sharded trainer
+  /// reads these off each replica to rebuild exact full-batch statistics.
+  [[nodiscard]] const la::Matrix& last_batch_mean() const { return mean_; }
+  [[nodiscard]] const la::Matrix& last_batch_var() const { return var_; }
+  [[nodiscard]] bool last_used_batch_stats() const {
+    return last_forward_used_batch_stats_;
+  }
+
+  /// Folds externally combined batch statistics into the running averages,
+  /// using exactly the EMA update a training forward would have applied.
+  /// The sharded trainer calls this on the master after combining its
+  /// replicas' shard statistics (the replicas' own running averages are
+  /// throwaway).
+  void apply_running_update(const la::Matrix& mean, const la::Matrix& var);
+
  private:
   std::size_t features_;
   double momentum_;

@@ -21,6 +21,9 @@ class Dropout : public Layer {
                              Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
 
+  /// Replaces the mask stream (sharded replicas get decorrelated streams).
+  void reseed(common::Rng rng) { rng_ = rng; }
+
  private:
   double p_;
   common::Rng rng_;

@@ -1,9 +1,17 @@
 #include "nn/layer.hpp"
 
+#include <atomic>
+
 #include "la/kernels.hpp"
 #include "nn/workspace.hpp"
 
 namespace fsda::nn {
+
+std::uint64_t next_parameter_version() {
+  // Starts at 1: Workspace::packed uses 0 as its "never packed" sentinel.
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 namespace {
 // Slots for the legacy wrappers' input staging buffers, far above anything a

@@ -19,6 +19,8 @@
 // backward() completes -- layers cache pointers to it, not copies.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,16 +30,30 @@
 
 namespace fsda::nn {
 
+/// Process-unique, monotonically increasing version tag (never 0, which
+/// Workspace::packed reserves as its "never packed" sentinel).
+[[nodiscard]] std::uint64_t next_parameter_version();
+
 /// A trainable tensor: value and accumulated gradient of identical shape.
+///
+/// `version` changes whenever `value` changes -- optimizer steps, parameter
+/// loads, snapshot restores, and shard broadcasts all bump or overwrite it.
+/// Workspace::packed keys its weight-panel cache on it, so a pack is reused
+/// across every forward/backward of a step and rebuilt exactly once per
+/// update.  Code that writes `value` directly must call bump_version().
 struct Parameter {
   la::Matrix value;
   la::Matrix grad;
+  std::uint64_t version = next_parameter_version();
 
   explicit Parameter(la::Matrix v)
       : value(std::move(v)), grad(value.rows(), value.cols(), 0.0) {}
 
   /// Zeroes the gradient in place (no reallocation).
   void zero_grad() { grad.fill(0.0); }
+
+  /// Marks `value` as modified (invalidates cached packs).
+  void bump_version() { version = next_parameter_version(); }
 };
 
 /// Base class for all layers.  Batches are row-major: one sample per row.
@@ -67,6 +83,14 @@ class Layer {
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Invokes `fn` on each direct child layer (containers only; leaf layers
+  /// have none).  Drives whole-network traversals such as the sharded
+  /// trainer's dropout reseeding without the containers exposing their
+  /// internals.
+  virtual void for_each_child(const std::function<void(Layer&)>& fn) {
+    (void)fn;
+  }
 
   /// Human-readable layer name for diagnostics.
   [[nodiscard]] virtual std::string name() const = 0;

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "la/gemm.hpp"
 #include "la/kernels.hpp"
+#include "nn/backend.hpp"
 #include "nn/workspace.hpp"
 
 namespace fsda::nn {
@@ -27,8 +29,17 @@ const la::Matrix& Linear::forward(const la::Matrix& input, bool /*training*/,
                                         << in_features_);
   cached_input_ = &input;
   la::Matrix& out = ws.buffer(this, 0, input.rows(), out_features_);
-  la::matmul_into(input, weight_.value, out);
-  la::add_row_broadcast_into(out, bias_.value, out);
+  if (training_backend() == TrainingBackend::Packed) {
+    // Weight panels are packed once per parameter version (i.e. once per
+    // optimizer step) and shared by every forward of that step.
+    const la::PackedB& pb = ws.packed(this, 0, weight_.value, weight_.version);
+    la::GemmEpilogue epi;
+    epi.bias = bias_.value.row(0).data();
+    la::gemm_packed(input, pb, out, epi);
+  } else {
+    la::matmul_into(input, weight_.value, out);
+    la::add_row_broadcast_into(out, bias_.value, out);
+  }
   return out;
 }
 
@@ -38,11 +49,22 @@ const la::Matrix& Linear::backward(const la::Matrix& grad_output,
   FSDA_CHECK_MSG(grad_output.rows() == cached_input_->rows() &&
                      grad_output.cols() == out_features_,
                  "Linear backward shape mismatch");
-  la::transposed_matmul_into(*cached_input_, grad_output, weight_.grad,
-                             /*accumulate=*/true);
-  la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
   la::Matrix& grad_input = ws.buffer(this, 1, grad_output.rows(), in_features_);
-  la::matmul_transposed_into(grad_output, weight_.value, grad_input);
+  if (training_backend() == TrainingBackend::Packed) {
+    la::gemm_grad_weights(*cached_input_, grad_output, weight_.grad,
+                          /*accumulate=*/true);
+    la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
+    // dX = dY * Wᵀ through the forward micro-kernels against a transposed
+    // pack; slot 1 keeps it distinct from the forward pack of slot 0.
+    const la::PackedB& pt = ws.packed(this, 1, weight_.value, weight_.version,
+                                      /*transposed=*/true);
+    la::gemm_packed(grad_output, pt, grad_input);
+  } else {
+    la::transposed_matmul_into(*cached_input_, grad_output, weight_.grad,
+                               /*accumulate=*/true);
+    la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
+    la::matmul_transposed_into(grad_output, weight_.value, grad_input);
+  }
   return grad_input;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "la/optim_kernels.hpp"
 
 namespace fsda::nn {
 
@@ -40,6 +41,7 @@ void Sgd::step() {
       v[j] = momentum_ * v[j] + grad[j];
       value[j] -= lr_ * (v[j] + weight_decay_ * value[j]);
     }
+    p.bump_version();
   }
 }
 
@@ -63,22 +65,20 @@ Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
 
 void Adam::step() {
   ++t_;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  la::AdamStepConstants c;
+  c.lr = lr_;
+  c.beta1 = beta1_;
+  c.beta2 = beta2_;
+  c.eps = eps_;
+  c.weight_decay = weight_decay_;
+  c.bias_corr1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  c.bias_corr2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
-    auto value = p.value.data();
-    auto grad = p.grad.data();
-    auto m = m_[i].data();
-    auto v = v_[i].data();
-    for (std::size_t j = 0; j < value.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
-      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
-      const double m_hat = m[j] / bc1;
-      const double v_hat = v[j] / bc2;
-      value[j] -= lr_ * (m_hat / (std::sqrt(v_hat) + eps_) +
-                         weight_decay_ * value[j]);
-    }
+    la::fused_adam_update(p.value.data().data(), m_[i].data().data(),
+                          v_[i].data().data(), p.grad.data().data(),
+                          p.value.size(), c);
+    p.bump_version();
   }
 }
 

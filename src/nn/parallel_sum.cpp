@@ -35,6 +35,11 @@ std::vector<Parameter*> ParallelSum::parameters() {
   return params;
 }
 
+void ParallelSum::for_each_child(const std::function<void(Layer&)>& fn) {
+  fn(*a_);
+  fn(*b_);
+}
+
 std::size_t ParallelSum::output_size(std::size_t input_size) const {
   return a_->output_size(input_size);
 }

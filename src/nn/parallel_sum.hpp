@@ -21,6 +21,7 @@ class ParallelSum : public Layer {
   const la::Matrix& backward(const la::Matrix& grad_output,
                              Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
+  void for_each_child(const std::function<void(Layer&)>& fn) override;
   [[nodiscard]] std::string name() const override { return "ParallelSum"; }
   [[nodiscard]] std::size_t output_size(std::size_t input_size) const override;
 

@@ -38,6 +38,10 @@ std::vector<Parameter*> Sequential::parameters() {
   return collect_parameters(layers_);
 }
 
+void Sequential::for_each_child(const std::function<void(Layer&)>& fn) {
+  for (auto& layer : layers_) fn(*layer);
+}
+
 std::size_t Sequential::output_size(std::size_t input_size) const {
   std::size_t size = input_size;
   for (const auto& layer : layers_) size = layer->output_size(size);

@@ -30,6 +30,7 @@ class Sequential : public Layer {
   const la::Matrix& backward(const la::Matrix& grad_output,
                              Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
+  void for_each_child(const std::function<void(Layer&)>& fn) override;
   [[nodiscard]] std::string name() const override { return "Sequential"; }
   [[nodiscard]] std::size_t output_size(std::size_t input_size) const override;
 

@@ -65,6 +65,7 @@ void load_parameters(std::istream& in, const std::vector<Parameter*>& params) {
     in.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(data.size() * sizeof(double)));
     if (!in) throw IoError("truncated parameter stream");
+    p->bump_version();
   }
 }
 

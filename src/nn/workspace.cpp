@@ -1,5 +1,11 @@
 #include "nn/workspace.hpp"
 
+#include <cassert>
+#include <chrono>
+
+#include "la/view.hpp"
+#include "nn/backend.hpp"
+
 namespace fsda::nn {
 
 la::Matrix& Workspace::buffer(const void* owner, int slot, std::size_t rows,
@@ -7,6 +13,41 @@ la::Matrix& Workspace::buffer(const void* owner, int slot, std::size_t rows,
   la::Matrix& m = buffers_[std::make_pair(owner, slot)];
   m.resize(rows, cols);
   return m;
+}
+
+const la::PackedB& Workspace::packed(const void* owner, int slot,
+                                     const la::Matrix& weights,
+                                     std::uint64_t version, bool transposed) {
+  PackEntry& entry = packs_[std::make_pair(owner, slot)];
+  const std::size_t want_rows = transposed ? weights.cols() : weights.rows();
+  const std::size_t want_cols = transposed ? weights.rows() : weights.cols();
+  if (entry.version == version && entry.transposed == transposed &&
+      entry.pack.rows() == want_rows && entry.pack.cols() == want_cols) {
+    return entry.pack;
+  }
+#ifndef NDEBUG
+  // The pack source must be parameter-owned storage, never a workspace
+  // buffer: buffer() may resize (and thus move) that storage between the
+  // pack and its use, and version tags would not observe the change.
+  for (const auto& [key, buf] : buffers_) {
+    assert(!la::views_overlap(la::ConstMatrixView(weights),
+                              la::ConstMatrixView(buf)) &&
+           "Workspace::packed source aliases a workspace buffer");
+  }
+#endif
+  const auto start = std::chrono::steady_clock::now();
+  if (transposed) {
+    entry.pack.pack_transposed(weights);
+  } else {
+    entry.pack.pack(weights);
+  }
+  detail::add_pack_nanos(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  entry.version = version;
+  entry.transposed = transposed;
+  return entry.pack;
 }
 
 std::size_t Workspace::total_elements() const {

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <utility>
 
+#include "la/gemm.hpp"
 #include "la/matrix.hpp"
 
 namespace fsda::nn {
@@ -37,16 +39,44 @@ class Workspace {
   la::Matrix& buffer(const void* owner, int slot, std::size_t rows,
                      std::size_t cols);
 
+  /// Returns the cached weight pack for (owner, slot), repacking `weights`
+  /// (transposed when requested) only when `version` differs from the cached
+  /// one or the shape/orientation changed.  `version` must be the owning
+  /// Parameter's version tag (never 0) so the pack is rebuilt exactly once
+  /// per optimizer update and shared by every forward/backward in between.
+  ///
+  /// Packs live in their own keyspace, distinct from buffer() slots: a
+  /// backward-pass pack can never alias (or be resized over) a forward
+  /// activation buffer even if a layer reuses slot indices across the two
+  /// calls.  Debug builds additionally assert that the pack SOURCE does not
+  /// point into any workspace buffer -- packing an activation that a later
+  /// buffer() resize may invalidate is always a bug.
+  const la::PackedB& packed(const void* owner, int slot,
+                            const la::Matrix& weights, std::uint64_t version,
+                            bool transposed = false);
+
   /// Number of distinct (owner, slot) buffers created so far.
   [[nodiscard]] std::size_t num_buffers() const { return buffers_.size(); }
+
+  /// Number of distinct weight packs created so far.
+  [[nodiscard]] std::size_t num_packs() const { return packs_.size(); }
 
   /// Total doubles currently held across all buffers.
   [[nodiscard]] std::size_t total_elements() const;
 
-  /// Drops every buffer (invalidates all references handed out).
-  void clear() { buffers_.clear(); }
+  /// Drops every buffer and pack (invalidates all references handed out).
+  void clear() {
+    buffers_.clear();
+    packs_.clear();
+  }
 
  private:
+  struct PackEntry {
+    la::PackedB pack;
+    std::uint64_t version = 0;  // 0 = never packed (parameter versions >= 1)
+    bool transposed = false;
+  };
+
   struct KeyHash {
     std::size_t operator()(const std::pair<const void*, int>& k) const {
       const auto h1 = std::hash<const void*>{}(k.first);
@@ -57,6 +87,7 @@ class Workspace {
 
   std::unordered_map<std::pair<const void*, int>, la::Matrix, KeyHash>
       buffers_;
+  std::unordered_map<std::pair<const void*, int>, PackEntry, KeyHash> packs_;
 };
 
 }  // namespace fsda::nn

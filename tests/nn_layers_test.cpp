@@ -67,12 +67,16 @@ void grad_check(Layer& layer, const la::Matrix& x, bool training = true) {
   for (Parameter* p : layer.parameters()) {
     for (std::size_t r = 0; r < p->value.rows(); ++r) {
       for (std::size_t c = 0; c < p->value.cols(); ++c) {
+        // Direct value writes must invalidate cached weight packs.
         const double original = p->value(r, c);
         p->value(r, c) = original + kEps;
+        p->bump_version();
         const double up = objective(x);
         p->value(r, c) = original - kEps;
+        p->bump_version();
         const double down = objective(x);
         p->value(r, c) = original;
+        p->bump_version();
         const double numeric = (up - down) / (2.0 * kEps);
         ASSERT_NEAR(p->grad(r, c), numeric, kTol)
             << layer.name() << " param grad at (" << r << "," << c << ")";
@@ -142,6 +146,7 @@ TEST(GradCheckTest, FeatureGate) {
   // Randomize the logits so the gate is not at its symmetric point.
   for (Parameter* p : layer.parameters()) {
     for (auto& v : p->value.data()) v = rng.normal(0.0, 0.3);
+    p->bump_version();
   }
   grad_check(layer, la::Matrix::randn(5, 6, rng));
 }
