@@ -10,6 +10,8 @@ RetryController::RetryController(RetryPolicy policy) : policy_(policy) {
   FSDA_CHECK_MSG(policy_.max_attempts >= 1, "retry needs at least one attempt");
   FSDA_CHECK_MSG(policy_.backoff_factor > 0.0, "backoff factor must be > 0");
   FSDA_CHECK_MSG(policy_.deadline_seconds >= 0.0, "negative retry deadline");
+  FSDA_CHECK_MSG(policy_.max_backoff_scale >= 1.0,
+                 "backoff-scale ceiling must be >= 1");
 }
 
 bool RetryController::allow_retry() {
@@ -20,7 +22,16 @@ bool RetryController::allow_retry() {
 }
 
 double RetryController::backoff_scale() const {
-  return std::pow(policy_.backoff_factor, static_cast<double>(attempt_));
+  const double cap = policy_.max_backoff_scale;
+  const double s =
+      std::pow(policy_.backoff_factor, static_cast<double>(attempt_));
+  // pow overflows to +inf (factor > 1) long before attempt_ wraps; a
+  // long-lived controller must hand the caller the finite ceiling instead.
+  // The decay direction (factor < 1) needs no floor: it underflows
+  // gracefully through subnormals to 0.0, and callers legitimately rely on
+  // extreme decay factors (e.g. one-shot lr rescue from a hostile start).
+  if (!std::isfinite(s) || s > cap) return cap;
+  return s;
 }
 
 std::uint64_t RetryController::seed_salt() const {

@@ -26,6 +26,13 @@ struct RetryPolicy {
   double backoff_factor = 0.5;
   /// Wall-clock budget in seconds across all attempts; 0 = unbounded.
   double deadline_seconds = 0.0;
+  /// Ceiling on the geometric scale.  pow() with a factor > 1 overflows to
+  /// +inf within a few hundred attempts; backoff_scale() clamps to this
+  /// ceiling so long-lived controllers (e.g. a drift loop re-arming for
+  /// days) stay on a finite schedule.  The decay direction (factor < 1) is
+  /// deliberately unfloored -- it underflows gracefully toward 0, and
+  /// trainers rely on extreme decay factors for one-shot lr rescues.
+  double max_backoff_scale = 1e6;
 };
 
 /// Tracks attempts against a RetryPolicy.  Usage:
@@ -46,7 +53,8 @@ class RetryController {
   [[nodiscard]] std::size_t attempt() const { return attempt_; }
   /// Retries consumed so far (attempt(), by another name).
   [[nodiscard]] std::size_t retries_used() const { return attempt_; }
-  /// backoff_factor^attempt -- multiply the tunable knob by this.
+  /// backoff_factor^attempt, clamped to the policy's max_backoff_scale
+  /// ceiling (never +inf) -- multiply the tunable knob by this.
   [[nodiscard]] double backoff_scale() const;
   /// Deterministic salt distinguishing this attempt's random streams.
   [[nodiscard]] std::uint64_t seed_salt() const;

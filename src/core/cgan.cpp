@@ -307,7 +307,9 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
 
           // ---- Generator step (eq. 9, non-saturating) ----
           g_opt.zero_grad();
-          d_opt.zero_grad();  // D accumulates G-step gradients; discard them
+          // With the skip active, D's weight gradients are never touched
+          // here; otherwise they accumulate and are discarded by zeroing.
+          if (!options_.skip_d_grads_in_g_step) d_opt.zero_grad();
           {
             permute_corrupt_into(inv_b_, options_.input_corruption_p, rng_,
                                  corrupt_b_);
@@ -319,8 +321,12 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                 build_d_input(fake), /*training=*/true, ws_);
             const double adv_loss =
                 nn::bce_on_probs_into(fake_prob, ones, loss_grad_);
+            // Only dX of the discriminator is consumed below; its dW/db are
+            // skipped when the option allows (identical dX either way).
+            ws_.set_param_grads_enabled(!options_.skip_d_grads_in_g_step);
             const la::Matrix& grad_d_input =
                 discriminator_->backward(loss_grad_, ws_);
+            ws_.set_param_grads_enabled(true);
             // Slice the gradient w.r.t. the generated block out of the
             // discriminator's input gradient.
             grad_fake_.resize(m, var_dim_);
@@ -335,7 +341,7 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
             }
             generator_->backward(grad_fake_, ws_);
             g_opt.step();
-            d_opt.zero_grad();
+            if (!options_.skip_d_grads_in_g_step) d_opt.zero_grad();
             stats.g_adv_loss += adv_loss;
             stats.g_recon_loss += recon_value;
           }
@@ -425,10 +431,13 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
             const double adv_loss =
                 nn::bce_on_probs_into(fake_prob, rep.ones, rep.loss_grad);
             rep.loss_grad *= w;
-            // The replica D's gradients absorb (and discard) the G-step
-            // backward; the next D step zeroes them before use.
+            // With the skip active the replica D's weight gradients are not
+            // even computed; otherwise they absorb (and discard) the G-step
+            // backward -- the next D step zeroes them before use either way.
+            rep.ws.set_param_grads_enabled(!options_.skip_d_grads_in_g_step);
             const la::Matrix& grad_d_input =
                 rep.dis->backward(rep.loss_grad, rep.ws);
+            rep.ws.set_param_grads_enabled(true);
             rep.grad_fake.resize(mr, var_dim_);
             la::copy_into(la::ConstMatrixView(grad_d_input)
                               .col_block(inv_dim_, var_dim_),

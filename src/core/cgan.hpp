@@ -60,6 +60,13 @@ struct CganOptions {
   /// Execute shards on the global ThreadPool; serial execution of the same
   /// shard count is bitwise identical (deterministic tree reduction).
   bool shard_threads = true;
+  /// Skip accumulating discriminator weight gradients during the generator
+  /// step: only the gradient w.r.t. D's *input* is consumed there, and the
+  /// weight gradients were discarded (zeroed before the next D step) anyway.
+  /// Spares one dW GEMM + bias reduction per discriminator layer per step
+  /// with a bit-identical training trajectory; false reproduces the old
+  /// schedule exactly (parity test hook).
+  bool skip_d_grads_in_g_step = true;
 
   static CganOptions quick();  ///< single-core benchmark budget
   static CganOptions paper();  ///< Section V-C3 budget (500 epochs)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
@@ -29,6 +30,118 @@ void gather_cols(const la::Matrix& x, const std::vector<std::size_t>& cols,
 
 }  // namespace
 
+AssemblyMap AssemblyMap::build(const std::vector<std::size_t>& trained_order,
+                               const SeparationResult& sep,
+                               bool with_reconstructor) {
+  AssemblyMap map;
+  map.src.reserve(trained_order.size());
+  map.from_recon.assign(trained_order.size(), 0);
+  std::unordered_map<std::size_t, std::size_t> var_pos;
+  if (with_reconstructor) {
+    for (std::size_t k = 0; k < sep.variant.size(); ++k) {
+      var_pos.emplace(sep.variant[k], k);
+    }
+  }
+  for (std::size_t j = 0; j < trained_order.size(); ++j) {
+    const auto it = var_pos.find(trained_order[j]);
+    if (it != var_pos.end()) {
+      map.src.push_back(it->second);
+      map.from_recon[j] = 1;
+    } else {
+      map.src.push_back(trained_order[j]);
+    }
+  }
+  // Identity iff the map is exactly [sep.invariant raw | recon 0..var):
+  // the trained partition IS the serving partition.
+  map.identity =
+      with_reconstructor &&
+      trained_order.size() == sep.invariant.size() + sep.variant.size();
+  for (std::size_t j = 0; j < sep.invariant.size() && map.identity; ++j) {
+    if (map.from_recon[j] != 0 || map.src[j] != sep.invariant[j]) {
+      map.identity = false;
+    }
+  }
+  for (std::size_t k = 0; k < sep.variant.size() && map.identity; ++k) {
+    const std::size_t j = sep.invariant.size() + k;
+    if (map.from_recon[j] == 0 || map.src[j] != k) map.identity = false;
+  }
+  return map;
+}
+
+std::unique_ptr<InferenceSession> InferenceSession::build(
+    models::Classifier& classifier, Reconstructor* reconstructor,
+    const SeparationResult& sep, const AssemblyMap& map,
+    std::size_t monte_carlo_m, bool use_reconstruction) {
+  auto* mlp = dynamic_cast<models::MLPClassifier*>(&classifier);
+  if (mlp == nullptr || mlp->network() == nullptr) return nullptr;
+  auto clf_plan = nn::InferencePlan::compile(*mlp->network(),
+                                             mlp->num_features(),
+                                             /*append_softmax=*/true);
+  if (!clf_plan.has_value()) return nullptr;
+  if (map.src.size() != clf_plan->in_features() ||
+      map.from_recon.size() != map.src.size()) {
+    return nullptr;
+  }
+
+  std::unique_ptr<InferenceSession> s(new InferenceSession());
+  s->num_classes_ = mlp->num_classes();
+  s->monte_carlo_m_ = std::max<std::size_t>(monte_carlo_m, 1);
+  s->clf_plan_ = std::move(clf_plan);
+  s->map_ = map;
+
+  const bool needs_recon =
+      use_reconstruction &&
+      std::any_of(map.from_recon.begin(), map.from_recon.end(),
+                  [](char c) { return c != 0; });
+  if (!needs_recon) {
+    if (std::any_of(map.from_recon.begin(), map.from_recon.end(),
+                    [](char c) { return c != 0; })) {
+      return nullptr;  // map asks for reconstructed columns we can't serve
+    }
+    s->cols_ = map.src;
+    bool contiguous = true;
+    for (std::size_t j = 0; j < s->cols_.size(); ++j) {
+      if (s->cols_[j] != j) contiguous = false;
+    }
+    s->mode_ = contiguous ? Mode::Direct : Mode::Select;
+    for (const std::size_t c : s->cols_) {
+      s->min_input_cols_ = std::max(s->min_input_cols_, c + 1);
+    }
+    return s;
+  }
+
+  auto* gan = dynamic_cast<ConditionalGAN*>(reconstructor);
+  if (gan == nullptr || gan->generator_network() == nullptr) return nullptr;
+  if (gan->inv_dim() != sep.invariant.size() ||
+      gan->var_dim() != sep.variant.size()) {
+    return nullptr;
+  }
+  auto gen_plan = nn::InferencePlan::compile(
+      *gan->generator_network(), gan->inv_dim() + gan->noise_dim());
+  if (!gen_plan.has_value()) return nullptr;
+  if (gen_plan->out_features() != gan->var_dim()) return nullptr;
+
+  s->mode_ = Mode::Reconstruct;
+  s->gan_ = gan;
+  s->gen_plan_ = std::move(gen_plan);
+  s->cols_ = sep.invariant;
+  for (std::size_t j = 0; j < map.src.size(); ++j) {
+    if (map.from_recon[j] != 0) {
+      if (map.src[j] >= gan->var_dim()) return nullptr;
+      s->recon_dst_.push_back(j);
+      s->recon_src_.push_back(map.src[j]);
+    } else {
+      s->raw_dst_.push_back(j);
+      s->raw_src_.push_back(map.src[j]);
+      s->min_input_cols_ = std::max(s->min_input_cols_, map.src[j] + 1);
+    }
+  }
+  for (const std::size_t c : s->cols_) {
+    s->min_input_cols_ = std::max(s->min_input_cols_, c + 1);
+  }
+  return s;
+}
+
 std::unique_ptr<InferenceSession> InferenceSession::build(
     models::Classifier& classifier, Reconstructor* reconstructor,
     const SeparationResult& sep, std::size_t monte_carlo_m,
@@ -54,6 +167,9 @@ std::unique_ptr<InferenceSession> InferenceSession::build(
     s->mode_ = Mode::Select;
     s->cols_ = sep.invariant;
     if (s->cols_.size() != s->clf_plan_->in_features()) return nullptr;
+    for (const std::size_t c : s->cols_) {
+      s->min_input_cols_ = std::max(s->min_input_cols_, c + 1);
+    }
     return s;
   }
   if (sep.variant.empty() || reconstructor == nullptr) {
@@ -62,6 +178,9 @@ std::unique_ptr<InferenceSession> InferenceSession::build(
     s->cols_ = sep.invariant;
     s->cols_.insert(s->cols_.end(), sep.variant.begin(), sep.variant.end());
     if (s->cols_.size() != s->clf_plan_->in_features()) return nullptr;
+    for (const std::size_t c : s->cols_) {
+      s->min_input_cols_ = std::max(s->min_input_cols_, c + 1);
+    }
     return s;
   }
   // Full FS+GAN: only the CGAN generator is compilable (the MeanImpute
@@ -80,6 +199,10 @@ std::unique_ptr<InferenceSession> InferenceSession::build(
   s->gan_ = gan;
   s->gen_plan_ = std::move(gen_plan);
   s->cols_ = sep.invariant;
+  s->map_.identity = true;  // trained partition == serving partition
+  for (const std::size_t c : s->cols_) {
+    s->min_input_cols_ = std::max(s->min_input_cols_, c + 1);
+  }
   return s;
 }
 
@@ -105,6 +228,10 @@ void InferenceSession::predict_proba_scaled(const la::Matrix& x,
   const std::size_t rows = x.rows();
   proba.resize(rows, num_classes_);
   if (rows == 0) return;
+  FSDA_CHECK_MSG(x.cols() >= min_input_cols_,
+                 "InferenceSession: batch has " << x.cols()
+                                                << " columns, gathers need "
+                                                << min_input_cols_);
 
   // Shards [0, rows) over the global pool; each chunk borrows a Ctx so
   // concurrent chunks never share plan workspaces.  The single-row (and
@@ -142,10 +269,24 @@ void InferenceSession::predict_proba_scaled(const la::Matrix& x,
       const std::size_t inv = cols_.size();
       const std::size_t var = gan_->var_dim();
       const std::size_t nz = gan_->noise_dim();
-      assembled_.resize(rows, inv + var);
+      assembled_.resize(rows, clf_plan_->in_features());
       g_in_.resize(rows, inv + nz);
-      gather_cols(x, cols_, la::MatrixView(assembled_).col_block(0, inv));
       gather_cols(x, cols_, la::MatrixView(g_in_).col_block(0, inv));
+      if (map_.identity) {
+        gather_cols(x, cols_, la::MatrixView(assembled_).col_block(0, inv));
+      } else {
+        // Raw columns are draw-invariant: scatter them once per batch.
+        const la::ConstMatrixView xv(x);
+        la::MatrixView av(assembled_);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double* in = xv.row_data(r);
+          double* out = av.row_data(r);
+          for (std::size_t i = 0; i < raw_dst_.size(); ++i) {
+            out[raw_dst_[i]] = in[raw_src_[i]];
+          }
+        }
+        recon_.resize(rows, var);
+      }
       // Same counters the layer path bumps, so dashboards agree.
       static obs::Counter& draws_total =
           obs::MetricsRegistry::global().counter(
@@ -169,12 +310,28 @@ void InferenceSession::predict_proba_scaled(const la::Matrix& x,
         dst.resize(rows, num_classes_);
         run_chunked([&](std::size_t b, std::size_t e, Ctx& ctx) {
           const std::size_t n = e - b;
-          // The generator writes its rows straight into the variant block
-          // of the assembled classifier input -- no hcat, no copies.
-          gen_plan_->run(
-              la::ConstMatrixView(g_in_).row_block(b, n),
-              la::MatrixView(assembled_).col_block(inv, var).row_block(b, n),
-              ctx.gen_ws);
+          if (map_.identity) {
+            // The generator writes its rows straight into the variant block
+            // of the assembled classifier input -- no hcat, no copies.
+            gen_plan_->run(
+                la::ConstMatrixView(g_in_).row_block(b, n),
+                la::MatrixView(assembled_).col_block(inv, var).row_block(b, n),
+                ctx.gen_ws);
+          } else {
+            // Cross-partition map: generate into the recon buffer, then
+            // scatter the mapped columns into the trained input order.
+            gen_plan_->run(la::ConstMatrixView(g_in_).row_block(b, n),
+                           la::MatrixView(recon_).row_block(b, n), ctx.gen_ws);
+            const la::ConstMatrixView rv(recon_);
+            la::MatrixView av(assembled_);
+            for (std::size_t r = b; r < e; ++r) {
+              const double* in = rv.row_data(r);
+              double* out = av.row_data(r);
+              for (std::size_t i = 0; i < recon_dst_.size(); ++i) {
+                out[recon_dst_[i]] = in[recon_src_[i]];
+              }
+            }
+          }
           clf_plan_->run(la::ConstMatrixView(assembled_).row_block(b, n),
                          la::MatrixView(dst).row_block(b, n), ctx.clf_ws);
         });

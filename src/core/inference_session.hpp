@@ -41,6 +41,33 @@ namespace fsda::core {
 
 class ConditionalGAN;
 
+/// Maps the classifier's trained input order onto a (possibly different)
+/// serving-time partition.  The classifier is frozen with inputs
+/// [X_inv | X_var] of the partition it was TRAINED on; when drift
+/// re-adaptation discovers a fresh partition, column j of the classifier
+/// input is sourced from either a raw feature (still trusted under the new
+/// partition) or a column of the new reconstructor's output:
+///
+///   input[j] = from_recon[j] ? recon_out[src[j]] : x[src[j]]
+///
+/// `identity` marks the fast path where the map is exactly
+/// [sep.invariant raw gather | recon 0..var) in order -- the partition the
+/// classifier was trained on -- letting the generator write straight into
+/// the assembled block with no per-column scatter.
+struct AssemblyMap {
+  std::vector<std::size_t> src;
+  std::vector<char> from_recon;
+  bool identity = false;
+
+  /// Builds the map for a classifier trained on raw features
+  /// `trained_order` (in input order) served under partition `sep`.  With
+  /// a reconstructor, trained features that are variant under `sep` come
+  /// from the reconstruction; everything else stays raw.
+  static AssemblyMap build(const std::vector<std::size_t>& trained_order,
+                           const SeparationResult& sep,
+                           bool with_reconstructor);
+};
+
 class InferenceSession {
  public:
   /// Compiles plans for the classifier (and reconstructor when the regime
@@ -48,6 +75,18 @@ class InferenceSession {
   static std::unique_ptr<InferenceSession> build(models::Classifier& classifier,
                                                  Reconstructor* reconstructor,
                                                  const SeparationResult& sep,
+                                                 std::size_t monte_carlo_m,
+                                                 bool use_reconstruction);
+
+  /// Generation-aware overload: serves a classifier trained on one feature
+  /// order through the partition/reconstructor of a (possibly newer)
+  /// generation, routing each classifier input column per `map`.  Returns
+  /// nullptr when anything is not plan-compatible or the map does not fit
+  /// the classifier/reconstructor shapes.
+  static std::unique_ptr<InferenceSession> build(models::Classifier& classifier,
+                                                 Reconstructor* reconstructor,
+                                                 const SeparationResult& sep,
+                                                 const AssemblyMap& map,
                                                  std::size_t monte_carlo_m,
                                                  bool use_reconstruction);
 
@@ -91,10 +130,18 @@ class InferenceSession {
   std::optional<nn::InferencePlan> gen_plan_;
   ConditionalGAN* gan_ = nullptr;  // non-owning; Mode::Reconstruct only
   std::vector<std::size_t> cols_;  // gather list (Select: all, Reconstruct: inv)
+  AssemblyMap map_;                // Reconstruct: classifier column routing
+  std::size_t min_input_cols_ = 0;  // raw width the gathers require
+  // Non-identity scatter lists: assembled_(.,raw_dst_[i]) = x(.,raw_src_[i])
+  // once per batch; assembled_(.,recon_dst_[i]) = recon_(.,recon_src_[i])
+  // once per Monte-Carlo draw.
+  std::vector<std::size_t> raw_dst_, raw_src_;
+  std::vector<std::size_t> recon_dst_, recon_src_;
 
   // Persistent buffers -- capacity reused across calls.
   la::Matrix selected_;   // Select: gathered classifier input
-  la::Matrix assembled_;  // Reconstruct: [x_inv | x̂_var] classifier input
+  la::Matrix assembled_;  // Reconstruct: classifier input in trained order
+  la::Matrix recon_;      // Reconstruct (non-identity map): generator output
   la::Matrix g_in_;       // Reconstruct: [x_inv | z] generator input
   la::Matrix noise_;      // Reconstruct: z draws
   la::Matrix mc_tmp_;     // Reconstruct: per-draw probabilities (M > 1)

@@ -1,0 +1,76 @@
+#include "core/model_registry.hpp"
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace fsda::core {
+
+namespace {
+
+obs::Gauge& generation_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "model.generation", "id of the actively served model generation");
+  return g;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(ModelRegistry&& other) noexcept {
+  std::lock_guard<std::mutex> lk(other.mu_);
+  active_.store(other.active_.load(std::memory_order_acquire),
+                std::memory_order_release);
+  other.active_.store(nullptr, std::memory_order_release);
+  previous_ = std::move(other.previous_);
+  next_id_ = other.next_id_;
+  published_.store(other.published_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  rollbacks_.store(other.rollbacks_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+ModelRegistry& ModelRegistry::operator=(ModelRegistry&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lk(mu_, other.mu_);
+  active_.store(other.active_.load(std::memory_order_acquire),
+                std::memory_order_release);
+  other.active_.store(nullptr, std::memory_order_release);
+  previous_ = std::move(other.previous_);
+  next_id_ = other.next_id_;
+  published_.store(other.published_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  rollbacks_.store(other.rollbacks_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
+std::uint64_t ModelRegistry::publish(std::shared_ptr<ModelGeneration> gen) {
+  FSDA_CHECK_MSG(gen != nullptr, "publish of a null generation");
+  std::lock_guard<std::mutex> lk(mu_);
+  gen->id = next_id_++;
+  previous_ = active_.load(std::memory_order_acquire);
+  const GenerationPtr frozen = std::move(gen);
+  active_.store(frozen, std::memory_order_release);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  generation_gauge().set(static_cast<double>(frozen->id));
+  return frozen->id;
+}
+
+bool ModelRegistry::rollback() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (previous_ == nullptr) return false;
+  GenerationPtr restored = previous_;
+  previous_ = active_.load(std::memory_order_acquire);
+  active_.store(restored, std::memory_order_release);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  generation_gauge().set(static_cast<double>(restored->id));
+  return true;
+}
+
+void ModelRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  previous_ = nullptr;
+  active_.store(nullptr, std::memory_order_release);
+  generation_gauge().set(0.0);
+}
+
+}  // namespace fsda::core

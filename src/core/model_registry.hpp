@@ -1,0 +1,106 @@
+// fsda::core -- versioned, atomically hot-swappable serving generations.
+//
+// A ModelGeneration bundles everything one "version" of the pipeline's
+// serving state consists of: the feature partition it serves under, the
+// reconstructor fitted for that partition, the AssemblyMap routing the
+// frozen classifier's trained input order through it, the compiled
+// InferenceSession (when plan-compatible), and the drift reference the
+// generation was validated against.  Generations are immutable once
+// published -- re-adaptation builds a NEW generation off to the side and
+// publishes it in one atomic store.
+//
+// The registry holds the active generation in a
+// std::atomic<std::shared_ptr<...>>: readers (predict_proba) take one
+// atomic load per batch and keep the snapshot alive for the duration of
+// the batch via shared ownership, so a concurrent publish or rollback
+// never blocks, tears, or frees state mid-prediction.  Exactly one
+// previous generation is retained for rollback; rollback() swaps it back
+// in (again one atomic store) when post-promotion probation detects a
+// regression.
+//
+// Writers (publish/rollback/reset) serialize on an internal mutex; readers
+// never take it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/feature_separation.hpp"
+#include "core/inference_session.hpp"
+#include "core/reconstructor.hpp"
+#include "obs/drift.hpp"
+
+namespace fsda::core {
+
+/// One immutable serving version.  `session` may be null (layer-API
+/// fallback regimes); `reconstructor` may be shared with other generations
+/// (e.g. a replan of the same fitted CGAN).
+struct ModelGeneration {
+  std::uint64_t id = 0;            ///< assigned by the registry at publish
+  std::string provenance;          ///< "train" / "adapt" / "readapt" / ...
+  SeparationResult separation;     ///< partition this generation serves under
+  AssemblyMap assembly;            ///< trained-order column routing
+  std::shared_ptr<Reconstructor> reconstructor;  ///< null in FS / no-recon
+  std::unique_ptr<InferenceSession> session;     ///< null -> layer path
+  obs::DriftMonitor drift_monitor;  ///< PSI reference for serving telemetry
+  double validation_accuracy = 0.0;  ///< held-out source accuracy at publish
+};
+
+using GenerationPtr = std::shared_ptr<const ModelGeneration>;
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  /// Movable so owners (FsGanPipeline) stay movable before serving starts.
+  /// Moving a registry that readers or writers are actively using is a race
+  /// -- the same rule as moving the pipeline itself mid-serve.
+  ModelRegistry(ModelRegistry&& other) noexcept;
+  ModelRegistry& operator=(ModelRegistry&& other) noexcept;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The active generation (null before the first publish).  One relaxed
+  /// atomic load; the returned snapshot stays valid for as long as the
+  /// caller holds it, across any number of concurrent publishes.
+  [[nodiscard]] GenerationPtr active() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Id of the active generation, 0 when none.
+  [[nodiscard]] std::uint64_t active_id() const {
+    const GenerationPtr g = active();
+    return g ? g->id : 0;
+  }
+
+  /// Assigns the next id, retains the current active generation for
+  /// rollback, and atomically swaps `gen` in.  Returns the assigned id.
+  std::uint64_t publish(std::shared_ptr<ModelGeneration> gen);
+
+  /// Swaps the retained previous generation back in (the rolled-back
+  /// generation becomes the new "previous", so a second rollback undoes
+  /// the first).  Returns false when there is nothing to roll back to.
+  bool rollback();
+
+  /// Drops both generations (ids stay monotonic across resets).
+  void reset();
+
+  [[nodiscard]] std::uint64_t published_total() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rollbacks_total() const {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<GenerationPtr> active_{nullptr};
+  mutable std::mutex mu_;        // serializes writers only
+  GenerationPtr previous_;       // guarded by mu_
+  std::uint64_t next_id_ = 1;    // guarded by mu_
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> rollbacks_{0};
+};
+
+}  // namespace fsda::core

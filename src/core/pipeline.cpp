@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "core/corruption.hpp"
 
@@ -31,8 +32,11 @@ FsGanPipeline::FsGanPipeline(models::ClassifierFactory classifier_factory,
 }
 
 const SeparationResult& FsGanPipeline::separation() const {
-  FSDA_CHECK_MSG(separation_.has_value(), "separation before train");
-  return *separation_;
+  const GenerationPtr gen = registry_.active();
+  FSDA_CHECK_MSG(gen != nullptr, "separation before train");
+  // The generation is kept alive by the registry until the next publish,
+  // which is exactly the old lifetime (valid until train/adapt).
+  return gen->separation;
 }
 
 namespace {
@@ -122,49 +126,47 @@ double FsGanPipeline::reconstructor_train_seconds() const {
       "pipeline.reconstructor_fit_seconds", 0.0);
 }
 
-void FsGanPipeline::fit_reconstructor() {
+std::shared_ptr<Reconstructor> FsGanPipeline::fit_reconstructor_for(
+    const SeparationResult& sep, HealthReport& health, std::uint64_t seed) {
   FSDA_SPAN("pipeline.reconstructor_fit");
-  const auto& sep = *separation_;
   if (sep.variant.empty() || sep.invariant.empty()) {
-    reconstructor_.reset();  // nothing to reconstruct / condition on
-    return;
+    return nullptr;  // nothing to reconstruct / condition on
   }
   common::Stopwatch timer;
   const la::Matrix x_inv = source_scaled_.select_cols(sep.invariant);
   const la::Matrix x_var = source_scaled_.select_cols(sep.variant);
-  reconstructor_ =
-      reconstructor_factory_(sep.invariant.size(), sep.variant.size(),
-                             seed_ ^ 0x6EC0ULL);
+  std::shared_ptr<Reconstructor> reconstructor =
+      reconstructor_factory_(sep.invariant.size(), sep.variant.size(), seed);
   bool fit_threw = false;
   std::string fit_error;
   try {
-    reconstructor_->fit(x_inv, x_var, source_labels_, num_classes_);
+    reconstructor->fit(x_inv, x_var, source_labels_, num_classes_);
   } catch (const common::NumericError& e) {
     fit_threw = true;
     fit_error = e.what();
   }
-  health_.reconstructor_retries = fit_threw ? 0 : reconstructor_->fit_retries();
-  health_.reconstructor_rollbacks =
-      fit_threw ? 0 : reconstructor_->fit_rollbacks();
-  if (fit_threw || !reconstructor_->healthy()) {
+  health.reconstructor_retries = fit_threw ? 0 : reconstructor->fit_retries();
+  health.reconstructor_rollbacks =
+      fit_threw ? 0 : reconstructor->fit_rollbacks();
+  if (fit_threw || !reconstructor->healthy()) {
     // Every training attempt diverged (or fit itself blew up numerically):
     // degrade to class-conditional mean imputation so predictions keep
     // flowing, and say so in the report.
     const std::string why =
         fit_threw ? "fit threw NumericError: " + fit_error
                   : "training diverged and exhausted its retry budget";
-    health_.note_stage("reconstructor", false,
-                       reconstructor_->name() + " " + why +
-                           "; falling back to MeanImpute");
-    health_.fallback_reconstructor = true;
-    auto fallback = std::make_unique<MeanImputeReconstructor>();
+    health.note_stage("reconstructor", false,
+                      reconstructor->name() + " " + why +
+                          "; falling back to MeanImpute");
+    health.fallback_reconstructor = true;
+    auto fallback = std::make_shared<MeanImputeReconstructor>();
     fallback->fit(x_inv, x_var, source_labels_, num_classes_);
-    reconstructor_ = std::move(fallback);
-  } else if (health_.reconstructor_retries > 0) {
-    health_.note_stage("reconstructor", true,
-                       reconstructor_->name() + " recovered after " +
-                           std::to_string(health_.reconstructor_retries) +
-                           " retry(ies)");
+    reconstructor = std::move(fallback);
+  } else if (health.reconstructor_retries > 0) {
+    health.note_stage("reconstructor", true,
+                      reconstructor->name() + " recovered after " +
+                          std::to_string(health.reconstructor_retries) +
+                          " retry(ies)");
   }
   // Gauge (not span) so the most recent fit time is readable even with
   // tracing off; reconstructor_train_seconds() is a view over it.
@@ -172,6 +174,51 @@ void FsGanPipeline::fit_reconstructor() {
       .gauge("pipeline.reconstructor_fit_seconds",
              "wall seconds of the most recent reconstructor fit")
       .set(timer.seconds());
+  return reconstructor;
+}
+
+std::shared_ptr<ModelGeneration> FsGanPipeline::make_generation(
+    SeparationResult sep, std::shared_ptr<Reconstructor> reconstructor,
+    std::string provenance) {
+  auto gen = std::make_shared<ModelGeneration>();
+  gen->provenance = std::move(provenance);
+  gen->separation = std::move(sep);
+  gen->reconstructor = std::move(reconstructor);
+  const bool with_recon =
+      options_.use_reconstruction && gen->reconstructor != nullptr;
+  gen->assembly =
+      AssemblyMap::build(trained_order_, gen->separation, with_recon);
+  // The PSI reference is the scaled source restricted to the generation's
+  // variant block: those are the features expected to drift, so their
+  // batch-vs-source divergence is the drift signal worth exporting.
+  gen->drift_monitor.fit(source_scaled_, gen->separation.variant, {});
+  if (serving_plans_enabled_ && classifier_ != nullptr) {
+    gen->session = InferenceSession::build(
+        *classifier_, gen->reconstructor.get(), gen->separation, gen->assembly,
+        options_.monte_carlo_m, options_.use_reconstruction);
+  }
+  return gen;
+}
+
+void FsGanPipeline::stamp_validation_accuracy(ModelGeneration& gen,
+                                              double carry) {
+  gen.validation_accuracy = carry;
+  if (validation_x_.rows() == 0) return;
+  la::Matrix proba;
+  if (gen.session != nullptr) {
+    gen.session->predict_proba_scaled(validation_x_, proba);
+  } else {
+    proba = predict_proba_scaled(validation_x_, gen);
+  }
+  const std::vector<std::int64_t> pred = models::argmax_rows(proba);
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < pred.size(); ++r) {
+    if (pred[r] == validation_y_[r]) ++hits;
+  }
+  gen.validation_accuracy =
+      pred.empty() ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(pred.size());
 }
 
 void FsGanPipeline::train(const data::Dataset& source,
@@ -183,6 +230,8 @@ void FsGanPipeline::train(const data::Dataset& source,
                  "source/target feature mismatch");
 
   health_ = HealthReport{};
+  registry_.reset();
+  trained_ = false;
   // Screen before validate(): dirty few-shot rows are an expected telemetry
   // failure, not a caller bug, so they are dropped rather than rejected.
   std::size_t dropped = 0;
@@ -209,17 +258,16 @@ void FsGanPipeline::train(const data::Dataset& source,
         .set(timer.seconds());
   }
 
+  SeparationResult sep;
   {
     FSDA_SPAN("pipeline.feature_separation");
     common::Stopwatch timer;
-    separation_ =
-        separate_features(source_scaled_, target_scaled, options_.fs);
+    sep = separate_features(source_scaled_, target_scaled, options_.fs);
     registry
         .gauge("pipeline.feature_separation_seconds",
                "wall seconds of the most recent F-node search")
         .set(timer.seconds());
   }
-  const auto& sep = *separation_;
   registry
       .gauge("fs.variant_features",
              "variant feature count of the current separation")
@@ -228,10 +276,13 @@ void FsGanPipeline::train(const data::Dataset& source,
       .gauge("fs.invariant_features",
              "invariant feature count of the current separation")
       .set(static_cast<double>(sep.invariant.size()));
-  // The PSI reference is the scaled source restricted to the variant block:
-  // those are the features expected to drift, so their batch-vs-source
-  // divergence is the drift signal worth exporting.
-  drift_monitor_.fit(source_scaled_, sep.variant, {});
+  // Fail fast on an unmonitorable reference (all-NaN variant column) before
+  // any expensive network training; make_generation refits the same
+  // reference into the published generation below.
+  {
+    obs::DriftMonitor probe;
+    probe.fit(source_scaled_, sep.variant, {});
+  }
   health_.fs_truncated = sep.truncated;
   if (sep.truncated) {
     health_.note_stage("feature_separation", false,
@@ -242,6 +293,7 @@ void FsGanPipeline::train(const data::Dataset& source,
                 << sep.invariant.size() << " invariant features";
 
   classifier_ = classifier_factory_(seed_ ^ 0xC1A55ULL);
+  std::shared_ptr<Reconstructor> reconstructor;
   common::Stopwatch classifier_timer;
   if (options_.use_reconstruction) {
     // Classifier sees all features, reordered [X_inv | X_var] so that
@@ -251,12 +303,13 @@ void FsGanPipeline::train(const data::Dataset& source,
     // trained exclusively on source data with all features included, but it
     // also sees the exact input distribution it will receive at inference
     // (implementation note in DESIGN.md).
-    fit_reconstructor();
-    std::vector<std::size_t> order = sep.invariant;
-    order.insert(order.end(), sep.variant.begin(), sep.variant.end());
-    la::Matrix x_train = source_scaled_.select_cols(order);
+    reconstructor = fit_reconstructor_for(sep, health_, seed_ ^ 0x6EC0ULL);
+    trained_order_ = sep.invariant;
+    trained_order_.insert(trained_order_.end(), sep.variant.begin(),
+                          sep.variant.end());
+    la::Matrix x_train = source_scaled_.select_cols(trained_order_);
     std::vector<std::int64_t> y_train = source_labels_;
-    if (reconstructor_ != nullptr) {
+    if (reconstructor != nullptr) {
       const la::Matrix x_inv = source_scaled_.select_cols(sep.invariant);
       // Reconstructed views with independent noise draws and lightly
       // corrupted invariant inputs, so the classifier sees the generator's
@@ -267,7 +320,7 @@ void FsGanPipeline::train(const data::Dataset& source,
         const la::Matrix inv_view =
             permute_corrupt(x_inv, view == 0 ? 0.0 : 0.1, view_rng);
         x_train = x_train.vcat(
-            inv_view.hcat(reconstructor_->reconstruct(inv_view)));
+            inv_view.hcat(reconstructor->reconstruct(inv_view)));
         y_train.insert(y_train.end(), source_labels_.begin(),
                        source_labels_.end());
       }
@@ -281,8 +334,13 @@ void FsGanPipeline::train(const data::Dataset& source,
     classifier_timer.reset();
     FSDA_SPAN("pipeline.classifier_fit");
     if (sep.invariant.empty()) {
+      trained_order_.resize(source_scaled_.cols());
+      for (std::size_t c = 0; c < trained_order_.size(); ++c) {
+        trained_order_[c] = c;
+      }
       classifier_->fit(source_scaled_, source_labels_, num_classes_, {});
     } else {
+      trained_order_ = sep.invariant;
       classifier_->fit(source_scaled_.select_cols(sep.invariant),
                        source_labels_, num_classes_, {});
     }
@@ -291,8 +349,29 @@ void FsGanPipeline::train(const data::Dataset& source,
       .gauge("pipeline.classifier_fit_seconds",
              "wall seconds of the most recent classifier fit")
       .set(classifier_timer.seconds());
+
+  // Deterministic stride sample of the scaled source as the validation
+  // reference (empty by default -- see PipelineOptions::validation_rows).
+  validation_x_ = la::Matrix();
+  validation_y_.clear();
+  if (options_.validation_rows > 0 && source_scaled_.rows() > 0) {
+    const std::size_t n = source_scaled_.rows();
+    const std::size_t want = std::min(options_.validation_rows, n);
+    const std::size_t stride = std::max<std::size_t>(1, n / want);
+    std::vector<std::size_t> idx;
+    for (std::size_t r = 0; r < n && idx.size() < want; r += stride) {
+      idx.push_back(r);
+    }
+    la::select_rows_into(source_scaled_, idx, validation_x_);
+    validation_y_.reserve(idx.size());
+    for (const std::size_t r : idx) validation_y_.push_back(source_labels_[r]);
+  }
+
   trained_ = true;
-  rebuild_session();
+  auto gen = make_generation(std::move(sep), std::move(reconstructor),
+                             "train");
+  stamp_validation_accuracy(*gen, 0.0);
+  registry_.publish(std::move(gen));
 }
 
 void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
@@ -311,7 +390,12 @@ void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
   }
   const la::Matrix target_scaled =
       scaler_.transform(label_shift_corrected_cached(shots).x);
-  // Re-run FS against the new target...
+  // Re-run FS against the new target.  The classifier's feature partition
+  // stays fixed ([inv | var] of the training-time separation), but the
+  // published generation serves the FRESH partition: its AssemblyMap routes
+  // each trained input column to a raw feature or a reconstructed column of
+  // the new reconstructor, so a changed partition (even a resized one) is
+  // servable without touching the network-management model.
   SeparationResult fresh =
       separate_features(source_scaled_, target_scaled, options_.fs);
   health_.fs_truncated = fresh.truncated;
@@ -320,50 +404,164 @@ void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
                        "F-node search hit its deadline; partition is "
                        "best-so-far");
   }
-  // ...but keep the classifier's feature partition fixed: the classifier
-  // was trained on [inv | var] of the original separation.  The refreshed
-  // separation retrains the reconstructor only when the partition size is
-  // unchanged; otherwise we keep the original partition (the paper's
-  // Table III observation: variant sets are largely shared across targets,
-  // so the original partition remains serviceable).
-  if (fresh.variant.size() == separation_->variant.size()) {
-    separation_ = std::move(fresh);
-    drift_monitor_.fit(source_scaled_, separation_->variant, {});
-  }
-  fit_reconstructor();
-  rebuild_session();
+  std::shared_ptr<Reconstructor> reconstructor =
+      fit_reconstructor_for(fresh, health_, seed_ ^ 0x6EC0ULL);
+  const GenerationPtr previous = registry_.active();
+  auto gen = make_generation(std::move(fresh), std::move(reconstructor),
+                             "adapt");
+  stamp_validation_accuracy(
+      *gen, previous != nullptr ? previous->validation_accuracy : 0.0);
+  registry_.publish(std::move(gen));
 }
 
-void FsGanPipeline::rebuild_session() {
-  session_.reset();
-  if (!serving_plans_enabled_ || !trained_ || classifier_ == nullptr ||
-      !separation_.has_value()) {
-    return;
+CandidateOutcome FsGanPipeline::build_candidate_generation(
+    const data::Dataset& target_few_shot, const causal::FNodeOptions& fs) {
+  CandidateOutcome out;
+  if (!trained_ || !options_.use_reconstruction) {
+    out.reason = !trained_ ? "pipeline not trained"
+                           : "FS mode cannot re-adapt without classifier "
+                             "retraining";
+    return out;
   }
-  session_ = InferenceSession::build(*classifier_, reconstructor_.get(),
-                                     *separation_, options_.monte_carlo_m,
-                                     options_.use_reconstruction);
+  try {
+    std::size_t dropped = 0;
+    const data::Dataset shots = drop_nonfinite_rows(target_few_shot, &dropped);
+    shots.validate();
+    if (dropped > 0) {
+      out.health.note_stage("few_shot_screen", true,
+                            std::to_string(dropped) +
+                                " non-finite few-shot target row(s) dropped");
+    }
+    const la::Matrix target_scaled =
+        scaler_.transform(label_shift_corrected_cached(shots).x);
+    SeparationResult fresh =
+        separate_features(source_scaled_, target_scaled, fs);
+    out.health.fs_truncated = fresh.truncated;
+    if (fresh.invariant.empty()) {
+      out.reason =
+          "candidate partition has no invariant features; nothing to "
+          "condition the reconstructor on";
+      return out;
+    }
+    const std::uint64_t salt =
+        readapt_seq_.fetch_add(1) + 1;
+    std::shared_ptr<Reconstructor> reconstructor = fit_reconstructor_for(
+        fresh, out.health, seed_ ^ 0x6EC0ULL ^ (salt * 0x9E3779B97F4A7C15ULL));
+    out.generation = make_generation(std::move(fresh), std::move(reconstructor),
+                                     "readapt");
+  } catch (const common::Error& e) {
+    out.generation = nullptr;
+    out.reason = e.what();
+  }
+  return out;
+}
+
+ValidationVerdict FsGanPipeline::validate_generation(
+    const std::shared_ptr<ModelGeneration>& gen, const ValidationOptions& vo,
+    bool allow_layer_path) {
+  ValidationVerdict v;
+  const GenerationPtr active = registry_.active();
+  v.baseline = active != nullptr ? active->validation_accuracy : 0.0;
+  if (gen == nullptr) {
+    v.reason = "no candidate generation";
+    return v;
+  }
+  if (validation_x_.rows() == 0) {
+    v.reason =
+        "no validation holdout; set PipelineOptions::validation_rows > 0";
+    return v;
+  }
+  la::Matrix proba;
+  if (gen->session != nullptr) {
+    gen->session->predict_proba_scaled(validation_x_, proba);
+  } else if (allow_layer_path) {
+    proba = predict_proba_scaled(validation_x_, *gen);
+  } else {
+    v.reason =
+        "candidate is not plan-compatible and the layer path is not safe "
+        "from this thread";
+    return v;
+  }
+  for (const double p : proba.data()) {
+    if (!std::isfinite(p)) {
+      v.reason = "candidate produced non-finite probabilities";
+      return v;
+    }
+  }
+  const double uniform = 1.0 / static_cast<double>(num_classes_);
+  std::size_t uniform_rows = 0;
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    bool is_uniform = true;
+    for (std::size_t c = 0; c < proba.cols() && is_uniform; ++c) {
+      if (std::abs(proba(r, c) - uniform) > vo.uniform_tol) is_uniform = false;
+    }
+    if (is_uniform) ++uniform_rows;
+  }
+  const double uniform_fraction =
+      proba.rows() > 0
+          ? static_cast<double>(uniform_rows) /
+                static_cast<double>(proba.rows())
+          : 0.0;
+  const std::vector<std::int64_t> pred = models::argmax_rows(proba);
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < pred.size(); ++r) {
+    if (pred[r] == validation_y_[r]) ++hits;
+  }
+  v.accuracy = pred.empty() ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(pred.size());
+  if (uniform_fraction > vo.max_uniform_fraction) {
+    v.reason = "uniform-output fraction " + std::to_string(uniform_fraction) +
+               " exceeds " + std::to_string(vo.max_uniform_fraction);
+    return v;
+  }
+  if (v.accuracy < vo.min_accuracy) {
+    v.reason = "holdout accuracy " + std::to_string(v.accuracy) +
+               " below floor " + std::to_string(vo.min_accuracy);
+    return v;
+  }
+  if (v.accuracy < v.baseline - vo.max_accuracy_drop) {
+    v.reason = "holdout accuracy " + std::to_string(v.accuracy) +
+               " drops more than " + std::to_string(vo.max_accuracy_drop) +
+               " below active generation (" + std::to_string(v.baseline) + ")";
+    return v;
+  }
+  v.ok = true;
+  return v;
+}
+
+std::uint64_t FsGanPipeline::promote_generation(
+    std::shared_ptr<ModelGeneration> gen) {
+  FSDA_CHECK_MSG(gen != nullptr, "promote of a null generation");
+  return registry_.publish(std::move(gen));
 }
 
 void FsGanPipeline::set_serving_plans_enabled(bool on) {
   serving_plans_enabled_ = on;
-  rebuild_session();
+  const GenerationPtr active = registry_.active();
+  if (active == nullptr) return;
+  // Republish the active generation's state with plans recompiled (or
+  // dropped): the reconstructor is SHARED, so the layer path and a later
+  // re-enable keep consuming the same GAN noise stream.
+  auto gen = make_generation(active->separation, active->reconstructor,
+                             "replan");
+  gen->validation_accuracy = active->validation_accuracy;
+  registry_.publish(std::move(gen));
 }
 
-la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x) {
-  const auto& sep = *separation_;
+la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x,
+                                               const ModelGeneration& gen) {
+  const auto& sep = gen.separation;
 
   if (!options_.use_reconstruction) {
     if (sep.invariant.empty()) return classifier_->predict_proba(x);
-    return classifier_->predict_proba(x.select_cols(sep.invariant));
+    return classifier_->predict_proba(x.select_cols(trained_order_));
   }
 
-  if (sep.variant.empty() || reconstructor_ == nullptr) {
-    // Nothing detected as drifting: the classifier saw [inv | var] ordering,
-    // which with an empty variant block is just the invariant permutation.
-    std::vector<std::size_t> order = sep.invariant;
-    order.insert(order.end(), sep.variant.begin(), sep.variant.end());
-    return classifier_->predict_proba(x.select_cols(order));
+  if (sep.variant.empty() || gen.reconstructor == nullptr) {
+    // Nothing detected as drifting: classify the trained-order gather (all
+    // columns raw under this generation's map).
+    return classifier_->predict_proba(x.select_cols(trained_order_));
   }
 
   const la::Matrix x_inv = x.select_cols(sep.invariant);
@@ -378,8 +576,22 @@ la::Matrix FsGanPipeline::predict_proba_scaled(const la::Matrix& x) {
   for (std::size_t m = 0; m < options_.monte_carlo_m; ++m) {
     draws_total.inc();
     recon_rows_total.inc(x_inv.rows());
-    const la::Matrix x_var_hat = reconstructor_->reconstruct(x_inv);
-    const la::Matrix assembled = x_inv.hcat(x_var_hat);  // eq. 11
+    const la::Matrix x_var_hat = gen.reconstructor->reconstruct(x_inv);
+    la::Matrix assembled;
+    if (gen.assembly.identity) {
+      assembled = x_inv.hcat(x_var_hat);  // eq. 11
+    } else {
+      // Cross-partition map: route each trained input column to its raw
+      // feature or its column of the fresh reconstruction.
+      const auto& map = gen.assembly;
+      assembled = la::Matrix::uninit(x.rows(), map.src.size());
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        for (std::size_t j = 0; j < map.src.size(); ++j) {
+          assembled(r, j) = map.from_recon[j] != 0 ? x_var_hat(r, map.src[j])
+                                                   : x(r, map.src[j]);
+        }
+      }
+    }
     la::Matrix p = classifier_->predict_proba(assembled);
     if (m == 0) proba = std::move(p);
     else proba += p;
@@ -398,6 +610,10 @@ void FsGanPipeline::predict_proba_into(const la::Matrix& x_raw,
                                        la::Matrix& proba) {
   FSDA_SPAN("pipeline.predict");
   FSDA_CHECK_MSG(trained_, "predict before train");
+  // One atomic snapshot per batch: a concurrent promote/rollback swaps the
+  // NEXT batch's generation, never this one's mid-flight.
+  const GenerationPtr gen = registry_.active();
+  FSDA_CHECK_MSG(gen != nullptr, "predict with no published generation");
   static auto& registry = obs::MetricsRegistry::global();
   static obs::Counter& rows_total =
       registry.counter("predict.rows_total", "rows scored by predict_proba");
@@ -437,12 +653,12 @@ void FsGanPipeline::predict_proba_into(const la::Matrix& x_raw,
     health_.clamped_cells += clamped_now;
     clamped_total.inc(clamped_now);
   }
-  if (telemetry) update_drift_gauges(x, bad_rows.size(), clamped_now);
+  if (telemetry) update_drift_gauges(*gen, x, bad_rows.size(), clamped_now);
 
-  if (session_ != nullptr) {
-    session_->predict_proba_scaled(x, proba);
+  if (gen->session != nullptr) {
+    gen->session->predict_proba_scaled(x, proba);
   } else {
-    proba = predict_proba_scaled(x);
+    proba = predict_proba_scaled(x, *gen);
   }
 
   const double uniform = 1.0 / static_cast<double>(num_classes_);
@@ -471,7 +687,8 @@ void FsGanPipeline::predict_proba_into(const la::Matrix& x_raw,
   latency_ms.observe(timer.millis());
 }
 
-void FsGanPipeline::update_drift_gauges(const la::Matrix& x_scaled,
+void FsGanPipeline::update_drift_gauges(const ModelGeneration& gen,
+                                        const la::Matrix& x_scaled,
                                         std::size_t quarantined,
                                         std::size_t clamped) {
   auto& registry = obs::MetricsRegistry::global();
@@ -485,9 +702,10 @@ void FsGanPipeline::update_drift_gauges(const la::Matrix& x_scaled,
       .gauge("drift.clamped_fraction",
              "fraction of the last batch's scaled cells clamped")
       .set(cells > 0 ? static_cast<double>(clamped) / cells : 0.0);
-  if (!drift_monitor_.fitted()) return;
-  const std::vector<double> psi = drift_monitor_.psi(x_scaled);
-  const std::vector<std::size_t>& cols = drift_monitor_.columns();
+  const obs::DriftMonitor& monitor = gen.drift_monitor;
+  if (!monitor.fitted()) return;
+  const std::vector<double> psi = monitor.psi(x_scaled);
+  const std::vector<std::size_t>& cols = monitor.columns();
   double psi_max = 0.0;
   double psi_sum = 0.0;
   for (std::size_t i = 0; i < psi.size(); ++i) {

@@ -13,15 +13,25 @@
 // Because the classifier is trained exclusively on source data, evolving
 // target distributions only ever require re-running FS and retraining the
 // reconstructor -- never the network-management model (Section VI-F).
+//
+// Serving state lives in a ModelRegistry of immutable generations
+// (core/model_registry.hpp, DESIGN.md §13): train() publishes generation 1,
+// adapt_to_new_target() and the closed drift loop (core/drift_loop.hpp)
+// publish successors, and predict_proba picks up the active generation with
+// one atomic load per batch -- so a background re-adaptation can build,
+// validate, and hot-swap a candidate while predictions keep flowing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <optional>
+#include <memory>
+#include <string>
 
 #include "causal/fnode.hpp"
 #include "core/feature_separation.hpp"
 #include "core/health.hpp"
 #include "core/inference_session.hpp"
+#include "core/model_registry.hpp"
 #include "core/reconstructor.hpp"
 #include "data/dataset.hpp"
 #include "data/scaler.hpp"
@@ -53,6 +63,42 @@ struct PipelineOptions {
   /// before reaching any network, so drifted extremes cannot blow up the
   /// reconstructor.  Negative disables clamping.
   double clamp_margin = 0.25;
+  /// Rows of scaled source held as a validation reference (deterministic
+  /// stride sample) for scoring candidate generations before promotion.
+  /// 0 (default) keeps the holdout off: no extra scoring happens at train
+  /// time, so the GAN noise stream and every downstream Monte-Carlo draw
+  /// are bit-identical to a pipeline without generation validation.  The
+  /// drift loop requires a non-zero value.
+  std::size_t validation_rows = 0;
+};
+
+/// Acceptance gates a candidate generation must clear before promotion.
+struct ValidationOptions {
+  /// Hard floor on held-out source accuracy.
+  double min_accuracy = 0.5;
+  /// Max allowed drop vs. the active generation's accuracy at its publish.
+  double max_accuracy_drop = 0.10;
+  /// Reject when more than this fraction of validation rows score as the
+  /// uniform distribution (a collapsed reconstructor pushes every row
+  /// through the uniform-output guard).
+  double max_uniform_fraction = 0.25;
+  /// A row counts as uniform when every probability is within this of 1/C.
+  double uniform_tol = 1e-6;
+};
+
+/// Outcome of scoring one candidate generation against the holdout.
+struct ValidationVerdict {
+  bool ok = false;
+  double accuracy = 0.0;
+  double baseline = 0.0;  ///< active generation's accuracy at its publish
+  std::string reason;     ///< empty when ok
+};
+
+/// Result of building (not yet validating) a candidate generation.
+struct CandidateOutcome {
+  std::shared_ptr<ModelGeneration> generation;  ///< null on failure
+  std::string reason;                           ///< why generation is null
+  HealthReport health;  ///< candidate-fit diagnostics (never health())
 };
 
 /// The paper's DA framework around a pluggable classifier + reconstructor.
@@ -69,30 +115,94 @@ class FsGanPipeline {
   /// Re-runs FS + reconstructor against a new target distribution without
   /// touching the trained classifier (the paper's no-retraining property;
   /// valid in FS+GAN mode only, since FS mode's classifier depends on the
-  /// invariant set).
+  /// invariant set).  Publishes a new generation serving the FRESH
+  /// partition: the AssemblyMap routes the frozen classifier's trained
+  /// input order through it, so a changed partition no longer degrades to
+  /// the stale one.
   void adapt_to_new_target(const data::Dataset& target_few_shot);
 
   /// Class probabilities for raw (unscaled) target-domain samples.
   [[nodiscard]] la::Matrix predict_proba(const la::Matrix& x_raw);
   /// Destination-passing predict_proba: identical output, but scaling and
   /// scoring reuse `proba`'s and the pipeline's persistent buffers -- the
-  /// zero-allocation serving loop once warm.
+  /// zero-allocation serving loop once warm.  Safe to call concurrently
+  /// with a background build/validate/promote of a candidate generation
+  /// (one atomic generation snapshot per batch); NOT safe to call
+  /// concurrently with itself, train(), or adapt_to_new_target().
   void predict_proba_into(const la::Matrix& x_raw, la::Matrix& proba);
   [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x_raw);
 
+  // -- Generation management (the drift loop's toolkit) --------------------
+
+  /// Builds a fresh candidate generation from new few-shot target rows:
+  /// re-runs F-node search under `fs` (use a deadline for bounded response
+  /// time) and refits the reconstructor for the discovered partition.
+  /// Never touches serving state; safe to run on a background thread while
+  /// predict_proba keeps serving (but not concurrently with train/adapt).
+  /// On failure `generation` is null and `reason` says why.
+  [[nodiscard]] CandidateOutcome build_candidate_generation(
+      const data::Dataset& target_few_shot, const causal::FNodeOptions& fs);
+
+  /// Scores a candidate against the held-out source slice: finite scan,
+  /// uniform-output fraction, accuracy floor, and max drop vs. the active
+  /// generation.  `allow_layer_path` must be false when validating from a
+  /// background thread while the serving path may use the layer API (the
+  /// layer classifier's workspace is not thread-safe); plan-compiled
+  /// candidates validate through their own session either way.
+  [[nodiscard]] ValidationVerdict validate_generation(
+      const std::shared_ptr<ModelGeneration>& gen, const ValidationOptions& vo,
+      bool allow_layer_path = true);
+
+  /// Atomically publishes a (validated) candidate; returns its id.  Sets
+  /// the candidate's validation_accuracy beforehand via the verdict.
+  std::uint64_t promote_generation(std::shared_ptr<ModelGeneration> gen);
+
+  /// The registry holding the active + rollback generations.
+  [[nodiscard]] ModelRegistry& registry() { return registry_; }
+  /// Snapshot of the actively served generation (null before train).
+  [[nodiscard]] GenerationPtr active_generation() const {
+    return registry_.active();
+  }
+  /// Scaled source matrix (the drift/PSI reference base).
+  [[nodiscard]] const la::Matrix& scaled_source() const {
+    return source_scaled_;
+  }
+  /// The scaled, sanitized form of the batch most recently passed through
+  /// predict_proba_into -- what streaming drift detectors should observe.
+  [[nodiscard]] const la::Matrix& last_scaled_batch() const {
+    return predict_x_;
+  }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+  /// Raw feature indices of the classifier's trained input order.
+  [[nodiscard]] const std::vector<std::size_t>& trained_order() const {
+    return trained_order_;
+  }
+
+  // ------------------------------------------------------------------------
+
   /// Enables/disables the packed serving plans (core/inference_session.hpp).
   /// Disabling routes predictions through the layer API; re-enabling
-  /// recompiles the plans from the current networks.  Test/benchmark hook.
+  /// recompiles the plans from the current networks.  Publishes a "replan"
+  /// generation sharing the active one's partition and reconstructor.
+  /// Test/benchmark hook.
   void set_serving_plans_enabled(bool on);
   /// True when predictions currently route through packed inference plans
   /// (false before train() or when a component is not plan-compatible).
   [[nodiscard]] bool serving_plans_active() const {
-    return session_ != nullptr;
+    const GenerationPtr g = registry_.active();
+    return g != nullptr && g->session != nullptr;
   }
-  /// The active session, or nullptr; white-box access for tests/benchmarks
-  /// (e.g. toggling micro-batch threading).  Invalidated by train/adapt.
-  [[nodiscard]] InferenceSession* serving_session() { return session_.get(); }
+  /// The active generation's session, or nullptr; white-box access for
+  /// tests/benchmarks (e.g. toggling micro-batch threading).  Invalidated
+  /// by train/adapt/promote.
+  [[nodiscard]] InferenceSession* serving_session() {
+    const GenerationPtr g = registry_.active();
+    return g != nullptr ? g->session.get() : nullptr;
+  }
 
+  /// Partition of the actively served generation.  The reference stays
+  /// valid until the next publish (train/adapt/promote/rollback).
   [[nodiscard]] const SeparationResult& separation() const;
   [[nodiscard]] bool is_trained() const { return trained_; }
   /// Wall seconds of the most recent reconstructor fit, read back from the
@@ -114,15 +224,28 @@ class FsGanPipeline {
       const data::Dataset& target_few_shot) const;
 
  private:
-  void fit_reconstructor();
-  /// Recompiles the packed serving session from the current classifier and
-  /// reconstructor; leaves session_ null when either is not plan-compatible.
-  void rebuild_session();
-  /// The pre-guardrail predict path, on already scaled/sanitized inputs.
-  [[nodiscard]] la::Matrix predict_proba_scaled(const la::Matrix& x);
+  /// Fits a reconstructor for `sep` (MeanImpute fallback on divergence),
+  /// reporting into `health` -- health_ for train/adapt, the candidate's
+  /// own report for background builds.  `seed` salts the fit.
+  std::shared_ptr<Reconstructor> fit_reconstructor_for(
+      const SeparationResult& sep, HealthReport& health, std::uint64_t seed);
+  /// Assembles an immutable generation: AssemblyMap for the trained order,
+  /// packed session (when enabled + compatible), drift reference over the
+  /// partition's variant block.
+  std::shared_ptr<ModelGeneration> make_generation(
+      SeparationResult sep, std::shared_ptr<Reconstructor> reconstructor,
+      std::string provenance);
+  /// The pre-guardrail layer-API predict path for one generation, on
+  /// already scaled/sanitized inputs.
+  [[nodiscard]] la::Matrix predict_proba_scaled(const la::Matrix& x,
+                                                const ModelGeneration& gen);
+  /// Scores `gen` on the holdout and stamps gen->validation_accuracy; no-op
+  /// (keeps `carry` accuracy) when the holdout is empty.
+  void stamp_validation_accuracy(ModelGeneration& gen, double carry);
   /// Publishes per-batch drift gauges (PSI over the variant block,
   /// quarantine rate, clamped fraction); called only with telemetry on.
-  void update_drift_gauges(const la::Matrix& x_scaled, std::size_t quarantined,
+  void update_drift_gauges(const ModelGeneration& gen,
+                           const la::Matrix& x_scaled, std::size_t quarantined,
                            std::size_t clamped);
 
   models::ClassifierFactory classifier_factory_;
@@ -131,24 +254,46 @@ class FsGanPipeline {
   std::uint64_t seed_;
 
   data::MinMaxScaler scaler_;
-  std::optional<SeparationResult> separation_;
   std::unique_ptr<models::Classifier> classifier_;
-  ReconstructorPtr reconstructor_;
   std::vector<std::size_t> source_class_counts_;
   // Cached scaled source blocks for reconstructor (re)fits.
   la::Matrix source_scaled_;
   std::vector<std::int64_t> source_labels_;
   std::size_t num_classes_ = 0;
-  /// Per-feature PSI reference over the variant block of the scaled source;
-  /// refit whenever the separation changes.  Inference batches are compared
-  /// against it when telemetry is enabled.
-  obs::DriftMonitor drift_monitor_;
+  /// Raw feature order the classifier was trained on ([inv | var] of the
+  /// training-time partition; invariant-only in FS mode).
+  std::vector<std::size_t> trained_order_;
+  /// Held-out scaled source slice + labels for candidate validation (empty
+  /// when options_.validation_rows == 0).
+  la::Matrix validation_x_;
+  std::vector<std::int64_t> validation_y_;
+  /// Versioned serving state; predict snapshots the active generation once
+  /// per batch.
+  ModelRegistry registry_;
+  /// Movable atomic counter (std::atomic alone would delete the pipeline's
+  /// move operations, which test fixtures rely on to return pipelines by
+  /// value).  Moving while another thread increments is a race -- same rule
+  /// as moving the pipeline mid-serve.
+  struct MovableSeq {
+    std::atomic<std::uint64_t> value{0};
+    MovableSeq() = default;
+    MovableSeq(MovableSeq&& other) noexcept
+        : value(other.value.load(std::memory_order_relaxed)) {}
+    MovableSeq& operator=(MovableSeq&& other) noexcept {
+      value.store(other.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
+    std::uint64_t fetch_add(std::uint64_t n) {
+      return value.fetch_add(n, std::memory_order_relaxed);
+    }
+  };
+  /// Salts candidate reconstructor seeds so repeated re-adaptations explore
+  /// different initializations.
+  MovableSeq readapt_seq_;
   HealthReport health_;
   bool trained_ = false;
 
-  /// Packed serving path (nullptr = layer-API fallback) and the persistent
-  /// buffers predict_proba_into scales/scores into.
-  std::unique_ptr<InferenceSession> session_;
   bool serving_plans_enabled_ = true;
   la::Matrix predict_x_;
 };

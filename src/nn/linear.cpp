@@ -50,19 +50,28 @@ const la::Matrix& Linear::backward(const la::Matrix& grad_output,
                      grad_output.cols() == out_features_,
                  "Linear backward shape mismatch");
   la::Matrix& grad_input = ws.buffer(this, 1, grad_output.rows(), in_features_);
+  // dX never depends on dW/db, so when the workspace has parameter
+  // gradients disabled (GAN generator steps backpropagating through a
+  // frozen discriminator) the dW GEMM and bias reduction are skipped
+  // entirely -- the dX below is bit-identical either way.
+  const bool param_grads = ws.param_grads_enabled();
   if (training_backend() == TrainingBackend::Packed) {
-    la::gemm_grad_weights(*cached_input_, grad_output, weight_.grad,
-                          /*accumulate=*/true);
-    la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
+    if (param_grads) {
+      la::gemm_grad_weights(*cached_input_, grad_output, weight_.grad,
+                            /*accumulate=*/true);
+      la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
+    }
     // dX = dY * Wᵀ through the forward micro-kernels against a transposed
     // pack; slot 1 keeps it distinct from the forward pack of slot 0.
     const la::PackedB& pt = ws.packed(this, 1, weight_.value, weight_.version,
                                       /*transposed=*/true);
     la::gemm_packed(grad_output, pt, grad_input);
   } else {
-    la::transposed_matmul_into(*cached_input_, grad_output, weight_.grad,
-                               /*accumulate=*/true);
-    la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
+    if (param_grads) {
+      la::transposed_matmul_into(*cached_input_, grad_output, weight_.grad,
+                                 /*accumulate=*/true);
+      la::sum_rows_into(grad_output, bias_.grad, /*accumulate=*/true);
+    }
     la::matmul_transposed_into(grad_output, weight_.value, grad_input);
   }
   return grad_input;

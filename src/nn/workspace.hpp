@@ -55,6 +55,18 @@ class Workspace {
                             const la::Matrix& weights, std::uint64_t version,
                             bool transposed = false);
 
+  /// When false, parameterized layers skip accumulating their weight/bias
+  /// gradients in backward() and produce only the input gradient (dX).
+  /// GAN generator steps use this for the discriminator backward whose
+  /// weight gradients are discarded anyway -- dX is unchanged, so the
+  /// training trajectory is identical.  Honored by nn::Linear (the only
+  /// parameterized layer in the discriminator stacks); layers that never
+  /// see the flag cleared (BatchNorm in the generators) are unaffected.
+  [[nodiscard]] bool param_grads_enabled() const {
+    return param_grads_enabled_;
+  }
+  void set_param_grads_enabled(bool on) { param_grads_enabled_ = on; }
+
   /// Number of distinct (owner, slot) buffers created so far.
   [[nodiscard]] std::size_t num_buffers() const { return buffers_.size(); }
 
@@ -88,6 +100,7 @@ class Workspace {
   std::unordered_map<std::pair<const void*, int>, la::Matrix, KeyHash>
       buffers_;
   std::unordered_map<std::pair<const void*, int>, PackEntry, KeyHash> packs_;
+  bool param_grads_enabled_ = true;
 };
 
 }  // namespace fsda::nn

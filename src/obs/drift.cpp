@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -37,9 +38,20 @@ void DriftMonitor::fit(la::ConstMatrixView reference,
       ref_props_[k][bin_of(v)] += 1.0;
       n += 1.0;
     }
-    if (n > 0.0) {
-      for (double& p : ref_props_[k]) p /= n;
+    if (n == 0.0) {
+      ref_props_.clear();  // leave the monitor unfitted, not half-fitted
+      throw common::NumericError(
+          "DriftMonitor::fit: reference column " + std::to_string(c) +
+          " has no finite values; cannot build a PSI reference");
     }
+    // Laplace smoothing: every bin keeps at least a min_proportion-sized
+    // pseudo-count, so a batch landing in an empty reference bin scores a
+    // large-but-finite PSI contribution instead of relying solely on the
+    // psi()-time floor.
+    const double alpha = options_.min_proportion;
+    const double denom =
+        1.0 + alpha * static_cast<double>(ref_props_[k].size());
+    for (double& p : ref_props_[k]) p = (p / n + alpha) / denom;
   }
 }
 
@@ -67,6 +79,36 @@ std::vector<double> DriftMonitor::psi(la::ConstMatrixView batch) const {
       value += (q - p) * std::log(q / p);
     }
     out[k] = value;
+  }
+  return out;
+}
+
+std::vector<double> DriftMonitor::ks(la::ConstMatrixView batch) const {
+  FSDA_CHECK_MSG(fitted(), "ks before fit");
+  std::vector<double> out(columns_.size(), 0.0);
+  std::vector<double> props(options_.bins + 2);
+  for (std::size_t k = 0; k < columns_.size(); ++k) {
+    const std::size_t c = columns_[k];
+    FSDA_CHECK_MSG(c < batch.cols(),
+                   "KS column " << c << " out of " << batch.cols());
+    std::fill(props.begin(), props.end(), 0.0);
+    double n = 0.0;
+    for (std::size_t r = 0; r < batch.rows(); ++r) {
+      const double v = batch(r, c);
+      if (!std::isfinite(v)) continue;
+      props[bin_of(v)] += 1.0;
+      n += 1.0;
+    }
+    if (n == 0.0) continue;  // all-quarantined column: report 0, not NaN
+    double cdf_batch = 0.0;
+    double cdf_ref = 0.0;
+    double gap = 0.0;
+    for (std::size_t b = 0; b < props.size(); ++b) {
+      cdf_batch += props[b] / n;
+      cdf_ref += ref_props_[k][b];
+      gap = std::max(gap, std::abs(cdf_batch - cdf_ref));
+    }
+    out[k] = std::min(gap, 1.0);
   }
   return out;
 }

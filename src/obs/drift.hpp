@@ -42,6 +42,12 @@ struct DriftOptions {
 class DriftMonitor {
  public:
   /// Builds reference proportions for the listed columns of `reference`.
+  /// Proportions are Laplace-smoothed with `min_proportion` pseudo-counts so
+  /// empty reference bins stay strictly positive (finite PSI even against a
+  /// batch concentrated where the reference is empty).  Throws NumericError
+  /// when a monitored column has no finite reference value at all -- an
+  /// all-NaN column would otherwise produce an all-zero reference that
+  /// silently scores every batch as maximally drifted.
   void fit(la::ConstMatrixView reference,
            const std::vector<std::size_t>& columns, DriftOptions options = {});
 
@@ -55,6 +61,13 @@ class DriftMonitor {
   /// monitor indexes its own columns) against the reference, in
   /// columns() order.  Non-finite cells are ignored.
   [[nodiscard]] std::vector<double> psi(la::ConstMatrixView batch) const;
+
+  /// Binned two-sample Kolmogorov-Smirnov statistic per monitored column:
+  /// the maximum CDF gap between `batch` and the reference over the PSI
+  /// bins, in [0, 1].  Complements PSI in the streaming drift detector --
+  /// KS responds to location shifts that spread mass across adjacent bins
+  /// before any single bin's proportion moves enough to register on PSI.
+  [[nodiscard]] std::vector<double> ks(la::ConstMatrixView batch) const;
 
  private:
   /// Bin index of value v: 0 = underflow, 1..bins = interior, bins+1 = over.

@@ -100,6 +100,46 @@ TEST(RetryControllerTest, BudgetBackoffAndSalt) {
   EXPECT_EQ(retry.retries_used(), 2u);
 }
 
+TEST(RetryControllerTest, BackoffScaleClampsInsteadOfOverflowing) {
+  // A growth factor > 1 overflows pow() to +inf within a few hundred
+  // attempts; the scale must land on the policy ceiling instead.
+  common::RetryPolicy policy;
+  policy.max_attempts = 500;
+  policy.backoff_factor = 10.0;
+  policy.max_backoff_scale = 64.0;
+  common::RetryController retry(policy);
+  double prev = 0.0;
+  for (int i = 0; i < 450; ++i) {
+    const double s = retry.backoff_scale();
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_LE(s, 64.0);
+    EXPECT_GE(s, prev);  // monotone non-decreasing up to the ceiling
+    prev = s;
+    ASSERT_TRUE(retry.allow_retry());
+  }
+  EXPECT_DOUBLE_EQ(retry.backoff_scale(), 64.0);
+
+  // Decay factors are deliberately unfloored (trainers use extreme decays
+  // like 2e-159 for one-shot lr rescues): the scale underflows gracefully
+  // toward 0 but stays finite and non-negative at every attempt.
+  common::RetryPolicy decay;
+  decay.max_attempts = 500;
+  decay.backoff_factor = 0.1;
+  decay.max_backoff_scale = 1e3;
+  common::RetryController down(decay);
+  for (int i = 0; i < 450; ++i) {
+    const double s = down.backoff_scale();
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0);
+    ASSERT_TRUE(down.allow_retry());
+  }
+  EXPECT_EQ(down.backoff_scale(), 0.0);  // 0.1^450 underflowed, finitely
+
+  EXPECT_THROW(common::RetryController(
+                   common::RetryPolicy{3, 0.5, 0.0, /*max_backoff_scale=*/0.5}),
+               common::InvariantError);
+}
+
 TEST(RetryControllerTest, DeadlineStopsRetries) {
   common::RetryPolicy policy;
   policy.max_attempts = 100;

@@ -315,6 +315,53 @@ TEST(DriftMonitorTest, NonFiniteCellsAreSkipped) {
   EXPECT_LT(psi[0], 0.1);
 }
 
+TEST(DriftMonitorTest, AllNonFiniteReferenceColumnThrows) {
+  la::Matrix ref(64, 2);
+  for (std::size_t r = 0; r < ref.rows(); ++r) {
+    ref(r, 0) = -1.0 + 2.0 * static_cast<double>(r) / 63.0;
+    ref(r, 1) = std::numeric_limits<double>::quiet_NaN();  // dead sensor
+  }
+  obs::DriftMonitor monitor;
+  EXPECT_THROW(monitor.fit(ref, {0, 1}), common::NumericError);
+  EXPECT_FALSE(monitor.fitted());  // not left half-fitted
+}
+
+TEST(DriftMonitorTest, EmptyReferenceBinsStayFinite) {
+  // Reference concentrated in one interior bin; the batch lands entirely in
+  // bins the reference never saw.  Smoothing + the psi floor must keep both
+  // statistics finite and large.
+  la::Matrix ref(256, 1, 0.05);
+  la::Matrix batch(256, 1, 1.25);
+  obs::DriftMonitor monitor;
+  monitor.fit(ref, {0});
+  const std::vector<double> psi = monitor.psi(batch);
+  ASSERT_EQ(psi.size(), 1u);
+  EXPECT_TRUE(std::isfinite(psi[0]));
+  EXPECT_GT(psi[0], 0.25);
+  const std::vector<double> ks = monitor.ks(batch);
+  ASSERT_EQ(ks.size(), 1u);
+  EXPECT_GT(ks[0], 0.9);
+  EXPECT_LE(ks[0], 1.0);
+}
+
+TEST(DriftMonitorTest, KsSeparatesShiftFromStability) {
+  la::Matrix ref(512, 2);
+  la::Matrix shifted(512, 2);
+  for (std::size_t r = 0; r < ref.rows(); ++r) {
+    const double v = -0.9 + 1.0 * static_cast<double>(r) / 511.0;
+    ref(r, 0) = v;
+    ref(r, 1) = v;
+    shifted(r, 0) = v + 0.8;
+    shifted(r, 1) = v;
+  }
+  obs::DriftMonitor monitor;
+  monitor.fit(ref, {0, 1});
+  const std::vector<double> ks = monitor.ks(shifted);
+  ASSERT_EQ(ks.size(), 2u);
+  EXPECT_GT(ks[0], 0.5);
+  EXPECT_LT(ks[1], 0.05);
+}
+
 TEST(SnapshotSinkTest, AppendsJsonLinesWithExtras) {
   TelemetryOn on;
   const std::string path =

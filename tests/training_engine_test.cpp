@@ -241,6 +241,38 @@ TEST(ShardedTraining, SerialAndThreadedShardsBitwiseIdentical) {
                               threaded_gan.generator_network());
 }
 
+TEST(ShardedTraining, SkippingDiscriminatorGradsInGStepKeepsTrajectory) {
+  // The generator step only consumes dX of the discriminator backward; its
+  // dW/db were zeroed before the next D step without ever being read.
+  // Skipping them must therefore keep the training trajectory within
+  // 1e-12 of the old schedule -- and since dX is computed by the same
+  // kernels either way, it is in fact bitwise identical.
+  const GanFixture f = make_gan_fixture(128, 6, 8);
+  core::CganOptions skip_opts = tiny_gan_options();
+  skip_opts.skip_d_grads_in_g_step = true;
+  core::CganOptions full_opts = tiny_gan_options();
+  full_opts.skip_d_grads_in_g_step = false;
+
+  core::ConditionalGAN skip_gan(6, 8, skip_opts, 99);
+  core::ConditionalGAN full_gan(6, 8, full_opts, 99);
+  skip_gan.fit(f.x_inv, f.x_var, f.labels, 3);
+  full_gan.fit(f.x_inv, f.x_var, f.labels, 3);
+  expect_params_bitwise_equal(skip_gan.generator_network(),
+                              full_gan.generator_network());
+
+  // The sharded G-step gates the per-replica workspaces the same way.
+  core::CganOptions sharded_skip = skip_opts;
+  sharded_skip.train_shards = 4;
+  core::CganOptions sharded_full = full_opts;
+  sharded_full.train_shards = 4;
+  core::ConditionalGAN sharded_skip_gan(6, 8, sharded_skip, 99);
+  core::ConditionalGAN sharded_full_gan(6, 8, sharded_full, 99);
+  sharded_skip_gan.fit(f.x_inv, f.x_var, f.labels, 3);
+  sharded_full_gan.fit(f.x_inv, f.x_var, f.labels, 3);
+  expect_params_bitwise_equal(sharded_skip_gan.generator_network(),
+                              sharded_full_gan.generator_network());
+}
+
 TEST(ShardedTraining, AutoencoderSerialThreadedBitwiseIdentical) {
   const GanFixture f = make_gan_fixture(96, 5, 7);
   core::AutoencoderOptions opts;
