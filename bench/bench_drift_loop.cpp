@@ -19,6 +19,13 @@
 // process exits non-zero when any closed-loop expectation is violated, so
 // CI can gate on it.
 //
+// The flight recorder runs for the whole bench: injection points are marked
+// with "bench.drift_injected" instants, so wall-clock detection latency
+// (injection -> drift.trigger) and recovery time (injection ->
+// readapt.promote) are measured from the journal rather than batch counts,
+// and the full timeline is written to BENCH_drift_trace.json, loadable at
+// https://ui.perfetto.dev.
+//
 // Knobs: FSDA_SMOKE=1 shrinks the dataset and batch budgets for CI smoke
 // runs; FSDA_METRICS_OUT / FSDA_TRACE behave as in every other bench.
 #include <chrono>
@@ -38,6 +45,8 @@
 #include "data/gen5gc.hpp"
 #include "data/scm.hpp"
 #include "models/factory.hpp"
+#include "obs/journal.hpp"
+#include "obs/perfetto_export.hpp"
 
 using namespace fsda;
 
@@ -182,6 +191,44 @@ struct Harness {
   }
 };
 
+/// Wall-clock loop timings recovered from the event journal: for the k-th
+/// "bench.drift_injected" mark, the delay to the first drift.trigger at or
+/// after it and to the first readapt.promote after that trigger.
+struct JournalTimes {
+  double detect_ms = -1.0;
+  double recover_ms = -1.0;
+};
+
+JournalTimes journal_times(const obs::Journal& journal, std::size_t mark_idx) {
+  JournalTimes t;
+  std::int64_t mark_ns = -1;
+  std::size_t seen_marks = 0;
+  std::int64_t trigger_ns = -1;
+  for (const auto& e : journal.events) {
+    const std::string& name = journal.name(e.name_id);
+    if (mark_ns < 0) {
+      if (name == "bench.drift_injected" && seen_marks++ == mark_idx) {
+        mark_ns = static_cast<std::int64_t>(e.ts_ns);
+      }
+      continue;
+    }
+    if (trigger_ns < 0) {
+      if (name == "drift.trigger") {
+        trigger_ns = static_cast<std::int64_t>(e.ts_ns);
+        t.detect_ms = static_cast<double>(trigger_ns - mark_ns) / 1e6;
+      }
+      continue;
+    }
+    if (name == "readapt.promote") {
+      t.recover_ms =
+          static_cast<double>(static_cast<std::int64_t>(e.ts_ns) - mark_ns) /
+          1e6;
+      break;
+    }
+  }
+  return t;
+}
+
 core::DriftLoopOptions loop_options(const causal::FNodeOptions& fs,
                                     std::size_t warmup) {
   core::DriftLoopOptions o;
@@ -260,6 +307,14 @@ int main() {
               train_watch.seconds(),
               static_cast<unsigned long long>(pipeline.registry().active_id()));
 
+  // Flight recorder on for the whole closed loop.  Full-mode phases can
+  // serve thousands of batches (two journal events each), so size the
+  // per-thread rings well past the default before the first event pins them.
+  auto& recorder = obs::FlightRecorder::global();
+  recorder.set_thread_ring_capacity(1 << 16);
+  recorder.reset();
+  recorder.set_enabled(true);
+
   bool ok = true;
   std::string failure;
   auto expect = [&](bool cond, const std::string& what) {
@@ -288,6 +343,7 @@ int main() {
 
     // Abrupt drift at a known batch: measure batches to latch, then batches
     // to a validated background promotion, serving throughout.
+    FSDA_EVENT_INSTANT(obs::EventCategory::System, "bench.drift_injected", 2.0);
     abrupt_detect = h.serve_until(
         2, [&] { return loop.stats().triggers >= 1; }, detect_cap);
     expect(loop.stats().triggers >= 1, "abrupt drift never detected");
@@ -305,6 +361,7 @@ int main() {
     const std::uint64_t triggers0 = loop.stats().triggers;
     const std::uint64_t promos0 = loop.stats().promotions;
     const std::size_t ramp = 10;
+    FSDA_EVENT_INSTANT(obs::EventCategory::System, "bench.drift_injected", 3.0);
     for (std::size_t i = 0; i < ramp; ++i) {
       h.serve(stream.mixed(2, 3, static_cast<double>(i + 1) /
                                      static_cast<double>(ramp)));
@@ -344,6 +401,7 @@ int main() {
     Harness h{&loop, &stream};
     loop.detector().suppress(warmup);
     for (std::size_t i = 0; i < warmup; ++i) h.serve(stream.batch(3));
+    FSDA_EVENT_INSTANT(obs::EventCategory::System, "bench.drift_injected", 4.0);
     h.serve_until(4, [&] { return loop.stats().triggers >= 1; }, detect_cap);
     expect(loop.stats().triggers >= 1, "poisoned drift never detected");
     h.serve_until(4, [&] { return loop.stats().rejections >= 1; },
@@ -360,6 +418,30 @@ int main() {
   expect(pipeline.registry().active_id() == generation_after_gradual,
          "active generation changed during the poisoned window");
 
+  // -- Journal-derived timeline --------------------------------------------
+  recorder.set_enabled(false);
+  const obs::Journal journal = recorder.snapshot();
+  const JournalTimes abrupt_times = journal_times(journal, 0);
+  const JournalTimes gradual_times = journal_times(journal, 1);
+  expect(abrupt_times.detect_ms >= 0.0,
+         "journal has no drift.trigger after the abrupt injection mark");
+  expect(abrupt_times.recover_ms >= 0.0,
+         "journal has no readapt.promote after the abrupt trigger");
+  expect(gradual_times.detect_ms >= 0.0,
+         "journal has no drift.trigger after the gradual injection mark");
+  expect(journal.dropped_total == 0, "journal dropped events");
+  const std::string trace_path = bench::out_path("BENCH_drift_trace.json");
+  if (obs::write_perfetto_file(journal, trace_path)) {
+    std::printf("perfetto trace (%zu events) written to %s\n",
+                journal.events.size(), trace_path.c_str());
+  }
+
+  std::printf(
+      "journal:  abrupt detect %.1f ms / recover %.1f ms, gradual detect "
+      "%.1f ms / recover %.1f ms (%zu events, %llu dropped)\n",
+      abrupt_times.detect_ms, abrupt_times.recover_ms, gradual_times.detect_ms,
+      gradual_times.recover_ms, journal.events.size(),
+      static_cast<unsigned long long>(journal.dropped_total));
   std::printf(
       "\nabrupt:   detected in %zu batch(es), recovered in %zu batch(es), "
       "accuracy %.3f -> %.3f -> %.3f\n",
@@ -394,6 +476,9 @@ int main() {
         "\"acc_final\":%.3f},"
         "\"poisoned\":{\"attempts\":%llu,\"rejections\":%llu,"
         "\"generation_stable\":%s},"
+        "\"journal\":{\"events\":%zu,\"dropped\":%llu,"
+        "\"abrupt_detect_ms\":%.1f,\"abrupt_recover_ms\":%.1f,"
+        "\"gradual_detect_ms\":%.1f,\"gradual_recover_ms\":%.1f},"
         "\"triggers\":%llu,\"promotions\":%llu,\"rollbacks\":%llu,"
         "\"failed_predictions\":%zu}\n",
         smoke ? "true" : "false", scm.num_observed(), kBatchRows,
@@ -403,6 +488,10 @@ int main() {
         static_cast<unsigned long long>(poisoned_rejections),
         pipeline.registry().active_id() == generation_after_gradual ? "true"
                                                                     : "false",
+        journal.events.size(),
+        static_cast<unsigned long long>(journal.dropped_total),
+        abrupt_times.detect_ms, abrupt_times.recover_ms,
+        gradual_times.detect_ms, gradual_times.recover_ms,
         static_cast<unsigned long long>(loop_triggers),
         static_cast<unsigned long long>(loop_promotions),
         static_cast<unsigned long long>(loop_rollbacks),

@@ -6,6 +6,8 @@
 #include <ctime>
 #include <thread>
 
+#include "obs/journal.hpp"
+
 namespace fsda::common {
 
 namespace {
@@ -61,6 +63,14 @@ void set_log_sink(LogSink sink) {
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // Warnings and errors become journal marks, so a Perfetto timeline shows
+  // WHERE in the serving/adaptation flow each one fired (the message text
+  // stays in the log; the mark carries the timestamp).
+  if (level == LogLevel::Warn) {
+    FSDA_EVENT_INSTANT(fsda::obs::EventCategory::System, "log.warn", 0.0);
+  } else if (level == LogLevel::Error) {
+    FSDA_EVENT_INSTANT(fsda::obs::EventCategory::System, "log.error", 0.0);
+  }
   std::string line = utc_timestamp();
   line += ' ';
   line += level_name(level);

@@ -43,9 +43,10 @@ void ThreadPool::worker_loop() {
   auto& registry = obs::MetricsRegistry::global();
   obs::Counter& tasks_total =
       registry.counter("pool.tasks_total", "tasks executed by pool workers");
-  obs::Histogram& queue_wait = registry.histogram(
-      "pool.queue_wait_ms", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0},
-      "time tasks spent queued before a worker picked them up (ms)");
+  obs::HdrHistogram& queue_wait = registry.hdr(
+      "pool.queue_wait_ms", obs::HdrOptions{},
+      "time tasks spent queued before a worker picked them up (ms), "
+      "log-linear quantile histogram");
   for (;;) {
     Task task;
     {
@@ -61,9 +62,9 @@ void ThreadPool::worker_loop() {
     if (obs::telemetry_enabled() &&
         task.enqueued != std::chrono::steady_clock::time_point{}) {
       tasks_total.inc();
-      queue_wait.observe(std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - task.enqueued)
-                             .count());
+      queue_wait.record(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - task.enqueued)
+                            .count());
     }
     task.fn();  // packaged_task captures exceptions into the future
   }

@@ -15,6 +15,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/parallel_sum.hpp"
 #include "nn/sharded.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -48,6 +49,7 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
                                    const std::vector<std::int64_t>& /*labels*/,
                                    std::size_t /*num_classes*/) {
   FSDA_SPAN("ae.fit");
+  FSDA_EVENT_SCOPE(obs::EventCategory::Training, "ae.fit");
   common::Stopwatch fit_watch;
   const double pack_seconds0 = nn::gemm_pack_seconds();
   std::size_t step_count = 0;
@@ -87,6 +89,9 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
                             options_.snapshot_every);
   obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
       "ae.epochs_total", "autoencoder training epochs completed");
+  obs::HdrHistogram& epoch_ms = obs::MetricsRegistry::global().hdr(
+      "training.epoch_ms", obs::HdrOptions{},
+      "reconstructor training epoch wall time (ms), all model kinds");
 
   // Deterministic data-parallel sharding (nn/sharded.hpp); see core/cgan.cpp.
   // train_shards == 1 (default) keeps the exact pre-sharding trajectory.
@@ -121,6 +126,7 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
     nn::Adam optimizer(params, options_.learning_rate * sentinel.lr_scale(),
                        0.9, 0.999, 1e-8, options_.weight_decay);
     for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      common::Stopwatch epoch_watch;
       rng_.shuffle(order);
       double epoch_loss = 0.0;
       std::size_t batches = 0;
@@ -191,6 +197,7 @@ void AutoencoderReconstructor::fit(const la::Matrix& x_inv,
       last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
                                     1, batches));
       epochs_total.inc();
+      epoch_ms.record(epoch_watch.millis());
       if (sentinel.observe_epoch(epoch, last_loss_)) return;  // diverged
     }
   };

@@ -18,6 +18,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/parallel_sum.hpp"
 #include "nn/sharded.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -79,6 +80,7 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                          const std::vector<std::int64_t>& labels,
                          std::size_t num_classes) {
   FSDA_SPAN("cgan.fit");
+  FSDA_EVENT_SCOPE(obs::EventCategory::Training, "cgan.fit");
   common::Stopwatch fit_watch;
   const double pack_seconds0 = nn::gemm_pack_seconds();
   std::size_t step_count = 0;  // one D+G optimizer-step pair per batch
@@ -162,6 +164,9 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
   // Hoisted once per fit; inc() per epoch is a gated atomic add.
   obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
       "cgan.epochs_total", "CGAN training epochs completed");
+  obs::HdrHistogram& epoch_ms = obs::MetricsRegistry::global().hdr(
+      "training.epoch_ms", obs::HdrOptions{},
+      "reconstructor training epoch wall time (ms), all model kinds");
 
   // Deterministic data-parallel sharding (nn/sharded.hpp).  Each replica is
   // an architecture clone with its own workspace, staging buffers, and
@@ -259,6 +264,7 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
     history_.clear();
     history_.reserve(options_.epochs);
     for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      common::Stopwatch epoch_watch;
       rng_.shuffle(order);
       GanEpochStats stats;
       std::size_t batches = 0;
@@ -473,6 +479,7 @@ void ConditionalGAN::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
       }
       history_.push_back(stats);
       epochs_total.inc();
+      epoch_ms.record(epoch_watch.millis());
       if (sentinel.observe_epoch(
               epoch, stats.d_loss + stats.g_adv_loss + stats.g_recon_loss)) {
         return;  // diverged; parameters rolled back to last healthy snapshot

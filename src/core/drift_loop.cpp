@@ -7,7 +7,9 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "la/view.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace fsda::core {
@@ -39,6 +41,7 @@ void DriftDetector::fit(const la::Matrix& reference,
   }
   columns_ = std::move(columns);
   monitor_.fit(la::ConstMatrixView(reference), columns_, options_.bins);
+  calibrate_thresholds(la::ConstMatrixView(reference));
   window_.resize(options_.window, reference.cols());
   win_rows_ = 0;
   win_next_ = 0;
@@ -47,6 +50,51 @@ void DriftDetector::fit(const la::Matrix& reference,
   under_streak_ = 0;
   cooldown_left_ = 0;
   suppressed_ = 0;
+}
+
+void DriftDetector::calibrate_thresholds(la::ConstMatrixView reference) {
+  eff_psi_trigger_ = options_.psi_trigger;
+  eff_ks_trigger_ = options_.ks_trigger;
+  eff_psi_clear_ = options_.psi_clear;
+  eff_ks_clear_ = options_.ks_clear;
+  if (!options_.auto_threshold || options_.calibration_resamples == 0) return;
+  // Score pseudo-windows of the reference against itself: any PSI/KS they
+  // reach is pure sampling noise at this window size, so a real trigger
+  // must clear that floor with margin.
+  const std::size_t win_rows = std::min(options_.window, reference.rows());
+  la::Matrix pseudo = la::Matrix::uninit(win_rows, reference.cols());
+  la::MatrixView pv(pseudo);
+  common::Rng rng(options_.calibration_seed);
+  double psi_floor = 0.0;
+  double ks_floor = 0.0;
+  for (std::size_t s = 0; s < options_.calibration_resamples; ++s) {
+    for (std::size_t r = 0; r < win_rows; ++r) {
+      const std::size_t src =
+          static_cast<std::size_t>(rng.uniform_index(reference.rows()));
+      std::memcpy(pv.row_data(r), reference.row_data(src),
+                  reference.cols() * sizeof(double));
+    }
+    const la::ConstMatrixView win(pseudo);
+    for (const double v : monitor_.psi(win)) psi_floor = std::max(psi_floor, v);
+    for (const double v : monitor_.ks(win)) ks_floor = std::max(ks_floor, v);
+  }
+  eff_psi_trigger_ =
+      std::max(options_.psi_trigger, psi_floor * options_.threshold_safety);
+  eff_ks_trigger_ =
+      std::max(options_.ks_trigger, ks_floor * options_.threshold_safety);
+  // The signal hovers at the noise floor in steady state, so the clear
+  // thresholds must sit above it or a latch would never release; they stay
+  // below the (raised) triggers to preserve the hysteresis band.
+  eff_psi_clear_ = std::min(std::max(options_.psi_clear, psi_floor),
+                            eff_psi_trigger_);
+  eff_ks_clear_ =
+      std::min(std::max(options_.ks_clear, ks_floor), eff_ks_trigger_);
+  FSDA_LOG_INFO << "drift detector: calibrated thresholds (psi "
+                << eff_psi_trigger_ << " / clear " << eff_psi_clear_ << ", ks "
+                << eff_ks_trigger_ << " / clear " << eff_ks_clear_
+                << ") from noise floor psi " << psi_floor << ", ks "
+                << ks_floor << " over " << options_.calibration_resamples
+                << " resamples";
 }
 
 bool DriftDetector::observe(const la::Matrix& batch) {
@@ -82,18 +130,22 @@ bool DriftDetector::observe(const la::Matrix& batch) {
       latched_ = true;
       over_streak_ = 0;
       under_streak_ = 0;
+      FSDA_EVENT_INSTANT(fsda::obs::EventCategory::Drift, "drift.trigger",
+                         last_psi_max_);
       return true;  // edge
     }
     return false;
   }
   // Latched: clear only after `patience` consecutive fully-under windows.
-  const bool under = last_psi_max_ <= options_.psi_clear &&
-                     last_ks_max_ <= options_.ks_clear;
+  const bool under = last_psi_max_ <= eff_psi_clear_ &&
+                     last_ks_max_ <= eff_ks_clear_;
   under_streak_ = under ? under_streak_ + 1 : 0;
   if (under_streak_ >= options_.patience) {
     latched_ = false;
     under_streak_ = 0;
     cooldown_left_ = options_.cooldown;
+    FSDA_EVENT_INSTANT(fsda::obs::EventCategory::Drift, "drift.clear",
+                       last_psi_max_);
   }
   return false;
 }
@@ -109,7 +161,7 @@ void DriftDetector::score_window() {
   for (std::size_t i = 0; i < psi.size(); ++i) {
     last_psi_max_ = std::max(last_psi_max_, psi[i]);
     last_ks_max_ = std::max(last_ks_max_, ks[i]);
-    if (psi[i] >= options_.psi_trigger || ks[i] >= options_.ks_trigger) {
+    if (psi[i] >= eff_psi_trigger_ || ks[i] >= eff_ks_trigger_) {
       ++last_drifted_;
     }
   }
@@ -117,8 +169,10 @@ void DriftDetector::score_window() {
 
 void DriftDetector::rebaseline_to_window() {
   FSDA_CHECK_MSG(win_rows_ > 0, "rebaseline with an empty window");
-  monitor_.fit(la::ConstMatrixView(window_).row_block(0, win_rows_), columns_,
-               options_.bins);
+  const la::ConstMatrixView win =
+      la::ConstMatrixView(window_).row_block(0, win_rows_);
+  monitor_.fit(win, columns_, options_.bins);
+  calibrate_thresholds(win);
   unlatch();
   // The fresh reference IS the window: give the stream time to move before
   // the detector may fire against it.
@@ -250,6 +304,13 @@ DriftLoop::DriftLoop(FsGanPipeline& pipeline, DriftLoopOptions options)
   }
 }
 
+void DriftLoop::set_state(DriftState s) {
+  if (state_ == s) return;
+  state_ = s;
+  FSDA_EVENT_INSTANT(fsda::obs::EventCategory::Drift, "drift.state",
+                     static_cast<double>(s));
+}
+
 DriftLoop::~DriftLoop() {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -283,6 +344,8 @@ void DriftLoop::serve(const la::Matrix& x_raw,
   if (state_ == DriftState::Probation) {
     if (q_rate > quarantine_ewma_pre_ + options_.quarantine_spike) {
       if (pipeline_.registry().rollback()) {
+        FSDA_EVENT_INSTANT(fsda::obs::EventCategory::Drift, "readapt.rollback",
+                           q_rate);
         ++stats_.rollbacks;
         loop_counters().rollbacks.inc();
         stats_.last_reason = "post-promotion quarantine-rate spike";
@@ -293,7 +356,7 @@ void DriftLoop::serve(const la::Matrix& x_raw,
       ++consecutive_rejections_;
       start_backoff();
     } else if (probation_left_ > 0 && --probation_left_ == 0) {
-      state_ = DriftState::Stable;
+      set_state(DriftState::Stable);
     }
   }
 
@@ -311,7 +374,7 @@ void DriftLoop::serve(const la::Matrix& x_raw,
   // 6. Feed the detector the scaled, sanitized batch the models saw.
   const bool edge = detector_.observe(pipeline_.last_scaled_batch());
   if (state_ == DriftState::Backoff && detector_.suppressed() == 0) {
-    state_ = DriftState::Stable;
+    set_state(DriftState::Stable);
   }
   if (edge) handle_trigger();
 }
@@ -330,7 +393,7 @@ void DriftLoop::handle_trigger() {
     detector_.unlatch();  // re-latch (and retry) once patience re-accrues
     return;
   }
-  state_ = DriftState::Triggered;
+  set_state(DriftState::Triggered);
   ++stats_.attempts;
   loop_counters().attempts.inc();
   Job job{buffer_.snapshot()};
@@ -342,9 +405,9 @@ void DriftLoop::handle_trigger() {
       busy_ = true;
     }
     cv_.notify_all();
-    state_ = DriftState::Adapting;
+    set_state(DriftState::Adapting);
   } else {
-    state_ = DriftState::Adapting;
+    set_state(DriftState::Adapting);
     const Result r = run_adaptation(job.shots);
     apply_result(r);
   }
@@ -352,17 +415,23 @@ void DriftLoop::handle_trigger() {
 
 DriftLoop::Result DriftLoop::run_adaptation(const data::Dataset& shots) {
   Result r;
-  CandidateOutcome built = pipeline_.build_candidate_generation(
-      shots, options_.fs.value_or(pipeline_.options().fs));
+  CandidateOutcome built = [&] {
+    FSDA_EVENT_SCOPE(fsda::obs::EventCategory::Drift, "readapt.build");
+    return pipeline_.build_candidate_generation(
+        shots, options_.fs.value_or(pipeline_.options().fs));
+  }();
   if (built.generation == nullptr) {
     r.reason = built.reason.empty() ? "candidate build failed" : built.reason;
     return r;
   }
   // Validation runs on whichever thread built the candidate; the layer
   // path's classifier workspace is only safe when serving cannot race it.
-  const ValidationVerdict v = pipeline_.validate_generation(
-      built.generation, options_.validation,
-      /*allow_layer_path=*/!options_.background);
+  const ValidationVerdict v = [&] {
+    FSDA_EVENT_SCOPE(fsda::obs::EventCategory::Drift, "readapt.validate");
+    return pipeline_.validate_generation(
+        built.generation, options_.validation,
+        /*allow_layer_path=*/!options_.background);
+  }();
   r.accuracy = v.accuracy;
   if (!v.ok) {
     r.reason = v.reason;
@@ -408,7 +477,7 @@ void DriftLoop::poll_worker() {
     }
   }
   if (have) {
-    state_ = DriftState::Validating;
+    set_state(DriftState::Validating);
     apply_result(r);
   }
 }
@@ -419,6 +488,8 @@ void DriftLoop::apply_result(const Result& result) {
     // All registry writes happen on the serving thread: publish here, and
     // rollback (if probation trips) also here -- the worker only builds.
     const std::uint64_t id = pipeline_.promote_generation(result.generation);
+    FSDA_EVENT_INSTANT(fsda::obs::EventCategory::Drift, "readapt.promote",
+                       result.accuracy);
     ++stats_.promotions;
     loop_counters().promotions.inc();
     stats_.last_reason.clear();
@@ -430,10 +501,13 @@ void DriftLoop::apply_result(const Result& result) {
     quarantine_ewma_pre_ = quarantine_ewma_;
     if (detector_.window_rows() > 0) detector_.rebaseline_to_window();
     probation_left_ = options_.probation_batches;
-    state_ = probation_left_ > 0 ? DriftState::Probation : DriftState::Stable;
+    set_state(probation_left_ > 0 ? DriftState::Probation
+                                  : DriftState::Stable);
     FSDA_LOG_INFO << "drift loop: promoted generation " << id
                   << " (holdout accuracy " << result.accuracy << ")";
   } else {
+    FSDA_EVENT_INSTANT(fsda::obs::EventCategory::Drift, "readapt.reject",
+                       result.accuracy);
     ++stats_.rejections;
     ++stats_.rollbacks;  // logical rollback: the active generation stands
     loop_counters().rollbacks.inc();
@@ -455,7 +529,7 @@ void DriftLoop::start_backoff() {
       1);
   detector_.suppress(batches);
   detector_.unlatch();
-  state_ = DriftState::Backoff;
+  set_state(DriftState::Backoff);
   FSDA_LOG_INFO << "drift loop: re-arm backoff for " << batches
                 << " batch(es) after " << consecutive_rejections_
                 << " consecutive rejection(s)";

@@ -49,6 +49,20 @@ struct DriftDetectorOptions {
   /// Windowed-KS trigger/clear thresholds (max CDF gap in [0, 1]).
   double ks_trigger = 0.35;
   double ks_clear = 0.15;
+  /// Auto-tune the trigger thresholds to the reference's sampling noise
+  /// floor at fit() time: `calibration_resamples` pseudo-windows of
+  /// `window` rows are drawn (with replacement) from the reference and
+  /// scored against it; the largest PSI/KS excursion pure sampling noise
+  /// produces, times `threshold_safety`, becomes the effective trigger --
+  /// but never below the explicit psi_trigger/ks_trigger, which remain the
+  /// override.  Off by default (explicit thresholds only).
+  bool auto_threshold = false;
+  /// Effective trigger = max(explicit, noise_floor * threshold_safety).
+  double threshold_safety = 2.0;
+  /// Pseudo-windows drawn for calibration.
+  std::size_t calibration_resamples = 32;
+  /// Seed for the calibration resampler (deterministic).
+  std::uint64_t calibration_seed = 0x5eedULL;
   /// Consecutive over-trigger observations required before latching -- the
   /// hysteresis that keeps a boundary-oscillating signal from flapping.
   std::size_t patience = 2;
@@ -101,9 +115,19 @@ class DriftDetector {
     return last_drifted_; }
   [[nodiscard]] const DriftDetectorOptions& options() const {
     return options_; }
+  /// Thresholds actually applied: the explicit options, raised to the
+  /// calibrated noise floor when auto_threshold is on.
+  [[nodiscard]] double effective_psi_trigger() const {
+    return eff_psi_trigger_; }
+  [[nodiscard]] double effective_ks_trigger() const {
+    return eff_ks_trigger_; }
+  [[nodiscard]] double effective_psi_clear() const { return eff_psi_clear_; }
+  [[nodiscard]] double effective_ks_clear() const { return eff_ks_clear_; }
 
  private:
   void score_window();
+  /// Sets the effective thresholds from `reference` (see auto_threshold).
+  void calibrate_thresholds(la::ConstMatrixView reference);
 
   DriftDetectorOptions options_;
   obs::DriftMonitor monitor_;
@@ -111,6 +135,10 @@ class DriftDetector {
   la::Matrix window_;          // ring buffer of full-width scaled rows
   std::size_t win_rows_ = 0;   // valid rows in the ring
   std::size_t win_next_ = 0;   // next write position
+  double eff_psi_trigger_ = 0.0;
+  double eff_ks_trigger_ = 0.0;
+  double eff_psi_clear_ = 0.0;
+  double eff_ks_clear_ = 0.0;
   bool latched_ = false;
   std::size_t over_streak_ = 0;
   std::size_t under_streak_ = 0;
@@ -259,6 +287,9 @@ class DriftLoop {
   void apply_result(const Result& result);
   void start_backoff();
   void handle_trigger();
+  /// Transitions the loop state, journaling one "drift.state" event per
+  /// edge (value = the new state's enum ordinal).
+  void set_state(DriftState s);
 
   FsGanPipeline& pipeline_;
   DriftLoopOptions options_;

@@ -345,7 +345,7 @@ void InferenceSession::predict_proba_scaled(const la::Matrix& x,
   auto& im = obs::InferenceMetrics::global();
   im.samples_total.inc(rows);
   const double ms = timer.millis();
-  im.batch_latency_ms.observe(ms);
+  im.batch_latency_ms.record(ms);
   im.samples_per_second.set(ms > 0.0 ? 1000.0 * static_cast<double>(rows) / ms
                                      : 0.0);
 }

@@ -12,7 +12,9 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace fsda::core {
@@ -625,10 +627,11 @@ void FsGanPipeline::predict_proba_into(const la::Matrix& x_raw,
   static obs::Counter& clamped_total = registry.counter(
       "predict.clamped_cells_total",
       "scaled inference cells clamped into the envelope");
-  static obs::Histogram& latency_ms = registry.histogram(
-      "predict.latency_ms", {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0},
-      "predict_proba batch latency (ms)");
+  static obs::HdrHistogram& latency_ms = registry.hdr(
+      "predict.latency_ms", obs::HdrOptions{},
+      "predict_proba batch latency (ms), log-linear quantile histogram");
   const bool telemetry = obs::telemetry_enabled();
+  FSDA_EVENT_SCOPE(obs::EventCategory::Serving, "predict.batch");
   common::Stopwatch timer;
 
   // Quarantine rows with non-finite raw features before they reach any
@@ -684,7 +687,11 @@ void FsGanPipeline::predict_proba_into(const la::Matrix& x_raw,
   }
   rows_total.inc(x_raw.rows());
   batches_total.inc();
-  latency_ms.observe(timer.millis());
+  const double elapsed_ms = timer.millis();
+  latency_ms.record(elapsed_ms);
+  // The SLO signal is always-on (it feeds admission decisions, not
+  // dashboards), like gauges.
+  obs::serving_slo().record(elapsed_ms);
 }
 
 void FsGanPipeline::update_drift_gauges(const ModelGeneration& gen,
@@ -712,7 +719,8 @@ void FsGanPipeline::update_drift_gauges(const ModelGeneration& gen,
     // Labelled per original feature index so dashboards line up across
     // separations: drift.psi{feature="17"}.
     registry
-        .gauge("drift.psi{feature=\"" + std::to_string(cols[i]) + "\"}",
+        .gauge(obs::metric_with_label("drift.psi", "feature",
+                                      std::to_string(cols[i])),
                "PSI of the last batch vs. scaled source, per variant feature")
         .set(psi[i]);
     psi_max = std::max(psi_max, psi[i]);

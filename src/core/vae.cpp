@@ -16,6 +16,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/parallel_sum.hpp"
 #include "nn/sharded.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -50,6 +51,7 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                            const std::vector<std::int64_t>& /*labels*/,
                            std::size_t /*num_classes*/) {
   FSDA_SPAN("vae.fit");
+  FSDA_EVENT_SCOPE(obs::EventCategory::Training, "vae.fit");
   common::Stopwatch fit_watch;
   const double pack_seconds0 = nn::gemm_pack_seconds();
   std::size_t step_count = 0;
@@ -104,6 +106,9 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                             options_.snapshot_every);
   obs::Counter& epochs_total = obs::MetricsRegistry::global().counter(
       "vae.epochs_total", "VAE training epochs completed");
+  obs::HdrHistogram& epoch_ms = obs::MetricsRegistry::global().hdr(
+      "training.epoch_ms", obs::HdrOptions{},
+      "reconstructor training epoch wall time (ms), all model kinds");
 
   // Deterministic data-parallel sharding (nn/sharded.hpp): replicas are
   // architecture clones with their own workspaces and staging buffers;
@@ -153,6 +158,7 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
                        0.9, 0.999, 1e-8, options_.weight_decay);
 
     for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      common::Stopwatch epoch_watch;
       rng_.shuffle(order);
       double epoch_loss = 0.0;
       std::size_t batches = 0;
@@ -315,6 +321,7 @@ void VaeReconstructor::fit(const la::Matrix& x_inv, const la::Matrix& x_var,
       last_loss_ = epoch_loss / static_cast<double>(std::max<std::size_t>(
                                     1, batches));
       epochs_total.inc();
+      epoch_ms.record(epoch_watch.millis());
       if (sentinel.observe_epoch(epoch, last_loss_)) return;  // diverged
     }
   };

@@ -14,7 +14,7 @@ namespace fsda::obs {
 /// (the registry is leaked by design, see metrics.hpp).
 struct InferenceMetrics {
   Counter& samples_total;
-  Histogram& batch_latency_ms;
+  HdrHistogram& batch_latency_ms;
   Gauge& samples_per_second;
 
   static InferenceMetrics& global() {
@@ -22,10 +22,10 @@ struct InferenceMetrics {
         MetricsRegistry::global().counter(
             "inference.samples_total",
             "samples served through the packed inference session"),
-        MetricsRegistry::global().histogram(
-            "inference.batch_latency_ms",
-            {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0},
-            "inference session batch latency (ms)"),
+        MetricsRegistry::global().hdr(
+            "inference.batch_latency_ms", HdrOptions{},
+            "inference session batch latency (ms), log-linear quantile "
+            "histogram"),
         MetricsRegistry::global().gauge(
             "inference.samples_per_second",
             "throughput of the most recent inference session batch")};

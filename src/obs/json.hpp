@@ -1,12 +1,21 @@
-// fsda::obs -- minimal JSON emission helpers shared by the exporters.
+// fsda::obs -- minimal JSON emission and parsing helpers.
 //
-// Emission only: the repository never parses JSON, it writes snapshots for
+// Emission is the common path: the repository writes snapshots for
 // external collectors.  Numbers are rendered with enough precision to
 // round-trip doubles; non-finite doubles become null (JSON has no NaN).
+//
+// Parsing exists for the CLI `obs` subcommand, which re-reads the
+// snapshots and journal dumps this process (or a previous run) wrote.
+// It is a strict recursive-descent parser over the JSON subset we emit --
+// no comments, no trailing commas -- returning std::nullopt on any error.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace fsda::obs {
 
@@ -20,5 +29,36 @@ namespace fsda::obs {
 [[nodiscard]] std::string json_number(double v);
 
 [[nodiscard]] std::string json_number(std::uint64_t v);
+
+/// One parsed JSON value.  Objects preserve key order (snapshots diff
+/// deterministically); lookups are linear, fine at snapshot sizes.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type == Type::Array; }
+  [[nodiscard]] bool is_number() const { return type == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type == Type::String; }
+
+  /// Object member by key, nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Numeric member shortcut: find(key)->number, or `fallback`.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  /// String member shortcut: find(key)->string, or `fallback`.
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+};
+
+/// Parses one complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace fsda::obs

@@ -93,7 +93,8 @@ MetricsRegistry& MetricsRegistry::global() {
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
-  FSDA_CHECK_MSG(!gauges_.count(name) && !histograms_.count(name),
+  FSDA_CHECK_MSG(!gauges_.count(name) && !histograms_.count(name) &&
+                     !hdrs_.count(name),
                  "metric '" << name << "' already registered with another type");
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -106,7 +107,8 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
-  FSDA_CHECK_MSG(!counters_.count(name) && !histograms_.count(name),
+  FSDA_CHECK_MSG(!counters_.count(name) && !histograms_.count(name) &&
+                     !hdrs_.count(name),
                  "metric '" << name << "' already registered with another type");
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -120,7 +122,8 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
-  FSDA_CHECK_MSG(!counters_.count(name) && !gauges_.count(name),
+  FSDA_CHECK_MSG(!counters_.count(name) && !gauges_.count(name) &&
+                     !hdrs_.count(name),
                  "metric '" << name << "' already registered with another type");
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -132,10 +135,24 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *it->second;
 }
 
+HdrHistogram& MetricsRegistry::hdr(const std::string& name, HdrOptions options,
+                                   const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FSDA_CHECK_MSG(!counters_.count(name) && !gauges_.count(name) &&
+                     !histograms_.count(name),
+                 "metric '" << name << "' already registered with another type");
+  auto it = hdrs_.find(name);
+  if (it == hdrs_.end()) {
+    it = hdrs_.emplace(name, std::make_unique<HdrHistogram>(options)).first;
+    if (!help.empty()) help_[name] = help;
+  }
+  return *it->second;
+}
+
 bool MetricsRegistry::has(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
-         histograms_.count(name) != 0;
+         histograms_.count(name) != 0 || hdrs_.count(name) != 0;
 }
 
 double MetricsRegistry::gauge_value(const std::string& name,
@@ -165,7 +182,40 @@ std::string prom_name(const std::string& base) {
   return out;
 }
 
+/// Adds one `key="value"` pair to a (possibly empty) label block.
+std::string with_extra_label(const std::string& label, const char* key,
+                             const std::string& value) {
+  if (label.empty()) {
+    return std::string("{") + key + "=\"" + value + "\"}";
+  }
+  // `{a="b"}` -> `{a="b",key="value"}`
+  std::string out = label.substr(0, label.size() - 1);
+  out += ",";
+  out += key;
+  out += "=\"" + value + "\"}";
+  return out;
+}
+
 }  // namespace
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string metric_with_label(const std::string& base, const std::string& key,
+                              const std::string& value) {
+  return base + "{" + key + "=\"" + escape_label_value(value) + "\"}";
+}
 
 std::string MetricsRegistry::expose_text() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -205,6 +255,17 @@ std::string MetricsRegistry::expose_text() const {
     os << pname << "_sum " << json_number(h->sum()) << "\n";
     os << pname << "_count " << cumulative << "\n";
   }
+  for (const auto& [name, h] : hdrs_) {
+    help_line(name, "summary");
+    const auto [base, label] = split_label(name);
+    const std::string pname = prom_name(base);
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      os << pname << with_extra_label(label, "quantile", json_number(q))
+         << " " << json_number(h->value_at_quantile(q)) << "\n";
+    }
+    os << pname << "_sum" << label << " " << json_number(h->sum()) << "\n";
+    os << pname << "_count" << label << " " << h->count() << "\n";
+  }
   return os.str();
 }
 
@@ -240,6 +301,21 @@ std::string MetricsRegistry::snapshot_json() const {
        << ",\"sum\":" << json_number(h->sum()) << "}";
     first = false;
   }
+  os << "},\"hdr\":{";
+  first = true;
+  for (const auto& [name, h] : hdrs_) {
+    os << (first ? "" : ",") << json_string(name) << ":{\"count\":"
+       << h->count() << ",\"sum\":" << json_number(h->sum())
+       << ",\"min\":" << json_number(h->min())
+       << ",\"max\":" << json_number(h->max())
+       << ",\"p50\":" << json_number(h->value_at_quantile(0.5))
+       << ",\"p90\":" << json_number(h->value_at_quantile(0.9))
+       << ",\"p99\":" << json_number(h->value_at_quantile(0.99))
+       << ",\"p999\":" << json_number(h->value_at_quantile(0.999))
+       << ",\"relative_error_bound\":"
+       << json_number(h->relative_error_bound()) << "}";
+    first = false;
+  }
   os << "}}";
   return os.str();
 }
@@ -249,6 +325,7 @@ void MetricsRegistry::reset_values() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : hdrs_) h->reset();
 }
 
 }  // namespace fsda::obs

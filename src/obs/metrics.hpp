@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/hdr_histogram.hpp"
+
 namespace fsda::obs {
 
 /// True when counter/histogram recording is active (default: off --
@@ -39,12 +41,9 @@ namespace fsda::obs {
 /// Toggles counter/histogram recording process-wide.
 void set_telemetry_enabled(bool on) noexcept;
 
-namespace detail {
-extern std::atomic<bool> g_enabled;
-/// Stable per-thread shard index in [0, kShards).
-inline constexpr std::size_t kShards = 16;
-[[nodiscard]] std::size_t shard_index() noexcept;
-}  // namespace detail
+// detail::g_enabled (the process-wide gate), detail::kShards, and
+// detail::shard_index() are declared in hdr_histogram.hpp (included above)
+// and defined in metrics.cpp.
 
 /// Monotonic counter with sharded cells; inc() is wait-free.
 class Counter {
@@ -132,6 +131,11 @@ class MetricsRegistry {
   /// `bounds` are consulted only on first registration.
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        const std::string& help = {});
+  /// Log-linear quantile histogram (exact p50/p90/p99/p999 within the HDR
+  /// relative-error bound).  `options` are consulted only on first
+  /// registration.  Prefer this over histogram() on latency hot paths.
+  HdrHistogram& hdr(const std::string& name, HdrOptions options = {},
+                    const std::string& help = {});
 
   /// True when a metric of any type with this exact name exists.
   [[nodiscard]] bool has(const std::string& name) const;
@@ -141,7 +145,8 @@ class MetricsRegistry {
 
   /// Prometheus-style text exposition (names sanitized, `fsda_` prefix).
   [[nodiscard]] std::string expose_text() const;
-  /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// One JSON object with "counters", "gauges", "histograms", and "hdr"
+  /// sections (hdr entries carry count/sum/min/max/p50/p90/p99/p999).
   [[nodiscard]] std::string snapshot_json() const;
 
   /// Zeroes every registered metric (tests); registrations are kept.
@@ -152,7 +157,20 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>> hdrs_;
   std::map<std::string, std::string> help_;
 };
+
+/// Escapes a Prometheus label VALUE: backslash, double quote, and newline
+/// become `\\`, `\"`, and `\n` per the exposition format.
+[[nodiscard]] std::string escape_label_value(const std::string& value);
+
+/// Builds a labeled metric key, escaping the label value:
+/// metric_with_label("drift.psi", "feature", "17") ->
+/// `drift.psi{feature="17"}`.  Use this instead of concatenating label
+/// blocks by hand, so values containing `\`, `"`, or newlines stay valid.
+[[nodiscard]] std::string metric_with_label(const std::string& base,
+                                            const std::string& key,
+                                            const std::string& value);
 
 }  // namespace fsda::obs

@@ -1,0 +1,166 @@
+#include "obs/perfetto_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace fsda::obs {
+
+namespace {
+
+double ts_us(std::uint64_t ts_ns) {
+  return static_cast<double>(ts_ns) / 1000.0;
+}
+
+void append_trace_event(std::string& out, const Event& e,
+                        const std::string& name, bool first) {
+  if (!first) out += ",\n";
+  out += "    {\"name\":";
+  out += json_string(name);
+  out += ",\"cat\":\"";
+  out += to_string(e.cat);
+  out += "\",\"ph\":\"";
+  out += to_string(e.type);
+  out += "\",\"ts\":";
+  out += json_number(ts_us(e.ts_ns));
+  out += ",\"pid\":1,\"tid\":";
+  out += std::to_string(e.tid);
+  switch (e.type) {
+    case EventType::Instant:
+      out += ",\"s\":\"t\",\"args\":{\"value\":";
+      out += json_number(e.value);
+      out += "}";
+      break;
+    case EventType::Counter:
+      out += ",\"args\":{\"value\":";
+      out += json_number(e.value);
+      out += "}";
+      break;
+    case EventType::Begin:
+    case EventType::End:
+      break;
+  }
+  out += "}";
+}
+
+EventType type_from_ph(const std::string& ph) {
+  if (ph == "B") return EventType::Begin;
+  if (ph == "E") return EventType::End;
+  if (ph == "C") return EventType::Counter;
+  return EventType::Instant;
+}
+
+EventCategory cat_from_string(const std::string& cat) {
+  if (cat == "serving") return EventCategory::Serving;
+  if (cat == "training") return EventCategory::Training;
+  if (cat == "drift") return EventCategory::Drift;
+  if (cat == "causal") return EventCategory::Causal;
+  return EventCategory::System;
+}
+
+}  // namespace
+
+std::string journal_to_perfetto(const Journal& journal) {
+  std::string out;
+  out.reserve(128 + journal.events.size() * 96);
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"otherData\": {\"journal\": \"fsda\", \"epoch_unix_ns\": \"";
+  out += std::to_string(journal.epoch_unix_ns);
+  out += "\", \"dropped_events\": \"";
+  out += std::to_string(journal.dropped_total);
+  out += "\"},\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const Event& e : journal.events) {
+    append_trace_event(out, e, journal.name(e.name_id), first);
+    first = false;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string journal_to_jsonl(const Journal& journal) {
+  std::string out;
+  out.reserve(128 + journal.events.size() * 96);
+  out += "{\"journal\":\"fsda\",\"epoch_unix_ns\":";
+  out += std::to_string(journal.epoch_unix_ns);
+  out += ",\"dropped_events\":";
+  out += std::to_string(journal.dropped_total);
+  out += ",\"events\":";
+  out += std::to_string(journal.events.size());
+  out += "}\n";
+  for (const Event& e : journal.events) {
+    out += "{\"ts_ns\":";
+    out += std::to_string(e.ts_ns);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ph\":\"";
+    out += to_string(e.type);
+    out += "\",\"cat\":\"";
+    out += to_string(e.cat);
+    out += "\",\"name\":";
+    out += json_string(journal.name(e.name_id));
+    out += ",\"value\":";
+    out += json_number(e.value);
+    out += "}\n";
+  }
+  return out;
+}
+
+bool write_perfetto_file(const Journal& journal, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << journal_to_perfetto(journal);
+  return static_cast<bool>(out);
+}
+
+bool read_jsonl_journal(const std::string& jsonl_path, Journal& out) {
+  std::ifstream in(jsonl_path);
+  if (!in) return false;
+  out = Journal{};
+  std::unordered_map<std::string, std::uint32_t> ids;
+  bool saw_any = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parsed = json_parse(line);
+    if (!parsed || !parsed->is_object()) continue;  // skip foreign lines
+    if (parsed->find("journal") != nullptr) {
+      // Header line; dropped counts accumulate across appended dumps.
+      saw_any = true;
+      out.epoch_unix_ns = static_cast<std::uint64_t>(
+          parsed->number_or("epoch_unix_ns", 0.0));
+      out.dropped_total += static_cast<std::uint64_t>(
+          parsed->number_or("dropped_events", 0.0));
+      continue;
+    }
+    const JsonValue* name = parsed->find("name");
+    const JsonValue* ts = parsed->find("ts_ns");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number()) {
+      continue;
+    }
+    saw_any = true;
+    Event e;
+    e.ts_ns = static_cast<std::uint64_t>(ts->number);
+    e.tid = static_cast<std::uint32_t>(parsed->number_or("tid", 0.0));
+    e.type = type_from_ph(parsed->string_or("ph", "i"));
+    e.cat = cat_from_string(parsed->string_or("cat", "system"));
+    e.value = parsed->number_or("value", 0.0);
+    const auto [it, inserted] = ids.emplace(
+        name->string, static_cast<std::uint32_t>(out.names.size()));
+    if (inserted) out.names.push_back(name->string);
+    e.name_id = it->second;
+    out.events.push_back(e);
+  }
+  return saw_any;
+}
+
+bool jsonl_to_perfetto(const std::string& jsonl_path,
+                       const std::string& out_path) {
+  Journal journal;
+  if (!read_jsonl_journal(jsonl_path, journal)) return false;
+  return write_perfetto_file(journal, out_path);
+}
+
+}  // namespace fsda::obs

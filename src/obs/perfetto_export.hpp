@@ -1,0 +1,47 @@
+// fsda::obs -- journal exporters: Chrome/Perfetto trace JSON + JSON lines
+// (DESIGN.md §14).
+//
+// A Journal is a plain time-ordered event list; these functions turn it
+// into files other tools read:
+//
+//   journal_to_perfetto   Chrome trace_event JSON ("traceEvents" array)
+//                         loadable in ui.perfetto.dev or chrome://tracing.
+//                         B/E events become nested slices per thread,
+//                         Instant events "i" marks, Counter events "C"
+//                         counter tracks.  Timestamps are microseconds
+//                         from the recorder epoch.
+//   journal_to_jsonl      the same JSON-lines dump format written by
+//                         FlightRecorder::dump_to_file (header line then
+//                         one event per line) -- greppable, appendable.
+//   jsonl_to_perfetto     offline conversion: re-reads a JSONL dump (from
+//                         a previous run, a crash dump, CI) and writes the
+//                         Perfetto trace.  `fsda_cli obs perfetto` wraps
+//                         this.
+#pragma once
+
+#include <string>
+
+#include "obs/journal.hpp"
+
+namespace fsda::obs {
+
+/// Renders `journal` as Chrome trace_event JSON.
+[[nodiscard]] std::string journal_to_perfetto(const Journal& journal);
+
+/// Renders `journal` as the JSONL dump format (header + one line/event).
+[[nodiscard]] std::string journal_to_jsonl(const Journal& journal);
+
+/// Writes journal_to_perfetto(journal) to `path`; false on I/O failure.
+bool write_perfetto_file(const Journal& journal, const std::string& path);
+
+/// Parses a JSONL journal dump at `jsonl_path` (as written by
+/// FlightRecorder::dump_to_file / journal_to_jsonl; unparseable lines are
+/// skipped) and reconstructs the Journal.  False when the file cannot be
+/// read or holds no journal lines.
+bool read_jsonl_journal(const std::string& jsonl_path, Journal& out);
+
+/// read_jsonl_journal + write_perfetto_file.
+bool jsonl_to_perfetto(const std::string& jsonl_path,
+                       const std::string& out_path);
+
+}  // namespace fsda::obs

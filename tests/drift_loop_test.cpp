@@ -17,6 +17,7 @@
 #include "core/pipeline.hpp"
 #include "data/gen5gc.hpp"
 #include "models/factory.hpp"
+#include "obs/journal.hpp"
 
 namespace fsda::core {
 namespace {
@@ -167,6 +168,123 @@ TEST(DriftDetectorTest, SuppressSkipsScoringButKeepsIngesting) {
   for (int i = 0; i < 6; ++i) {
     EXPECT_FALSE(det.observe(shifted(la::Matrix::randn(64, 3, rng), 4.0)));
   }
+}
+
+TEST(DriftDetectorTest, ExplicitThresholdsAreEffectiveWhenAutoOff) {
+  common::Rng rng(11);
+  DriftDetector det(test_detector());
+  det.fit(la::Matrix::randn(512, 4, rng));
+  EXPECT_DOUBLE_EQ(det.effective_psi_trigger(), 1.0);
+  EXPECT_DOUBLE_EQ(det.effective_psi_clear(), 0.45);
+  EXPECT_DOUBLE_EQ(det.effective_ks_trigger(), 0.3);
+  EXPECT_DOUBLE_EQ(det.effective_ks_clear(), 0.2);
+}
+
+TEST(DriftDetectorTest, AutoThresholdRaisesTriggersAboveNoiseFloor) {
+  common::Rng rng(12);
+  const la::Matrix reference = la::Matrix::randn(512, 4, rng);
+
+  // Deliberately too-low explicit thresholds: without calibration every
+  // same-distribution batch would score over the trigger.
+  DriftDetectorOptions opts = test_detector();
+  opts.psi_trigger = 0.01;
+  opts.psi_clear = 0.005;
+  opts.ks_trigger = 0.01;
+  opts.ks_clear = 0.005;
+  opts.auto_threshold = true;
+  DriftDetector det(opts);
+  det.fit(reference);
+
+  // Calibration lifts the effective triggers past the resampled noise floor
+  // (~0.36 PSI for a 128-row window over this reference) while hysteresis
+  // ordering is preserved: clear <= trigger, clear above the floor too.
+  EXPECT_GT(det.effective_psi_trigger(), 0.3);
+  EXPECT_GT(det.effective_ks_trigger(), 0.05);
+  EXPECT_LE(det.effective_psi_clear(), det.effective_psi_trigger());
+  EXPECT_LE(det.effective_ks_clear(), det.effective_ks_trigger());
+  EXPECT_GT(det.effective_psi_clear(), opts.psi_clear);
+
+  // Same-distribution batches must not latch despite the tiny explicit
+  // thresholds...
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(det.observe(la::Matrix::randn(64, 4, rng)));
+  }
+  EXPECT_FALSE(det.latched());
+  // ...while a real +3-sigma shift still does (patience 2).
+  det.observe(shifted(la::Matrix::randn(64, 4, rng), 3.0));
+  det.observe(shifted(la::Matrix::randn(64, 4, rng), 3.0));
+  EXPECT_TRUE(det.latched());
+}
+
+TEST(DriftDetectorTest, AutoThresholdKeepsExplicitFloorWhenHigher) {
+  common::Rng rng(13);
+  DriftDetectorOptions opts = test_detector();
+  // Explicit triggers far above any noise floor a clean randn reference can
+  // produce: the calibrated value must not lower them.
+  opts.psi_trigger = 50.0;
+  opts.ks_trigger = 0.95;
+  opts.auto_threshold = true;
+  DriftDetector det(opts);
+  det.fit(la::Matrix::randn(512, 4, rng));
+  EXPECT_GE(det.effective_psi_trigger(), 50.0);
+  EXPECT_GE(det.effective_ks_trigger(), 0.95);
+}
+
+TEST(DriftDetectorTest, CalibrationIsDeterministicForFixedSeed) {
+  common::Rng rng(14);
+  const la::Matrix reference = la::Matrix::randn(512, 4, rng);
+  DriftDetectorOptions opts = test_detector();
+  opts.auto_threshold = true;
+  DriftDetector a(opts);
+  DriftDetector b(opts);
+  a.fit(reference);
+  b.fit(reference);
+  EXPECT_DOUBLE_EQ(a.effective_psi_trigger(), b.effective_psi_trigger());
+  EXPECT_DOUBLE_EQ(a.effective_ks_trigger(), b.effective_ks_trigger());
+
+  opts.calibration_seed = 0xfeedULL;
+  DriftDetector c(opts);
+  c.fit(reference);
+  // A different resampling seed is allowed to move the floor slightly but
+  // the result must stay a sane, finite threshold.
+  EXPECT_TRUE(std::isfinite(c.effective_psi_trigger()));
+  EXPECT_GT(c.effective_psi_trigger(), 0.0);
+}
+
+TEST(DriftDetectorTest, TriggerAndClearEmitJournalEvents) {
+  auto& rec = obs::FlightRecorder::global();
+  rec.reset();
+  rec.set_enabled(true);
+
+  common::Rng rng(15);
+  DriftDetector det(test_detector());
+  det.fit(la::Matrix::randn(512, 4, rng));
+  // Fill the 128-row window, latch (patience 2), then clear.
+  det.observe(la::Matrix::randn(64, 4, rng));
+  det.observe(la::Matrix::randn(64, 4, rng));
+  det.observe(shifted(la::Matrix::randn(64, 4, rng), 3.0));
+  det.observe(shifted(la::Matrix::randn(64, 4, rng), 3.0));
+  ASSERT_TRUE(det.latched());
+  det.observe(la::Matrix::randn(64, 4, rng));
+  det.observe(la::Matrix::randn(64, 4, rng));
+  det.observe(la::Matrix::randn(64, 4, rng));
+  ASSERT_FALSE(det.latched());
+
+  const obs::Journal j = rec.snapshot();
+  rec.set_enabled(false);
+  std::size_t triggers = 0;
+  std::size_t clears = 0;
+  for (const auto& e : j.events) {
+    const std::string& name = j.name(e.name_id);
+    if (name == "drift.trigger") {
+      ++triggers;
+      EXPECT_GT(e.value, det.effective_psi_trigger());
+    } else if (name == "drift.clear") {
+      ++clears;
+    }
+  }
+  EXPECT_EQ(triggers, 1u);
+  EXPECT_EQ(clears, 1u);
 }
 
 // ---------------------------------------------------------------------------

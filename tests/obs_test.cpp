@@ -192,8 +192,70 @@ TEST(RegistryTest, SnapshotJsonGolden) {
       "{\"counters\":{\"c.n_total\":7},"
       "\"gauges\":{\"g.v\":1.5},"
       "\"histograms\":{\"h.ms\":{\"bounds\":[2],\"counts\":[1,0],"
-      "\"count\":1,\"sum\":1}}}";
+      "\"count\":1,\"sum\":1}},"
+      "\"hdr\":{}}";
   EXPECT_EQ(reg.snapshot_json(), expected);
+}
+
+TEST(RegistryTest, HdrSnapshotJsonReportsQuantiles) {
+  TelemetryOn on;
+  obs::MetricsRegistry reg;
+  obs::HdrHistogram& h = reg.hdr("lat.ms");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"hdr\":{\"lat.ms\":{\"count\":100"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_NE(json.find("\"relative_error_bound\":"), std::string::npos);
+  // The exposition renders hdr metrics as a Prometheus summary.
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("# TYPE fsda_lat_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("fsda_lat_ms{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("fsda_lat_ms_count 100"), std::string::npos);
+}
+
+TEST(RegistryTest, LabelValuesAreEscapedInExposition) {
+  // Prometheus exposition requires backslash, double quote, and newline in
+  // label VALUES to be escaped; a raw value would corrupt the scrape.
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::escape_label_value("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(obs::metric_with_label("drift.psi", "feature", "17"),
+            "drift.psi{feature=\"17\"}");
+
+  TelemetryOn on;
+  obs::MetricsRegistry reg;
+  reg.gauge(obs::metric_with_label("src.rows", "path", "C:\\data\n\"x\""))
+      .set(1.0);
+  const std::string expected =
+      "# TYPE fsda_src_rows gauge\n"
+      "fsda_src_rows{path=\"C:\\\\data\\n\\\"x\\\"\"} 1\n";
+  EXPECT_EQ(reg.expose_text(), expected);
+}
+
+TEST(JsonParseTest, RoundTripsEmittedSubset) {
+  const auto v = obs::json_parse(
+      "{\"a\":1.5,\"b\":\"x\\ny\",\"c\":[1,2,3],\"d\":{\"e\":true},"
+      "\"f\":null}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->number_or("a", 0.0), 1.5);
+  EXPECT_EQ(v->string_or("b", ""), "x\ny");
+  const obs::JsonValue* arr = v->find("c");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array[1].number, 2.0);
+  const obs::JsonValue* d = v->find("d");
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(d->find("e"), nullptr);
+  EXPECT_TRUE(d->find("e")->boolean);
+  EXPECT_EQ(v->find("f")->type, obs::JsonValue::Type::Null);
+  // Malformed documents parse to nullopt, never throw.
+  EXPECT_FALSE(obs::json_parse("{\"a\":}").has_value());
+  EXPECT_FALSE(obs::json_parse("[1,2").has_value());
+  EXPECT_FALSE(obs::json_parse("{} trailing").has_value());
 }
 
 TEST(RegistryTest, ResetValuesKeepsRegistrations) {

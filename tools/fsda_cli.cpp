@@ -17,11 +17,21 @@
 //       the serving path: single-sample p50/p99 and batched samples/sec,
 //       packed inference session vs. the layer API.  Honors the bench
 //       telemetry env knobs (FSDA_METRICS_OUT, FSDA_TRACE).
+//   fsda_cli obs print <snapshot.json>
+//   fsda_cli obs diff <a.json> <b.json>
+//   fsda_cli obs perfetto <journal.jsonl> <trace.json>
+//       Inspect artifacts the observability layer wrote: flatten a metrics
+//       snapshot to `dotted.path value` lines, diff two snapshots (added /
+//       removed / changed), or convert a flight-recorder JSONL journal to
+//       a Chrome/Perfetto trace loadable at https://ui.perfetto.dev.
 //
 // CSVs carry one sample per row, numeric feature columns, and an integer
 // label column (default name "label").
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "baselines/naive.hpp"
@@ -35,7 +45,9 @@
 #include "la/gemm.hpp"
 #include "models/factory.hpp"
 #include "obs/export.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfetto_export.hpp"
 #include "obs/trace.hpp"
 #include "serving_bench.hpp"
 
@@ -53,7 +65,10 @@ int usage() {
                "           [--label <column>] [--out <predictions.csv>]\n"
                "           [--metrics-out <snapshot.json>] [--trace]\n"
                "  fsda_cli serve-bench [5gc|5gipc] [--iters N] [--batch N]\n"
-               "           [--reps N]\n");
+               "           [--reps N]\n"
+               "  fsda_cli obs print <snapshot.json>\n"
+               "  fsda_cli obs diff <a.json> <b.json>\n"
+               "  fsda_cli obs perfetto <journal.jsonl> <trace.json>\n");
   return 2;
 }
 
@@ -233,6 +248,118 @@ int cmd_serve_bench(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// obs: snapshot / journal inspection
+
+std::optional<obs::JsonValue> parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return obs::json_parse(buf.str());
+}
+
+std::string scalar_repr(const obs::JsonValue& v) {
+  switch (v.type) {
+    case obs::JsonValue::Type::Null: return "null";
+    case obs::JsonValue::Type::Bool: return v.boolean ? "true" : "false";
+    case obs::JsonValue::Type::Number: return obs::json_number(v.number);
+    case obs::JsonValue::Type::String: return v.string;
+    default: return "?";
+  }
+}
+
+/// Depth-first flatten to `dotted.path -> scalar` pairs, preserving the
+/// emission order so print/diff output is deterministic.
+void flatten_json(const obs::JsonValue& v, const std::string& prefix,
+                  std::vector<std::pair<std::string, std::string>>& out) {
+  if (v.is_object()) {
+    for (const auto& [key, member] : v.object) {
+      flatten_json(member, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  } else if (v.is_array()) {
+    for (std::size_t i = 0; i < v.array.size(); ++i) {
+      flatten_json(v.array[i], prefix + "[" + std::to_string(i) + "]", out);
+    }
+  } else {
+    out.emplace_back(prefix, scalar_repr(v));
+  }
+}
+
+int cmd_obs_print(const std::string& path) {
+  const auto doc = parse_json_file(path);
+  if (!doc) {
+    std::fprintf(stderr, "error: %s is not readable JSON\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::pair<std::string, std::string>> flat;
+  flatten_json(*doc, "", flat);
+  std::size_t width = 0;
+  for (const auto& [key, value] : flat) width = std::max(width, key.size());
+  for (const auto& [key, value] : flat) {
+    std::printf("%-*s  %s\n", static_cast<int>(width), key.c_str(),
+                value.c_str());
+  }
+  return 0;
+}
+
+int cmd_obs_diff(const std::string& path_a, const std::string& path_b) {
+  const auto doc_a = parse_json_file(path_a);
+  const auto doc_b = parse_json_file(path_b);
+  if (!doc_a || !doc_b) {
+    std::fprintf(stderr, "error: %s is not readable JSON\n",
+                 (!doc_a ? path_a : path_b).c_str());
+    return 1;
+  }
+  std::vector<std::pair<std::string, std::string>> flat_a, flat_b;
+  flatten_json(*doc_a, "", flat_a);
+  flatten_json(*doc_b, "", flat_b);
+  auto lookup = [](const std::vector<std::pair<std::string, std::string>>& v,
+                   const std::string& key) -> const std::string* {
+    for (const auto& [k, value] : v) {
+      if (k == key) return &value;
+    }
+    return nullptr;
+  };
+  std::size_t changes = 0;
+  for (const auto& [key, old_value] : flat_a) {
+    const std::string* new_value = lookup(flat_b, key);
+    if (new_value == nullptr) {
+      std::printf("- %s  %s\n", key.c_str(), old_value.c_str());
+      ++changes;
+    } else if (*new_value != old_value) {
+      std::printf("~ %s  %s -> %s\n", key.c_str(), old_value.c_str(),
+                  new_value->c_str());
+      ++changes;
+    }
+  }
+  for (const auto& [key, new_value] : flat_b) {
+    if (lookup(flat_a, key) == nullptr) {
+      std::printf("+ %s  %s\n", key.c_str(), new_value.c_str());
+      ++changes;
+    }
+  }
+  std::printf("%zu difference%s\n", changes, changes == 1 ? "" : "s");
+  return 0;
+}
+
+int cmd_obs(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string verb = argv[2];
+  if (verb == "print" && argc == 4) return cmd_obs_print(argv[3]);
+  if (verb == "diff" && argc == 5) return cmd_obs_diff(argv[3], argv[4]);
+  if (verb == "perfetto" && argc == 5) {
+    if (!obs::jsonl_to_perfetto(argv[3], argv[4])) {
+      std::fprintf(stderr, "error: could not convert %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("perfetto trace written to %s (load at ui.perfetto.dev)\n",
+                argv[4]);
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,6 +378,9 @@ int main(int argc, char** argv) {
     }
     if (command == "serve-bench") {
       return cmd_serve_bench(argc, argv);
+    }
+    if (command == "obs") {
+      return cmd_obs(argc, argv);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
