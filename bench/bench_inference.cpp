@@ -2,8 +2,9 @@
 // zero-allocation session (core/inference_session.hpp) against the
 // layer-API path, on the 442-feature Gen5GC telemetry shapes.
 //
-// Reports single-sample p50/p99 latency and micro-batched samples/sec for
-// both paths, prints the speedups, and writes one JSON line of results to
+// Reports single-sample HDR latency quantiles (p50/p90/p99/p999) and
+// micro-batched samples/sec for both paths, prints the speedups, and
+// writes one JSON line of results to
 // BENCH_inference.json under the bench output directory (CI uploads it as
 // an artifact so the perf trajectory is tracked across changes).
 //
@@ -65,12 +66,15 @@ int main() {
   const bench::ServingBenchResult r = bench::run_serving_bench(
       pipeline, split.target_test.x, single_iters, batch_rows, batch_reps);
 
-  std::printf("\n%-10s %12s %12s %16s\n", "path", "p50 (ms)", "p99 (ms)",
-              "samples/sec");
-  std::printf("%-10s %12.4f %12.4f %16.0f\n", "packed", r.packed.single.p50_ms,
-              r.packed.single.p99_ms, r.packed.samples_per_sec);
-  std::printf("%-10s %12.4f %12.4f %16.0f\n", "baseline",
-              r.baseline.single.p50_ms, r.baseline.single.p99_ms,
+  std::printf("\n%-10s %10s %10s %10s %10s %14s\n", "path", "p50 (ms)",
+              "p90 (ms)", "p99 (ms)", "p999 (ms)", "samples/sec");
+  std::printf("%-10s %10.4f %10.4f %10.4f %10.4f %14.0f\n", "packed",
+              r.packed.single.p50_ms, r.packed.single.p90_ms,
+              r.packed.single.p99_ms, r.packed.single.p999_ms,
+              r.packed.samples_per_sec);
+  std::printf("%-10s %10.4f %10.4f %10.4f %10.4f %14.0f\n", "baseline",
+              r.baseline.single.p50_ms, r.baseline.single.p90_ms,
+              r.baseline.single.p99_ms, r.baseline.single.p999_ms,
               r.baseline.samples_per_sec);
   const double p50_speedup =
       r.packed.single.p50_ms > 0.0
@@ -88,23 +92,25 @@ int main() {
   const std::string path = bench::out_path("BENCH_inference.json");
   std::ofstream out(path);
   if (out) {
-    char line[1024];
+    char line[1536];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"inference\",\"smoke\":%s,\"features\":%zu,"
         "\"classes\":%zu,\"monte_carlo_m\":3,\"avx2\":%s,"
         "\"single_iters\":%zu,\"batch_rows\":%zu,\"batch_reps\":%zu,"
-        "\"packed\":{\"p50_ms\":%.6f,\"p99_ms\":%.6f,"
-        "\"samples_per_sec\":%.1f},"
-        "\"baseline\":{\"p50_ms\":%.6f,\"p99_ms\":%.6f,"
-        "\"samples_per_sec\":%.1f},"
+        "\"packed\":{\"p50_ms\":%.6f,\"p90_ms\":%.6f,\"p99_ms\":%.6f,"
+        "\"p999_ms\":%.6f,\"samples_per_sec\":%.1f},"
+        "\"baseline\":{\"p50_ms\":%.6f,\"p90_ms\":%.6f,\"p99_ms\":%.6f,"
+        "\"p999_ms\":%.6f,\"samples_per_sec\":%.1f},"
         "\"speedup\":{\"p50\":%.3f,\"throughput\":%.3f}}\n",
         smoke ? "true" : "false", split.source_train.num_features(),
         split.source_train.num_classes, la::gemm_avx2_available() ? "true"
                                                                   : "false",
         r.single_iters, r.batch_rows, r.batch_reps, r.packed.single.p50_ms,
-        r.packed.single.p99_ms, r.packed.samples_per_sec,
-        r.baseline.single.p50_ms, r.baseline.single.p99_ms,
+        r.packed.single.p90_ms, r.packed.single.p99_ms,
+        r.packed.single.p999_ms, r.packed.samples_per_sec,
+        r.baseline.single.p50_ms, r.baseline.single.p90_ms,
+        r.baseline.single.p99_ms, r.baseline.single.p999_ms,
         r.baseline.samples_per_sec, p50_speedup, throughput_speedup);
     out << line;
     std::printf("results written to %s\n", path.c_str());

@@ -1,23 +1,50 @@
 // Shared measurement harness for the packed serving path: single-sample
-// latency percentiles and micro-batch throughput, measured for both the
+// latency quantiles and micro-batch throughput, measured for both the
 // packed-plan session and the layer-API fallback on the same trained
 // pipeline (bench_inference and `fsda_cli serve-bench` both use it).
+//
+// Latencies go through an obs::HdrHistogram (record_always -- bench runs
+// keep the telemetry gate off) instead of a sorted sample: quantiles come
+// with the HDR relative-error bound, extend to p999, and the same
+// histograms merge into windowed views elsewhere in the serving stack.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
-#include <vector>
 
 #include "common/stopwatch.hpp"
 #include "core/pipeline.hpp"
 #include "la/matrix.hpp"
+#include "obs/hdr_histogram.hpp"
 
 namespace fsda::bench {
 
 struct LatencyStats {
   double p50_ms = 0.0;
+  double p90_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
 };
+
+/// Layout for latency histograms: sub-millisecond packed calls up to
+/// multi-second stalls, ~0.8% quantile error (6 sub-bucket bits).
+[[nodiscard]] inline obs::HdrOptions latency_hdr_options() {
+  obs::HdrOptions o;
+  o.min_value = 1e-4;
+  o.max_value = 1e5;
+  o.sub_bucket_bits = 6;
+  return o;
+}
+
+[[nodiscard]] inline LatencyStats quantiles(const obs::HdrHistogram& hist) {
+  LatencyStats out;
+  if (hist.count() == 0) return out;
+  out.p50_ms = hist.value_at_quantile(0.50);
+  out.p90_ms = hist.value_at_quantile(0.90);
+  out.p99_ms = hist.value_at_quantile(0.99);
+  out.p999_ms = hist.value_at_quantile(0.999);
+  return out;
+}
 
 /// One serving path's numbers: per-call latency and batched throughput.
 struct PathStats {
@@ -32,15 +59,6 @@ struct ServingBenchResult {
   std::size_t batch_rows = 0;
   std::size_t batch_reps = 0;
 };
-
-inline LatencyStats percentiles(std::vector<double>& ms) {
-  LatencyStats out;
-  if (ms.empty()) return out;
-  std::sort(ms.begin(), ms.end());
-  out.p50_ms = ms[ms.size() / 2];
-  out.p99_ms = ms[std::min(ms.size() - 1, (ms.size() * 99) / 100)];
-  return out;
-}
 
 /// Measures whatever path the pipeline currently routes through.  Rows of
 /// `test` are cycled so successive calls do not hit identical inputs.
@@ -57,17 +75,16 @@ inline PathStats measure_serving_path(core::FsGanPipeline& pipeline,
     for (int warm = 0; warm < 3; ++warm) {
       pipeline.predict_proba_into(sample, proba);
     }
-    std::vector<double> ms;
-    ms.reserve(single_iters);
+    obs::HdrHistogram hist(latency_hdr_options());
     common::Stopwatch timer;
     for (std::size_t i = 0; i < single_iters; ++i) {
       const std::size_t r = i % test.rows();
       for (std::size_t c = 0; c < test.cols(); ++c) sample(0, c) = test(r, c);
       timer.reset();
       pipeline.predict_proba_into(sample, proba);
-      ms.push_back(timer.millis());
+      hist.record_always(timer.millis());
     }
-    stats.single = percentiles(ms);
+    stats.single = quantiles(hist);
   }
   {
     const std::size_t rows = std::min(batch_rows, test.rows());

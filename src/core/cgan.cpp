@@ -61,8 +61,13 @@ ConditionalGAN::ConditionalGAN(std::size_t inv_dim, std::size_t var_dim,
 }
 
 void ConditionalGAN::sample_noise_into(std::size_t rows, la::Matrix& z) {
+  sample_noise_into(rows, z, rng_);
+}
+
+void ConditionalGAN::sample_noise_into(std::size_t rows, la::Matrix& z,
+                                       common::Rng& rng) const {
   z.resize(rows, noise_dim_);
-  for (auto& v : z.data()) v = rng_.normal();
+  for (auto& v : z.data()) v = rng.normal();
 }
 
 la::Matrix ConditionalGAN::one_hot(const std::vector<std::int64_t>& labels,

@@ -105,6 +105,12 @@ class ConditionalGAN : public Reconstructor {
   /// packed and layer-API predictions on the same noise sequence.
   void sample_noise_into(std::size_t rows, la::Matrix& z);
 
+  /// Same draw shape, but from a caller-owned rng stream; const, so
+  /// concurrent serve contexts can sample noise without touching (or
+  /// racing on) the GAN's own stream.
+  void sample_noise_into(std::size_t rows, la::Matrix& z,
+                         common::Rng& rng) const;
+
   /// The trained generator network, or nullptr before fit(); used by the
   /// inference-plan compiler.  The pointer is invalidated by the next fit().
   [[nodiscard]] nn::Sequential* generator_network() {

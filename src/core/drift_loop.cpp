@@ -356,6 +356,14 @@ void DriftLoop::serve(const la::Matrix& x_raw,
       ++consecutive_rejections_;
       start_backoff();
     } else if (probation_left_ > 0 && --probation_left_ == 0) {
+      // Probation passed: the promoted generation is trusted, so a
+      // rollback from here on would be a regression.  Retire the depth-1
+      // history eagerly -- a long-running daemon must not pin the stale
+      // generation's reconstructor and session for the rest of its life.
+      if (pipeline_.registry().retire_previous()) {
+        FSDA_EVENT_INSTANT(fsda::obs::EventCategory::Drift, "readapt.retire",
+                           static_cast<double>(pipeline_.registry().active_id()));
+      }
       set_state(DriftState::Stable);
     }
   }

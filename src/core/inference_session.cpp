@@ -206,6 +206,169 @@ std::unique_ptr<InferenceSession> InferenceSession::build(
   return s;
 }
 
+void InferenceSession::ServeContext::reserve(std::size_t rows) {
+  if (rows == 0) return;
+  const InferenceSession& s = *owner_;
+  s.clf_plan_->reserve(rows, clf_ws_);
+  switch (s.mode_) {
+    case Mode::Direct:
+      break;
+    case Mode::Select:
+      selected_.resize(rows, s.cols_.size());
+      break;
+    case Mode::Reconstruct: {
+      const std::size_t inv = s.cols_.size();
+      const std::size_t nz = s.gan_->noise_dim();
+      assembled_.resize(rows, s.clf_plan_->in_features());
+      g_in_.resize(rows, inv + nz);
+      noise_.resize(rows, nz);
+      if (!s.map_.identity) recon_.resize(rows, s.gan_->var_dim());
+      if (s.monte_carlo_m_ > 1) mc_tmp_.resize(rows, s.num_classes_);
+      s.gen_plan_->reserve(rows, gen_ws_);
+      break;
+    }
+  }
+}
+
+std::unique_ptr<InferenceSession::ServeContext>
+InferenceSession::create_serve_context(std::uint64_t noise_seed) const {
+  return std::unique_ptr<ServeContext>(new ServeContext(this, noise_seed));
+}
+
+void InferenceSession::predict_proba_scaled(const la::Matrix& x,
+                                            la::Matrix& proba,
+                                            ServeContext& ctx) const {
+  FSDA_CHECK_MSG(ctx.owner_ == this,
+                 "ServeContext bound to a different InferenceSession");
+  common::Stopwatch timer;
+  const std::size_t rows = x.rows();
+  proba.resize(rows, num_classes_);
+  if (rows == 0) return;
+  FSDA_CHECK_MSG(x.cols() >= min_input_cols_,
+                 "InferenceSession: batch has " << x.cols()
+                                                << " columns, gathers need "
+                                                << min_input_cols_);
+  switch (mode_) {
+    case Mode::Direct:
+    case Mode::Select: {
+      la::ConstMatrixView in(x);
+      if (mode_ == Mode::Select) {
+        ctx.selected_.resize(rows, cols_.size());
+        gather_cols(x, cols_, ctx.selected_);
+        in = ctx.selected_;
+      }
+      clf_plan_->run(in, la::MatrixView(proba), ctx.clf_ws_);
+      break;
+    }
+    case Mode::Reconstruct: {
+      const std::size_t inv = cols_.size();
+      const std::size_t var = gan_->var_dim();
+      const std::size_t nz = gan_->noise_dim();
+      ctx.assembled_.resize(rows, clf_plan_->in_features());
+      ctx.g_in_.resize(rows, inv + nz);
+      gather_cols(x, cols_, la::MatrixView(ctx.g_in_).col_block(0, inv));
+      if (map_.identity) {
+        gather_cols(x, cols_,
+                    la::MatrixView(ctx.assembled_).col_block(0, inv));
+      } else {
+        const la::ConstMatrixView xv(x);
+        la::MatrixView av(ctx.assembled_);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double* in = xv.row_data(r);
+          double* out = av.row_data(r);
+          for (std::size_t i = 0; i < raw_dst_.size(); ++i) {
+            out[raw_dst_[i]] = in[raw_src_[i]];
+          }
+        }
+        ctx.recon_.resize(rows, var);
+      }
+      static obs::Counter& draws_total =
+          obs::MetricsRegistry::global().counter(
+              "recon.draws_total", "Monte-Carlo reconstruction draws performed");
+      static obs::Counter& recon_rows_total =
+          obs::MetricsRegistry::global().counter(
+              "recon.rows_total", "rows passed through the reconstructor");
+      for (std::size_t m = 0; m < monte_carlo_m_; ++m) {
+        draws_total.inc();
+        recon_rows_total.inc(rows);
+        // Noise comes from the context's private stream: valid draws from
+        // the same N(0,1) law, decorrelated across concurrent workers.
+        gan_->sample_noise_into(rows, ctx.noise_, ctx.rng_);
+        la::MatrixView zdst = la::MatrixView(ctx.g_in_).col_block(inv, nz);
+        const la::ConstMatrixView zsrc(ctx.noise_);
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::copy_n(zsrc.row_data(r), nz, zdst.row_data(r));
+        }
+        la::Matrix& dst = m == 0 ? proba : ctx.mc_tmp_;
+        dst.resize(rows, num_classes_);
+        if (map_.identity) {
+          gen_plan_->run(la::ConstMatrixView(ctx.g_in_),
+                         la::MatrixView(ctx.assembled_).col_block(inv, var),
+                         ctx.gen_ws_);
+        } else {
+          gen_plan_->run(la::ConstMatrixView(ctx.g_in_),
+                         la::MatrixView(ctx.recon_), ctx.gen_ws_);
+          const la::ConstMatrixView rv(ctx.recon_);
+          la::MatrixView av(ctx.assembled_);
+          for (std::size_t r = 0; r < rows; ++r) {
+            const double* in = rv.row_data(r);
+            double* out = av.row_data(r);
+            for (std::size_t i = 0; i < recon_dst_.size(); ++i) {
+              out[recon_dst_[i]] = in[recon_src_[i]];
+            }
+          }
+        }
+        clf_plan_->run(la::ConstMatrixView(ctx.assembled_),
+                       la::MatrixView(dst), ctx.clf_ws_);
+        if (m > 0) proba += ctx.mc_tmp_;
+      }
+      proba *= 1.0 / static_cast<double>(monte_carlo_m_);
+      break;
+    }
+  }
+
+  auto& im = obs::InferenceMetrics::global();
+  im.samples_total.inc(rows);
+  const double ms = timer.millis();
+  im.batch_latency_ms.record(ms);
+  im.samples_per_second.set(ms > 0.0 ? 1000.0 * static_cast<double>(rows) / ms
+                                     : 0.0);
+}
+
+void InferenceSession::reserve_batch(std::size_t rows) {
+  if (rows == 0) return;
+  switch (mode_) {
+    case Mode::Direct:
+      break;
+    case Mode::Select:
+      selected_.resize(rows, cols_.size());
+      break;
+    case Mode::Reconstruct: {
+      const std::size_t inv = cols_.size();
+      const std::size_t nz = gan_->noise_dim();
+      assembled_.resize(rows, clf_plan_->in_features());
+      g_in_.resize(rows, inv + nz);
+      noise_.resize(rows, nz);
+      if (!map_.identity) recon_.resize(rows, gan_->var_dim());
+      if (monte_carlo_m_ > 1) mc_tmp_.resize(rows, num_classes_);
+      break;
+    }
+  }
+  // One chunk workspace per pool worker (plus the serial caller); each is
+  // reserved for the full row count, which no chunk can exceed.
+  const std::size_t want =
+      threading_enabled_ ? common::ThreadPool::global().size() + 1 : 1;
+  std::lock_guard<std::mutex> lk(ctx_mu_);
+  while (ctx_pool_.size() < want) {
+    ctx_pool_.push_back(std::make_unique<Ctx>());
+    ctx_free_.push_back(ctx_pool_.back().get());
+  }
+  for (auto& c : ctx_pool_) {
+    clf_plan_->reserve(rows, c->clf_ws);
+    if (gen_plan_.has_value()) gen_plan_->reserve(rows, c->gen_ws);
+  }
+}
+
 InferenceSession::Ctx* InferenceSession::acquire_ctx() {
   std::lock_guard<std::mutex> lk(ctx_mu_);
   if (!ctx_free_.empty()) {

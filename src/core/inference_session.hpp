@@ -26,11 +26,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/feature_separation.hpp"
 #include "core/reconstructor.hpp"
 #include "la/matrix.hpp"
@@ -94,6 +96,53 @@ class InferenceSession {
   /// the scaled, sanitized batch in original feature order; `proba` is
   /// resized to rows x num_classes.  Allocation-free once warm.
   void predict_proba_scaled(const la::Matrix& x, la::Matrix& proba);
+
+  /// Per-caller execution context for the concurrent serving path: all
+  /// per-call buffers, private plan workspaces, and an independent noise
+  /// stream.  One context belongs to one thread at a time; with distinct
+  /// contexts, predict_proba_scaled(x, proba, ctx) is safe to call from
+  /// many threads at once (the compiled plans are immutable and shared).
+  /// A context is bound to the session that created it -- after a model
+  /// hot-swap, build a fresh context from the new session.
+  class ServeContext {
+   public:
+    /// Pre-sizes every buffer for batches of up to `rows` rows, so calls
+    /// at any batch size <= rows are allocation-free from the first one.
+    void reserve(std::size_t rows);
+
+   private:
+    friend class InferenceSession;
+    ServeContext(const InferenceSession* owner, std::uint64_t noise_seed)
+        : owner_(owner), rng_(noise_seed) {}
+    const InferenceSession* owner_;
+    common::Rng rng_;  ///< private noise stream (Reconstruct mode)
+    nn::InferenceWorkspace gen_ws_;
+    nn::InferenceWorkspace clf_ws_;
+    la::Matrix selected_, assembled_, recon_, g_in_, noise_, mc_tmp_;
+  };
+
+  /// Creates a serving context whose reconstruction-noise stream derives
+  /// from `noise_seed` (decorrelate concurrent workers with distinct
+  /// seeds).
+  [[nodiscard]] std::unique_ptr<ServeContext> create_serve_context(
+      std::uint64_t noise_seed) const;
+
+  /// Re-entrant predict for the serving daemon: same math as the
+  /// single-caller overload, but every mutable buffer lives in `ctx` and
+  /// reconstruction noise comes from the context's own stream (the
+  /// session-owned overload consumes the GAN's stream to stay bitwise
+  /// aligned with the layer path).  Runs the batch serially on the calling
+  /// thread -- a daemon's worker pool is the parallelism.
+  void predict_proba_scaled(const la::Matrix& x, la::Matrix& proba,
+                            ServeContext& ctx) const;
+
+  /// Grows the single-caller buffers and the chunk-workspace pool for
+  /// batches of up to `rows` rows, once; afterwards predict calls at any
+  /// batch size <= rows never reallocate, even when client batch sizes
+  /// vary from call to call (chunk boundaries -- and hence per-workspace
+  /// row counts -- move with the batch size, so without this the pool
+  /// would grow lazily toward its high-water mark).
+  void reserve_batch(std::size_t rows);
 
   /// Toggles ThreadPool sharding of micro-batches (on by default); serial
   /// and threaded execution produce identical output.

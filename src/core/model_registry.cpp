@@ -26,6 +26,8 @@ ModelRegistry::ModelRegistry(ModelRegistry&& other) noexcept {
                    std::memory_order_relaxed);
   rollbacks_.store(other.rollbacks_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+  retired_.store(other.retired_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
 }
 
 ModelRegistry& ModelRegistry::operator=(ModelRegistry&& other) noexcept {
@@ -40,6 +42,8 @@ ModelRegistry& ModelRegistry::operator=(ModelRegistry&& other) noexcept {
                    std::memory_order_relaxed);
   rollbacks_.store(other.rollbacks_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+  retired_.store(other.retired_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
   return *this;
 }
 
@@ -63,6 +67,18 @@ bool ModelRegistry::rollback() {
   active_.store(restored, std::memory_order_release);
   rollbacks_.fetch_add(1, std::memory_order_relaxed);
   generation_gauge().set(static_cast<double>(restored->id));
+  return true;
+}
+
+bool ModelRegistry::retire_previous() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (previous_ == nullptr) return false;
+  previous_ = nullptr;
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& retired_counter = obs::MetricsRegistry::global().counter(
+      "model.generations_retired_total",
+      "rollback-slot generations retired after probation passed");
+  retired_counter.inc();
   return true;
 }
 

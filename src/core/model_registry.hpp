@@ -84,6 +84,15 @@ class ModelRegistry {
   /// the first).  Returns false when there is nothing to roll back to.
   bool rollback();
 
+  /// Drops the depth-1 rollback history, releasing the previous
+  /// generation's reconstructor/session immediately instead of pinning
+  /// them until the next publish.  The drift loop calls this once a
+  /// promoted generation survives probation -- after that point a
+  /// rollback would be a regression, and a long-running daemon must not
+  /// keep a stale model generation alive.  Returns false when there was
+  /// nothing to retire.
+  bool retire_previous();
+
   /// Drops both generations (ids stay monotonic across resets).
   void reset();
 
@@ -93,6 +102,10 @@ class ModelRegistry {
   [[nodiscard]] std::uint64_t rollbacks_total() const {
     return rollbacks_.load(std::memory_order_relaxed);
   }
+  /// Generations dropped from the rollback slot by retire_previous().
+  [[nodiscard]] std::uint64_t retired_total() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<GenerationPtr> active_{nullptr};
@@ -101,6 +114,7 @@ class ModelRegistry {
   std::uint64_t next_id_ = 1;    // guarded by mu_
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> rollbacks_{0};
+  std::atomic<std::uint64_t> retired_{0};
 };
 
 }  // namespace fsda::core

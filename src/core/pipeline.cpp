@@ -694,6 +694,101 @@ void FsGanPipeline::predict_proba_into(const la::Matrix& x_raw,
   obs::serving_slo().record(elapsed_ms);
 }
 
+std::unique_ptr<FsGanPipeline::ServeSlot> FsGanPipeline::create_serve_slot(
+    std::uint64_t noise_seed) const {
+  return std::unique_ptr<ServeSlot>(new ServeSlot(noise_seed));
+}
+
+void FsGanPipeline::reserve_serve_slot(ServeSlot& slot, std::size_t rows) {
+  slot.reserve_rows_ = std::max(slot.reserve_rows_, rows);
+  if (trained_ && slot.reserve_rows_ > 0) {
+    slot.x_scaled_.resize(slot.reserve_rows_, source_scaled_.cols());
+  }
+  if (slot.ctx_ != nullptr) slot.ctx_->reserve(slot.reserve_rows_);
+}
+
+void FsGanPipeline::predict_proba_serve(const la::Matrix& x_raw,
+                                        la::Matrix& proba, ServeSlot& slot) {
+  FSDA_CHECK_MSG(trained_, "predict before train");
+  // One atomic snapshot per batch, exactly like predict_proba_into.
+  const GenerationPtr gen = registry_.active();
+  FSDA_CHECK_MSG(gen != nullptr, "predict with no published generation");
+  if (slot.generation_ != gen) {
+    // Hot-swap (or first call): rebind the slot.  The context rebuild
+    // happens here, off the registry's writer lock, so a publish never
+    // stalls behind serving workers and vice versa.
+    if (gen->session != nullptr) {
+      slot.ctx_ = gen->session->create_serve_context(
+          slot.noise_seed_ ^ (gen->id * 0x9e3779b97f4a7c15ULL));
+      if (slot.reserve_rows_ > 0) slot.ctx_->reserve(slot.reserve_rows_);
+    } else {
+      slot.ctx_.reset();
+    }
+    slot.generation_ = gen;
+  }
+
+  static auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& rows_total =
+      registry.counter("predict.rows_total", "rows scored by predict_proba");
+  static obs::Counter& batches_total = registry.counter(
+      "predict.batches_total", "predict_proba batch invocations");
+  static obs::Counter& quarantined_total = registry.counter(
+      "predict.quarantined_rows_total",
+      "inference rows quarantined for non-finite raw features");
+  static obs::Counter& clamped_total = registry.counter(
+      "predict.clamped_cells_total",
+      "scaled inference cells clamped into the envelope");
+  static obs::HdrHistogram& latency_ms = registry.hdr(
+      "predict.latency_ms", obs::HdrOptions{},
+      "predict_proba batch latency (ms), log-linear quantile histogram");
+  FSDA_EVENT_SCOPE(obs::EventCategory::Serving, "predict.batch");
+  common::Stopwatch timer;
+
+  // Same guardrail sequence as predict_proba_into, against slot buffers.
+  // MinMaxScaler's transform_into/clamp_transformed are const and write
+  // only through the caller's destination, so they are re-entrant.
+  const std::vector<std::size_t> bad_rows = nonfinite_rows(x_raw);
+  scaler_.transform_into(x_raw, slot.x_scaled_);
+  la::Matrix& x = slot.x_scaled_;
+  if (!bad_rows.empty()) {
+    quarantined_total.inc(bad_rows.size());
+    for (std::size_t r : bad_rows) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        if (!std::isfinite(x(r, c))) x(r, c) = 0.0;
+      }
+    }
+  }
+  if (options_.clamp_margin >= 0.0) {
+    clamped_total.inc(scaler_.clamp_transformed(x, options_.clamp_margin));
+  }
+
+  if (slot.ctx_ != nullptr) {
+    gen->session->predict_proba_scaled(x, proba, *slot.ctx_);
+  } else {
+    // Layer-API generations share the classifier's workspaces: rare
+    // (plan-incompatible regimes only), so serialization is acceptable.
+    std::lock_guard<std::mutex> lk(*serve_layer_mu_);
+    proba = predict_proba_scaled(x, *gen);
+  }
+
+  const double uniform = 1.0 / static_cast<double>(num_classes_);
+  if (!bad_rows.empty() && options_.quarantine == QuarantinePolicy::Reject) {
+    for (std::size_t r : bad_rows) {
+      for (std::size_t c = 0; c < proba.cols(); ++c) proba(r, c) = uniform;
+    }
+  }
+  const std::vector<std::size_t> bad_out = nonfinite_rows(proba);
+  for (std::size_t r : bad_out) {
+    for (std::size_t c = 0; c < proba.cols(); ++c) proba(r, c) = uniform;
+  }
+
+  rows_total.inc(x_raw.rows());
+  batches_total.inc();
+  const double elapsed_ms = timer.millis();
+  latency_ms.record(elapsed_ms);
+  obs::serving_slo().record(elapsed_ms);
+}
+
 void FsGanPipeline::update_drift_gauges(const ModelGeneration& gen,
                                         const la::Matrix& x_scaled,
                                         std::size_t quarantined,

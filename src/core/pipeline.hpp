@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "causal/fnode.hpp"
@@ -131,6 +132,50 @@ class FsGanPipeline {
   /// concurrently with itself, train(), or adapt_to_new_target().
   void predict_proba_into(const la::Matrix& x_raw, la::Matrix& proba);
   [[nodiscard]] std::vector<std::int64_t> predict(const la::Matrix& x_raw);
+
+  /// Per-worker serving state for the concurrent daemon path: a pinned
+  /// generation snapshot, the session context compiled against it, and a
+  /// private scaled-input buffer.  One slot belongs to one thread; with
+  /// distinct slots, predict_proba_serve is safe from many threads at once
+  /// and stays transparent across hot-swaps (the slot rebinds itself when
+  /// it notices a new active generation).
+  class ServeSlot {
+   public:
+    /// Id of the generation the slot is currently bound to (0 = none yet).
+    [[nodiscard]] std::uint64_t generation_id() const {
+      return generation_ != nullptr ? generation_->id : 0;
+    }
+
+   private:
+    friend class FsGanPipeline;
+    explicit ServeSlot(std::uint64_t noise_seed) : noise_seed_(noise_seed) {}
+    std::uint64_t noise_seed_;
+    std::size_t reserve_rows_ = 0;
+    GenerationPtr generation_;
+    std::unique_ptr<InferenceSession::ServeContext> ctx_;
+    la::Matrix x_scaled_;
+  };
+
+  /// Creates a slot whose reconstruction-noise stream derives from
+  /// `noise_seed` (give each daemon worker a distinct seed).
+  [[nodiscard]] std::unique_ptr<ServeSlot> create_serve_slot(
+      std::uint64_t noise_seed) const;
+
+  /// Pre-sizes the slot's buffers for batches of up to `rows` rows; sticky
+  /// across hot-swaps (a rebound slot re-reserves to its high-water mark).
+  void reserve_serve_slot(ServeSlot& slot, std::size_t rows);
+
+  /// Re-entrant predict_proba_into for the serving daemon: same guardrails
+  /// (quarantine, clamp envelope, Reject rewrite, finite output guard) and
+  /// the same one-acquire-load-per-batch generation snapshot, but every
+  /// mutable buffer lives in `slot`, so concurrent callers with distinct
+  /// slots never race.  Differences from predict_proba_into: the
+  /// HealthReport is not updated (it is not thread-safe; the atomic
+  /// predict.* counters carry the same signals), last_scaled_batch() is
+  /// not refreshed, and generations without a packed session serialize on
+  /// an internal mutex (the layer classifier's workspace is shared).
+  void predict_proba_serve(const la::Matrix& x_raw, la::Matrix& proba,
+                           ServeSlot& slot);
 
   // -- Generation management (the drift loop's toolkit) --------------------
 
@@ -296,6 +341,9 @@ class FsGanPipeline {
 
   bool serving_plans_enabled_ = true;
   la::Matrix predict_x_;
+  /// Serializes serve-path callers through the layer API (shared classifier
+  /// workspaces); heap-held so the pipeline stays movable.
+  std::unique_ptr<std::mutex> serve_layer_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace fsda::core

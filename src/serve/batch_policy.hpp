@@ -1,0 +1,71 @@
+// fsda::serve -- adaptive micro-batch sizing (DESIGN.md §15).
+//
+// The scheduler's one tuning decision is "how many queued rows should a
+// worker coalesce into its next inference batch".  Small batches keep p50
+// low when the daemon is lightly loaded (a lone request never waits for
+// company); large batches amortize per-call overhead and exploit the GEMM
+// efficiency of tall inputs when requests pile up.  The policy is a pure
+// function of two observable load signals -- current queue depth and a
+// recent queue-wait quantile (fed by a WindowedHdr over per-request wait
+// times) -- so it is deterministic, unit-testable against exact oracles,
+// and free of hidden state.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace fsda::serve {
+
+struct BatchPolicyOptions {
+  /// Floor of the target batch (rows); also the light-load batch size.
+  std::size_t min_batch_rows = 1;
+  /// Ceiling of the target batch (rows).
+  std::size_t max_batch_rows = 64;
+  /// Queue-wait quantile at/below which the daemon counts as unloaded:
+  /// the target stays at min_batch_rows to protect p50.
+  double wait_low_ms = 0.5;
+  /// Queue-wait quantile at/above which the daemon counts as saturated:
+  /// the target goes all the way to max_batch_rows.
+  double wait_high_ms = 8.0;
+};
+
+/// Target rows for the next micro-batch given `queue_depth` requests
+/// waiting and a recent queue-wait quantile of `recent_wait_ms`.
+///
+/// Shape:
+///   - waits <= wait_low_ms  -> min_batch_rows (plus whatever is already
+///     queued, up to the cap: draining a backlog never helps latency by
+///     leaving rows behind);
+///   - waits >= wait_high_ms -> max_batch_rows;
+///   - in between            -> linear interpolation, rounded to nearest.
+///
+/// The result is clamped to [min_batch_rows, max_batch_rows] and never
+/// exceeds what could plausibly be coalesced right now
+/// (max(queue_depth, min_batch_rows)) -- the scheduler is greedy, it never
+/// *waits* for rows that have not arrived, so a target beyond the current
+/// depth would be meaningless.
+[[nodiscard]] inline std::size_t target_batch_rows(
+    std::size_t queue_depth, double recent_wait_ms,
+    const BatchPolicyOptions& opt) {
+  const std::size_t lo = std::max<std::size_t>(opt.min_batch_rows, 1);
+  const std::size_t hi = std::max(opt.max_batch_rows, lo);
+
+  double f = 0.0;  // pressure in [0, 1]
+  if (recent_wait_ms >= opt.wait_high_ms) {
+    f = 1.0;
+  } else if (recent_wait_ms > opt.wait_low_ms &&
+             opt.wait_high_ms > opt.wait_low_ms) {
+    f = (recent_wait_ms - opt.wait_low_ms) /
+        (opt.wait_high_ms - opt.wait_low_ms);
+  }
+  const double span = static_cast<double>(hi - lo);
+  std::size_t target = lo + static_cast<std::size_t>(span * f + 0.5);
+
+  // Under pressure the queue itself is the second signal: even before the
+  // wait window reflects it, a deep queue justifies batching up to the
+  // backlog (never beyond the cap).
+  target = std::max(target, std::min(queue_depth, hi));
+  return std::clamp(target, lo, hi);
+}
+
+}  // namespace fsda::serve

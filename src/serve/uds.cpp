@@ -1,0 +1,303 @@
+#include "serve/uds.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace fsda::serve {
+
+namespace {
+
+/// Fills a sockaddr_un; false when the path does not fit (sun_path is
+/// ~108 bytes on Linux).
+bool make_addr(const std::string& path, sockaddr_un& addr) {
+  if (path.size() + 1 > sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool send_exact(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- server
+
+UdsServer::UdsServer(ServeDaemon& daemon, std::string socket_path)
+    : daemon_(daemon), path_(std::move(socket_path)) {}
+
+UdsServer::~UdsServer() { stop(); }
+
+bool UdsServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  sockaddr_un addr{};
+  if (!make_addr(path_, addr)) {
+    FSDA_LOG_ERROR << "uds: socket path too long: " << path_;
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    FSDA_LOG_ERROR << "uds: socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  ::unlink(path_.c_str());  // clear a stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    FSDA_LOG_ERROR << "uds: bind/listen on " << path_
+                   << " failed: " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&UdsServer::accept_main, this);
+  return true;
+}
+
+void UdsServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock accept() by shutting the listener down, then wake every
+  // connection reader the same way.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) {
+      if (c->open.exchange(false)) ::shutdown(c->fd, SHUT_RDWR);
+    }
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) {
+      // Daemon-worker completion callbacks may still hold this connection;
+      // close under its write mutex so a late write_all either finishes
+      // first or sees open == false, never a recycled fd.
+      std::lock_guard<std::mutex> wk(c->write_mu);
+      if (c->fd >= 0) ::close(c->fd);
+      c->fd = -1;
+    }
+    conns_.clear();
+  }
+  ::unlink(path_.c_str());
+}
+
+void UdsServer::accept_main() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (stop()) or fatal
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(&UdsServer::connection_main, this, conn);
+  }
+}
+
+void UdsServer::write_all(const std::shared_ptr<Connection>& conn,
+                          const std::vector<std::uint8_t>& buf) {
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  // Best effort: a peer that hung up mid-response is routine churn.
+  (void)send_exact(conn->fd, buf.data(), buf.size());
+}
+
+void UdsServer::connection_main(std::shared_ptr<Connection> conn) {
+  FrameReader reader;
+  std::vector<std::uint8_t> rx(64 * 1024);
+  std::vector<std::uint8_t> tx;
+  Frame frame;
+  la::Matrix x;
+
+  while (conn->open.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(conn->fd, rx.data(), rx.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or connection shut down
+    reader.feed(rx.data(), static_cast<std::size_t>(n));
+
+    while (reader.next(frame)) {
+      switch (frame.type) {
+        case FrameType::Ping: {
+          tx.clear();
+          append_empty_frame(tx, FrameType::Pong, frame.request_id);
+          write_all(conn, tx);
+          break;
+        }
+        case FrameType::Shutdown: {
+          shutdown_requested_.store(true, std::memory_order_release);
+          break;
+        }
+        case FrameType::Predict: {
+          if (!decode_matrix_payload(frame, x)) {
+            tx.clear();
+            append_error_frame(tx, frame.request_id, WireError::BadFrame,
+                               "malformed matrix payload");
+            write_all(conn, tx);
+            break;
+          }
+          const std::uint64_t id = frame.request_id;
+          const Admission verdict = daemon_.submit(
+              std::move(x), id, [this, conn, id](ServeResult&& res) {
+                // Worker thread: serialize and ship the answer.
+                std::vector<std::uint8_t> out;
+                if (res.error == WireError::None) {
+                  append_matrix_frame(out, FrameType::Proba, id, res.proba);
+                } else {
+                  append_error_frame(out, id, res.error,
+                                     to_string(res.error));
+                }
+                write_all(conn, out);
+              });
+          if (verdict != Admission::Accepted) {
+            // Fast reject: typed error straight from the reader thread.
+            tx.clear();
+            append_error_frame(tx, id, to_wire_error(verdict),
+                               to_string(to_wire_error(verdict)));
+            write_all(conn, tx);
+          }
+          x = la::Matrix();  // moved-from either way; reset for reuse
+          break;
+        }
+        default: {
+          tx.clear();
+          append_error_frame(tx, frame.request_id, WireError::BadFrame,
+                             "unexpected frame type");
+          write_all(conn, tx);
+          break;
+        }
+      }
+    }
+    if (reader.bad()) {
+      tx.clear();
+      append_error_frame(tx, 0, WireError::BadFrame, "unparseable stream");
+      write_all(conn, tx);
+      break;  // drop the connection; resync is not attempted
+    }
+  }
+  if (conn->open.exchange(false)) ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+// ---------------------------------------------------------------- client
+
+UdsClient::~UdsClient() { close(); }
+
+bool UdsClient::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  if (!make_addr(socket_path, addr)) return false;
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void UdsClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_ = FrameReader();
+}
+
+bool UdsClient::send_buf(const std::vector<std::uint8_t>& buf) {
+  return fd_ >= 0 && send_exact(fd_, buf.data(), buf.size());
+}
+
+bool UdsClient::read_frame(Frame& frame) {
+  std::uint8_t rx[16 * 1024];
+  while (fd_ >= 0) {
+    if (reader_.next(frame)) return true;
+    if (reader_.bad()) return false;
+    const ssize_t n = ::recv(fd_, rx, sizeof(rx), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    reader_.feed(rx, static_cast<std::size_t>(n));
+  }
+  return false;
+}
+
+bool UdsClient::predict(const la::Matrix& x, la::Matrix& proba,
+                        WireError& error) {
+  error = WireError::Internal;
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> buf;
+  append_matrix_frame(buf, FrameType::Predict, id, x);
+  if (!send_buf(buf)) return false;
+  Frame frame;
+  for (;;) {
+    if (!read_frame(frame)) return false;
+    if (frame.request_id != id) continue;  // stale answer; skip
+    if (frame.type == FrameType::Proba) {
+      if (!decode_matrix_payload(frame, proba)) return false;
+      error = WireError::None;
+      return true;
+    }
+    if (frame.type == FrameType::Error) {
+      std::string msg;
+      if (!decode_error_payload(frame, error, msg)) {
+        error = WireError::Internal;
+      }
+      return false;
+    }
+  }
+}
+
+bool UdsClient::ping() {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> buf;
+  append_empty_frame(buf, FrameType::Ping, id);
+  if (!send_buf(buf)) return false;
+  Frame frame;
+  do {
+    if (!read_frame(frame)) return false;
+  } while (frame.request_id != id || frame.type != FrameType::Pong);
+  return true;
+}
+
+void UdsClient::request_shutdown() {
+  std::vector<std::uint8_t> buf;
+  append_empty_frame(buf, FrameType::Shutdown, 0);
+  (void)send_buf(buf);
+}
+
+}  // namespace fsda::serve

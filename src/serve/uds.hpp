@@ -1,0 +1,128 @@
+// fsda::serve -- Unix-domain-socket front-end for the serving daemon
+// (DESIGN.md §15).
+//
+// UdsServer binds a stream socket at a filesystem path and accepts
+// connections on a dedicated thread; each connection gets one reader
+// thread that incrementally parses frames (serve/wire.hpp) and feeds
+// Predict requests into ServeDaemon::submit.  Responses are written from
+// whichever thread completes the request -- the daemon's worker threads
+// for served predictions, the reader thread itself for fast-rejects
+// (sheds, malformed frames) and Ping -- serialized per connection by a
+// write mutex so frames never interleave.  Connection objects are
+// shared_ptr-owned by their reader thread AND by any in-flight completion
+// callbacks, so a client that disconnects mid-request never leaves a
+// dangling fd behind a worker's back; writes after the peer vanished fail
+// silently (MSG_NOSIGNAL -- a dead client is routine, not an error).
+//
+// A Shutdown frame asks the daemon to exit: the server flips a flag its
+// owner polls (the CLI's serve loop), it does not tear anything down
+// itself -- teardown order (listener first, then daemon) is the owner's
+// job.
+//
+// UdsClient is the matching blocking client used by `fsda client` and the
+// load generator: one request in flight per client, responses matched by
+// request id.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "serve/daemon.hpp"
+#include "serve/wire.hpp"
+
+namespace fsda::serve {
+
+class UdsServer {
+ public:
+  /// `socket_path` is unlinked (if stale) at start() and again at stop().
+  UdsServer(ServeDaemon& daemon, std::string socket_path);
+  ~UdsServer();
+
+  UdsServer(const UdsServer&) = delete;
+  UdsServer& operator=(const UdsServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread.  False (with a log
+  /// line) when the socket cannot be bound.
+  [[nodiscard]] bool start();
+
+  /// Stops accepting, shuts every live connection, joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Set once a client sent a Shutdown frame; the owner polls this and
+  /// tears down (listener, then daemon).
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const std::string& socket_path() const { return path_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;      ///< serializes whole-frame writes
+    std::atomic<bool> open{true};
+  };
+
+  void accept_main();
+  void connection_main(std::shared_ptr<Connection> conn);
+  /// Writes one encoded frame buffer to `conn` (under its write mutex).
+  static void write_all(const std::shared_ptr<Connection>& conn,
+                        const std::vector<std::uint8_t>& buf);
+
+  ServeDaemon& daemon_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;  // guarded by conns_mu_
+};
+
+/// Blocking request/response client over one connection.
+class UdsClient {
+ public:
+  UdsClient() = default;
+  ~UdsClient();
+
+  UdsClient(const UdsClient&) = delete;
+  UdsClient& operator=(const UdsClient&) = delete;
+
+  [[nodiscard]] bool connect(const std::string& socket_path);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends one Predict and blocks for its answer.  True with `proba`
+  /// filled on success; false with `error` set on a typed rejection
+  /// (sheds, bad frame, internal) or transport failure (error = Internal).
+  [[nodiscard]] bool predict(const la::Matrix& x, la::Matrix& proba,
+                             WireError& error);
+
+  /// Liveness round-trip.
+  [[nodiscard]] bool ping();
+
+  /// Fire-and-forget daemon shutdown request.
+  void request_shutdown();
+
+ private:
+  [[nodiscard]] bool send_buf(const std::vector<std::uint8_t>& buf);
+  /// Reads until one complete frame is available.
+  [[nodiscard]] bool read_frame(Frame& frame);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace fsda::serve

@@ -1,0 +1,166 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+namespace fsda::serve {
+
+namespace {
+
+// Header = body_len(u32); body = type(u8) + request_id(u64) + payload.
+constexpr std::size_t kLenBytes = 4;
+constexpr std::size_t kBodyFixed = 1 + 8;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool get(const std::uint8_t* data, std::size_t len, std::size_t& off, T& v) {
+  if (off + sizeof(T) > len) return false;
+  std::memcpy(&v, data + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(WireError e) noexcept {
+  switch (e) {
+    case WireError::None: return "none";
+    case WireError::ShedQueueFull: return "shed-queue-full";
+    case WireError::ShedSlo: return "shed-slo";
+    case WireError::BadFrame: return "bad-frame";
+    case WireError::Internal: return "internal";
+    case WireError::ShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t request_id, const std::uint8_t* payload,
+                  std::size_t payload_len) {
+  const auto body_len =
+      static_cast<std::uint32_t>(kBodyFixed + payload_len);
+  out.reserve(out.size() + kLenBytes + body_len);
+  put(out, body_len);
+  put(out, static_cast<std::uint8_t>(type));
+  put(out, request_id);
+  if (payload_len > 0) out.insert(out.end(), payload, payload + payload_len);
+}
+
+void append_matrix_frame(std::vector<std::uint8_t>& out, FrameType type,
+                         std::uint64_t request_id, const la::Matrix& m) {
+  const auto rows = static_cast<std::uint32_t>(m.rows());
+  const auto cols = static_cast<std::uint32_t>(m.cols());
+  const std::size_t payload_len =
+      2 * sizeof(std::uint32_t) +
+      static_cast<std::size_t>(rows) * cols * sizeof(double);
+  const auto body_len = static_cast<std::uint32_t>(kBodyFixed + payload_len);
+  out.reserve(out.size() + kLenBytes + body_len);
+  put(out, body_len);
+  put(out, static_cast<std::uint8_t>(type));
+  put(out, request_id);
+  put(out, rows);
+  put(out, cols);
+  // Matrix storage is row-major and dense: one bulk copy.
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(m.data().data());
+  out.insert(out.end(), raw,
+             raw + static_cast<std::size_t>(rows) * cols * sizeof(double));
+}
+
+void append_error_frame(std::vector<std::uint8_t>& out,
+                        std::uint64_t request_id, WireError code,
+                        const std::string& message) {
+  const std::size_t payload_len =
+      1 + sizeof(std::uint32_t) + message.size();
+  const auto body_len = static_cast<std::uint32_t>(kBodyFixed + payload_len);
+  out.reserve(out.size() + kLenBytes + body_len);
+  put(out, body_len);
+  put(out, static_cast<std::uint8_t>(FrameType::Error));
+  put(out, request_id);
+  put(out, static_cast<std::uint8_t>(code));
+  put(out, static_cast<std::uint32_t>(message.size()));
+  out.insert(out.end(),
+             reinterpret_cast<const std::uint8_t*>(message.data()),
+             reinterpret_cast<const std::uint8_t*>(message.data()) +
+                 message.size());
+}
+
+bool decode_matrix_payload(const Frame& frame, la::Matrix& m) {
+  if (frame.type != FrameType::Predict && frame.type != FrameType::Proba) {
+    return false;
+  }
+  const std::uint8_t* data = frame.payload.data();
+  const std::size_t len = frame.payload.size();
+  std::size_t off = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  if (!get(data, len, off, rows) || !get(data, len, off, cols)) return false;
+  const std::size_t cells = static_cast<std::size_t>(rows) * cols;
+  if (len - off != cells * sizeof(double)) return false;
+  if (rows == 0 || cols == 0) return false;
+  m.resize(rows, cols);
+  std::memcpy(m.data().data(), data + off, cells * sizeof(double));
+  return true;
+}
+
+bool decode_error_payload(const Frame& frame, WireError& code,
+                          std::string& message) {
+  if (frame.type != FrameType::Error) return false;
+  const std::uint8_t* data = frame.payload.data();
+  const std::size_t len = frame.payload.size();
+  std::size_t off = 0;
+  std::uint8_t raw_code = 0;
+  std::uint32_t msg_len = 0;
+  if (!get(data, len, off, raw_code) || !get(data, len, off, msg_len)) {
+    return false;
+  }
+  if (len - off != msg_len) return false;
+  if (raw_code > static_cast<std::uint8_t>(WireError::ShuttingDown)) {
+    return false;
+  }
+  code = static_cast<WireError>(raw_code);
+  message.assign(reinterpret_cast<const char*>(data + off), msg_len);
+  return true;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
+  if (bad_ || len == 0) return;
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow without bound on a long-lived connection.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool FrameReader::next(Frame& frame) {
+  if (bad_) return false;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kLenBytes) return false;
+  std::uint32_t body_len = 0;
+  std::memcpy(&body_len, buf_.data() + pos_, sizeof(body_len));
+  if (body_len < kBodyFixed || body_len > kMaxFrameBody) {
+    bad_ = true;
+    return false;
+  }
+  if (avail < kLenBytes + body_len) return false;
+  const std::uint8_t* body = buf_.data() + pos_ + kLenBytes;
+  const std::uint8_t type_raw = body[0];
+  if (type_raw < static_cast<std::uint8_t>(FrameType::Predict) ||
+      type_raw > static_cast<std::uint8_t>(FrameType::Shutdown)) {
+    bad_ = true;
+    return false;
+  }
+  frame.type = static_cast<FrameType>(type_raw);
+  std::memcpy(&frame.request_id, body + 1, sizeof(frame.request_id));
+  frame.payload.assign(body + kBodyFixed, body + body_len);
+  pos_ += kLenBytes + body_len;
+  return true;
+}
+
+}  // namespace fsda::serve

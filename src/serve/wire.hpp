@@ -1,0 +1,123 @@
+// fsda::serve -- the daemon's length-prefixed binary framing (DESIGN.md
+// §15).
+//
+// Every message on the Unix-domain socket is one frame:
+//
+//   [u32 body_len] [u8 type] [u64 request_id] [payload ...]
+//   `----------- header -----------'
+//
+// body_len counts everything after itself (type + id + payload).  Matrix
+// payloads (Predict requests, Proba responses) are
+//
+//   [u32 rows] [u32 cols] [f64 * rows*cols, row-major]
+//
+// and Error payloads are
+//
+//   [u8 code] [u32 msg_len] [msg bytes]
+//
+// Integers and doubles travel in host byte order: both ends of a
+// unix-domain socket are, by construction, the same host.  A body_len
+// above kMaxFrameBody (or a payload inconsistent with its type) is a
+// malformed frame; FrameReader surfaces it as an error and the connection
+// handler answers with WireError::BadFrame and drops the connection --
+// resynchronizing an arbitrary byte stream is not worth the complexity.
+//
+// FrameReader is an incremental parser for the read side: feed() it
+// whatever recv() produced, then next() yields complete frames until the
+// buffer runs dry.  Partial frames stay buffered across feeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fsda::serve {
+
+enum class FrameType : std::uint8_t {
+  Predict = 1,   ///< client -> server: matrix payload (raw feature rows)
+  Proba = 2,     ///< server -> client: matrix payload (class probabilities)
+  Error = 3,     ///< server -> client: typed rejection / failure
+  Ping = 4,      ///< client -> server: liveness probe (empty payload)
+  Pong = 5,      ///< server -> client: liveness reply (empty payload)
+  Shutdown = 6,  ///< client -> server: ask the daemon to exit (empty)
+};
+
+/// Typed error codes carried by Error frames.  The two Shed* codes are the
+/// admission controller's fast-reject answers; clients treat them as
+/// retryable backpressure, unlike BadFrame/Internal.
+enum class WireError : std::uint8_t {
+  None = 0,
+  ShedQueueFull = 1,  ///< admission: queue depth over the configured cap
+  ShedSlo = 2,        ///< admission: error-budget burn rate over threshold
+  BadFrame = 3,       ///< malformed or oversized frame
+  Internal = 4,       ///< prediction failed server-side
+  ShuttingDown = 5,   ///< daemon is draining; request was not accepted
+};
+
+[[nodiscard]] const char* to_string(WireError e) noexcept;
+
+/// Hard cap on body_len: a 4 MiB-row batch is three orders of magnitude
+/// past any sane micro-batch, so anything larger is garbage or abuse.
+inline constexpr std::uint32_t kMaxFrameBody = 64u * 1024u * 1024u;
+
+/// One parsed frame; payload excludes the type byte and request id.
+struct Frame {
+  FrameType type = FrameType::Ping;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// -- Encoding (append to a byte buffer; the buffer is the write syscall's
+//    unit, so one response = one append_* call = one send) ----------------
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t request_id, const std::uint8_t* payload,
+                  std::size_t payload_len);
+void append_matrix_frame(std::vector<std::uint8_t>& out, FrameType type,
+                         std::uint64_t request_id, const la::Matrix& m);
+void append_error_frame(std::vector<std::uint8_t>& out,
+                        std::uint64_t request_id, WireError code,
+                        const std::string& message);
+inline void append_empty_frame(std::vector<std::uint8_t>& out, FrameType type,
+                               std::uint64_t request_id) {
+  append_frame(out, type, request_id, nullptr, 0);
+}
+
+// -- Decoding -------------------------------------------------------------
+
+/// Parses a matrix payload; false when the payload is inconsistent
+/// (truncated, rows*cols mismatch, or non-matrix type).
+[[nodiscard]] bool decode_matrix_payload(const Frame& frame, la::Matrix& m);
+
+/// Parses an Error payload; false when malformed.
+[[nodiscard]] bool decode_error_payload(const Frame& frame, WireError& code,
+                                        std::string& message);
+
+/// Incremental frame parser over an arbitrary byte stream.
+class FrameReader {
+ public:
+  /// Appends `len` raw bytes from the stream.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Extracts the next complete frame.  Returns false when no complete
+  /// frame is buffered OR the stream is corrupt -- check bad() to tell the
+  /// two apart; a bad reader never yields another frame.
+  [[nodiscard]] bool next(Frame& frame);
+
+  /// True once a structurally invalid frame (oversized or undersized
+  /// body) was seen.
+  [[nodiscard]] bool bad() const { return bad_; }
+
+  /// Bytes buffered but not yet consumed (tests).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix; compacted opportunistically
+  bool bad_ = false;
+};
+
+}  // namespace fsda::serve

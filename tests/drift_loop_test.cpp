@@ -324,6 +324,26 @@ TEST(ModelRegistryTest, PublishRollbackSwapAndReset) {
   EXPECT_EQ(registry.publish(std::make_shared<ModelGeneration>()), 3u);
 }
 
+TEST(ModelRegistryTest, RetirePreviousDropsRollbackTarget) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.retire_previous());  // nothing to retire
+  registry.publish(std::make_shared<ModelGeneration>());
+  EXPECT_FALSE(registry.retire_previous());  // previous is null
+  registry.publish(std::make_shared<ModelGeneration>());
+
+  EXPECT_TRUE(registry.retire_previous());
+  EXPECT_EQ(registry.retired_total(), 1u);
+  EXPECT_FALSE(registry.retire_previous());  // already gone
+  EXPECT_EQ(registry.retired_total(), 1u);
+  EXPECT_FALSE(registry.rollback());  // retired history cannot be restored
+  EXPECT_EQ(registry.active_id(), 2u);
+
+  // Publishing again restores a depth-1 history as usual.
+  registry.publish(std::make_shared<ModelGeneration>());
+  EXPECT_TRUE(registry.rollback());
+  EXPECT_EQ(registry.active_id(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // DriftLoop
 
@@ -460,6 +480,13 @@ TEST(DriftLoopTest, PromotesValidatedGenerationOnRealDrift) {
   EXPECT_EQ(loop.stats().triggers, triggers_at_promo);
   EXPECT_EQ(loop.stats().promotions, 1u);
   EXPECT_EQ(loop.state(), DriftState::Stable);
+
+  // Passing probation retires the depth-1 history eagerly: the superseded
+  // generation's session is freed and rollback past probation is off the
+  // table.
+  EXPECT_EQ(pipeline.registry().retired_total(), 1u);
+  EXPECT_FALSE(pipeline.registry().rollback());
+  EXPECT_EQ(pipeline.registry().active_id(), 2u);
 }
 
 TEST(DriftLoopTest, TriggerWithEmptyBufferSkipsAdaptation) {

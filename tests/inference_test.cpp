@@ -436,6 +436,41 @@ TEST(InferenceSessionTest, SteadyStateSingleSampleLoopIsAllocationFree) {
       << "steady-state serving loop allocated";
 }
 
+TEST(InferenceSessionTest, ServeSlotVaryingBatchSizesAreAllocationFree) {
+  core::FsGanPipeline pipeline = make_pipeline(19);
+  pipeline.train(make_source(105), make_target(205));
+  ASSERT_TRUE(pipeline.serving_plans_active());
+  const la::Matrix test = make_target(305).x;
+  const std::size_t max_rows = 8;
+
+  auto slot = pipeline.create_serve_slot(0xfeedULL);
+  pipeline.reserve_serve_slot(*slot, max_rows);
+  la::Matrix x(max_rows, test.cols());
+  la::Matrix proba;
+  // Warm every batch size once: the context pool grows to max_rows and the
+  // output buffer reaches its high-water mark.
+  for (std::size_t rows = 1; rows <= max_rows; ++rows) {
+    x.resize(rows, test.cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < test.cols(); ++c) x(r, c) = test(r, c);
+    }
+    pipeline.predict_proba_serve(x, proba, *slot);
+  }
+  // Steady state: client batch sizes keep changing, the heap stays quiet.
+  const std::size_t before = la::matrix_allocations();
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t rows = 1 + static_cast<std::size_t>(i) % max_rows;
+    x.resize(rows, test.cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t src = (static_cast<std::size_t>(i) + r) % test.rows();
+      for (std::size_t c = 0; c < test.cols(); ++c) x(r, c) = test(src, c);
+    }
+    pipeline.predict_proba_serve(x, proba, *slot);
+  }
+  EXPECT_EQ(la::matrix_allocations(), before)
+      << "varying-batch serve loop reallocated";
+}
+
 TEST(InferenceSessionTest, SerialAndThreadedMicroBatchesAgree) {
   const data::Dataset source = make_source(102);
   const data::Dataset shots = make_target(202);

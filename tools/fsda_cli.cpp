@@ -14,9 +14,18 @@
 //       span timing tree to stderr.
 //   fsda_cli serve-bench [5gc|5gipc] [--iters N] [--batch N] [--reps N]
 //       Train an FS+GAN pipeline on the synthetic instance and benchmark
-//       the serving path: single-sample p50/p99 and batched samples/sec,
-//       packed inference session vs. the layer API.  Honors the bench
-//       telemetry env knobs (FSDA_METRICS_OUT, FSDA_TRACE).
+//       the serving path: single-sample HDR latency quantiles
+//       (p50/p90/p99/p999) and batched samples/sec, packed inference
+//       session vs. the layer API.  Honors the bench telemetry env knobs
+//       (FSDA_METRICS_OUT, FSDA_TRACE).
+//   fsda_cli serve [5gc|5gipc] [--socket <path>] [--workers N] ...
+//       Train an FS+GAN pipeline and run the concurrent serving daemon on
+//       a unix socket: sharded request queue, adaptive micro-batching,
+//       admission control (see DESIGN.md §15 for the wire format).  Stops
+//       on Ctrl-C or a client shutdown frame.
+//   fsda_cli client <socket> [ping|shutdown|load] [--requests N] [--rows N]
+//       Talk to a running daemon: liveness ping, shutdown request, or a
+//       closed-loop load run printing latency quantiles and shed counts.
 //   fsda_cli obs print <snapshot.json>
 //   fsda_cli obs diff <a.json> <b.json>
 //   fsda_cli obs perfetto <journal.jsonl> <trace.json>
@@ -28,11 +37,15 @@
 // CSVs carry one sample per row, numeric feature columns, and an integer
 // label column (default name "label").
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "baselines/naive.hpp"
 #include "baselines/ours.hpp"
@@ -47,8 +60,12 @@
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/journal.hpp"
 #include "obs/perfetto_export.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "serve/daemon.hpp"
+#include "serve/uds.hpp"
 #include "serving_bench.hpp"
 
 using namespace fsda;
@@ -66,6 +83,11 @@ int usage() {
                "           [--metrics-out <snapshot.json>] [--trace]\n"
                "  fsda_cli serve-bench [5gc|5gipc] [--iters N] [--batch N]\n"
                "           [--reps N]\n"
+               "  fsda_cli serve [5gc|5gipc] [--socket <path>] [--workers N]\n"
+               "           [--max-batch N] [--queue-depth N] [--slo-ms X]\n"
+               "           [--burn-rate X] [--trace-out <journal.jsonl>]\n"
+               "  fsda_cli client <socket> [ping|shutdown|load]\n"
+               "           [--requests N] [--rows N] [5gc|5gipc]\n"
                "  fsda_cli obs print <snapshot.json>\n"
                "  fsda_cli obs diff <a.json> <b.json>\n"
                "  fsda_cli obs perfetto <journal.jsonl> <trace.json>\n");
@@ -231,12 +253,15 @@ int cmd_serve_bench(int argc, char** argv) {
 
   const bench::ServingBenchResult r = bench::run_serving_bench(
       pipeline, split.target_test.x, iters, batch, reps);
-  std::printf("%-10s %12s %12s %16s\n", "path", "p50 (ms)", "p99 (ms)",
-              "samples/sec");
-  std::printf("%-10s %12.4f %12.4f %16.0f\n", "packed", r.packed.single.p50_ms,
-              r.packed.single.p99_ms, r.packed.samples_per_sec);
-  std::printf("%-10s %12.4f %12.4f %16.0f\n", "baseline",
-              r.baseline.single.p50_ms, r.baseline.single.p99_ms,
+  std::printf("%-10s %10s %10s %10s %10s %14s\n", "path", "p50 (ms)",
+              "p90 (ms)", "p99 (ms)", "p999 (ms)", "samples/sec");
+  std::printf("%-10s %10.4f %10.4f %10.4f %10.4f %14.0f\n", "packed",
+              r.packed.single.p50_ms, r.packed.single.p90_ms,
+              r.packed.single.p99_ms, r.packed.single.p999_ms,
+              r.packed.samples_per_sec);
+  std::printf("%-10s %10.4f %10.4f %10.4f %10.4f %14.0f\n", "baseline",
+              r.baseline.single.p50_ms, r.baseline.single.p90_ms,
+              r.baseline.single.p99_ms, r.baseline.single.p999_ms,
               r.baseline.samples_per_sec);
   std::printf("speedup: %.2fx p50 latency, %.2fx batched throughput\n",
               r.packed.single.p50_ms > 0.0
@@ -245,6 +270,181 @@ int cmd_serve_bench(int argc, char** argv) {
               r.baseline.samples_per_sec > 0.0
                   ? r.packed.samples_per_sec / r.baseline.samples_per_sec
                   : 0.0);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// serve / client: the concurrent serving daemon and its socket client
+
+std::atomic<bool> g_serve_interrupted{false};
+
+extern "C" void serve_sigint_handler(int) {
+  g_serve_interrupted.store(true, std::memory_order_relaxed);
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string which = "5gc";
+  std::string socket_path = "/tmp/fsda_serve.sock";
+  std::string trace_out;
+  serve::ServeOptions sopt;
+  double slo_ms = 25.0;
+  for (int i = 2; i < argc;) {
+    const std::string arg = argv[i];
+    if (arg == "5gc" || arg == "5gipc") {
+      which = arg;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    if (arg == "--socket") socket_path = argv[i + 1];
+    else if (arg == "--workers") sopt.workers = std::stoul(argv[i + 1]);
+    else if (arg == "--max-batch")
+      sopt.batch.max_batch_rows = std::stoul(argv[i + 1]);
+    else if (arg == "--queue-depth")
+      sopt.max_queue_depth = std::stoul(argv[i + 1]);
+    else if (arg == "--slo-ms") slo_ms = std::stod(argv[i + 1]);
+    else if (arg == "--burn-rate") sopt.shed_burn_rate = std::stod(argv[i + 1]);
+    else if (arg == "--trace-out") trace_out = argv[i + 1];
+    else return usage();
+    i += 2;
+  }
+
+  const data::DomainSplit split = make_split(which);
+  const data::Dataset shots = data::sample_few_shot(split.target_pool, 5, 7);
+  std::printf("training FS+GAN pipeline on %s (%zu features)...\n",
+              split.name.c_str(), split.source_train.num_features());
+  // The method object must outlive the daemon: it owns the pipeline.
+  static baselines::FsReconMethod method;
+  baselines::DAContext context{split.source_train, shots,
+                               models::make_classifier_factory("mlp"), 42};
+  method.fit(context);
+  core::FsGanPipeline& pipeline = method.pipeline();
+
+  obs::SloOptions slo;
+  slo.latency_target_ms = slo_ms;
+  slo.gauge_prefix = "serve.slo";
+  obs::configure_serving_slo(slo);
+  if (!trace_out.empty()) obs::FlightRecorder::global().set_enabled(true);
+
+  serve::ServeDaemon daemon(pipeline, sopt);
+  daemon.start();
+  serve::UdsServer server(daemon, socket_path);
+  if (!server.start()) {
+    daemon.stop();
+    return 1;
+  }
+  std::printf("fsda serve: listening on %s (%zu workers, batch %zu..%zu, "
+              "queue cap %zu, SLO %.1f ms)\n",
+              socket_path.c_str(), daemon.options().workers,
+              sopt.batch.min_batch_rows, sopt.batch.max_batch_rows,
+              sopt.max_queue_depth, slo_ms);
+  std::printf("stop with `fsda_cli client %s shutdown` or Ctrl-C\n",
+              socket_path.c_str());
+  std::signal(SIGINT, serve_sigint_handler);
+  while (!server.shutdown_requested() &&
+         !g_serve_interrupted.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  daemon.stop();
+  const serve::ServeDaemon::Stats s = daemon.stats();
+  std::printf("served %llu requests in %llu batches (%.2f rows/batch), "
+              "shed %llu (queue) + %llu (slo), %llu failed\n",
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.batches),
+              s.batches > 0 ? static_cast<double>(s.batched_rows) /
+                                  static_cast<double>(s.batches)
+                            : 0.0,
+              static_cast<unsigned long long>(s.shed_queue_full),
+              static_cast<unsigned long long>(s.shed_slo),
+              static_cast<unsigned long long>(s.failed));
+  if (!trace_out.empty() &&
+      obs::FlightRecorder::global().dump_to_file(trace_out)) {
+    std::printf("flight-recorder journal written to %s "
+                "(convert: fsda_cli obs perfetto %s trace.json)\n",
+                trace_out.c_str(), trace_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string socket_path = argv[2];
+  std::string verb = "load";
+  int i = 3;
+  if (i < argc && argv[i][0] != '-') {
+    verb = argv[i];
+    ++i;
+  }
+  std::string which = "5gc";
+  std::size_t requests = 200, rows = 1;
+  for (; i < argc;) {
+    const std::string arg = argv[i];
+    if (arg == "5gc" || arg == "5gipc") {
+      which = arg;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    if (arg == "--requests") requests = std::stoul(argv[i + 1]);
+    else if (arg == "--rows") rows = std::stoul(argv[i + 1]);
+    else return usage();
+    i += 2;
+  }
+
+  serve::UdsClient client;
+  if (!client.connect(socket_path)) {
+    std::fprintf(stderr, "error: cannot connect to %s\n", socket_path.c_str());
+    return 1;
+  }
+  if (verb == "ping") {
+    if (!client.ping()) {
+      std::fprintf(stderr, "error: no pong from %s\n", socket_path.c_str());
+      return 1;
+    }
+    std::printf("pong from %s\n", socket_path.c_str());
+    return 0;
+  }
+  if (verb == "shutdown") {
+    client.request_shutdown();
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  if (verb != "load") return usage();
+
+  const data::DomainSplit split = make_split(which);
+  const la::Matrix& test = split.target_test.x;
+  rows = std::max<std::size_t>(1, std::min(rows, test.rows()));
+  la::Matrix x(rows, test.cols());
+  la::Matrix proba;
+  obs::HdrHistogram hist(bench::latency_hdr_options());
+  std::size_t ok = 0, shed = 0, failed = 0;
+  common::Stopwatch total;
+  for (std::size_t req = 0; req < requests; ++req) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t src = (req * rows + r) % test.rows();
+      for (std::size_t c = 0; c < test.cols(); ++c) x(r, c) = test(src, c);
+    }
+    serve::WireError err = serve::WireError::None;
+    common::Stopwatch timer;
+    if (client.predict(x, proba, err)) {
+      hist.record_always(timer.millis());
+      ++ok;
+    } else if (err == serve::WireError::ShedQueueFull ||
+               err == serve::WireError::ShedSlo) {
+      ++shed;
+    } else {
+      ++failed;
+      if (!client.connected()) break;
+    }
+  }
+  const double secs = total.seconds();
+  const bench::LatencyStats q = bench::quantiles(hist);
+  std::printf("%zu ok, %zu shed, %zu failed in %.2fs (%.0f req/s)\n", ok, shed,
+              failed, secs,
+              secs > 0 ? static_cast<double>(ok + shed + failed) / secs : 0.0);
+  std::printf("latency ms: p50 %.4f  p90 %.4f  p99 %.4f  p999 %.4f\n",
+              q.p50_ms, q.p90_ms, q.p99_ms, q.p999_ms);
   return 0;
 }
 
@@ -378,6 +578,12 @@ int main(int argc, char** argv) {
     }
     if (command == "serve-bench") {
       return cmd_serve_bench(argc, argv);
+    }
+    if (command == "serve") {
+      return cmd_serve(argc, argv);
+    }
+    if (command == "client") {
+      return cmd_client(argc, argv);
     }
     if (command == "obs") {
       return cmd_obs(argc, argv);
