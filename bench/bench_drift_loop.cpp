@@ -230,7 +230,7 @@ JournalTimes journal_times(const obs::Journal& journal, std::size_t mark_idx) {
 }
 
 core::DriftLoopOptions loop_options(const causal::FNodeOptions& fs,
-                                    std::size_t warmup) {
+                                    std::size_t warmup, bool warm_readapt) {
   core::DriftLoopOptions o;
   o.detector.window = kBatchRows;
   o.detector.min_window = kBatchRows / 2;
@@ -251,14 +251,31 @@ core::DriftLoopOptions loop_options(const causal::FNodeOptions& fs,
   o.probation_batches = 4;
   o.warmup_batches = warmup;
   o.background = true;  // the production mode: serving never blocks
+  o.warm_readapt = warm_readapt;
   return o;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::BenchTelemetry telemetry;
   const bool smoke = common::env_int("FSDA_SMOKE", 0) != 0;
+  // --warm (default) / --cold: toggle the re-adaptation fast path, so the
+  // same closed-loop scenario measures either mode (bench_readapt runs the
+  // head-to-head comparison).
+  bool warm_readapt = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cold") {
+      warm_readapt = false;
+    } else if (arg == "--warm") {
+      warm_readapt = true;
+    } else {
+      std::printf("unknown argument %s (expected --warm or --cold)\n",
+                  arg.c_str());
+      return 2;
+    }
+  }
   const data::Gen5GCConfig config =
       smoke ? data::Gen5GCConfig::tiny() : data::Gen5GCConfig::quick();
   const std::size_t drifted_features = smoke ? 4 : 8;
@@ -332,7 +349,7 @@ int main() {
   std::uint64_t loop_triggers = 0, loop_promotions = 0, loop_rollbacks = 0;
   std::size_t failed_predictions = 0;
   {
-    core::DriftLoop loop(pipeline, loop_options(options.fs, warmup));
+    core::DriftLoop loop(pipeline, loop_options(options.fs, warmup, warm_readapt));
     Harness h{&loop, &stream};
     // Warmup on the trained target regime; the detector (fitted on scaled
     // SOURCE) is suppressed until it rebaselines to the live window.
@@ -395,7 +412,7 @@ int main() {
   std::uint64_t poisoned_attempts = 0, poisoned_rejections = 0;
   std::size_t poisoned_failed = 0;
   {
-    core::DriftLoopOptions po = loop_options(options.fs, warmup);
+    core::DriftLoopOptions po = loop_options(options.fs, warmup, warm_readapt);
     po.validation.min_accuracy = 1.01;  // nothing can pass
     core::DriftLoop loop(pipeline, po);
     Harness h{&loop, &stream};

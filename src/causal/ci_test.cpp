@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "la/kernels.hpp"
@@ -15,6 +16,15 @@ FisherZTest::FisherZTest(const la::Matrix& data, double alpha)
     : corr_(la::correlation(data)), n_(data.rows()), alpha_(alpha) {
   FSDA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha out of (0,1): " << alpha);
   FSDA_CHECK_MSG(n_ >= 8, "Fisher-z needs a non-trivial sample, got " << n_);
+}
+
+FisherZTest::FisherZTest(la::Matrix corr, std::size_t sample_size,
+                         double alpha)
+    : corr_(std::move(corr)), n_(sample_size), alpha_(alpha) {
+  FSDA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha out of (0,1): " << alpha);
+  FSDA_CHECK_MSG(n_ >= 8, "Fisher-z needs a non-trivial sample, got " << n_);
+  FSDA_CHECK_MSG(corr_.rows() == corr_.cols() && corr_.rows() > 0,
+                 "correlation matrix must be square and non-empty");
 }
 
 CiResult FisherZTest::test(std::size_t i, std::size_t j,

@@ -48,6 +48,13 @@ class FisherZTest : public CiTest {
   /// Precomputes the correlation matrix of `data`.
   FisherZTest(const la::Matrix& data, double alpha = 0.01);
 
+  /// Wraps an already-computed correlation matrix -- e.g. one assembled in
+  /// O(d²) from GramStats sufficient statistics instead of an O(n·d²) scan
+  /// of materialized rows.  `sample_size` is the effective row count behind
+  /// `corr` and drives the Fisher-z degrees of freedom exactly as the
+  /// data-scanning constructor's row count does.
+  FisherZTest(la::Matrix corr, std::size_t sample_size, double alpha);
+
   [[nodiscard]] CiResult test(std::size_t i, std::size_t j,
                               std::span<const std::size_t> given)
       const override;

@@ -13,14 +13,42 @@
 // and remove the X--F edge as soon as some S renders X ⊥ F | S.  Features
 // whose edge survives every level are the intervention targets, i.e. the
 // domain-variant features (eq. 3-4 of the paper).
+//
+// Two re-adaptation fast paths (DESIGN.md §16):
+//  - The search can run from GramStats sufficient statistics instead of
+//    materialized rows: the combined [source; target; F] correlation matrix
+//    assembles in O(d²), so repeated re-adaptations skip the O(n·d²)
+//    column scans entirely.
+//  - The search can warm-start from a previous generation's separating
+//    sets: each previously-invariant feature is probed with its old sepset
+//    first and the level enumeration is skipped on reconfirmation.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "la/stats.hpp"
 
 namespace fsda::causal {
+
+/// Warm-start policy for seeding the search with a previous partition's
+/// separating sets.
+enum class WarmStart {
+  Off,
+  /// Probe old sepsets first, but only exit early when the probe is
+  /// provably within the cold search's tried set (subset of the current
+  /// candidate pool, level within max_condition_size, enumeration rank
+  /// within max_subsets_per_level).  The returned partition is IDENTICAL
+  /// to a cold run on the same correlation matrix; the only cost is at
+  /// most one extra CI test per non-reconfirmed feature.
+  Full,
+  /// Probe old sepsets first regardless of enumeration rank and cap the
+  /// per-level subset budget at FNodeOptions::warm_budget -- a bounded
+  /// search for deadline pressure that may deviate from the cold
+  /// partition (validation gates guard the result).
+  Budgeted,
+};
 
 /// Options for the targeted search.
 struct FNodeOptions {
@@ -40,6 +68,19 @@ struct FNodeOptions {
   /// search was cut short keep their marginal verdict (dependent ->
   /// variant), and features never tested default to invariant.
   std::size_t deadline_ms = 0;
+  /// Warm-start policy; only takes effect when a seed is passed to
+  /// find_intervention_targets.
+  WarmStart warm = WarmStart::Off;
+  /// Per-level subset cap under WarmStart::Budgeted.
+  std::size_t warm_budget = 8;
+};
+
+/// Previous-generation state seeding a warm-started search.
+struct FNodeSeed {
+  /// Separating set per feature (FNodeResult::sepsets of the previous
+  /// search).  Empty inner vectors (level-0 / variant features) are not
+  /// probed -- marginally independent features already exit in phase 1.
+  std::vector<std::vector<std::size_t>> sepsets;
 };
 
 /// Outcome of the targeted F-node search.
@@ -48,7 +89,14 @@ struct FNodeResult {
   std::vector<std::size_t> invariant;  ///< V \ R
   /// Marginal X ⊥ F p-value per feature (diagnostic).
   std::vector<double> marginal_p;
+  /// Separating set that rendered X ⊥ F | S, per feature: empty for
+  /// marginally independent (level 0) and for variant features.  Feed back
+  /// as FNodeSeed::sepsets to warm-start the next search.
+  std::vector<std::vector<std::size_t>> sepsets;
   std::size_t ci_tests_performed = 0;
+  /// Warm-start probes that reconfirmed their old sepset (level search
+  /// skipped entirely).
+  std::size_t warm_reconfirmed = 0;
   /// True when FNodeOptions::deadline_ms expired before the search
   /// completed; the partition is then best-so-far, not exhaustive.
   bool truncated = false;
@@ -57,9 +105,23 @@ struct FNodeResult {
 /// Runs the targeted search on already-combined data.
 ///
 /// `source` and `target` are row-sample matrices over the same d features.
-/// Returns the variant/invariant partition of the d features.
+/// Returns the variant/invariant partition of the d features.  `seed`
+/// (optional) enables the warm-start policy in `options.warm`.
 FNodeResult find_intervention_targets(const la::Matrix& source,
                                       const la::Matrix& target,
-                                      const FNodeOptions& options = {});
+                                      const FNodeOptions& options = {},
+                                      const FNodeSeed* seed = nullptr);
+
+/// Runs the identical search from sufficient statistics: the combined
+/// correlation (with the F-node appended) is assembled in O(d²) from
+/// `source` and `target` GramStats over the same d scaled features, so no
+/// combined matrix is materialized and no rows are rescanned.  The
+/// effective Fisher-z sample size is round(source.weight() +
+/// target.weight()).  Statistics must be accumulated over the SAME scaled
+/// representation the materialized path would see.
+FNodeResult find_intervention_targets(const la::GramStats& source,
+                                      const la::GramStats& target,
+                                      const FNodeOptions& options = {},
+                                      const FNodeSeed* seed = nullptr);
 
 }  // namespace fsda::causal

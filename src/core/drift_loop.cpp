@@ -198,6 +198,36 @@ AdaptationBuffer::AdaptationBuffer(std::size_t capacity,
   y_.assign(capacity, 0);
 }
 
+void AdaptationBuffer::enable_stats(const data::MinMaxScaler* scaler) {
+  FSDA_CHECK_MSG(scaler != nullptr && scaler->is_fitted(),
+                 "enable_stats needs a fitted scaler");
+  scaler_ = scaler;
+  xs_.resize(capacity_, x_.cols());
+  row_raw_.resize(1, x_.cols());
+  row_scaled_.resize(1, x_.cols());
+  class_stats_.assign(num_classes_, la::GramStats(x_.cols()));
+  class_counts_.assign(num_classes_, 0);
+  // Rebuild statistics for rows already buffered (enable-after-ingest).
+  const la::ConstMatrixView xv(x_);
+  const std::size_t start = rows_ == capacity_ ? next_ : 0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::size_t src = (start + i) % capacity_;
+    std::memcpy(la::MatrixView(row_raw_).row_data(0), xv.row_data(src),
+                x_.cols() * sizeof(double));
+    scaler_->transform_into(row_raw_, row_scaled_);
+    std::memcpy(la::MatrixView(xs_).row_data(src),
+                la::ConstMatrixView(row_scaled_).row_data(0),
+                x_.cols() * sizeof(double));
+    FSDA_CHECK_MSG(y_[src] >= 0 &&
+                       static_cast<std::size_t>(y_[src]) < num_classes_,
+                   "buffered label out of range: " << y_[src]);
+    const auto cls = static_cast<std::size_t>(y_[src]);
+    class_stats_[cls].add(
+        {la::ConstMatrixView(xs_).row_data(src), x_.cols()});
+    ++class_counts_[cls];
+  }
+}
+
 void AdaptationBuffer::ingest(const la::Matrix& x_raw,
                               const std::vector<std::int64_t>& labels) {
   FSDA_CHECK_MSG(labels.size() == x_raw.rows(),
@@ -213,6 +243,31 @@ void AdaptationBuffer::ingest(const la::Matrix& x_raw,
       if (!std::isfinite(row[c])) finite = false;
     }
     if (!finite) continue;  // quarantined by serving; useless as a shot
+    if (scaler_ != nullptr) {
+      FSDA_CHECK_MSG(labels[r] >= 0 &&
+                         static_cast<std::size_t>(labels[r]) < num_classes_,
+                     "adaptation ingest label out of range: " << labels[r]);
+      if (rows_ == capacity_) {
+        // Ring eviction: rank-1 downdate the overwritten row's class.
+        const auto old_cls = static_cast<std::size_t>(y_[next_]);
+        class_stats_[old_cls].remove(
+            {la::ConstMatrixView(xs_).row_data(next_), x_.cols()});
+        --class_counts_[old_cls];
+      }
+      // Scale through the pipeline's own scaler (unclamped, un-imputed) so
+      // the statistics live in exactly the representation the FS path's
+      // transform would produce.
+      std::memcpy(la::MatrixView(row_raw_).row_data(0), row,
+                  x_.cols() * sizeof(double));
+      scaler_->transform_into(row_raw_, row_scaled_);
+      std::memcpy(la::MatrixView(xs_).row_data(next_),
+                  la::ConstMatrixView(row_scaled_).row_data(0),
+                  x_.cols() * sizeof(double));
+      const auto cls = static_cast<std::size_t>(labels[r]);
+      class_stats_[cls].add(
+          {la::ConstMatrixView(xs_).row_data(next_), x_.cols()});
+      ++class_counts_[cls];
+    }
     std::memcpy(la::MatrixView(x_).row_data(next_), row,
                 x_.cols() * sizeof(double));
     y_[next_] = labels[r];
@@ -223,19 +278,23 @@ void AdaptationBuffer::ingest(const la::Matrix& x_raw,
 
 data::Dataset AdaptationBuffer::snapshot() const {
   data::Dataset d;
-  d.num_classes = num_classes_;
-  d.x = la::Matrix::uninit(rows_, x_.cols());
-  d.y.resize(rows_);
+  snapshot_into(d);
+  return d;
+}
+
+void AdaptationBuffer::snapshot_into(data::Dataset& out) const {
+  out.num_classes = num_classes_;
+  out.x.resize(rows_, x_.cols());  // reuses capacity: allocation-flat reuse
+  out.y.resize(rows_);
   // Oldest first: when the ring has wrapped, the oldest row sits at next_.
   const std::size_t start = rows_ == capacity_ ? next_ : 0;
   const la::ConstMatrixView xv(x_);
-  la::MatrixView dv(d.x);
+  la::MatrixView dv(out.x);
   for (std::size_t i = 0; i < rows_; ++i) {
     const std::size_t src = (start + i) % capacity_;
     std::memcpy(dv.row_data(i), xv.row_data(src), x_.cols() * sizeof(double));
-    d.y[i] = y_[src];
+    out.y[i] = y_[src];
   }
-  return d;
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +358,12 @@ DriftLoop::DriftLoop(FsGanPipeline& pipeline, DriftLoopOptions options)
                          options_.buffer_capacity,
                  "min_adaptation_samples must be in [1, buffer_capacity]");
   detector_.fit(pipeline_.scaled_source(), options_.monitor_columns);
+  if (options_.warm_readapt) {
+    // Incremental per-class sufficient statistics over the scaled buffer
+    // rows, so a trigger can hand the worker an O(d²) correlation assembly
+    // instead of a row rescan (DESIGN.md §16).
+    buffer_.enable_stats(&pipeline_.scaler());
+  }
   if (options_.background) {
     worker_ = std::thread([this] { worker_main(); });
   }
@@ -404,7 +469,20 @@ void DriftLoop::handle_trigger() {
   set_state(DriftState::Triggered);
   ++stats_.attempts;
   loop_counters().attempts.inc();
-  Job job{buffer_.snapshot()};
+  // Gather into the persistent scratch (no job is in flight -- state was
+  // Stable -- so the worker cannot be reading it).  The warm fast path
+  // additionally assembles the label-shift-weighted target statistics HERE,
+  // on the serving thread: the buffer's class stats keep mutating as later
+  // batches ingest, so the worker must get an immutable copy.
+  buffer_.snapshot_into(snapshot_scratch_);
+  Job job;
+  job.shots = &snapshot_scratch_;
+  job.warm = options_.warm_readapt && consecutive_rejections_ == 0;
+  if (job.warm && buffer_.stats_enabled()) {
+    job.target_stats = pipeline_.weighted_target_stats(
+        buffer_.class_stats(), buffer_.class_counts(), buffer_.size());
+  }
+  if (job.warm) ++stats_.warm_attempts;
   if (options_.background) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -416,17 +494,30 @@ void DriftLoop::handle_trigger() {
     set_state(DriftState::Adapting);
   } else {
     set_state(DriftState::Adapting);
-    const Result r = run_adaptation(job.shots);
+    const Result r = run_adaptation(job);
     apply_result(r);
   }
 }
 
-DriftLoop::Result DriftLoop::run_adaptation(const data::Dataset& shots) {
+DriftLoop::Result DriftLoop::run_adaptation(const Job& job) {
   Result r;
+  // The warm context engages every fast-path layer at once; a cold job (the
+  // attempt after any rejection) leaves the default-constructed context,
+  // which reproduces the original cold build exactly.
+  ReadaptContext ctx;
+  ctx.reuse_builds = job.warm;
+  if (job.warm) {
+    if (job.target_stats.dim() > 0 && job.target_stats.weight() > 0.0) {
+      ctx.target_stats = &job.target_stats;
+    }
+    ctx.warm_skeleton = options_.warm_skeleton;
+    ctx.warm_budget = options_.warm_budget;
+    ctx.warm_reconstructor = true;
+  }
   CandidateOutcome built = [&] {
     FSDA_EVENT_SCOPE(fsda::obs::EventCategory::Drift, "readapt.build");
     return pipeline_.build_candidate_generation(
-        shots, options_.fs.value_or(pipeline_.options().fs));
+        *job.shots, options_.fs.value_or(pipeline_.options().fs), ctx);
   }();
   if (built.generation == nullptr) {
     r.reason = built.reason.empty() ? "candidate build failed" : built.reason;
@@ -461,7 +552,7 @@ void DriftLoop::worker_main() {
       job = std::move(job_);
       job_ready_ = false;
     }
-    Result r = run_adaptation(job.shots);
+    Result r = run_adaptation(job);
     {
       std::lock_guard<std::mutex> lk(mu_);
       result_ = std::move(r);

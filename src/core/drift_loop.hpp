@@ -170,6 +170,29 @@ class AdaptationBuffer {
   /// Copies the buffered rows (oldest first) into a Dataset.
   [[nodiscard]] data::Dataset snapshot() const;
 
+  /// snapshot() into a caller-owned Dataset, reusing its capacity: after
+  /// the first call at full ring the snapshot is allocation-free, so
+  /// repeated re-adaptation attempts stay allocation-flat.
+  void snapshot_into(data::Dataset& out) const;
+
+  /// Turns on incremental per-class sufficient statistics (DESIGN.md §16):
+  /// each ingested row is also scaled through `scaler` (unclamped,
+  /// un-imputed -- exactly what the FS path's transform would produce) and
+  /// rank-1 added to its class's GramStats; ring eviction rank-1 removes
+  /// the overwritten row.  `scaler` must outlive the buffer.  Costs
+  /// O(d²/2) per ingested row.
+  void enable_stats(const data::MinMaxScaler* scaler);
+  [[nodiscard]] bool stats_enabled() const { return scaler_ != nullptr; }
+  /// Per-class statistics over the scaled buffered rows (empty when stats
+  /// are disabled).
+  [[nodiscard]] const std::vector<la::GramStats>& class_stats() const {
+    return class_stats_;
+  }
+  /// Buffered row count per class (tracks class_stats()).
+  [[nodiscard]] const std::vector<std::size_t>& class_counts() const {
+    return class_counts_;
+  }
+
  private:
   std::size_t capacity_;
   std::size_t num_classes_;
@@ -177,6 +200,14 @@ class AdaptationBuffer {
   std::vector<std::int64_t> y_;
   std::size_t rows_ = 0;
   std::size_t next_ = 0;
+  // Incremental-statistics state (enable_stats); xs_ mirrors x_'s ring in
+  // scaled space so evictions can be rank-1 downdated.
+  const data::MinMaxScaler* scaler_ = nullptr;
+  la::Matrix xs_;
+  la::Matrix row_raw_;     // 1 x d staging for the per-row scaler call
+  la::Matrix row_scaled_;  // 1 x d
+  std::vector<la::GramStats> class_stats_;
+  std::vector<std::size_t> class_counts_;
 };
 
 enum class DriftState {
@@ -224,12 +255,25 @@ struct DriftLoopOptions {
   /// Run build+validate on a background thread (serving never blocks).
   /// false runs them inline in serve() -- deterministic, for tests.
   bool background = true;
+  /// Re-adaptation fast path (DESIGN.md §16): the first attempt after a
+  /// trigger runs warm -- sufficient-statistic FS (the buffer maintains
+  /// per-class GramStats incrementally), skeleton warm-start from the
+  /// active generation's sepsets, reconstructor warm-start from its
+  /// weights, and the generation build cache.  Any rejection makes the
+  /// next attempt fully cold (the existing fallback ladder), and a
+  /// promotion re-arms the warm path.
+  bool warm_readapt = true;
+  /// Skeleton warm-start fidelity (Full = provably cold-identical
+  /// partition; Budgeted = bounded search capped at warm_budget).
+  causal::WarmStart warm_skeleton = causal::WarmStart::Full;
+  std::size_t warm_budget = 8;
 };
 
 struct DriftLoopStats {
   std::uint64_t batches = 0;
   std::uint64_t triggers = 0;
   std::uint64_t attempts = 0;
+  std::uint64_t warm_attempts = 0;  ///< attempts that ran the warm fast path
   std::uint64_t promotions = 0;
   std::uint64_t rejections = 0;
   std::uint64_t rollbacks = 0;  ///< rejections + probation rollbacks
@@ -269,7 +313,14 @@ class DriftLoop {
 
  private:
   struct Job {
-    data::Dataset shots;
+    /// Points at snapshot_scratch_ (rewritten only while no job is in
+    /// flight, so the worker reads it race-free).
+    const data::Dataset* shots = nullptr;
+    /// Label-shift-weighted target statistics assembled at trigger time on
+    /// the serving thread (the buffer's class stats keep mutating as rows
+    /// ingest, so the worker gets an immutable copy by value).
+    la::GramStats target_stats;
+    bool warm = false;
   };
   struct Result {
     bool promoted = false;
@@ -280,7 +331,7 @@ class DriftLoop {
 
   /// Runs one build->validate->promote cycle; called on the worker thread
   /// (background) or inline from serve() (synchronous mode).
-  [[nodiscard]] Result run_adaptation(const data::Dataset& shots);
+  [[nodiscard]] Result run_adaptation(const Job& job);
   void worker_main();
   /// Consumes a finished background result, transitioning the state.
   void poll_worker();
@@ -307,6 +358,9 @@ class DriftLoop {
   double quarantine_ewma_pre_ = 0.0;
   std::uint64_t quarantined_seen_ = 0;  // pipeline health counter watermark
   bool baselined_ = false;
+  /// Persistent snapshot target: re-used across triggers so repeated
+  /// re-adaptation attempts gather the buffer without fresh allocations.
+  data::Dataset snapshot_scratch_;
 
   // Background worker: serve() enqueues at most one job; the worker posts
   // at most one result.  Both hand off under mu_.

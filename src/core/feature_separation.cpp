@@ -1,26 +1,48 @@
 #include "core/feature_separation.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 
 namespace fsda::core {
 
+namespace {
+
+SeparationResult from_fnode(causal::FNodeResult found, double seconds) {
+  SeparationResult result;
+  result.variant = std::move(found.variant);
+  result.invariant = std::move(found.invariant);
+  result.marginal_p = std::move(found.marginal_p);
+  result.sepsets = std::move(found.sepsets);
+  result.ci_tests_performed = found.ci_tests_performed;
+  result.warm_reconfirmed = found.warm_reconfirmed;
+  result.truncated = found.truncated;
+  result.seconds = seconds;
+  return result;
+}
+
+}  // namespace
+
 SeparationResult separate_features(const la::Matrix& source,
                                    const la::Matrix& target_few_shot,
-                                   const causal::FNodeOptions& options) {
+                                   const causal::FNodeOptions& options,
+                                   const causal::FNodeSeed* seed) {
   common::Stopwatch timer;
-  const causal::FNodeResult found =
-      causal::find_intervention_targets(source, target_few_shot, options);
-  SeparationResult result;
-  result.variant = found.variant;
-  result.invariant = found.invariant;
-  result.marginal_p = found.marginal_p;
-  result.ci_tests_performed = found.ci_tests_performed;
-  result.truncated = found.truncated;
-  result.seconds = timer.seconds();
-  return result;
+  causal::FNodeResult found = causal::find_intervention_targets(
+      source, target_few_shot, options, seed);
+  return from_fnode(std::move(found), timer.seconds());
+}
+
+SeparationResult separate_features(const la::GramStats& source,
+                                   const la::GramStats& target_few_shot,
+                                   const causal::FNodeOptions& options,
+                                   const causal::FNodeSeed* seed) {
+  common::Stopwatch timer;
+  causal::FNodeResult found = causal::find_intervention_targets(
+      source, target_few_shot, options, seed);
+  return from_fnode(std::move(found), timer.seconds());
 }
 
 SeparationQuality score_separation(const std::vector<std::size_t>& detected,

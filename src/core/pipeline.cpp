@@ -129,7 +129,8 @@ double FsGanPipeline::reconstructor_train_seconds() const {
 }
 
 std::shared_ptr<Reconstructor> FsGanPipeline::fit_reconstructor_for(
-    const SeparationResult& sep, HealthReport& health, std::uint64_t seed) {
+    const SeparationResult& sep, HealthReport& health, std::uint64_t seed,
+    const Reconstructor* warm_from) {
   FSDA_SPAN("pipeline.reconstructor_fit");
   if (sep.variant.empty() || sep.invariant.empty()) {
     return nullptr;  // nothing to reconstruct / condition on
@@ -139,6 +140,11 @@ std::shared_ptr<Reconstructor> FsGanPipeline::fit_reconstructor_for(
   const la::Matrix x_var = source_scaled_.select_cols(sep.variant);
   std::shared_ptr<Reconstructor> reconstructor =
       reconstructor_factory_(sep.invariant.size(), sep.variant.size(), seed);
+  if (warm_from != nullptr && reconstructor->warm_start_from(*warm_from)) {
+    health.note_stage("reconstructor_warm_start", true,
+                      reconstructor->name() +
+                          " seeded from the previous generation's weights");
+  }
   bool fit_threw = false;
   std::string fit_error;
   try {
@@ -181,19 +187,35 @@ std::shared_ptr<Reconstructor> FsGanPipeline::fit_reconstructor_for(
 
 std::shared_ptr<ModelGeneration> FsGanPipeline::make_generation(
     SeparationResult sep, std::shared_ptr<Reconstructor> reconstructor,
-    std::string provenance) {
+    std::string provenance, const ModelGeneration* reuse) {
   auto gen = std::make_shared<ModelGeneration>();
   gen->provenance = std::move(provenance);
   gen->separation = std::move(sep);
   gen->reconstructor = std::move(reconstructor);
   const bool with_recon =
       options_.use_reconstruction && gen->reconstructor != nullptr;
-  gen->assembly =
-      AssemblyMap::build(trained_order_, gen->separation, with_recon);
-  // The PSI reference is the scaled source restricted to the generation's
-  // variant block: those are the features expected to drift, so their
-  // batch-vs-source divergence is the drift signal worth exporting.
-  gen->drift_monitor.fit(source_scaled_, gen->separation.variant, {});
+  const bool partition_unchanged =
+      reuse != nullptr &&
+      reuse->separation.invariant == gen->separation.invariant &&
+      reuse->separation.variant == gen->separation.variant &&
+      (reuse->reconstructor != nullptr) == (gen->reconstructor != nullptr);
+  if (partition_unchanged) {
+    // Generation build cache (DESIGN.md §16): the AssemblyMap depends only
+    // on (trained_order_, partition, with_recon) and the drift reference
+    // only on (scaled source, variant set), all unchanged -- copy them from
+    // the published (hence immutable) previous generation instead of
+    // re-deriving them.  The packed session below still rebuilds: fresh
+    // reconstructor weights need a fresh plan either way.
+    gen->assembly = reuse->assembly;
+    gen->drift_monitor = reuse->drift_monitor;
+  } else {
+    gen->assembly =
+        AssemblyMap::build(trained_order_, gen->separation, with_recon);
+    // The PSI reference is the scaled source restricted to the generation's
+    // variant block: those are the features expected to drift, so their
+    // batch-vs-source divergence is the drift signal worth exporting.
+    gen->drift_monitor.fit(source_scaled_, gen->separation.variant, {});
+  }
   if (serving_plans_enabled_ && classifier_ != nullptr) {
     gen->session = InferenceSession::build(
         *classifier_, gen->reconstructor.get(), gen->separation, gen->assembly,
@@ -234,6 +256,7 @@ void FsGanPipeline::train(const data::Dataset& source,
   health_ = HealthReport{};
   registry_.reset();
   trained_ = false;
+  source_stats_ = la::GramStats();  // rebuilt lazily over the new source
   // Screen before validate(): dirty few-shot rows are an expected telemetry
   // failure, not a caller bug, so they are dropped rather than rejected.
   std::size_t dropped = 0;
@@ -418,6 +441,12 @@ void FsGanPipeline::adapt_to_new_target(const data::Dataset& target_few_shot) {
 
 CandidateOutcome FsGanPipeline::build_candidate_generation(
     const data::Dataset& target_few_shot, const causal::FNodeOptions& fs) {
+  return build_candidate_generation(target_few_shot, fs, ReadaptContext{});
+}
+
+CandidateOutcome FsGanPipeline::build_candidate_generation(
+    const data::Dataset& target_few_shot, const causal::FNodeOptions& fs,
+    const ReadaptContext& ctx) {
   CandidateOutcome out;
   if (!trained_ || !options_.use_reconstruction) {
     out.reason = !trained_ ? "pipeline not trained"
@@ -425,19 +454,48 @@ CandidateOutcome FsGanPipeline::build_candidate_generation(
                              "retraining";
     return out;
   }
+  // Snapshot once: every warm layer keys off the same previous generation.
+  const GenerationPtr active = registry_.active();
   try {
-    std::size_t dropped = 0;
-    const data::Dataset shots = drop_nonfinite_rows(target_few_shot, &dropped);
-    shots.validate();
-    if (dropped > 0) {
-      out.health.note_stage("few_shot_screen", true,
-                            std::to_string(dropped) +
-                                " non-finite few-shot target row(s) dropped");
+    SeparationResult fresh;
+    {
+      FSDA_EVENT_SCOPE(obs::EventCategory::Drift, "readapt.stats");
+      std::size_t dropped = 0;
+      const data::Dataset shots =
+          drop_nonfinite_rows(target_few_shot, &dropped);
+      shots.validate();
+      if (dropped > 0) {
+        out.health.note_stage(
+            "few_shot_screen", true,
+            std::to_string(dropped) +
+                " non-finite few-shot target row(s) dropped");
+      }
+      causal::FNodeOptions search = fs;
+      causal::FNodeSeed skeleton;
+      const causal::FNodeSeed* seed_ptr = nullptr;
+      if (ctx.warm_skeleton != causal::WarmStart::Off && active != nullptr &&
+          active->separation.sepsets.size() == source_scaled_.cols()) {
+        search.warm = ctx.warm_skeleton;
+        search.warm_budget = ctx.warm_budget;
+        skeleton.sepsets = active->separation.sepsets;
+        seed_ptr = &skeleton;
+      }
+      if (ctx.target_stats != nullptr &&
+          ctx.target_stats->dim() == source_scaled_.cols()) {
+        // Stats path: the combined correlation assembles in O(d²) from the
+        // cached source statistics plus the caller's target statistics; no
+        // row is rescanned and no combined matrix is materialized.
+        const la::GramStats& src = source_stats();
+        FSDA_EVENT_SCOPE(obs::EventCategory::Drift, "readapt.search");
+        fresh = separate_features(src, *ctx.target_stats, search, seed_ptr);
+      } else {
+        const la::Matrix target_scaled =
+            scaler_.transform(label_shift_corrected_cached(shots).x);
+        FSDA_EVENT_SCOPE(obs::EventCategory::Drift, "readapt.search");
+        fresh = separate_features(source_scaled_, target_scaled, search,
+                                  seed_ptr);
+      }
     }
-    const la::Matrix target_scaled =
-        scaler_.transform(label_shift_corrected_cached(shots).x);
-    SeparationResult fresh =
-        separate_features(source_scaled_, target_scaled, fs);
     out.health.fs_truncated = fresh.truncated;
     if (fresh.invariant.empty()) {
       out.reason =
@@ -447,15 +505,77 @@ CandidateOutcome FsGanPipeline::build_candidate_generation(
     }
     const std::uint64_t salt =
         readapt_seq_.fetch_add(1) + 1;
-    std::shared_ptr<Reconstructor> reconstructor = fit_reconstructor_for(
-        fresh, out.health, seed_ ^ 0x6EC0ULL ^ (salt * 0x9E3779B97F4A7C15ULL));
-    out.generation = make_generation(std::move(fresh), std::move(reconstructor),
-                                     "readapt");
+    const bool partition_unchanged =
+        active != nullptr &&
+        active->separation.invariant == fresh.invariant &&
+        active->separation.variant == fresh.variant;
+    const Reconstructor* warm_from =
+        ctx.warm_reconstructor && partition_unchanged && active != nullptr
+            ? active->reconstructor.get()
+            : nullptr;
+    std::shared_ptr<Reconstructor> reconstructor;
+    {
+      FSDA_EVENT_SCOPE(obs::EventCategory::Drift, "readapt.refit");
+      reconstructor = fit_reconstructor_for(
+          fresh, out.health,
+          seed_ ^ 0x6EC0ULL ^ (salt * 0x9E3779B97F4A7C15ULL), warm_from);
+    }
+    {
+      FSDA_EVENT_SCOPE(obs::EventCategory::Drift, "readapt.compile");
+      out.generation =
+          make_generation(std::move(fresh), std::move(reconstructor),
+                          "readapt",
+                          ctx.reuse_builds ? active.get() : nullptr);
+    }
   } catch (const common::Error& e) {
     out.generation = nullptr;
     out.reason = e.what();
   }
   return out;
+}
+
+la::GramStats FsGanPipeline::weighted_target_stats(
+    const std::vector<la::GramStats>& per_class,
+    const std::vector<std::size_t>& counts, std::size_t shots) const {
+  FSDA_CHECK_MSG(!source_class_counts_.empty(),
+                 "weighted_target_stats before train");
+  FSDA_CHECK(per_class.size() == counts.size());
+  double source_total = 0.0;
+  for (const std::size_t c : source_class_counts_) {
+    source_total += static_cast<double>(c);
+  }
+  // Mirror label_shift_corrected_cached exactly: class c would materialize
+  // want_c replicated rows, so its statistics get total weight want_c spread
+  // evenly over the m_c accumulated rows.  (The cold path's round-robin
+  // replication weights individual rows by floor/ceil(want_c / m_c); the
+  // uniform fractional weight has the same per-class mass and total sample
+  // size, which is what the Fisher-z tests consume.)
+  const std::size_t hint = std::max<std::size_t>(4 * shots, 64);
+  la::GramStats out;
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    if (counts[c] == 0 || c >= source_class_counts_.size() ||
+        source_class_counts_[c] == 0) {
+      continue;
+    }
+    const double prior =
+        static_cast<double>(source_class_counts_[c]) / source_total;
+    const auto want = std::max<std::size_t>(
+        static_cast<std::size_t>(prior * static_cast<double>(hint) + 0.5), 1);
+    if (out.dim() == 0) out.reset(per_class[c].dim());
+    out.add_scaled(per_class[c],
+                   static_cast<double>(want) / static_cast<double>(counts[c]));
+  }
+  return out;
+}
+
+const la::GramStats& FsGanPipeline::source_stats() {
+  FSDA_CHECK_MSG(trained_, "source_stats before train");
+  if (source_stats_.dim() != source_scaled_.cols()) {
+    la::GramStats fresh(source_scaled_.cols());
+    fresh.add_rows(source_scaled_);
+    source_stats_ = std::move(fresh);
+  }
+  return source_stats_;
 }
 
 ValidationVerdict FsGanPipeline::validate_generation(

@@ -102,6 +102,34 @@ struct CandidateOutcome {
   HealthReport health;  ///< candidate-fit diagnostics (never health())
 };
 
+/// Re-adaptation fast-path inputs (DESIGN.md §16), assembled by the drift
+/// loop at trigger time.  A default-constructed context reproduces the cold
+/// build exactly; each field independently enables one acceleration layer,
+/// and every layer degrades to the cold path when its precondition fails
+/// (shape mismatch, changed partition, missing previous generation).
+struct ReadaptContext {
+  /// Label-shift-weighted sufficient statistics over the SCALED few-shot
+  /// target rows (same representation the materialized FS path would see;
+  /// see FsGanPipeline::weighted_target_stats).  When set, the F-node
+  /// search assembles its correlation matrix in O(d²) from these plus the
+  /// pipeline's cached source statistics instead of rescanning rows.
+  const la::GramStats* target_stats = nullptr;
+  /// Warm-start the F-node search from the active generation's separating
+  /// sets (causal/fnode.hpp; Full preserves the cold partition exactly).
+  causal::WarmStart warm_skeleton = causal::WarmStart::Off;
+  /// Per-level subset cap under WarmStart::Budgeted.
+  std::size_t warm_budget = 8;
+  /// Warm-start the reconstructor refit from the active generation's
+  /// weights (reduced epoch budget + plateau early stop) when the fresh
+  /// partition is identical to the active one.
+  bool warm_reconstructor = false;
+  /// Generation build cache: when the fresh partition matches the active
+  /// generation's, copy its AssemblyMap and fitted DriftMonitor instead of
+  /// rebuilding them (generations are immutable after publish, so the
+  /// copies are safe snapshots).
+  bool reuse_builds = true;
+};
+
 /// The paper's DA framework around a pluggable classifier + reconstructor.
 class FsGanPipeline {
  public:
@@ -188,6 +216,35 @@ class FsGanPipeline {
   [[nodiscard]] CandidateOutcome build_candidate_generation(
       const data::Dataset& target_few_shot, const causal::FNodeOptions& fs);
 
+  /// Fast-path overload: `ctx` supplies pre-assembled target statistics
+  /// and/or warm-start state from the active generation.  Emits per-stage
+  /// journal scopes (readapt.stats / readapt.search / readapt.refit /
+  /// readapt.compile) so recovery time decomposes in the flight recorder.
+  [[nodiscard]] CandidateOutcome build_candidate_generation(
+      const data::Dataset& target_few_shot, const causal::FNodeOptions& fs,
+      const ReadaptContext& ctx);
+
+  /// Combines per-class GramStats accumulated over scaled target rows into
+  /// the label-shift-corrected statistics the FS stats path consumes:
+  /// class c gets weight want_c / m_c where want_c mirrors the replication
+  /// count label_shift_corrected_cached would materialize for `shots` target
+  /// rows and m_c = counts[c] rows were accumulated.  The total weight
+  /// equals the materialized path's row count, so the Fisher-z effective
+  /// sample size matches.
+  [[nodiscard]] la::GramStats weighted_target_stats(
+      const std::vector<la::GramStats>& per_class,
+      const std::vector<std::size_t>& counts, std::size_t shots) const;
+
+  /// Sufficient statistics over the scaled source (built lazily on first
+  /// use, then cached; invalidated by train()).  Not safe concurrently with
+  /// itself -- the drift loop serializes adaptations, which is the only
+  /// caller.
+  [[nodiscard]] const la::GramStats& source_stats();
+
+  /// The fitted input scaler (drift-loop buffers scale their rows with it
+  /// so buffered statistics live in the same representation as FS inputs).
+  [[nodiscard]] const data::MinMaxScaler& scaler() const { return scaler_; }
+
   /// Scores a candidate against the held-out source slice: finite scan,
   /// uniform-output fraction, accuracy floor, and max drop vs. the active
   /// generation.  `allow_layer_path` must be false when validating from a
@@ -271,15 +328,19 @@ class FsGanPipeline {
  private:
   /// Fits a reconstructor for `sep` (MeanImpute fallback on divergence),
   /// reporting into `health` -- health_ for train/adapt, the candidate's
-  /// own report for background builds.  `seed` salts the fit.
+  /// own report for background builds.  `seed` salts the fit; `warm_from`
+  /// (optional) requests a warm start from a previous reconstructor.
   std::shared_ptr<Reconstructor> fit_reconstructor_for(
-      const SeparationResult& sep, HealthReport& health, std::uint64_t seed);
+      const SeparationResult& sep, HealthReport& health, std::uint64_t seed,
+      const Reconstructor* warm_from = nullptr);
   /// Assembles an immutable generation: AssemblyMap for the trained order,
   /// packed session (when enabled + compatible), drift reference over the
-  /// partition's variant block.
+  /// partition's variant block.  When `reuse` is non-null and carries the
+  /// identical partition, its AssemblyMap and fitted DriftMonitor are
+  /// copied instead of rebuilt (generation build cache).
   std::shared_ptr<ModelGeneration> make_generation(
       SeparationResult sep, std::shared_ptr<Reconstructor> reconstructor,
-      std::string provenance);
+      std::string provenance, const ModelGeneration* reuse = nullptr);
   /// The pre-guardrail layer-API predict path for one generation, on
   /// already scaled/sanitized inputs.
   [[nodiscard]] la::Matrix predict_proba_scaled(const la::Matrix& x,
@@ -336,6 +397,9 @@ class FsGanPipeline {
   /// Salts candidate reconstructor seeds so repeated re-adaptations explore
   /// different initializations.
   MovableSeq readapt_seq_;
+  /// Lazily-built sufficient statistics of the scaled source (stats-path
+  /// FS); source_stats_.dim() == 0 means "not built yet".
+  la::GramStats source_stats_;
   HealthReport health_;
   bool trained_ = false;
 

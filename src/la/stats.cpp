@@ -90,6 +90,140 @@ Matrix covariance_shrunk(const Matrix& x, double shrinkage, double eps) {
   return cov;
 }
 
+void GramStats::reset(std::size_t dim) {
+  dim_ = dim;
+  weight_ = 0.0;
+  sums_.assign(dim, 0.0);
+  gram_.assign(dim * (dim + 1) / 2, 0.0);
+}
+
+namespace {
+
+/// Packed-upper-triangle offset of row i (i <= j indexes as base(i) + j).
+inline std::size_t tri_base(std::size_t i, std::size_t d) {
+  return i * d - i * (i - 1) / 2 - i;
+}
+
+}  // namespace
+
+void GramStats::add(std::span<const double> row, double weight) {
+  FSDA_CHECK_MSG(row.size() == dim_, "GramStats::add row width "
+                                         << row.size() << ", expect " << dim_);
+  weight_ += weight;
+  double* g = gram_.data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double wi = weight * row[i];
+    sums_[i] += wi;
+    double* gi = g + tri_base(i, dim_);
+    for (std::size_t j = i; j < dim_; ++j) gi[j] += wi * row[j];
+  }
+}
+
+void GramStats::remove(std::span<const double> row, double weight) {
+  FSDA_CHECK_MSG(row.size() == dim_, "GramStats::remove row width "
+                                         << row.size() << ", expect " << dim_);
+  weight_ -= weight;
+  double* g = gram_.data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double wi = weight * row[i];
+    sums_[i] -= wi;
+    double* gi = g + tri_base(i, dim_);
+    for (std::size_t j = i; j < dim_; ++j) gi[j] -= wi * row[j];
+  }
+}
+
+void GramStats::add_rows(const Matrix& x, double weight) {
+  FSDA_CHECK_MSG(x.cols() == dim_, "GramStats::add_rows width mismatch");
+  const ConstMatrixView xv(x);
+  for (std::size_t r = 0; r < xv.rows(); ++r) {
+    add(std::span<const double>(xv.row_data(r), dim_), weight);
+  }
+}
+
+void GramStats::add_scaled(const GramStats& other, double scale) {
+  FSDA_CHECK_MSG(other.dim_ == dim_, "GramStats::add_scaled dim mismatch");
+  weight_ += scale * other.weight_;
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    sums_[i] += scale * other.sums_[i];
+  }
+  for (std::size_t i = 0; i < gram_.size(); ++i) {
+    gram_[i] += scale * other.gram_[i];
+  }
+}
+
+GramStats GramStats::with_indicator(const GramStats& source,
+                                    const GramStats& target) {
+  FSDA_CHECK_MSG(source.dim_ == target.dim_,
+                 "with_indicator: source/target dim mismatch");
+  const std::size_t d = source.dim_;
+  GramStats out(d + 1);
+  out.weight_ = source.weight_ + target.weight_;
+  for (std::size_t i = 0; i < d; ++i) {
+    out.sums_[i] = source.sums_[i] + target.sums_[i];
+  }
+  out.sums_[d] = target.weight_;  // Σ F = target weight (F = 1 there)
+  for (std::size_t i = 0; i < d; ++i) {
+    const double* src_i = source.gram_.data() + tri_base(i, d);
+    const double* tgt_i = target.gram_.data() + tri_base(i, d);
+    double* out_i = out.gram_.data() + tri_base(i, d + 1);
+    for (std::size_t j = i; j < d; ++j) out_i[j] = src_i[j] + tgt_i[j];
+    out_i[d] = target.sums_[i];  // Σ F·x_i = target column sum
+  }
+  out.gram_[tri_base(d, d + 1) + d] = target.weight_;  // Σ F² = Σ F
+  return out;
+}
+
+void GramStats::covariance_into(Matrix& out) const {
+  FSDA_CHECK_MSG(weight_ > 1.0, "GramStats covariance needs weight > 1");
+  out.resize(dim_, dim_);
+  const double inv_w = 1.0 / weight_;
+  const double norm = 1.0 / (weight_ - 1.0);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double* gi = gram_.data() + tri_base(i, dim_);
+    for (std::size_t j = i; j < dim_; ++j) {
+      const double c = (gi[j] - sums_[i] * sums_[j] * inv_w) * norm;
+      out(i, j) = c;
+      out(j, i) = c;
+    }
+  }
+}
+
+void GramStats::correlation_into(Matrix& out) const {
+  FSDA_CHECK_MSG(weight_ > 1.0, "GramStats correlation needs weight > 1");
+  out.resize(dim_, dim_);
+  const double inv_w = 1.0 / weight_;
+  // The (W−1) normalization cancels in the correlation ratio, so centered
+  // second moments are used directly.
+  std::vector<double> inv_sd(dim_, 0.0);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double raw = gram_[tri_base(i, dim_) + i];
+    const double centered = raw - sums_[i] * sums_[i] * inv_w;
+    const double floor = kGramVarFloor * std::abs(raw);
+    inv_sd[i] = centered > floor && centered > 0.0
+                    ? 1.0 / std::sqrt(centered)
+                    : 0.0;
+  }
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double* gi = gram_.data() + tri_base(i, dim_);
+    out(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < dim_; ++j) {
+      const double centered = gi[j] - sums_[i] * sums_[j] * inv_w;
+      // Correlations can poke past ±1 by roundoff near collinearity; clamp
+      // so the Fisher-z atanh downstream stays finite.
+      const double r =
+          std::clamp(centered * inv_sd[i] * inv_sd[j], -1.0, 1.0);
+      out(i, j) = r;
+      out(j, i) = r;
+    }
+  }
+}
+
+Matrix GramStats::correlation() const {
+  Matrix out;
+  correlation_into(out);
+  return out;
+}
+
 Matrix correlation(const Matrix& x) {
   Matrix cov = covariance(x);
   const std::size_t d = cov.rows();

@@ -41,6 +41,78 @@ Matrix covariance_shrunk(const Matrix& x, double shrinkage, double eps = 1e-6);
 /// Correlation matrix (d x d); constant columns yield zero off-diagonals.
 Matrix correlation(const Matrix& x);
 
+/// Sufficient statistics (total weight W, weighted column sums Σwx, and the
+/// weighted Gram matrix Σw·xxᵀ) of a stream of d-dimensional rows, from
+/// which covariance and correlation matrices are assembled in O(d²) without
+/// revisiting any row.  Supports rank-1 updates (`add`), downdates
+/// (`remove`, for ring-buffer eviction) and fractional row weights (exact
+/// label-shift correction replaces integer row replication), so an
+/// adaptation buffer can maintain per-class statistics incrementally as
+/// samples arrive and a re-adaptation pays only the assembly cost.
+///
+/// The Gram matrix is stored as a packed upper triangle (d(d+1)/2 doubles);
+/// one add/remove costs d(d+1)/2 fused multiply-adds.
+///
+/// Numerics: centering Σw·xxᵀ − (Σwx)(Σwx)ᵀ/W in raw moments loses digits
+/// when |mean| ≫ stddev; on the [-1, 1]-scaled data these statistics exist
+/// for, the relative error stays near machine epsilon (the property suite
+/// pins incremental-vs-batch parity at 1e-12).  correlation_into() guards
+/// the centering with a RELATIVE variance floor (see kGramVarFloor): a
+/// column whose centered variance is dominated by accumulation roundoff is
+/// treated as constant (zero off-diagonals), matching la::correlation's
+/// exact-zero guard on constant columns without inheriting its sensitivity
+/// to the sign of the roundoff.
+class GramStats {
+ public:
+  /// Centered variances below kGramVarFloor × the raw second moment are
+  /// clamped to "constant column" in correlation_into.
+  static constexpr double kGramVarFloor = 1e-12;
+
+  GramStats() = default;
+  explicit GramStats(std::size_t dim) { reset(dim); }
+
+  /// Zeroes every accumulator and fixes the dimension.
+  void reset(std::size_t dim);
+
+  /// Rank-1 update with `row` (length dim()) at `weight`.
+  void add(std::span<const double> row, double weight = 1.0);
+  /// Rank-1 downdate: exact inverse of add() in exact arithmetic; in
+  /// floating point the residual error is bounded by the magnitude of the
+  /// statistics ever accumulated (eviction-parity test: 1e-10).
+  void remove(std::span<const double> row, double weight = 1.0);
+  /// Folds every row of `x` in at `weight` (batch build / tests).
+  void add_rows(const Matrix& x, double weight = 1.0);
+  /// Accumulates `scale` × other's statistics (same dim).  This is how
+  /// per-class statistics combine into a label-shift-corrected total:
+  /// total += (want_c / m_c) · class_stats_c.
+  void add_scaled(const GramStats& other, double scale);
+
+  /// Statistics of the row-stacked [source; target] data with a trailing
+  /// 0/1 domain-indicator column (the F-node): the indicator's cross
+  /// moments with column j reduce to the target's column sums and its own
+  /// moments to the target weight, so the (d+1)-dimensional combined
+  /// statistics assemble in O(d²) without materializing a single row.
+  static GramStats with_indicator(const GramStats& source,
+                                  const GramStats& target);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  /// Total accumulated weight (the effective sample count).
+  [[nodiscard]] double weight() const { return weight_; }
+
+  /// Covariance via the (W−1)-denominator convention of la::covariance.
+  void covariance_into(Matrix& out) const;
+  /// Correlation with the guarded centering described above; parity with
+  /// la::correlation on the same rows is ≤1e-12 for scaled data.
+  void correlation_into(Matrix& out) const;
+  [[nodiscard]] Matrix correlation() const;
+
+ private:
+  std::size_t dim_ = 0;
+  double weight_ = 0.0;
+  std::vector<double> sums_;  ///< Σ w·x, length d
+  std::vector<double> gram_;  ///< Σ w·xxᵀ, packed upper triangle
+};
+
 /// Partial correlation of columns i and j given columns `given`, computed
 /// from the inverse of the correlation submatrix.  `corr` must be a full
 /// correlation matrix of the data.
